@@ -1,0 +1,65 @@
+//! Measurement-path micro-benchmarks: the train estimator, the simplex
+//! substrate, and workload synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use choreo_lp::{solve_lp, Lp, Relation};
+use choreo_measure::estimate_from_report;
+use choreo_netsim::{BurstRecord, TrainConfig, TrainReport};
+use choreo_profile::{WorkloadGen, WorkloadGenConfig};
+
+fn synthetic_report(bursts: u32, burst_len: u32) -> TrainReport {
+    let gap = 12_000u64; // 1500 B at 1 Gbit/s
+    let records = (0..bursts)
+        .map(|b| BurstRecord {
+            burst: b,
+            first_rx: b as u64 * 10_000_000,
+            last_rx: b as u64 * 10_000_000 + (burst_len as u64 - 1) * gap,
+            received: burst_len,
+            min_idx: 0,
+            max_idx: burst_len - 1,
+        })
+        .collect();
+    TrainReport {
+        config: TrainConfig { packet_bytes: 1500, burst_len, bursts, gap: 1_000_000 },
+        bursts: records,
+        sent: bursts as u64 * burst_len as u64,
+        base_rtt: 100_000,
+    }
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let report = synthetic_report(10, 2000);
+    c.bench_function("train_estimate_10x2000", |b| {
+        b.iter(|| black_box(estimate_from_report(black_box(&report))))
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // A representative mid-size LP: 40 vars, 30 constraints.
+    let n = 40;
+    let mut lp = Lp::new(n);
+    for v in 0..n {
+        lp.set_objective(v, if v % 2 == 0 { -1.0 } else { 0.5 });
+        lp.set_bounds(v, 0.0, 10.0);
+    }
+    for k in 0..30 {
+        let coeffs: Vec<(usize, f64)> =
+            (0..n).map(|v| (v, (((v + k) % 5) as f64) * 0.3)).collect();
+        lp.add_constraint(coeffs, Relation::Le, 50.0 + k as f64);
+    }
+    c.bench_function("simplex_40v_30c", |b| b.iter(|| black_box(solve_lp(black_box(&lp)))));
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    c.bench_function("workload_gen_100_apps", |b| {
+        b.iter(|| {
+            let mut gen = WorkloadGen::new(WorkloadGenConfig::default(), 5);
+            black_box(gen.apps(100))
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimator, bench_simplex, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Simulator micro-benchmarks: packet-level event rate, flow-level
+//! allocation rate, and the raw max-min solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use choreo_flowsim::{max_min_rates, FlowSim};
+use choreo_netsim::{Sim, SimConfig};
+use choreo_topology::{dumbbell, LinkSpec, RouteTable, GBIT, MICROS, MILLIS, SECS};
+
+fn nets() -> (Arc<choreo_topology::Topology>, Arc<RouteTable>) {
+    let t = Arc::new(dumbbell(4, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(GBIT, 20 * MICROS)));
+    let r = Arc::new(RouteTable::new(&t));
+    (t, r)
+}
+
+fn bench_netsim_tcp(c: &mut Criterion) {
+    let (t, r) = nets();
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    // 100 ms of bulk TCP at ~1 Gbit/s ≈ 8.6k data packets + ACKs.
+    group.bench_function("tcp_100ms_1gbit", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(t.clone(), r.clone(), SimConfig::default(), 1);
+            let f = sim.start_tcp(t.hosts()[0], t.hosts()[4], None, None, None, 0);
+            sim.run_until(100 * MILLIS);
+            black_box(sim.tcp_stats(f).delivered_bytes)
+        })
+    });
+    group.bench_function("train_10x200", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(t.clone(), r.clone(), SimConfig::default(), 2);
+            let f = sim.start_train(
+                t.hosts()[0],
+                t.hosts()[4],
+                choreo_netsim::TrainConfig::default(),
+                None,
+                0,
+            );
+            sim.run_until(SECS);
+            black_box(sim.train_report(f).received())
+        })
+    });
+    group.finish();
+}
+
+fn bench_flowsim(c: &mut Criterion) {
+    let (t, r) = nets();
+    let mut group = c.benchmark_group("flowsim");
+    group.bench_function("run_20_flows_to_completion", |b| {
+        b.iter(|| {
+            let mut sim =
+                FlowSim::new(t.clone(), r.clone(), LinkSpec::new(4.2 * GBIT, 20 * MICROS), 3);
+            for k in 0..20u64 {
+                let src = t.hosts()[(k % 4) as usize];
+                let dst = t.hosts()[4 + (k % 4) as usize];
+                sim.start_flow(src, dst, Some(10_000_000), None, k * 1_000_000, k);
+            }
+            black_box(sim.run_to_completion())
+        })
+    });
+    group.finish();
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min");
+    for flows in [10usize, 100, 400] {
+        let caps: Vec<f64> = (0..50).map(|i| 1e9 + i as f64).collect();
+        let paths: Vec<Vec<u32>> = (0..flows)
+            .map(|f| {
+                let a = (f % 50) as u32;
+                let b = ((f * 7 + 13) % 50) as u32;
+                if a == b {
+                    vec![a]
+                } else {
+                    vec![a, b]
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &(), |b, _| {
+            b.iter(|| black_box(max_min_rates(&caps, &paths)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim_tcp, bench_flowsim, bench_maxmin);
+criterion_main!(benches);

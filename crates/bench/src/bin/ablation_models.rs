@@ -1,0 +1,62 @@
+//! Ablation: the sharing model inside Algorithm 1 (line 13 offers "a
+//! 'pipe' model or a 'hose' model").
+//!
+//! Both clouds are hose-limited (§4.3), so predicting rates with the pipe
+//! model mis-accounts concurrent transfers out of one VM. This ablation
+//! places identical fan-out-heavy applications with each model on the same
+//! hose-limited cloud and compares achieved completion times — quantifying
+//! how much the correct model is worth.
+
+use choreo::runner::run_app;
+use choreo::{Choreo, ChoreoConfig};
+use choreo_bench::{mean, median};
+use choreo_cloudlab::{Cloud, ProviderProfile};
+use choreo_measure::RateModel;
+use choreo_place::problem::Machines;
+use choreo_profile::{AppPattern, WorkloadGen, WorkloadGenConfig};
+
+fn main() {
+    let experiments: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let n_vms = 8;
+    let machines = Machines::uniform(n_vms, 4.0);
+    println!("# ablation: greedy rate model (hose vs pipe) on a hose-limited cloud");
+    println!("# columns: model  mean_completion_s  median_completion_s  n");
+    let mut results: Vec<(RateModel, Vec<f64>)> =
+        vec![(RateModel::Hose, Vec::new()), (RateModel::Pipe, Vec::new())];
+    for exp in 0..experiments {
+        let mut gen = WorkloadGen::new(
+            WorkloadGenConfig { tasks_min: 6, tasks_max: 9, bytes_mu: 20.0, ..Default::default() },
+            5000 + exp as u64,
+        );
+        // Shuffles fan traffic *out* of every mapper: the pattern where
+        // egress-hose accounting diverges from per-path pipe accounting
+        // (a gather would stress ingress, which the paper's hose model —
+        // an egress cap — deliberately does not track).
+        let app = gen.next_app_with(AppPattern::Shuffle);
+        if app.cpu.iter().sum::<f64>() > n_vms as f64 * 4.0 {
+            continue;
+        }
+        for (model, times) in &mut results {
+            let mut cloud = Cloud::new(ProviderProfile::ec2_2013(false), 6000 + exp as u64);
+            cloud.allocate(n_vms);
+            let mut fc = cloud.flow_cloud(2);
+            let mut orch = Choreo::new(
+                machines.clone(),
+                ChoreoConfig { rate_model: *model, ..Default::default() },
+            );
+            orch.measure(&mut fc);
+            let Ok(p) = orch.place(&app) else { continue };
+            times.push(run_app(&mut fc, &mut orch, &app, &p) as f64 / 1e9);
+        }
+    }
+    for (model, times) in &results {
+        println!("{model:?}\t{:.2}\t{:.2}\t{}", mean(times), median(times), times.len());
+    }
+    let hose = mean(&results[0].1);
+    let pipe = mean(&results[1].1);
+    println!(
+        "# hose-aware placement is {:.1}% faster on average than pipe-model placement",
+        100.0 * (pipe - hose) / pipe
+    );
+}

@@ -1,0 +1,49 @@
+//! §7.2 straw-man evaluation: phase-aware placement of time-varying
+//! applications vs. today's single-matrix Choreo.
+//!
+//! The paper proposes (but does not evaluate) re-running Choreo at the
+//! start of each "major" bandwidth phase. We run MapReduce-shaped phased
+//! applications (scatter → shuffle → gather) and compare total runtime
+//! under (a) one placement from the flattened matrix and (b) per-phase
+//! re-placement with a migration penalty, sweeping the penalty.
+
+use choreo::phases::{run_phased, PhaseStrategy};
+use choreo::{Choreo, ChoreoConfig};
+use choreo_bench::mean;
+use choreo_cloudlab::{Cloud, ProviderProfile};
+use choreo_place::problem::Machines;
+use choreo_profile::PhasedApp;
+use choreo_topology::{MILLIS, SECS};
+
+fn main() {
+    let experiments: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let n_vms = 10;
+    let machines = Machines::uniform(n_vms, 1.5); // tight CPU: placement matters
+    println!("# §7.2 ablation: single-matrix vs per-phase placement (MapReduce shape)");
+    println!("# columns: strategy  mean_total_s  mean_migrations");
+
+    let strategies: Vec<(String, PhaseStrategy)> = vec![
+        ("single-matrix".into(), PhaseStrategy::SingleMatrix),
+        ("per-phase(0s)".into(), PhaseStrategy::PerPhase { penalty_per_move: 0 }),
+        ("per-phase(0.5s)".into(), PhaseStrategy::PerPhase { penalty_per_move: 500 * MILLIS }),
+        ("per-phase(5s)".into(), PhaseStrategy::PerPhase { penalty_per_move: 5 * SECS }),
+    ];
+    for (label, strategy) in strategies {
+        let mut totals = Vec::new();
+        let mut moves = Vec::new();
+        for exp in 0..experiments {
+            let app = PhasedApp::map_reduce(4, 4, 2_000_000_000);
+            let mut cloud = Cloud::new(ProviderProfile::ec2_2013(exp % 2 == 1), 8000 + exp as u64);
+            cloud.allocate(n_vms);
+            let mut fc = cloud.flow_cloud(3);
+            let mut orch = Choreo::new(machines.clone(), ChoreoConfig::default());
+            let out = run_phased(&mut fc, &mut orch, &app, strategy);
+            totals.push(out.total() as f64 / 1e9);
+            moves.push(out.migrations as f64);
+        }
+        println!("{label}\t{:.2}\t{:.1}", mean(&totals), mean(&moves));
+    }
+    println!("# expectation: per-phase wins when migration is cheap (each phase's hot");
+    println!("# pairs get the fast paths); the advantage erodes as the penalty grows");
+}

@@ -1,0 +1,309 @@
+//! Flow-level cloud backend: fast measurement and placement execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use choreo_flowsim::{FlowKey, FlowSim, HoseId};
+use choreo_measure::{MeasureBackend, NetworkSnapshot, RateModel};
+use choreo_topology::{Nanos, RouteTable, TracerouteStyle, VmId, VmMap, SECS};
+
+use crate::cloud::{sample_normal, Cloud};
+
+/// A tenant's view of the cloud at flow granularity.
+///
+/// Backs the macro experiments (Figs. 1, 2, 7, 8, 10): `netperf`-style
+/// measurements return the max-min fair share a bulk TCP connection would
+/// get, perturbed by the profile's measurement noise; applications are run
+/// by turning traffic-matrix entries into bounded flows.
+pub struct FlowCloud {
+    sim: FlowSim,
+    vms: VmMap,
+    hoses: Vec<HoseId>,
+    routes: std::sync::Arc<RouteTable>,
+    traceroute_style: TracerouteStyle,
+    noise_sd: f64,
+    loopback_bps: f64,
+    rng: StdRng,
+}
+
+impl FlowCloud {
+    /// Build from a [`Cloud`] (called via [`Cloud::flow_cloud`]).
+    pub(crate) fn build(cloud: &mut Cloud, seed: u64) -> FlowCloud {
+        let mut sim = FlowSim::new(
+            cloud.topology().clone(),
+            cloud.routes().clone(),
+            cloud.profile.loopback,
+            seed,
+        );
+        let hoses: Vec<HoseId> =
+            (0..cloud.n_vms()).map(|i| sim.add_hose(cloud.hose_of(VmId(i as u32)))).collect();
+        let bg = cloud.background_pairs(cloud.profile.background.pairs);
+        for (a, b, hose_bps) in bg {
+            let h = sim.add_hose(hose_bps);
+            sim.add_onoff(
+                a,
+                b,
+                Some(h),
+                cloud.profile.background.mean_on,
+                cloud.profile.background.mean_off,
+                0,
+            );
+        }
+        let mut fc = FlowCloud {
+            sim,
+            vms: cloud.vm_map(),
+            hoses,
+            routes: cloud.routes().clone(),
+            traceroute_style: cloud.profile.traceroute,
+            noise_sd: cloud.profile.measurement_noise,
+            loopback_bps: cloud.profile.loopback.rate_bps,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_F00D),
+        };
+        // Warm up so background sources reach a mixed state.
+        fc.sim.run_until(10 * SECS);
+        fc
+    }
+
+    fn noise(&mut self) -> f64 {
+        (1.0 + self.noise_sd * sample_normal(&mut self.rng)).max(0.01)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    /// Advance simulated time (background traffic evolves).
+    pub fn advance(&mut self, dt: Nanos) {
+        let t = self.sim.now() + dt;
+        self.sim.run_until(t);
+    }
+
+    /// The VM→host map.
+    pub fn vm_map(&self) -> &VmMap {
+        &self.vms
+    }
+
+    /// Mutable access to the underlying simulator (advanced scenarios).
+    pub fn sim_mut(&mut self) -> &mut FlowSim {
+        &mut self.sim
+    }
+
+    /// Start a bounded transfer between two VMs at absolute time `at`.
+    /// Returns `None` when both endpoints are the same VM — such transfers
+    /// are process-local and complete instantly (the effect Algorithm 1
+    /// exploits by co-placing chatty tasks).
+    pub fn start_transfer(
+        &mut self,
+        from: VmId,
+        to: VmId,
+        bytes: u64,
+        at: Nanos,
+        tag: u64,
+    ) -> Option<FlowKey> {
+        if from == to {
+            return None;
+        }
+        let src = self.vms.host(from);
+        let dst = self.vms.host(to);
+        Some(self.sim.start_flow(src, dst, Some(bytes), Some(self.hoses[from.0 as usize]), at, tag))
+    }
+
+    /// Run until every bounded flow completes; returns the finish time.
+    pub fn run_to_completion(&mut self) -> Nanos {
+        self.sim.run_to_completion()
+    }
+
+    /// Completion time of all flows tagged `tag` (None until they finish).
+    pub fn tag_completion(&self, tag: u64) -> Option<Nanos> {
+        self.sim.tag_completion(tag)
+    }
+
+    /// Noiseless instantaneous fair-share rate between two VMs (testing /
+    /// diagnostics; measurements go through [`MeasureBackend`]).
+    pub fn ideal_rate(&mut self, a: VmId, b: VmId) -> f64 {
+        if self.vms.host(a) == self.vms.host(b) {
+            return self.loopback_bps;
+        }
+        let (src, dst) = (self.vms.host(a), self.vms.host(b));
+        let hose = self.hoses[a.0 as usize];
+        self.sim.probe_rate(src, dst, Some(hose))
+    }
+
+    /// Convenience: measure the full mesh into a snapshot using 500 ms
+    /// probes (the flow-level analogue of a sub-second packet train).
+    pub fn snapshot(&mut self, model: RateModel) -> NetworkSnapshot {
+        NetworkSnapshot::measure(self, model)
+    }
+}
+
+impl MeasureBackend for FlowCloud {
+    fn n_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    fn probe_path(&mut self, a: VmId, b: VmId) -> f64 {
+        // A packet train takes under a second and injects ~3 MB (§4.1) —
+        // negligible next to running applications. The flow-level
+        // analogue is the instantaneous fair share a new connection would
+        // get, with the provider's measurement noise on top.
+        let raw = self.ideal_rate(a, b);
+        raw * self.noise()
+    }
+
+    fn netperf(&mut self, a: VmId, b: VmId, duration: Nanos) -> f64 {
+        assert!(a != b, "netperf needs two distinct VMs");
+        let src = self.vms.host(a);
+        let dst = self.vms.host(b);
+        let raw = self.sim.measure_tcp_throughput(
+            src,
+            dst,
+            Some(self.hoses[a.0 as usize]),
+            duration,
+        );
+        raw * self.noise()
+    }
+
+    fn concurrent_netperf(&mut self, pairs: &[(VmId, VmId)], duration: Nanos) -> Vec<f64> {
+        let start = self.sim.now();
+        let keys: Vec<FlowKey> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a != b);
+                let src = self.vms.host(a);
+                let dst = self.vms.host(b);
+                let key = self.sim.start_flow(
+                    src,
+                    dst,
+                    None,
+                    Some(self.hoses[a.0 as usize]),
+                    start,
+                    u64::MAX - 2,
+                );
+                self.sim.stop_flow_at(key, start + duration);
+                key
+            })
+            .collect();
+        self.sim.run_until(start + duration);
+        keys.iter()
+            .map(|&k| {
+                let bytes = self.sim.delivered_bytes(k) as f64;
+                let noise = self.noise();
+                bytes * 8.0 / (duration as f64 / 1e9) * noise
+            })
+            .collect()
+    }
+
+    fn traceroute(&mut self, a: VmId, b: VmId) -> usize {
+        self.vms.traceroute(&self.routes, self.traceroute_style, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProviderProfile;
+    use choreo_measure::RateModel;
+    use choreo_topology::MBIT;
+
+    fn quiet_ec2() -> Cloud {
+        let mut p = ProviderProfile::ec2_2013(false);
+        p.background.pairs = 0;
+        p.measurement_noise = 0.0;
+        p.colocate_prob = 0.0;
+        Cloud::new(p, 11)
+    }
+
+    #[test]
+    fn netperf_measures_the_hose() {
+        let mut cloud = quiet_ec2();
+        let vms = cloud.allocate(4);
+        let hose0 = cloud.hose_of(vms[0]);
+        let mut fc = cloud.flow_cloud(1);
+        let r = fc.netperf(vms[0], vms[1], SECS);
+        assert!((r - hose0).abs() / hose0 < 0.01, "r = {r}, hose = {hose0}");
+    }
+
+    #[test]
+    fn rackspace_paths_are_flat_300() {
+        let mut cloud = Cloud::new(ProviderProfile::rackspace(), 2);
+        cloud.allocate(5);
+        let mut fc = cloud.flow_cloud(3);
+        let snap = fc.snapshot(RateModel::Hose);
+        for r in snap.path_rates() {
+            assert!((r - 300.0 * MBIT).abs() / (300.0 * MBIT) < 0.05, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn colocated_vms_see_loopback_rates() {
+        let mut p = ProviderProfile::ec2_2013(false);
+        p.background.pairs = 0;
+        p.measurement_noise = 0.0;
+        p.colocate_prob = 1.0;
+        let mut cloud = Cloud::new(p, 5);
+        let vms = cloud.allocate(2);
+        let mut fc = cloud.flow_cloud(1);
+        let r = fc.netperf(vms[0], vms[1], SECS);
+        assert!(r > 3e9, "colocated rate should be ≈4 Gbit/s, got {r}");
+    }
+
+    #[test]
+    fn transfers_run_to_completion() {
+        let mut cloud = quiet_ec2();
+        let vms = cloud.allocate(3);
+        let hose0 = cloud.hose_of(vms[0]);
+        let mut fc = cloud.flow_cloud(1);
+        let t0 = fc.now();
+        fc.start_transfer(vms[0], vms[1], 125_000_000, t0, 42);
+        let end = fc.run_to_completion();
+        let dur = (end - t0) as f64 / 1e9;
+        let expect = 125_000_000.0 * 8.0 / hose0;
+        assert!((dur - expect).abs() / expect < 0.02, "dur {dur} vs {expect}");
+        assert_eq!(fc.tag_completion(42), Some(end));
+    }
+
+    #[test]
+    fn same_vm_transfer_is_instant() {
+        let mut cloud = quiet_ec2();
+        let vms = cloud.allocate(2);
+        let mut fc = cloud.flow_cloud(1);
+        assert!(fc.start_transfer(vms[0], vms[0], 1 << 30, 0, 7).is_none());
+    }
+
+    #[test]
+    fn concurrent_same_source_shares_hose() {
+        let mut cloud = quiet_ec2();
+        let vms = cloud.allocate(3);
+        let hose0 = cloud.hose_of(vms[0]);
+        let mut fc = cloud.flow_cloud(1);
+        let rates = fc.concurrent_netperf(&[(vms[0], vms[1]), (vms[0], vms[2])], SECS);
+        let sum = rates[0] + rates[1];
+        assert!((sum - hose0).abs() / hose0 < 0.02, "sum {sum} vs hose {hose0}");
+    }
+
+    #[test]
+    fn concurrent_distinct_sources_do_not_interfere() {
+        let mut cloud = quiet_ec2();
+        let vms = cloud.allocate(4);
+        let mut fc = cloud.flow_cloud(1);
+        let solo = fc.netperf(vms[0], vms[1], SECS);
+        let rates = fc.concurrent_netperf(&[(vms[0], vms[1]), (vms[2], vms[3])], SECS);
+        assert!((rates[0] - solo).abs() / solo < 0.05, "{} vs {solo}", rates[0]);
+    }
+
+    #[test]
+    fn traceroute_respects_provider_style() {
+        let mut cloud = Cloud::new(ProviderProfile::rackspace(), 8);
+        let vms = cloud.allocate(4);
+        let mut fc = cloud.flow_cloud(1);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    let h = fc.traceroute(vms[i], vms[j]);
+                    assert!(h == 1 || h == 4, "rackspace reports only 1 or 4, got {h}");
+                }
+            }
+        }
+    }
+}

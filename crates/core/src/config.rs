@@ -1,0 +1,60 @@
+//! Orchestrator configuration.
+
+use choreo_measure::RateModel;
+use choreo_place::ilp::IlpPlacer;
+use choreo_topology::Nanos;
+
+/// Which placement algorithm the orchestrator uses.
+#[derive(Debug, Clone)]
+pub enum PlacerKind {
+    /// Algorithm 1 (the default; near-optimal and fast, §5).
+    Greedy,
+    /// Exact ILP via branch-and-bound (Appendix).
+    Ilp(IlpPlacer),
+    /// §6 baseline: random assignment (seeded).
+    Random(u64),
+    /// §6 baseline: round-robin assignment.
+    RoundRobin,
+    /// §6 baseline: fewest machines.
+    MinMachines,
+}
+
+/// Orchestrator knobs.
+#[derive(Debug, Clone)]
+pub struct ChoreoConfig {
+    /// How concurrent connections share capacity when predicting rates.
+    /// §4.4 found both EC2 and Rackspace hose-limited, so `Hose` is the
+    /// default.
+    pub rate_model: RateModel,
+    /// Placement algorithm.
+    pub placer: PlacerKind,
+    /// §2.4: re-evaluate running placements every `T` (None disables).
+    pub reevaluate_every: Option<Nanos>,
+    /// Minimum predicted relative improvement before migrating
+    /// (migration is not free; 10% by default).
+    pub migration_threshold: f64,
+}
+
+impl Default for ChoreoConfig {
+    fn default() -> Self {
+        ChoreoConfig {
+            rate_model: RateModel::Hose,
+            placer: PlacerKind::Greedy,
+            reevaluate_every: None,
+            migration_threshold: 0.10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_greedy_hose() {
+        let c = ChoreoConfig::default();
+        assert!(matches!(c.placer, PlacerKind::Greedy));
+        assert_eq!(c.rate_model, RateModel::Hose);
+        assert!(c.reevaluate_every.is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Periodic re-evaluation and migration (§2.4).
+//!
+//! "Every T minutes, Choreo re-evaluates its placement of the existing
+//! applications, and migrates tasks if necessary. T can be chosen to
+//! reflect the cost of migration." This module implements the decision:
+//! given a fresh snapshot, re-place a running application's *remaining*
+//! bytes and compare the predicted completion of staying put against
+//! moving (plus a migration penalty). Execution — stopping flows and
+//! restarting the remainder elsewhere — is the caller's (see the
+//! `realtime_sequence` example).
+
+use choreo_measure::NetworkSnapshot;
+use choreo_place::greedy::GreedyPlacer;
+use choreo_place::predict::predict_completion_secs;
+use choreo_place::problem::{Machines, NetworkLoad, Placement};
+use choreo_profile::{AppProfile, TrafficMatrix};
+
+/// An application's unfinished traffic: the original profile with every
+/// transfer reduced to its remaining bytes.
+pub fn remaining_app(app: &AppProfile, delivered: &dyn Fn(usize, usize) -> u64) -> AppProfile {
+    let n = app.n_tasks();
+    let mut m = TrafficMatrix::zeros(n);
+    for (i, j, bytes) in app.matrix.transfers_desc() {
+        let done = delivered(i, j).min(bytes);
+        m.set(i, j, bytes - done);
+    }
+    AppProfile::new(format!("{}*", app.name), app.cpu.clone(), m, app.start_time)
+}
+
+/// Outcome of one re-evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reevaluation {
+    /// Keep the current placement.
+    Stay {
+        /// Predicted completion of the remaining bytes where they are.
+        predicted_secs: f64,
+    },
+    /// Move to the returned placement.
+    Migrate {
+        /// The better placement for the remaining bytes.
+        placement: Placement,
+        /// Predicted completion if the app stays.
+        stay_secs: f64,
+        /// Predicted completion after migrating (incl. penalty).
+        move_secs: f64,
+    },
+}
+
+/// Decide whether a running application should migrate.
+///
+/// * `remaining` — the app's unfinished traffic (see [`remaining_app`]).
+/// * `current` — its current placement.
+/// * `other_load` — load from *other* applications (exclude this one).
+/// * `migration_penalty_secs` — fixed cost added to the move option.
+/// * `threshold` — minimum relative improvement to bother (e.g. 0.10).
+pub fn reevaluate(
+    remaining: &AppProfile,
+    current: &Placement,
+    machines: &Machines,
+    snapshot: &NetworkSnapshot,
+    other_load: &NetworkLoad,
+    migration_penalty_secs: f64,
+    threshold: f64,
+) -> Reevaluation {
+    let stay_secs = predict_completion_secs(remaining, current, snapshot);
+    let Ok(candidate) = GreedyPlacer.place(remaining, machines, snapshot, other_load) else {
+        return Reevaluation::Stay { predicted_secs: stay_secs };
+    };
+    let move_secs =
+        predict_completion_secs(remaining, &candidate, snapshot) + migration_penalty_secs;
+    if move_secs < stay_secs * (1.0 - threshold) && candidate != *current {
+        Reevaluation::Migrate { placement: candidate, stay_secs, move_secs }
+    } else {
+        Reevaluation::Stay { predicted_secs: stay_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choreo_measure::RateModel;
+
+    fn snap(n: usize, entries: &[(usize, usize, f64)]) -> NetworkSnapshot {
+        let mut rates = vec![10.0; n * n];
+        for &(a, b, r) in entries {
+            rates[a * n + b] = r;
+        }
+        NetworkSnapshot::from_rates(n, rates, RateModel::Pipe)
+    }
+
+    fn app_with(bytes: u64) -> AppProfile {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, bytes);
+        AppProfile::new("x", vec![1.0, 1.0], m, 0)
+    }
+
+    #[test]
+    fn remaining_app_subtracts_delivery() {
+        let app = app_with(100);
+        let rem = remaining_app(&app, &|i, j| if (i, j) == (0, 1) { 30 } else { 0 });
+        assert_eq!(rem.matrix.bytes(0, 1), 70);
+        // Over-delivery clamps to zero, never underflows.
+        let done = remaining_app(&app, &|_, _| 1000);
+        assert_eq!(done.matrix.bytes(0, 1), 0);
+    }
+
+    #[test]
+    fn migrates_away_from_a_degraded_path() {
+        // Current placement sits on a path that degraded to rate 1;
+        // machines 2,3 offer rate 10.
+        let app = app_with(100);
+        let current = Placement { assignment: vec![0, 1] };
+        let s = snap(4, &[(0, 1, 1.0)]);
+        let machines = Machines::uniform(4, 1.0);
+        match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 0.0, 0.10) {
+            Reevaluation::Migrate { stay_secs, move_secs, placement } => {
+                assert!((stay_secs - 800.0).abs() < 1e-9);
+                assert!(move_secs <= 80.0 + 1e-9);
+                assert_ne!(placement.assignment, current.assignment);
+            }
+            other => panic!("expected migration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stays_when_improvement_is_marginal() {
+        let app = app_with(100);
+        let current = Placement { assignment: vec![0, 1] };
+        // Uniform network: nothing to gain.
+        let s = snap(4, &[]);
+        let machines = Machines::uniform(4, 1.0);
+        match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 0.0, 0.10) {
+            Reevaluation::Stay { predicted_secs } => {
+                assert!((predicted_secs - 80.0).abs() < 1e-9);
+            }
+            other => panic!("expected stay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migration_penalty_discourages_moving() {
+        let app = app_with(100);
+        let current = Placement { assignment: vec![0, 1] };
+        let s = snap(4, &[(0, 1, 5.0)]); // stay = 160 s, best = 80 s
+        let machines = Machines::uniform(4, 1.0);
+        // Penalty larger than the possible gain: stay.
+        match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 1000.0, 0.10) {
+            Reevaluation::Stay { .. } => {}
+            other => panic!("expected stay with big penalty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_app_stays_trivially() {
+        let app = app_with(100);
+        let rem = remaining_app(&app, &|_, _| 100);
+        let current = Placement { assignment: vec![0, 1] };
+        let s = snap(2, &[]);
+        match reevaluate(&rem, &current, &Machines::uniform(2, 1.0), &s, &NetworkLoad::new(2), 0.0, 0.1)
+        {
+            Reevaluation::Stay { predicted_secs } => assert_eq!(predicted_secs, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Running time-varying applications (paper §7.2's straw-man).
+//!
+//! Two strategies over a [`PhasedApp`]:
+//!
+//! * [`PhaseStrategy::SingleMatrix`] — today's Choreo: flatten all phases
+//!   into one matrix, place once, run the phases back-to-back on that
+//!   placement.
+//! * [`PhaseStrategy::PerPhase`] — the §7.2 straw-man: re-measure and
+//!   re-place at the start of every phase; tasks that move pay a fixed
+//!   migration penalty (state transfer / restart cost).
+
+use choreo_cloudlab::FlowCloud;
+use choreo_place::problem::Placement;
+use choreo_profile::PhasedApp;
+use choreo_topology::Nanos;
+
+use crate::orchestrator::Choreo;
+use crate::runner::{start_app, wait_for_tag};
+
+/// How to place a phased application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseStrategy {
+    /// One placement from the flattened matrix.
+    SingleMatrix,
+    /// Fresh placement per phase; each task that changes VM costs this
+    /// penalty (simulated as added runtime).
+    PerPhase {
+        /// Migration cost per moved task.
+        penalty_per_move: Nanos,
+    },
+}
+
+/// Outcome of a phased run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedOutcome {
+    /// Runtime of each phase (including any migration penalty charged at
+    /// its start).
+    pub phase_runtimes: Vec<Nanos>,
+    /// Total tasks moved across all phase boundaries.
+    pub migrations: usize,
+}
+
+impl PhasedOutcome {
+    /// Total runtime.
+    pub fn total(&self) -> Nanos {
+        self.phase_runtimes.iter().sum()
+    }
+}
+
+/// Run a phased application under the given strategy. Phases execute
+/// sequentially (a phase must finish before the next begins, like a
+/// MapReduce barrier).
+pub fn run_phased(
+    fc: &mut FlowCloud,
+    choreo: &mut Choreo,
+    app: &PhasedApp,
+    strategy: PhaseStrategy,
+) -> PhasedOutcome {
+    let mut phase_runtimes = Vec::with_capacity(app.phases.len());
+    let mut migrations = 0usize;
+    let mut current: Option<Placement> = None;
+    for k in 0..app.phases.len() {
+        let profile = match strategy {
+            PhaseStrategy::SingleMatrix => app.flattened(),
+            PhaseStrategy::PerPhase { .. } => app.phase_profile(k),
+        };
+        let placement = match (&strategy, &current) {
+            (PhaseStrategy::SingleMatrix, Some(p)) => p.clone(),
+            _ => {
+                choreo.measure(fc);
+                choreo.place(&profile).expect("phase fits")
+            }
+        };
+        let mut penalty = 0;
+        if let (PhaseStrategy::PerPhase { penalty_per_move }, Some(prev)) = (&strategy, &current) {
+            let moved = prev
+                .assignment
+                .iter()
+                .zip(&placement.assignment)
+                .filter(|(a, b)| a != b)
+                .count();
+            migrations += moved;
+            penalty = *penalty_per_move * moved as u64;
+        }
+        // Run this phase's transfers to completion.
+        let phase_app = app.phase_profile(k);
+        let tag = choreo.admit(&phase_app, &placement);
+        let t0 = fc.now();
+        let n_flows = start_app(fc, &phase_app, &placement, tag);
+        let runtime = if n_flows == 0 { 0 } else { wait_for_tag(fc, tag, t0) };
+        choreo.complete(tag);
+        phase_runtimes.push(runtime + penalty);
+        current = Some(placement);
+    }
+    PhasedOutcome { phase_runtimes, migrations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChoreoConfig;
+    use choreo_cloudlab::{Cloud, ProviderProfile};
+    use choreo_place::problem::Machines;
+    use choreo_topology::SECS;
+
+    fn cloud() -> Cloud {
+        let mut p = ProviderProfile::ec2_2013(false);
+        p.background.pairs = 0;
+        p.measurement_noise = 0.0;
+        p.colocate_prob = 0.0;
+        let mut c = Cloud::new(p, 71);
+        c.allocate(8);
+        c
+    }
+
+    #[test]
+    fn both_strategies_complete_all_phases() {
+        let app = choreo_profile::PhasedApp::map_reduce(3, 3, 300_000_000);
+        let machines = Machines::uniform(8, 1.5); // tasks mostly spread
+        for strategy in [
+            PhaseStrategy::SingleMatrix,
+            PhaseStrategy::PerPhase { penalty_per_move: SECS / 10 },
+        ] {
+            let mut c = cloud();
+            let mut fc = c.flow_cloud(1);
+            let mut orch = Choreo::new(machines.clone(), ChoreoConfig::default());
+            let out = run_phased(&mut fc, &mut orch, &app, strategy);
+            assert_eq!(out.phase_runtimes.len(), 3, "{strategy:?}");
+            assert!(out.total() > 0, "{strategy:?}");
+            assert!(orch.running().is_empty());
+        }
+    }
+
+    #[test]
+    fn per_phase_counts_migrations() {
+        let app = choreo_profile::PhasedApp::map_reduce(3, 3, 300_000_000);
+        let machines = Machines::uniform(8, 1.5);
+        let mut c = cloud();
+        let mut fc = c.flow_cloud(1);
+        let mut orch = Choreo::new(machines, ChoreoConfig::default());
+        let out = run_phased(
+            &mut fc,
+            &mut orch,
+            &app,
+            PhaseStrategy::PerPhase { penalty_per_move: 0 },
+        );
+        // Scatter/shuffle/gather have different hot pairs: some movement
+        // is essentially guaranteed on 1.5-core machines.
+        assert!(out.migrations > 0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The flow-level simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use choreo_topology::route::splitmix64;
+use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, RouteTable, Topology};
+
+use crate::fairshare::max_min_rates;
+
+/// Handle to a flow in a [`FlowSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey(pub u32);
+
+/// Handle to a hose (per-VM egress cap) resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HoseId(pub u32);
+
+/// Lifecycle state of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// Scheduled but not yet started.
+    Pending,
+    /// Transferring.
+    Active,
+    /// Finished (bounded flows) or stopped; carries the end time.
+    Done(Nanos),
+}
+
+#[derive(Debug)]
+struct Flow {
+    resources: Vec<u32>,
+    /// Remaining payload bytes; `None` = unbounded.
+    remaining: Option<f64>,
+    /// Cumulative delivered bytes.
+    delivered: f64,
+    /// Current allocated rate, bits/s.
+    rate: f64,
+    status: FlowStatus,
+    started_at: Nanos,
+    /// Caller-assigned grouping tag (e.g. application id).
+    tag: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Start(FlowKey),
+    Stop(FlowKey),
+    Toggle(u32),
+}
+
+#[derive(Debug)]
+struct OnOff {
+    src: NodeId,
+    dst: NodeId,
+    hose: Option<HoseId>,
+    mean_on: Nanos,
+    mean_off: Nanos,
+    on: bool,
+    flow: Option<FlowKey>,
+}
+
+/// Flow-level simulator over a [`Topology`].
+pub struct FlowSim {
+    topo: Arc<Topology>,
+    routes: Arc<RouteTable>,
+    /// Capacities: `2·L` directed links, then `H` loopbacks, then hoses.
+    capacities: Vec<f64>,
+    loopback: LinkSpec,
+    flows: Vec<Flow>,
+    sources: Vec<OnOff>,
+    events: BinaryHeap<Reverse<(Nanos, u64, EvBox)>>,
+    seq: u64,
+    now: Nanos,
+    dirty: bool,
+    rng: StdRng,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EvBox(Ev);
+impl PartialEq for EvBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EvBox {}
+impl PartialOrd for EvBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Numerical slop (bytes) below which a flow counts as finished.
+const DONE_EPS: f64 = 0.5;
+
+impl FlowSim {
+    /// Build a simulator. `loopback` is the capacity/delay model for
+    /// co-located traffic (the paper's ≈4 Gbit/s same-host paths).
+    pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>, loopback: LinkSpec, seed: u64) -> Self {
+        let mut capacities = Vec::with_capacity(topo.link_count() * 2 + topo.hosts().len());
+        for l in topo.links() {
+            capacities.push(l.spec.rate_bps);
+            capacities.push(l.spec.rate_bps);
+        }
+        for _ in topo.hosts() {
+            capacities.push(loopback.rate_bps);
+        }
+        FlowSim {
+            topo,
+            routes,
+            capacities,
+            loopback,
+            flows: Vec::new(),
+            sources: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            dirty: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Register a hose (egress) cap of `rate_bps` and return its handle.
+    pub fn add_hose(&mut self, rate_bps: f64) -> HoseId {
+        assert!(rate_bps > 0.0);
+        let id = HoseId((self.capacities.len()) as u32);
+        self.capacities.push(rate_bps);
+        HoseId(id.0)
+    }
+
+    fn push_event(&mut self, at: Nanos, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, EvBox(ev))));
+    }
+
+    fn host_loopback_res(&self, host: NodeId) -> u32 {
+        let idx = self
+            .topo
+            .hosts()
+            .iter()
+            .position(|&h| h == host)
+            .expect("not a host");
+        (self.topo.link_count() * 2 + idx) as u32
+    }
+
+    fn resources_for(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>, key: u32) -> Vec<u32> {
+        if src == dst {
+            // Co-located: loopback only; hose bypassed (hypervisor-local).
+            return vec![self.host_loopback_res(src)];
+        }
+        let hash = splitmix64(((key as u64) << 32) | self.rng.gen::<u32>() as u64);
+        let path = self.routes.path_for_flow(src, dst, hash);
+        let mut res: Vec<u32> = path
+            .hops
+            .iter()
+            .map(|h| {
+                2 * h.link.0
+                    + match h.dir {
+                        LinkDir::Forward => 0,
+                        LinkDir::Reverse => 1,
+                    }
+            })
+            .collect();
+        if let Some(h) = hose {
+            res.push(h.0);
+        }
+        res
+    }
+
+    /// Schedule a flow of `bytes` (`None` = unbounded) from `src` to `dst`
+    /// starting at `at`, optionally constrained by a hose cap, grouped
+    /// under `tag`.
+    pub fn start_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Option<u64>,
+        hose: Option<HoseId>,
+        at: Nanos,
+        tag: u64,
+    ) -> FlowKey {
+        let key = FlowKey(self.flows.len() as u32);
+        let resources = self.resources_for(src, dst, hose, key.0);
+        self.flows.push(Flow {
+            resources,
+            remaining: bytes.map(|b| b as f64),
+            delivered: 0.0,
+            rate: 0.0,
+            status: FlowStatus::Pending,
+            started_at: at,
+            tag,
+        });
+        self.push_event(at.max(self.now), Ev::Start(key));
+        key
+    }
+
+    /// Stop (kill) a flow at time `at`.
+    pub fn stop_flow_at(&mut self, key: FlowKey, at: Nanos) {
+        self.push_event(at.max(self.now), Ev::Stop(key));
+    }
+
+    /// Register an ON–OFF background source (starts OFF; exponential
+    /// holding times, as in the paper's Fig. 4 validation).
+    pub fn add_onoff(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        hose: Option<HoseId>,
+        mean_on: Nanos,
+        mean_off: Nanos,
+        at: Nanos,
+    ) -> u32 {
+        let id = self.sources.len() as u32;
+        self.sources.push(OnOff { src, dst, hose, mean_on, mean_off, on: false, flow: None });
+        let first = at.max(self.now) + self.sample_exp(mean_off);
+        self.push_event(first, Ev::Toggle(id));
+        id
+    }
+
+    fn sample_exp(&mut self, mean: Nanos) -> Nanos {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..=1.0);
+        (-(mean as f64) * u.ln()).min(1e18) as Nanos
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Status of a flow.
+    pub fn status(&self, key: FlowKey) -> FlowStatus {
+        self.flows[key.0 as usize].status
+    }
+
+    /// Cumulative bytes delivered by a flow.
+    pub fn delivered_bytes(&self, key: FlowKey) -> u64 {
+        self.flows[key.0 as usize].delivered as u64
+    }
+
+    /// Current allocated rate of a flow (bits/s); 0 unless active.
+    pub fn rate_bps(&mut self, key: FlowKey) -> f64 {
+        self.reallocate_if_dirty();
+        self.flows[key.0 as usize].rate
+    }
+
+    /// Completion time of a finished flow.
+    pub fn completion_time(&self, key: FlowKey) -> Option<Nanos> {
+        match self.flows[key.0 as usize].status {
+            FlowStatus::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Latest completion time among flows tagged `tag`; `None` if any is
+    /// still pending/active or no flow carries the tag.
+    pub fn tag_completion(&self, tag: u64) -> Option<Nanos> {
+        let mut latest = None;
+        let mut any = false;
+        for f in &self.flows {
+            if f.tag != tag {
+                continue;
+            }
+            any = true;
+            match f.status {
+                FlowStatus::Done(t) => latest = Some(latest.map_or(t, |l: Nanos| l.max(t))),
+                _ => return None,
+            }
+        }
+        if any {
+            latest
+        } else {
+            None
+        }
+    }
+
+    /// Rate a *hypothetical* new flow from `src` to `dst` (optionally
+    /// hose-capped) would receive right now, without perturbing the
+    /// simulation. This is the flow-level analogue of starting a probe
+    /// connection.
+    pub fn probe_rate(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>) -> f64 {
+        self.reallocate_if_dirty();
+        let probe_res = {
+            // Use the first equal-cost path deterministically for probes.
+            if src == dst {
+                vec![self.host_loopback_res(src)]
+            } else {
+                let path = &self.routes.paths(src, dst)[0];
+                let mut res: Vec<u32> = path
+                    .hops
+                    .iter()
+                    .map(|h| {
+                        2 * h.link.0
+                            + match h.dir {
+                                LinkDir::Forward => 0,
+                                LinkDir::Reverse => 1,
+                            }
+                    })
+                    .collect();
+                if let Some(h) = hose {
+                    res.push(h.0);
+                }
+                res
+            }
+        };
+        let mut all: Vec<Vec<u32>> = self
+            .flows
+            .iter()
+            .filter(|f| f.status == FlowStatus::Active)
+            .map(|f| f.resources.clone())
+            .collect();
+        all.push(probe_res);
+        let rates = max_min_rates(&self.capacities, &all);
+        *rates.last().expect("probe included")
+    }
+
+    /// Emulate a bulk TCP throughput measurement: run a real flow for
+    /// `duration` (the simulation advances, so background traffic evolves)
+    /// and return its mean throughput in bits/s.
+    pub fn measure_tcp_throughput(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        hose: Option<HoseId>,
+        duration: Nanos,
+    ) -> f64 {
+        let start = self.now;
+        let key = self.start_flow(src, dst, None, hose, start, u64::MAX);
+        self.stop_flow_at(key, start + duration);
+        self.run_until(start + duration);
+        let delivered = self.flows[key.0 as usize].delivered;
+        delivered * 8.0 / (duration as f64 / 1e9)
+    }
+
+    /// The loopback model in use.
+    pub fn loopback(&self) -> LinkSpec {
+        self.loopback
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.iter().filter(|f| f.status == FlowStatus::Active).count()
+    }
+
+    // ------------------------------------------------------------ dynamics
+
+    fn reallocate_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let active: Vec<usize> = (0..self.flows.len())
+            .filter(|&i| self.flows[i].status == FlowStatus::Active)
+            .collect();
+        let specs: Vec<Vec<u32>> = active.iter().map(|&i| self.flows[i].resources.clone()).collect();
+        let rates = max_min_rates(&self.capacities, &specs);
+        for f in &mut self.flows {
+            f.rate = 0.0;
+        }
+        for (&i, r) in active.iter().zip(rates) {
+            self.flows[i].rate = r;
+        }
+    }
+
+    /// Advance all active flows by `dt` nanoseconds at current rates.
+    fn integrate(&mut self, dt: Nanos) {
+        if dt == 0 {
+            return;
+        }
+        let secs = dt as f64 / 1e9;
+        for f in &mut self.flows {
+            if f.status == FlowStatus::Active && f.rate > 0.0 {
+                let bytes = f.rate * secs / 8.0;
+                f.delivered += bytes;
+                if let Some(rem) = &mut f.remaining {
+                    *rem -= bytes;
+                }
+            }
+        }
+    }
+
+    /// Earliest completion among active bounded flows.
+    fn next_completion(&self) -> Option<Nanos> {
+        let mut best: Option<f64> = None;
+        for f in &self.flows {
+            if f.status != FlowStatus::Active {
+                continue;
+            }
+            if let Some(rem) = f.remaining {
+                if f.rate > 0.0 {
+                    let dt = (rem.max(0.0)) * 8.0 / f.rate * 1e9;
+                    best = Some(best.map_or(dt, |b: f64| b.min(dt)));
+                } else if rem <= DONE_EPS {
+                    best = Some(0.0);
+                }
+            }
+        }
+        best.map(|dt| self.now + dt.ceil() as Nanos)
+    }
+
+    fn finish_completed(&mut self) {
+        for f in &mut self.flows {
+            if f.status == FlowStatus::Active {
+                if let Some(rem) = f.remaining {
+                    if rem <= DONE_EPS {
+                        f.status = FlowStatus::Done(self.now);
+                        f.rate = 0.0;
+                        self.dirty = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start(key) => {
+                let f = &mut self.flows[key.0 as usize];
+                if f.status == FlowStatus::Pending {
+                    f.status = FlowStatus::Active;
+                    f.started_at = self.now;
+                    self.dirty = true;
+                }
+            }
+            Ev::Stop(key) => {
+                let f = &mut self.flows[key.0 as usize];
+                if matches!(f.status, FlowStatus::Pending | FlowStatus::Active) {
+                    f.status = FlowStatus::Done(self.now);
+                    f.rate = 0.0;
+                    self.dirty = true;
+                }
+            }
+            Ev::Toggle(id) => {
+                let (src, dst, hose, mean_next, turning_on, old_flow) = {
+                    let s = &mut self.sources[id as usize];
+                    s.on = !s.on;
+                    let turning_on = s.on;
+                    let old = if turning_on { None } else { s.flow.take() };
+                    (s.src, s.dst, s.hose, s.current_mean(), turning_on, old)
+                };
+                if turning_on {
+                    let key = self.start_flow(src, dst, None, hose, self.now, u64::MAX - 1);
+                    self.sources[id as usize].flow = Some(key);
+                } else if let Some(f) = old_flow {
+                    self.stop_flow_at(f, self.now);
+                }
+                let dt = self.sample_exp(mean_next);
+                self.push_event(self.now + dt, Ev::Toggle(id));
+            }
+        }
+    }
+
+    /// Run the simulation until time `t`.
+    pub fn run_until(&mut self, t: Nanos) {
+        loop {
+            self.reallocate_if_dirty();
+            let next_ev = self.events.peek().map(|Reverse((at, _, _))| *at);
+            let next_done = self.next_completion();
+            let target = [Some(t), next_ev, next_done].into_iter().flatten().min().expect("t");
+            if target > t {
+                break;
+            }
+            self.integrate(target - self.now);
+            self.now = target;
+            self.finish_completed();
+            // Fire all events scheduled at exactly `target`.
+            while let Some(Reverse((at, _, _))) = self.events.peek() {
+                if *at > self.now {
+                    break;
+                }
+                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
+                self.dispatch(ev);
+            }
+            if self.now >= t && next_ev.map_or(true, |e| e > t) && next_done.map_or(true, |d| d > t)
+            {
+                break;
+            }
+        }
+        // Consume remaining time up to t with current allocation.
+        if self.now < t {
+            self.reallocate_if_dirty();
+            self.integrate(t - self.now);
+            self.now = t;
+            self.finish_completed();
+        }
+    }
+
+    /// Run until every bounded, tagged flow has completed (ignores
+    /// unbounded background flows). Returns the final time.
+    ///
+    /// Panics if no progress is possible (e.g. an active flow with rate 0
+    /// and no pending events), which indicates a modelling bug.
+    pub fn run_to_completion(&mut self) -> Nanos {
+        loop {
+            let unfinished = self.flows.iter().any(|f| {
+                f.remaining.is_some()
+                    && matches!(f.status, FlowStatus::Pending | FlowStatus::Active)
+            });
+            if !unfinished {
+                return self.now;
+            }
+            self.reallocate_if_dirty();
+            let next_ev = self.events.peek().map(|Reverse((at, _, _))| *at);
+            let next_done = self.next_completion();
+            let target = [next_ev, next_done]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("no events and no completions but flows unfinished");
+            self.integrate(target - self.now);
+            self.now = target;
+            self.finish_completed();
+            while let Some(Reverse((at, _, _))) = self.events.peek() {
+                if *at > self.now {
+                    break;
+                }
+                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
+                self.dispatch(ev);
+            }
+        }
+    }
+}
+
+impl OnOff {
+    fn current_mean(&self) -> Nanos {
+        if self.on {
+            self.mean_on
+        } else {
+            self.mean_off
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choreo_topology::{dumbbell, LinkSpec, GBIT, MBIT, MICROS, MILLIS, SECS};
+
+    fn sim(n_pairs: usize, shared: f64) -> FlowSim {
+        let t = Arc::new(dumbbell(
+            n_pairs,
+            LinkSpec::new(GBIT, 5 * MICROS),
+            LinkSpec::new(shared, 20 * MICROS),
+        ));
+        let r = Arc::new(RouteTable::new(&t));
+        FlowSim::new(t, r, LinkSpec::new(4.2 * GBIT, 20 * MICROS), 7)
+    }
+
+    #[test]
+    fn single_bounded_flow_completes_on_schedule() {
+        let mut s = sim(1, GBIT);
+        let (a, b) = (s.topology().hosts()[0], s.topology().hosts()[1]);
+        // 125 MB at 1 Gbit/s = 1 s.
+        let f = s.start_flow(a, b, Some(125_000_000), None, 0, 1);
+        let end = s.run_to_completion();
+        assert_eq!(s.status(f), FlowStatus::Done(end));
+        assert!((end as f64 - 1e9).abs() < 1e6, "end = {end}");
+        assert_eq!(s.tag_completion(1), Some(end));
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        // Both flows cross the shared link; equal share 500 Mbit/s.
+        // f1: 62.5 MB (1 s at half rate); f2: 125 MB.
+        let f1 = s.start_flow(h[0], h[2], Some(62_500_000), None, 0, 1);
+        let f2 = s.start_flow(h[1], h[3], Some(125_000_000), None, 0, 2);
+        let end = s.run_to_completion();
+        let t1 = s.completion_time(f1).unwrap() as f64;
+        let t2 = s.completion_time(f2).unwrap() as f64;
+        // f1 finishes at 1 s; f2 then accelerates: 62.5 MB left at full
+        // rate = 0.5 s more -> 1.5 s total.
+        assert!((t1 - 1e9).abs() < 1e6, "t1 = {t1}");
+        assert!((t2 - 1.5e9).abs() < 2e6, "t2 = {t2}");
+        assert_eq!(end, s.completion_time(f2).unwrap());
+    }
+
+    #[test]
+    fn hose_cap_constrains_aggregate_egress() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let hose = s.add_hose(300.0 * MBIT);
+        // Two flows from the same VM (same hose): together ≤ 300 Mbit/s.
+        let f1 = s.start_flow(h[0], h[2], None, Some(hose), 0, 1);
+        let f2 = s.start_flow(h[0], h[3], None, Some(hose), 0, 1);
+        s.run_until(SECS);
+        let r1 = s.rate_bps(f1);
+        let r2 = s.rate_bps(f2);
+        assert!((r1 + r2 - 300e6).abs() < 1.0, "sum = {}", r1 + r2);
+        assert!((r1 - r2).abs() < 1.0, "even split");
+    }
+
+    #[test]
+    fn colocated_flow_uses_loopback_capacity() {
+        let mut s = sim(1, GBIT);
+        let a = s.topology().hosts()[0];
+        let hose = s.add_hose(300.0 * MBIT);
+        let f = s.start_flow(a, a, None, Some(hose), 0, 1);
+        s.run_until(MILLIS);
+        assert!((s.rate_bps(f) - 4.2e9).abs() < 1.0, "loopback bypasses hose");
+    }
+
+    #[test]
+    fn probe_rate_sees_background_load() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        assert!((s.probe_rate(h[0], h[2], None) - 1e9).abs() < 1.0);
+        let _bg = s.start_flow(h[1], h[3], None, None, 0, 9);
+        s.run_until(MILLIS);
+        // Probe shares the bottleneck with one background flow.
+        let r = s.probe_rate(h[0], h[2], None);
+        assert!((r - 0.5e9).abs() < 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn probe_rate_does_not_perturb() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow(h[0], h[1], Some(125_000_000), None, 0, 1);
+        s.run_until(100 * MILLIS);
+        let before = s.delivered_bytes(f);
+        let _ = s.probe_rate(h[0], h[1], None);
+        assert_eq!(s.delivered_bytes(f), before);
+        let end = s.run_to_completion();
+        assert!((end as f64 - 1e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn measure_tcp_throughput_matches_fair_share() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let _bg = s.start_flow(h[1], h[3], None, None, 0, 9);
+        let rate = s.measure_tcp_throughput(h[0], h[2], None, SECS);
+        assert!((rate - 0.5e9).abs() / 0.5e9 < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn stop_flow_freezes_delivery() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow(h[0], h[1], None, None, 0, 1);
+        s.stop_flow_at(f, 500 * MILLIS);
+        s.run_until(SECS);
+        let d = s.delivered_bytes(f);
+        // 0.5 s at 1 Gbit/s = 62.5 MB.
+        assert!((d as f64 - 62.5e6).abs() < 1e5, "d = {d}");
+        assert!(matches!(s.status(f), FlowStatus::Done(_)));
+    }
+
+    #[test]
+    fn onoff_background_changes_probe_rate_over_time() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        s.add_onoff(h[1], h[3], None, 200 * MILLIS, 200 * MILLIS, 0);
+        let mut rates = Vec::new();
+        for i in 1..=40 {
+            s.run_until(i * 100 * MILLIS);
+            rates.push(s.probe_rate(h[0], h[2], None));
+        }
+        let full = rates.iter().filter(|r| (**r - 1e9).abs() < 1.0).count();
+        let half = rates.iter().filter(|r| (**r - 0.5e9).abs() < 1.0).count();
+        assert!(full > 0, "sometimes idle");
+        assert!(half > 0, "sometimes loaded");
+        assert_eq!(full + half, rates.len());
+    }
+
+    #[test]
+    fn tag_completion_requires_all_flows_done() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        s.start_flow(h[0], h[2], Some(1_000_000), None, 0, 5);
+        s.start_flow(h[1], h[3], Some(100_000_000), None, 0, 5);
+        s.run_until(100 * MILLIS);
+        assert_eq!(s.tag_completion(5), None, "second flow still active");
+        s.run_to_completion();
+        assert!(s.tag_completion(5).is_some());
+        assert_eq!(s.tag_completion(999), None, "unknown tag");
+    }
+
+    #[test]
+    fn pending_flows_start_at_their_time() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow(h[0], h[1], Some(125_000_000), None, 2 * SECS, 1);
+        s.run_until(SECS);
+        assert_eq!(s.status(f), FlowStatus::Pending);
+        assert_eq!(s.delivered_bytes(f), 0);
+        let end = s.run_to_completion();
+        assert!((end as f64 - 3e9).abs() < 1e6, "starts at 2 s, runs 1 s");
+    }
+}

@@ -1,0 +1,26 @@
+//! Flow-level network simulator with max-min fair sharing.
+//!
+//! The packet-level simulator (`choreo-netsim`) is faithful but too slow to
+//! replay hundreds of multi-gigabyte application runs (Fig. 10 of the
+//! paper). This crate trades packet effects for speed: each flow receives
+//! its **max-min fair share** of every resource along its path — the
+//! idealized steady state of competing bulk TCP connections, which is
+//! exactly the sharing model the paper assumes when it estimates how
+//! connections interact (§3.2: "TCP divides the bottleneck rate equally
+//! between bulk connections in cloud networks").
+//!
+//! Resources are directed link capacities, per-host loopbacks (co-located
+//! VM traffic) and per-VM **hose** caps (§4.3/4.4: EC2 and Rackspace
+//! rate-limit each VM's egress). The engine advances time between discrete
+//! events — flow arrivals, completions, scheduled stops and ON–OFF
+//! background toggles — recomputing the allocation whenever the flow set
+//! changes ([`fairshare`]), and integrates delivered bytes exactly between
+//! events.
+//!
+//! Entry point: [`FlowSim`].
+
+pub mod engine;
+pub mod fairshare;
+
+pub use engine::{FlowKey, FlowSim, FlowStatus, HoseId};
+pub use fairshare::max_min_rates;

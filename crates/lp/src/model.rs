@@ -1,0 +1,169 @@
+//! Problem description for LPs and ILPs.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ rhs`
+    Le,
+    /// `Σ aᵢxᵢ ≥ rhs`
+    Ge,
+    /// `Σ aᵢxᵢ = rhs`
+    Eq,
+}
+
+/// One linear constraint with a sparse coefficient list.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Sense.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: minimize `objective · x` subject to constraints and
+/// per-variable bounds.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Objective coefficients (length `num_vars`); the solver minimizes.
+    pub objective: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable `(lower, upper)` bounds; upper may be `f64::INFINITY`.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl Lp {
+    /// New LP with all variables bounded `[0, ∞)` and zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        Lp {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+            bounds: vec![(0.0, f64::INFINITY); num_vars],
+        }
+    }
+
+    /// Set one objective coefficient.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Restrict a variable to `[lo, hi]`.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) {
+        assert!(lo <= hi, "bounds crossed for var {var}: [{lo}, {hi}]");
+        self.bounds[var] = (lo, hi);
+    }
+
+    /// Add a constraint; returns its index.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, rel: Relation, rhs: f64) -> usize {
+        for &(v, _) in &coeffs {
+            assert!(v < self.num_vars, "constraint references var {v} of {}", self.num_vars);
+        }
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Evaluate the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check that `x` satisfies every constraint and bound within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        for (i, &(lo, hi)) in self.bounds.iter().enumerate() {
+            if x[i] < lo - tol || x[i] > hi + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * x[v]).sum();
+            let ok = match c.rel {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A solution vector with its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Variable values.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub objective: f64,
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Proven optimal solution.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// The simplex hit its iteration cap (numerical trouble); no answer.
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// The solution, if optimal.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_checks_bounds_and_constraints() {
+        let mut lp = Lp::new(2);
+        lp.set_bounds(0, 0.0, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Ge, 1.0);
+        assert!(lp.is_feasible(&[0.5, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.5, 1.0], 1e-9), "x0 above bound");
+        assert!(!lp.is_feasible(&[0.5, 0.5], 1e-9), "second constraint");
+        assert!(!lp.is_feasible(&[0.5, 3.0], 1e-9), "first constraint");
+    }
+
+    #[test]
+    fn objective_value_is_dot_product() {
+        let mut lp = Lp::new(3);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(2, -1.0);
+        assert_eq!(lp.objective_value(&[1.0, 5.0, 3.0]), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds crossed")]
+    fn crossed_bounds_rejected() {
+        let mut lp = Lp::new(1);
+        lp.set_bounds(0, 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references var")]
+    fn constraint_var_out_of_range_rejected() {
+        let mut lp = Lp::new(1);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulator and packet-train configuration.
+
+use choreo_topology::{LinkSpec, Nanos, GBIT, MICROS, MILLIS};
+
+/// Global simulator parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// TCP maximum segment size (payload bytes per data packet).
+    pub mss: u32,
+    /// Header overhead added to every packet on the wire (bytes).
+    pub header_bytes: u32,
+    /// Initial congestion window, packets.
+    pub init_cwnd: f64,
+    /// Initial slow-start threshold, packets.
+    pub init_ssthresh: f64,
+    /// Minimum retransmission timeout.
+    pub min_rto: Nanos,
+    /// Initial RTO before any RTT sample exists.
+    pub initial_rto: Nanos,
+    /// Drop-tail queue capacity at switch ports, bytes.
+    pub switch_queue_bytes: u64,
+    /// Drop-tail queue capacity at host NICs, bytes. Must comfortably hold
+    /// one whole UDP packet train burst (the sender hands the burst to the
+    /// NIC back-to-back).
+    pub host_queue_bytes: u64,
+    /// Rate/delay of the intra-host "memory loopback" used by flows whose
+    /// endpoints are co-located VMs. The paper measured ≈4 Gbit/s on such
+    /// EC2 paths (§2.2).
+    pub loopback: LinkSpec,
+    /// ACK packet wire size, bytes.
+    pub ack_bytes: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mss: 1448,
+            header_bytes: 52,
+            init_cwnd: 10.0,
+            init_ssthresh: 64.0,
+            min_rto: 5 * MILLIS,
+            initial_rto: 20 * MILLIS,
+            switch_queue_bytes: 256 * 1024,
+            host_queue_bytes: 8 * 1024 * 1024,
+            loopback: LinkSpec { rate_bps: 4.2 * GBIT, delay: 20 * MICROS },
+            ack_bytes: 52,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Wire size of a full TCP data segment.
+    pub fn data_packet_bytes(&self) -> u32 {
+        self.mss + self.header_bytes
+    }
+}
+
+/// Parameters of one UDP packet train (paper §3.1, §4.1).
+///
+/// A train is `bursts` bursts of `burst_len` back-to-back packets of
+/// `packet_bytes` each (wire size), with consecutive bursts separated by
+/// `gap` ("δ") to avoid persistent congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Wire size of each probe packet (the paper uses 1472-byte payloads,
+    /// i.e. 1500 bytes on the wire).
+    pub packet_bytes: u32,
+    /// Packets per burst (the paper sweeps 100–3800; 200 suits EC2, 2000
+    /// suits Rackspace).
+    pub burst_len: u32,
+    /// Number of bursts (the paper settles on 10).
+    pub bursts: u32,
+    /// Gap between bursts (δ, 1 ms in the paper).
+    pub gap: Nanos,
+}
+
+impl Default for TrainConfig {
+    /// The paper's EC2 configuration: 10 bursts × 200 × 1500 B, δ = 1 ms.
+    fn default() -> Self {
+        TrainConfig { packet_bytes: 1500, burst_len: 200, bursts: 10, gap: MILLIS }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's Rackspace configuration: 10 bursts × 2000 packets.
+    pub fn rackspace() -> Self {
+        TrainConfig { burst_len: 2000, ..Default::default() }
+    }
+
+    /// Total packets in the train.
+    pub fn total_packets(&self) -> u64 {
+        self.burst_len as u64 * self.bursts as u64
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_packets() * self.packet_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_ec2_configuration() {
+        let c = TrainConfig::default();
+        assert_eq!(c.packet_bytes, 1500);
+        assert_eq!(c.burst_len, 200);
+        assert_eq!(c.bursts, 10);
+        assert_eq!(c.gap, MILLIS);
+        assert_eq!(c.total_packets(), 2000);
+        assert_eq!(c.total_bytes(), 3_000_000);
+    }
+
+    #[test]
+    fn rackspace_config_uses_long_bursts() {
+        let c = TrainConfig::rackspace();
+        assert_eq!(c.burst_len, 2000);
+        assert_eq!(c.total_packets(), 20_000);
+    }
+
+    #[test]
+    fn data_packet_is_mss_plus_headers() {
+        let c = SimConfig::default();
+        assert_eq!(c.data_packet_bytes(), 1500);
+    }
+
+    #[test]
+    fn host_queue_holds_a_full_burst() {
+        let sim = SimConfig::default();
+        let train = TrainConfig::rackspace();
+        assert!(sim.host_queue_bytes >= (train.burst_len * train.packet_bytes) as u64);
+    }
+}

@@ -1,0 +1,63 @@
+//! Packets and flow identifiers.
+
+/// Dense index of a flow inside a [`crate::Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktKind {
+    /// TCP data segment; `seq` counts whole segments, not bytes.
+    Data {
+        /// Segment sequence number.
+        seq: u64,
+    },
+    /// TCP cumulative acknowledgement.
+    Ack {
+        /// Next expected segment at the receiver.
+        ack: u64,
+    },
+    /// UDP probe packet of a packet train.
+    Probe {
+        /// Burst index within the train.
+        burst: u32,
+        /// Packet index within the burst.
+        idx: u32,
+    },
+}
+
+/// A packet in flight.
+///
+/// Packets do not carry addresses: the owning flow knows its forward and
+/// reverse paths, `reverse` selects between them, and `hop` counts links
+/// already traversed. The simulator derives the next resource from these.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Payload discriminator.
+    pub kind: PktKind,
+    /// Wire size in bytes (headers included).
+    pub size: u32,
+    /// Links already traversed on the current path.
+    pub hop: u8,
+    /// True if travelling the reverse path (receiver → sender, e.g. ACKs).
+    pub reverse: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_small() {
+        // Packets are copied through queues constantly; keep them compact.
+        assert!(std::mem::size_of::<Packet>() <= 32);
+    }
+
+    #[test]
+    fn kinds_compare() {
+        assert_eq!(PktKind::Data { seq: 3 }, PktKind::Data { seq: 3 });
+        assert_ne!(PktKind::Data { seq: 3 }, PktKind::Ack { ack: 3 });
+    }
+}

@@ -1,0 +1,183 @@
+//! Drop-tail FIFO queues with store-and-forward transmission.
+//!
+//! Each directed link (and each host loopback) owns one [`LinkQueue`]. The
+//! queue serializes at the link rate: when idle, an arriving packet starts
+//! transmitting immediately; otherwise it waits in FIFO order, and is
+//! dropped if the buffer is full (drop-tail), exactly like the default ns-2
+//! `DropTail` queue the paper's simulations use.
+
+use std::collections::VecDeque;
+
+use choreo_topology::units::tx_time;
+use choreo_topology::Nanos;
+
+use crate::packet::Packet;
+
+/// One directed transmission resource.
+#[derive(Debug)]
+pub struct LinkQueue {
+    /// Serialization rate, bits/s.
+    pub rate_bps: f64,
+    /// Propagation delay to the next node, ns.
+    pub delay: Nanos,
+    /// Buffer capacity in bytes (excluding the packet in service).
+    pub cap_bytes: u64,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    busy: bool,
+    /// Total packets dropped at this queue.
+    pub drops: u64,
+    /// Total packets that completed transmission.
+    pub transmitted: u64,
+}
+
+/// Outcome of offering a packet to a [`LinkQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The link was idle; caller must schedule `TxDone` after the returned
+    /// serialization time.
+    StartTx(Nanos),
+    /// Packet buffered behind the one in service.
+    Queued,
+    /// Buffer full; packet dropped.
+    Dropped,
+}
+
+impl LinkQueue {
+    /// New idle queue.
+    pub fn new(rate_bps: f64, delay: Nanos, cap_bytes: u64) -> Self {
+        assert!(rate_bps > 0.0);
+        LinkQueue {
+            rate_bps,
+            delay,
+            cap_bytes,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+            drops: 0,
+            transmitted: 0,
+        }
+    }
+
+    /// Offer a packet.
+    pub fn enqueue(&mut self, pkt: Packet) -> Enqueue {
+        if !self.busy {
+            self.busy = true;
+            self.queue.push_back(pkt);
+            Enqueue::StartTx(tx_time(pkt.size as u64, self.rate_bps))
+        } else if self.queued_bytes + pkt.size as u64 <= self.cap_bytes {
+            self.queued_bytes += pkt.size as u64;
+            self.queue.push_back(pkt);
+            Enqueue::Queued
+        } else {
+            self.drops += 1;
+            Enqueue::Dropped
+        }
+    }
+
+    /// Head packet finished serializing. Returns the departed packet and,
+    /// if more packets wait, the serialization time of the next one (the
+    /// caller schedules the next `TxDone`).
+    pub fn tx_done(&mut self) -> (Packet, Option<Nanos>) {
+        debug_assert!(self.busy, "tx_done on idle link");
+        let pkt = self.queue.pop_front().expect("busy link with empty queue");
+        self.transmitted += 1;
+        match self.queue.front() {
+            Some(next) => {
+                self.queued_bytes -= next.size as u64;
+                (pkt, Some(tx_time(next.size as u64, self.rate_bps)))
+            }
+            None => {
+                self.busy = false;
+                (pkt, None)
+            }
+        }
+    }
+
+    /// Bytes waiting (excluding the packet in service).
+    pub fn backlog_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets in the queue, including the one in service.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff nothing is queued or in service.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PktKind};
+    use choreo_topology::{GBIT, MICROS};
+
+    fn pkt(size: u32) -> Packet {
+        Packet { flow: FlowId(0), kind: PktKind::Probe { burst: 0, idx: 0 }, size, hop: 0, reverse: false }
+    }
+
+    #[test]
+    fn idle_link_starts_transmitting() {
+        let mut q = LinkQueue::new(GBIT, 5 * MICROS, 10_000);
+        match q.enqueue(pkt(1500)) {
+            Enqueue::StartTx(t) => assert_eq!(t, 12 * MICROS),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut q = LinkQueue::new(GBIT, 0, 3000);
+        assert!(matches!(q.enqueue(pkt(1500)), Enqueue::StartTx(_)));
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
+        // Buffer (3000 B) now full.
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn tx_done_hands_back_packet_and_next_tx() {
+        let mut q = LinkQueue::new(GBIT, 0, 10_000);
+        q.enqueue(pkt(1500));
+        q.enqueue(pkt(750));
+        let (first, next) = q.tx_done();
+        assert_eq!(first.size, 1500);
+        assert_eq!(next, Some(6 * MICROS));
+        let (second, none) = q.tx_done();
+        assert_eq!(second.size, 750);
+        assert_eq!(none, None);
+        assert!(q.is_empty());
+        assert_eq!(q.transmitted, 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = LinkQueue::new(GBIT, 0, 1 << 20);
+        for i in 0..5u32 {
+            let mut p = pkt(100);
+            p.kind = PktKind::Probe { burst: 0, idx: i };
+            q.enqueue(p);
+        }
+        for i in 0..5u32 {
+            let (p, _) = q.tx_done();
+            assert_eq!(p.kind, PktKind::Probe { burst: 0, idx: i });
+        }
+    }
+
+    #[test]
+    fn link_goes_idle_and_restarts() {
+        let mut q = LinkQueue::new(GBIT, 0, 10_000);
+        q.enqueue(pkt(1500));
+        q.tx_done();
+        // Link idle again: next packet starts immediately.
+        assert!(matches!(q.enqueue(pkt(1500)), Enqueue::StartTx(_)));
+    }
+}

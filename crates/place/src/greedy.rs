@@ -1,0 +1,413 @@
+//! Algorithm 1: greedy network-aware placement.
+//!
+//! Walk the application's transfers in descending byte order. For each
+//! transfer `⟨i, j, b⟩`, enumerate the candidate VM pairs consistent with
+//! any placements already made (lines 3–8 of the paper's listing), discard
+//! pairs that violate CPU constraints (lines 10–11), estimate the rate the
+//! transfer would see on each remaining pair — sharing with transfers
+//! already placed under the hose or pipe model (line 13) — and take the
+//! fastest (line 14). Intra-machine "paths" have effectively infinite
+//! rate, so heavy pairs co-locate when CPU allows, exactly the behaviour
+//! §9 describes.
+
+use choreo_measure::{NetworkSnapshot, RateModel};
+use choreo_profile::AppProfile;
+use choreo_topology::VmId;
+
+use crate::problem::{Machines, NetworkLoad, PlaceError, Placement};
+
+/// The greedy network-aware placer.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyPlacer;
+
+impl GreedyPlacer {
+    /// Place `app` on `machines` given the measured `snapshot`, starting
+    /// from a network already carrying `load` (use
+    /// [`NetworkLoad::new`] for an idle network).
+    pub fn place(
+        &self,
+        app: &AppProfile,
+        machines: &Machines,
+        snapshot: &NetworkSnapshot,
+        load: &NetworkLoad,
+    ) -> Result<Placement, PlaceError> {
+        let n_tasks = app.n_tasks();
+        let n_vms = machines.len();
+        assert_eq!(snapshot.n_vms(), n_vms, "snapshot covers the machines");
+        assert_eq!(load.n_vms(), n_vms, "load covers the machines");
+        let total_cpu: f64 = app.cpu.iter().sum();
+        let free_cpu: f64 = machines
+            .cpu
+            .iter()
+            .zip(&load.cpu_used)
+            .map(|(cap, used)| (cap - used).max(0.0))
+            .sum();
+        if total_cpu > free_cpu + 1e-9 {
+            return Err(PlaceError::InsufficientCpu);
+        }
+
+        let mut assignment: Vec<Option<u32>> = vec![None; n_tasks];
+        let mut cpu_used = load.cpu_used.clone();
+        // Transfers placed *by this call*, for the sharing model.
+        let mut placed_path = vec![0u32; n_vms * n_vms];
+        let mut placed_egress = vec![0u32; n_vms];
+
+        let transfers = app.matrix.transfers_desc();
+        for (i, j, _bytes) in &transfers {
+            let (i, j) = (*i, *j);
+            match (assignment[i], assignment[j]) {
+                (Some(m), Some(n)) => {
+                    // Both fixed: just account the transfer on its path.
+                    Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                }
+                _ => {
+                    let (m, n) = self.best_pair(
+                        app,
+                        machines,
+                        snapshot,
+                        load,
+                        &assignment,
+                        &cpu_used,
+                        &placed_path,
+                        &placed_egress,
+                        i,
+                        j,
+                    )?;
+                    if assignment[i].is_none() {
+                        assignment[i] = Some(m);
+                        cpu_used[m as usize] += app.cpu[i];
+                    }
+                    if assignment[j].is_none() {
+                        assignment[j] = Some(n);
+                        cpu_used[n as usize] += app.cpu[j];
+                    }
+                    Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                }
+            }
+        }
+
+        // Tasks with no transfers: first-fit by CPU.
+        for t in 0..n_tasks {
+            if assignment[t].is_none() {
+                let vm = (0..n_vms)
+                    .find(|&m| cpu_used[m] + app.cpu[t] <= machines.cpu[m] + 1e-9)
+                    .ok_or(PlaceError::NoFeasibleMachine { task: t })?;
+                assignment[t] = Some(vm as u32);
+                cpu_used[vm] += app.cpu[t];
+            }
+        }
+        Ok(Placement { assignment: assignment.into_iter().map(|a| a.expect("placed")).collect() })
+    }
+
+    fn account(path: &mut [u32], egress: &mut [u32], n_vms: usize, m: u32, n: u32) {
+        if m != n {
+            path[m as usize * n_vms + n as usize] += 1;
+            egress[m as usize] += 1;
+        }
+    }
+
+    /// Rate a *new* transfer would see on `(m, n)` (line 13 of
+    /// Algorithm 1): intra-machine is infinite; otherwise the measured
+    /// path rate divided among the connections it shares with, under the
+    /// snapshot's sharing model.
+    #[allow(clippy::too_many_arguments)]
+    fn rate(
+        &self,
+        snapshot: &NetworkSnapshot,
+        load: &NetworkLoad,
+        placed_path: &[u32],
+        placed_egress: &[u32],
+        n_vms: usize,
+        m: u32,
+        n: u32,
+    ) -> f64 {
+        if m == n {
+            return f64::INFINITY;
+        }
+        let (a, b) = (VmId(m), VmId(n));
+        match snapshot.model {
+            RateModel::Pipe => {
+                let sharing = 1 + load.on_path(a, b) + placed_path[m as usize * n_vms + n as usize];
+                snapshot.rate(a, b) / sharing as f64
+            }
+            RateModel::Hose => {
+                let sharing = 1 + load.egress(a) + placed_egress[m as usize];
+                let hose_share = snapshot.hose_rate(a) / sharing as f64;
+                // A path cannot beat its own measured rate even if the
+                // hose has spare capacity.
+                hose_share.min(snapshot.rate(a, b))
+            }
+        }
+    }
+
+    /// Candidate enumeration per Algorithm 1 lines 3–11, then rate
+    /// maximization (line 14). Deterministic tie-break on (rate, m, n).
+    #[allow(clippy::too_many_arguments)]
+    fn best_pair(
+        &self,
+        app: &AppProfile,
+        machines: &Machines,
+        snapshot: &NetworkSnapshot,
+        load: &NetworkLoad,
+        assignment: &[Option<u32>],
+        cpu_used: &[f64],
+        placed_path: &[u32],
+        placed_egress: &[u32],
+        i: usize,
+        j: usize,
+    ) -> Result<(u32, u32), PlaceError> {
+        let n_vms = machines.len() as u32;
+        let fits = |task: usize, vm: u32, extra: f64| {
+            cpu_used[vm as usize] + extra + app.cpu[task] <= machines.cpu[vm as usize] + 1e-9
+        };
+        let mut best: Option<(f64, u32, u32)> = None;
+        let mut consider = |m: u32, n: u32, rate: f64| {
+            let better = match best {
+                None => true,
+                Some((br, bm, bn)) => {
+                    rate > br + 1e-12 || ((rate - br).abs() <= 1e-12 && (m, n) < (bm, bn))
+                }
+            };
+            if better {
+                best = Some((rate, m, n));
+            }
+        };
+        match (assignment[i], assignment[j]) {
+            (Some(k), None) => {
+                for n in 0..n_vms {
+                    if fits(j, n, 0.0) {
+                        let r =
+                            self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, k, n);
+                        consider(k, n, r);
+                    }
+                }
+            }
+            (None, Some(l)) => {
+                for m in 0..n_vms {
+                    if fits(i, m, 0.0) {
+                        let r =
+                            self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, m, l);
+                        consider(m, l, r);
+                    }
+                }
+            }
+            (None, None) => {
+                for m in 0..n_vms {
+                    if !fits(i, m, 0.0) {
+                        continue;
+                    }
+                    for n in 0..n_vms {
+                        let ok = if m == n {
+                            fits(j, n, app.cpu[i]) // both tasks land together
+                        } else {
+                            fits(j, n, 0.0)
+                        };
+                        if ok {
+                            let r = self.rate(
+                                snapshot,
+                                load,
+                                placed_path,
+                                placed_egress,
+                                n_vms as usize,
+                                m,
+                                n,
+                            );
+                            consider(m, n, r);
+                        }
+                    }
+                }
+            }
+            (Some(m), Some(n)) => return Ok((m, n)),
+        }
+        best.map(|(_, m, n)| (m, n)).ok_or(PlaceError::NoFeasibleMachine { task: i })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict_completion_secs;
+    use choreo_profile::TrafficMatrix;
+
+    /// Snapshot from a dense directed rate list (units arbitrary).
+    fn snap(n: usize, entries: &[(usize, usize, f64)], model: RateModel) -> NetworkSnapshot {
+        let mut rates = vec![1.0; n * n];
+        for &(a, b, r) in entries {
+            rates[a * n + b] = r;
+        }
+        NetworkSnapshot::from_rates(n, rates, model)
+    }
+
+    fn one_core_each(n: usize) -> Machines {
+        Machines::uniform(n, 1.0)
+    }
+
+    #[test]
+    fn heaviest_transfer_gets_fastest_path() {
+        // 3 tasks, 3 machines, star traffic: S->A heavy, S->B light.
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 1000);
+        m.set(0, 2, 10);
+        let app = AppProfile::new("star", vec![1.0; 3], m, 0);
+        // Path 0->1 fast (100), 0->2 slow (10), 1->2 medium.
+        let s = snap(
+            3,
+            &[(0, 1, 100.0), (1, 0, 100.0), (0, 2, 10.0), (2, 0, 10.0), (1, 2, 50.0), (2, 1, 50.0)],
+            RateModel::Pipe,
+        );
+        let p = GreedyPlacer
+            .place(&app, &one_core_each(3), &s, &NetworkLoad::new(3))
+            .expect("feasible");
+        // The heavy pair (0,1) must land on the 100-rate pair (0,1).
+        let (a, b) = (p.assignment[0], p.assignment[1]);
+        assert_eq!((a, b), (0, 1), "heavy transfer on the fast path: {:?}", p.assignment);
+    }
+
+    #[test]
+    fn colocates_heavy_pairs_when_cpu_allows() {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 1_000_000);
+        let app = AppProfile::new("pair", vec![1.0, 1.0], m, 0);
+        let s = snap(2, &[(0, 1, 5.0), (1, 0, 5.0)], RateModel::Pipe);
+        // Two 4-core machines: both tasks fit on one.
+        let p = GreedyPlacer
+            .place(&app, &Machines::uniform(2, 4.0), &s, &NetworkLoad::new(2))
+            .expect("feasible");
+        assert_eq!(p.assignment[0], p.assignment[1], "intra-machine rate is infinite");
+    }
+
+    #[test]
+    fn cpu_constraints_force_spreading() {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 1_000_000);
+        let app = AppProfile::new("pair", vec![1.0, 1.0], m, 0);
+        let s = snap(2, &[(0, 1, 5.0), (1, 0, 5.0)], RateModel::Pipe);
+        let p = GreedyPlacer
+            .place(&app, &one_core_each(2), &s, &NetworkLoad::new(2))
+            .expect("feasible");
+        assert_ne!(p.assignment[0], p.assignment[1], "1-core machines cannot co-host");
+    }
+
+    #[test]
+    fn respects_existing_network_load_under_hose() {
+        // Two identical machines-pairs; existing load saturates VM 0's hose.
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 100);
+        let app = AppProfile::new("x", vec![1.0, 1.0], m, 0);
+        let s = snap(
+            4,
+            &[
+                (0, 1, 10.0),
+                (1, 0, 10.0),
+                (2, 3, 10.0),
+                (3, 2, 10.0),
+                (0, 2, 10.0),
+                (0, 3, 10.0),
+                (1, 2, 10.0),
+                (1, 3, 10.0),
+                (2, 0, 10.0),
+                (2, 1, 10.0),
+                (3, 0, 10.0),
+                (3, 1, 10.0),
+            ],
+            RateModel::Hose,
+        );
+        let mut load = NetworkLoad::new(4);
+        // Three running transfers out of VM 0.
+        let bg_m = TrafficMatrix::from_rows(
+            4,
+            vec![
+                0, 1, 1, 1, //
+                0, 0, 0, 0, //
+                0, 0, 0, 0, //
+                0, 0, 0, 0,
+            ],
+        );
+        let bg = AppProfile::new("bg", vec![0.1; 4], bg_m, 0);
+        load.apply(&bg, &Placement { assignment: vec![0, 1, 2, 3] });
+        assert_eq!(load.egress(VmId(0)), 3);
+        let p = GreedyPlacer
+            .place(&app, &Machines::uniform(4, 2.0), &s, &load)
+            .expect("feasible");
+        // The fresh transfer avoids VM 0 as its source.
+        assert_ne!(p.assignment[0], 0, "avoids the loaded hose: {:?}", p.assignment);
+    }
+
+    #[test]
+    fn fig9_style_greedy_is_suboptimal_but_valid() {
+        // Reproduction of the paper's Fig. 9 structure: the greedy placer
+        // grabs the rate-10 path for the 100-unit transfer and strands the
+        // 50-unit transfers on rate-4 paths; placing the big transfer on
+        // the rate-9 pair (2,3) would have been better overall.
+        let mut m = TrafficMatrix::zeros(4);
+        m.set(0, 1, 100); // J1 -> J2
+        m.set(0, 2, 50); // J1 -> J3
+        m.set(1, 3, 50); // J2 -> J4
+        let app = AppProfile::new("fig9", vec![1.0; 4], m, 0);
+        let s = snap(
+            4,
+            &[
+                (0, 1, 10.0),
+                (2, 3, 9.0),
+                (2, 0, 8.0),
+                (2, 1, 8.0),
+                (3, 0, 8.0),
+                (3, 1, 8.0),
+                (0, 2, 4.0),
+                (0, 3, 4.0),
+                (1, 2, 4.0),
+                (1, 3, 4.0),
+                (1, 0, 4.0),
+                (3, 2, 4.0),
+            ],
+            RateModel::Pipe,
+        );
+        let machines = one_core_each(4);
+        let p = GreedyPlacer.place(&app, &machines, &s, &NetworkLoad::new(4)).expect("feasible");
+        assert!(crate::problem::validate(&app, &machines, &p).is_ok());
+        // Greedy takes (0,1) for the heavy transfer...
+        assert_eq!((p.assignment[0], p.assignment[1]), (0, 1));
+        let greedy_time = predict_completion_secs(&app, &p, &s);
+        // ... but the J1@2, J2@3, J3@0, J4@1 placement is faster.
+        let better = Placement { assignment: vec![2, 3, 0, 1] };
+        let better_time = predict_completion_secs(&app, &better, &s);
+        assert!(
+            better_time < greedy_time,
+            "greedy {greedy_time} should exceed optimal-ish {better_time}"
+        );
+    }
+
+    #[test]
+    fn infeasible_cpu_reports_error() {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 10);
+        let app = AppProfile::new("big", vec![3.0, 3.0], m, 0);
+        let s = snap(2, &[(0, 1, 1.0), (1, 0, 1.0)], RateModel::Pipe);
+        let err = GreedyPlacer
+            .place(&app, &one_core_each(2), &s, &NetworkLoad::new(2))
+            .unwrap_err();
+        assert_eq!(err, PlaceError::InsufficientCpu);
+    }
+
+    #[test]
+    fn isolated_tasks_first_fit() {
+        // No transfers at all: every task still gets a machine.
+        let app = AppProfile::new("quiet", vec![1.0; 3], TrafficMatrix::zeros(3), 0);
+        let s = snap(3, &[], RateModel::Pipe);
+        let machines = Machines::uniform(3, 2.0);
+        let p = GreedyPlacer.place(&app, &machines, &s, &NetworkLoad::new(3)).expect("ok");
+        assert!(crate::problem::validate(&app, &machines, &p).is_ok());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut m = TrafficMatrix::zeros(4);
+        m.set(0, 1, 100);
+        m.set(2, 3, 100);
+        let app = AppProfile::new("sym", vec![1.0; 4], m, 0);
+        let s = snap(4, &[], RateModel::Pipe); // all rates equal
+        let p1 = GreedyPlacer.place(&app, &one_core_each(4), &s, &NetworkLoad::new(4)).unwrap();
+        let p2 = GreedyPlacer.place(&app, &one_core_each(4), &s, &NetworkLoad::new(4)).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

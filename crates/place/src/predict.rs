@@ -1,0 +1,134 @@
+//! Closed-form completion-time prediction.
+//!
+//! The Appendix defines an application's completion time under a placement
+//! as the time of its longest-running bottleneck: group the placed
+//! transfers by the resource they share (the ordered VM pair under the
+//! pipe model, the source VM's hose under the hose model), sum the bytes
+//! on each resource, divide by the resource's rate, and take the maximum.
+//! Same-VM transfers cost nothing. This is the objective both the greedy
+//! heuristic and the ILP minimize.
+
+use choreo_measure::{NetworkSnapshot, RateModel};
+use choreo_profile::AppProfile;
+use choreo_topology::VmId;
+
+use crate::problem::Placement;
+
+/// Predicted completion time in seconds (0 when everything co-locates).
+pub fn predict_completion_secs(
+    app: &AppProfile,
+    placement: &Placement,
+    snapshot: &NetworkSnapshot,
+) -> f64 {
+    let n_vms = snapshot.n_vms();
+    match snapshot.model {
+        RateModel::Pipe => {
+            let mut bytes = vec![0u64; n_vms * n_vms];
+            for (i, j, b) in app.matrix.transfers_desc() {
+                let (m, n) = (placement.assignment[i] as usize, placement.assignment[j] as usize);
+                if m != n {
+                    bytes[m * n_vms + n] += b;
+                }
+            }
+            let mut worst = 0.0f64;
+            for m in 0..n_vms {
+                for n in 0..n_vms {
+                    let b = bytes[m * n_vms + n];
+                    if b > 0 {
+                        let t = b as f64 * 8.0 / snapshot.rate(VmId(m as u32), VmId(n as u32));
+                        worst = worst.max(t);
+                    }
+                }
+            }
+            worst
+        }
+        RateModel::Hose => {
+            let mut egress = vec![0u64; n_vms];
+            for (i, j, b) in app.matrix.transfers_desc() {
+                let (m, n) = (placement.assignment[i] as usize, placement.assignment[j] as usize);
+                if m != n {
+                    egress[m] += b;
+                }
+            }
+            let mut worst = 0.0f64;
+            for m in 0..n_vms {
+                if egress[m] > 0 {
+                    let t = egress[m] as f64 * 8.0 / snapshot.hose_rate(VmId(m as u32));
+                    worst = worst.max(t);
+                }
+            }
+            worst
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choreo_profile::TrafficMatrix;
+
+    fn snap(n: usize, entries: &[(usize, usize, f64)], model: RateModel) -> NetworkSnapshot {
+        let mut rates = vec![1.0; n * n];
+        for &(a, b, r) in entries {
+            rates[a * n + b] = r;
+        }
+        NetworkSnapshot::from_rates(n, rates, model)
+    }
+
+    #[test]
+    fn pipe_model_sums_per_path() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 100); // task 0 -> task 1
+        m.set(2, 1, 100); // task 2 -> task 1
+        let app = AppProfile::new("t", vec![1.0; 3], m, 0);
+        // tasks 0 and 2 both on VM 0; task 1 on VM 1: 200 bytes on (0,1).
+        let p = Placement { assignment: vec![0, 1, 0] };
+        let s = snap(2, &[(0, 1, 16.0), (1, 0, 16.0)], RateModel::Pipe);
+        // 200 bytes * 8 / 16 = 100 s.
+        assert!((predict_completion_secs(&app, &p, &s) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hose_model_sums_per_source() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 100);
+        m.set(0, 2, 100);
+        let app = AppProfile::new("t", vec![1.0; 3], m, 0);
+        let p = Placement { assignment: vec![0, 1, 2] };
+        // Hose of VM 0 = max over destinations = 16.
+        let s = snap(
+            3,
+            &[(0, 1, 16.0), (0, 2, 16.0), (1, 0, 16.0), (2, 0, 16.0), (1, 2, 16.0), (2, 1, 16.0)],
+            RateModel::Hose,
+        );
+        // All 200 bytes leave VM 0: 200*8/16 = 100 s.
+        assert!((predict_completion_secs(&app, &p, &s) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocated_transfers_are_free() {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 1_000_000);
+        let app = AppProfile::new("t", vec![1.0; 2], m, 0);
+        let p = Placement { assignment: vec![1, 1] };
+        let s = snap(2, &[], RateModel::Pipe);
+        assert_eq!(predict_completion_secs(&app, &p, &s), 0.0);
+    }
+
+    #[test]
+    fn hose_beats_pipe_when_source_is_shared() {
+        // Two transfers out of one VM to different destinations: the pipe
+        // model sees two independent paths; the hose model serializes them.
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 100);
+        m.set(0, 2, 100);
+        let app = AppProfile::new("t", vec![1.0; 3], m, 0);
+        let p = Placement { assignment: vec![0, 1, 2] };
+        let pipe = snap(3, &[], RateModel::Pipe); // all rates 1
+        let hose = snap(3, &[], RateModel::Hose);
+        let t_pipe = predict_completion_secs(&app, &p, &pipe);
+        let t_hose = predict_completion_secs(&app, &p, &hose);
+        assert!((t_pipe - 800.0).abs() < 1e-9, "per-path: 100*8/1");
+        assert!((t_hose - 1600.0).abs() < 1e-9, "hose serializes: 200*8/1");
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared placement vocabulary: machines, placements, load bookkeeping.
+
+use choreo_profile::AppProfile;
+use choreo_topology::VmId;
+
+/// The tenant's rented VMs, by CPU capacity (§6.1: four cores each).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machines {
+    /// CPU capacity per VM, cores.
+    pub cpu: Vec<f64>,
+}
+
+impl Machines {
+    /// `n` identical machines with `cores` each.
+    pub fn uniform(n: usize, cores: f64) -> Self {
+        assert!(n > 0 && cores > 0.0);
+        Machines { cpu: vec![cores; n] }
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// True iff there are no machines.
+    pub fn is_empty(&self) -> bool {
+        self.cpu.is_empty()
+    }
+}
+
+/// An assignment of every task to a VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `assignment[task] = vm index`.
+    pub assignment: Vec<u32>,
+}
+
+impl Placement {
+    /// VM of a task.
+    pub fn vm_of(&self, task: usize) -> VmId {
+        VmId(self.assignment[task])
+    }
+
+    /// Number of distinct VMs used.
+    pub fn machines_used(&self) -> usize {
+        let mut v = self.assignment.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+}
+
+/// Why a placement attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Total CPU demand cannot fit on the machines at all.
+    InsufficientCpu,
+    /// The placer could not find a feasible machine for a task
+    /// (fragmentation or exhausted capacity).
+    NoFeasibleMachine {
+        /// Task that could not be placed.
+        task: usize,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::InsufficientCpu => write!(f, "total CPU demand exceeds total capacity"),
+            PlaceError::NoFeasibleMachine { task } => {
+                write!(f, "no machine has room for task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Check that a placement satisfies CPU constraints and covers all tasks.
+pub fn validate(app: &AppProfile, machines: &Machines, p: &Placement) -> Result<(), PlaceError> {
+    assert_eq!(p.assignment.len(), app.n_tasks(), "placement covers every task");
+    let mut used = vec![0.0; machines.len()];
+    for (task, &vm) in p.assignment.iter().enumerate() {
+        let vm = vm as usize;
+        assert!(vm < machines.len(), "task {task} assigned to unknown VM {vm}");
+        used[vm] += app.cpu[task];
+    }
+    for (vm, &u) in used.iter().enumerate() {
+        if u > machines.cpu[vm] + 1e-9 {
+            return Err(PlaceError::NoFeasibleMachine { task: vm });
+        }
+    }
+    Ok(())
+}
+
+/// Network and CPU load imposed by applications that are already running —
+/// what sequence placement (§2.4) must account for when the next
+/// application arrives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkLoad {
+    n_vms: usize,
+    /// Concurrent transfers currently using each ordered VM pair.
+    path_load: Vec<u32>,
+    /// Concurrent transfers leaving each VM (hose accounting).
+    egress_load: Vec<u32>,
+    /// CPU cores consumed on each VM.
+    pub cpu_used: Vec<f64>,
+}
+
+impl NetworkLoad {
+    /// Empty load over `n_vms` machines.
+    pub fn new(n_vms: usize) -> Self {
+        NetworkLoad {
+            n_vms,
+            path_load: vec![0; n_vms * n_vms],
+            egress_load: vec![0; n_vms],
+            cpu_used: vec![0.0; n_vms],
+        }
+    }
+
+    /// Number of VMs.
+    pub fn n_vms(&self) -> usize {
+        self.n_vms
+    }
+
+    /// Transfers currently on ordered pair `(a, b)`.
+    pub fn on_path(&self, a: VmId, b: VmId) -> u32 {
+        self.path_load[a.0 as usize * self.n_vms + b.0 as usize]
+    }
+
+    /// Transfers currently leaving `a`.
+    pub fn egress(&self, a: VmId) -> u32 {
+        self.egress_load[a.0 as usize]
+    }
+
+    /// Account a placed application's transfers and CPU.
+    pub fn apply(&mut self, app: &AppProfile, p: &Placement) {
+        self.update(app, p, true);
+    }
+
+    /// Remove a completed application's transfers and CPU.
+    pub fn remove(&mut self, app: &AppProfile, p: &Placement) {
+        self.update(app, p, false);
+    }
+
+    /// Network counters relative to a baseline (saturating), keeping CPU
+    /// as-is. Used after a re-measurement: transfers that were already
+    /// running when the network was measured are part of the measured
+    /// rates and must not be double-counted by the placer; only load
+    /// admitted *after* the measurement needs explicit accounting.
+    pub fn network_since(&self, baseline: &NetworkLoad) -> NetworkLoad {
+        assert_eq!(self.n_vms, baseline.n_vms);
+        NetworkLoad {
+            n_vms: self.n_vms,
+            path_load: self
+                .path_load
+                .iter()
+                .zip(&baseline.path_load)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            egress_load: self
+                .egress_load
+                .iter()
+                .zip(&baseline.egress_load)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            cpu_used: self.cpu_used.clone(),
+        }
+    }
+
+    fn update(&mut self, app: &AppProfile, p: &Placement, add: bool) {
+        for (i, j, _) in app.matrix.transfers_desc() {
+            let (a, b) = (p.assignment[i] as usize, p.assignment[j] as usize);
+            if a == b {
+                continue; // same-VM transfers never touch the network
+            }
+            let path = &mut self.path_load[a * self.n_vms + b];
+            let eg = &mut self.egress_load[a];
+            if add {
+                *path += 1;
+                *eg += 1;
+            } else {
+                *path = path.saturating_sub(1);
+                *eg = eg.saturating_sub(1);
+            }
+        }
+        for (task, &vm) in p.assignment.iter().enumerate() {
+            let c = &mut self.cpu_used[vm as usize];
+            if add {
+                *c += app.cpu[task];
+            } else {
+                *c = (*c - app.cpu[task]).max(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choreo_profile::TrafficMatrix;
+
+    fn app2() -> AppProfile {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 100);
+        m.set(1, 2, 50);
+        AppProfile::new("t", vec![1.0, 2.0, 1.0], m, 0)
+    }
+
+    #[test]
+    fn validate_accepts_feasible() {
+        let app = app2();
+        let machines = Machines::uniform(2, 4.0);
+        let p = Placement { assignment: vec![0, 0, 1] };
+        assert!(validate(&app, &machines, &p).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_cpu_overflow() {
+        let app = app2();
+        let machines = Machines::uniform(2, 2.5);
+        // 1 + 2 = 3 cores on machine 0 > 2.5.
+        let p = Placement { assignment: vec![0, 0, 1] };
+        assert!(validate(&app, &machines, &p).is_err());
+    }
+
+    #[test]
+    fn machines_used_counts_distinct() {
+        let p = Placement { assignment: vec![0, 0, 2, 2, 1] };
+        assert_eq!(p.machines_used(), 3);
+        assert_eq!(p.vm_of(2), VmId(2));
+    }
+
+    #[test]
+    fn load_apply_and_remove_round_trip() {
+        let app = app2();
+        let mut load = NetworkLoad::new(3);
+        let p = Placement { assignment: vec![0, 1, 1] };
+        load.apply(&app, &p);
+        // transfer 0->1 crosses VMs 0->1; transfer 1->2 is intra-VM 1.
+        assert_eq!(load.on_path(VmId(0), VmId(1)), 1);
+        assert_eq!(load.on_path(VmId(1), VmId(0)), 0);
+        assert_eq!(load.egress(VmId(0)), 1);
+        assert_eq!(load.egress(VmId(1)), 0, "intra-VM transfer stays local");
+        assert_eq!(load.cpu_used, vec![1.0, 3.0, 0.0]);
+        load.remove(&app, &p);
+        assert_eq!(load, NetworkLoad::new(3));
+    }
+}

@@ -1,0 +1,107 @@
+//! Application profiles: the unit of placement.
+
+use choreo_topology::Nanos;
+
+use crate::matrix::TrafficMatrix;
+
+/// Everything Choreo knows about one application before placing it:
+/// its tasks' CPU demands, its traffic matrix, and (for the sequence
+/// experiments, §6.3) its observed start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// CPU demand per task, in cores (§6.1: 0.5–4 cores per task).
+    pub cpu: Vec<f64>,
+    /// Task-to-task bytes.
+    pub matrix: TrafficMatrix,
+    /// Observed start time (used when replaying sequences).
+    pub start_time: Nanos,
+}
+
+impl AppProfile {
+    /// Construct, checking dimensions.
+    pub fn new(
+        name: impl Into<String>,
+        cpu: Vec<f64>,
+        matrix: TrafficMatrix,
+        start_time: Nanos,
+    ) -> Self {
+        assert_eq!(cpu.len(), matrix.n_tasks(), "CPU vector and matrix disagree on task count");
+        assert!(cpu.iter().all(|&c| c > 0.0), "non-positive CPU demand");
+        AppProfile { name: name.into(), cpu, matrix, start_time }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// Total bytes the application transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.matrix.total_bytes()
+    }
+
+    /// Combine several applications into one (the "all at once" scenario,
+    /// §6.2): traffic matrices go block-diagonal, CPU vectors concatenate.
+    /// The combined app starts at the earliest member start time.
+    pub fn combine(apps: &[AppProfile]) -> AppProfile {
+        assert!(!apps.is_empty());
+        let mut matrix = apps[0].matrix.clone();
+        let mut cpu = apps[0].cpu.clone();
+        let mut name = apps[0].name.clone();
+        let mut start = apps[0].start_time;
+        for a in &apps[1..] {
+            matrix = matrix.block_diag(&a.matrix);
+            cpu.extend_from_slice(&a.cpu);
+            name.push('+');
+            name.push_str(&a.name);
+            start = start.min(a.start_time);
+        }
+        AppProfile { name, cpu, matrix, start_time: start }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(name: &str, n: usize, bytes: u64, start: Nanos) -> AppProfile {
+        let mut m = TrafficMatrix::zeros(n);
+        if n >= 2 {
+            m.set(0, 1, bytes);
+        }
+        AppProfile::new(name, vec![1.0; n], m, start)
+    }
+
+    #[test]
+    fn construction_checks_dimensions() {
+        let a = app("a", 3, 100, 0);
+        assert_eq!(a.n_tasks(), 3);
+        assert_eq!(a.total_bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn wrong_cpu_len_rejected() {
+        AppProfile::new("x", vec![1.0], TrafficMatrix::zeros(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_cpu_rejected() {
+        AppProfile::new("x", vec![0.0, 1.0], TrafficMatrix::zeros(2), 0);
+    }
+
+    #[test]
+    fn combine_goes_block_diagonal() {
+        let a = app("a", 2, 100, 50);
+        let b = app("b", 3, 7, 20);
+        let c = AppProfile::combine(&[a, b]);
+        assert_eq!(c.n_tasks(), 5);
+        assert_eq!(c.matrix.bytes(0, 1), 100);
+        assert_eq!(c.matrix.bytes(2, 3), 7);
+        assert_eq!(c.start_time, 20, "earliest member");
+        assert_eq!(c.name, "a+b");
+    }
+}

@@ -1,0 +1,110 @@
+//! Distribution samplers built on `rand` (no external distribution crate
+//! is used; see DESIGN.md's dependency policy).
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+/// Normal with mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// Log-normal: `exp(N(mu, sigma))` — heavy-tailed transfer sizes.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential with the given mean (inverse CDF).
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+    -mean * u.ln()
+}
+
+/// Zipf-like rank sampler over `{0, …, n−1}` with exponent `s`:
+/// rank 0 is the most likely. Used for skewed traffic matrices.
+pub fn zipf<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
+    assert!(n >= 1);
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    n - 1
+}
+
+/// Diurnal modulation factor for an hour-of-day in `0..24`: a smooth
+/// day/night cycle peaking mid-day, averaging ≈1. Cloud application
+/// traffic in the HP dataset is time-of-day predictable (§2.1).
+pub fn diurnal_factor(hour_of_day: f64) -> f64 {
+    // Peak at 14:00, trough at 02:00, amplitude 0.6.
+    1.0 + 0.6 * (std::f64::consts::TAU * (hour_of_day - 8.0) / 24.0).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn normal_mean_and_sd_converge() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_heavy_tailed() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| log_normal(&mut r, 0.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(mean > 2.0 * median, "heavy tail: mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_common() {
+        let mut r = rng();
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[zipf(&mut r, 5, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn diurnal_peaks_afternoon() {
+        assert!(diurnal_factor(14.0) > 1.4);
+        assert!(diurnal_factor(2.0) < 0.6);
+        // Daily average ≈ 1.
+        let avg: f64 = (0..24).map(|h| diurnal_factor(h as f64)).sum::<f64>() / 24.0;
+        assert!((avg - 1.0).abs() < 0.05, "avg {avg}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Time-varying applications (paper §7.2, future work).
+//!
+//! "Currently, Choreo models an application with one traffic matrix …
+//! Notably, Choreo loses information about how an application changes
+//! over time. Choreo could capture that information by modeling
+//! applications as a time series of traffic matrices … A straw-man
+//! approach is to determine the 'major' phases of an application's
+//! bandwidth usage, and use Choreo as-is at the beginning of each phase."
+//!
+//! A [`PhasedApp`] is that time series: an ordered list of phases, each
+//! with its own traffic matrix, over a fixed task set. The runner (in the
+//! `choreo` crate) can either flatten it to one matrix (today's Choreo)
+//! or re-place at each phase boundary (the straw-man).
+
+use crate::app::AppProfile;
+use crate::matrix::TrafficMatrix;
+
+/// One phase of a time-varying application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Human-readable phase name (e.g. `"shuffle"`).
+    pub name: String,
+    /// Bytes exchanged during this phase.
+    pub matrix: TrafficMatrix,
+}
+
+/// An application described as a series of phases over one task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedApp {
+    /// Application name.
+    pub name: String,
+    /// Per-task CPU demands (constant across phases).
+    pub cpu: Vec<f64>,
+    /// Phases, in execution order. Each must cover the same task count.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedApp {
+    /// Construct, checking that every phase covers the task set.
+    pub fn new(name: impl Into<String>, cpu: Vec<f64>, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "an application needs at least one phase");
+        for p in &phases {
+            assert_eq!(
+                p.matrix.n_tasks(),
+                cpu.len(),
+                "phase {:?} disagrees with the task count",
+                p.name
+            );
+        }
+        assert!(cpu.iter().all(|&c| c > 0.0));
+        PhasedApp { name: name.into(), cpu, phases }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// Today's-Choreo view: all phases folded into one matrix (what §7.2
+    /// says loses the temporal structure).
+    pub fn flattened(&self) -> AppProfile {
+        let n = self.n_tasks();
+        let mut total = TrafficMatrix::zeros(n);
+        for p in &self.phases {
+            for (i, j, b) in p.matrix.transfers_desc() {
+                total.add(i, j, b);
+            }
+        }
+        AppProfile::new(format!("{}-flat", self.name), self.cpu.clone(), total, 0)
+    }
+
+    /// The phase-`k` view as a standalone profile (for per-phase
+    /// placement).
+    pub fn phase_profile(&self, k: usize) -> AppProfile {
+        AppProfile::new(
+            format!("{}-{}", self.name, self.phases[k].name),
+            self.cpu.clone(),
+            self.phases[k].matrix.clone(),
+            0,
+        )
+    }
+
+    /// A canonical MapReduce-shaped phased app: scatter (input load),
+    /// shuffle (map→reduce all-to-all) and gather (reduce→sink), with the
+    /// shuffle dominating — the §7.2 motivating shape.
+    pub fn map_reduce(maps: usize, reduces: usize, shuffle_bytes: u64) -> PhasedApp {
+        assert!(maps >= 1 && reduces >= 1);
+        let n = maps + reduces + 1; // + driver/sink task
+        let driver = n - 1;
+        let mut scatter = TrafficMatrix::zeros(n);
+        for m in 0..maps {
+            scatter.set(driver, m, shuffle_bytes / (8 * maps as u64).max(1));
+        }
+        let mut shuffle = TrafficMatrix::zeros(n);
+        let per_pair = shuffle_bytes / (maps * reduces) as u64;
+        for m in 0..maps {
+            for r in 0..reduces {
+                shuffle.set(m, maps + r, per_pair.max(1));
+            }
+        }
+        let mut gather = TrafficMatrix::zeros(n);
+        for r in 0..reduces {
+            gather.set(maps + r, driver, shuffle_bytes / (10 * reduces as u64).max(1));
+        }
+        PhasedApp::new(
+            format!("mapreduce-{maps}x{reduces}"),
+            vec![1.0; n],
+            vec![
+                Phase { name: "scatter".into(), matrix: scatter },
+                Phase { name: "shuffle".into(), matrix: shuffle },
+                Phase { name: "gather".into(), matrix: gather },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapreduce_has_three_phases_with_distinct_shapes() {
+        let app = PhasedApp::map_reduce(3, 2, 600_000_000);
+        assert_eq!(app.phases.len(), 3);
+        assert_eq!(app.n_tasks(), 6);
+        let shuffle = &app.phases[1].matrix;
+        assert_eq!(shuffle.transfers_desc().len(), 6, "3 maps × 2 reduces");
+        let scatter = &app.phases[0].matrix;
+        assert_eq!(scatter.egress(5), scatter.total_bytes(), "driver scatters");
+        let gather = &app.phases[2].matrix;
+        assert_eq!(gather.ingress(5), gather.total_bytes(), "driver gathers");
+    }
+
+    #[test]
+    fn flatten_sums_phases() {
+        let app = PhasedApp::map_reduce(2, 2, 400_000_000);
+        let flat = app.flattened();
+        let phase_total: u64 = app.phases.iter().map(|p| p.matrix.total_bytes()).sum();
+        assert_eq!(flat.total_bytes(), phase_total);
+    }
+
+    #[test]
+    fn phase_profile_extracts_one_phase() {
+        let app = PhasedApp::map_reduce(2, 2, 400_000_000);
+        let shuffle = app.phase_profile(1);
+        assert_eq!(shuffle.matrix, app.phases[1].matrix);
+        assert!(shuffle.name.contains("shuffle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        PhasedApp::new("x", vec![1.0], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn mismatched_phase_rejected() {
+        PhasedApp::new(
+            "x",
+            vec![1.0, 1.0],
+            vec![Phase { name: "bad".into(), matrix: TrafficMatrix::zeros(3) }],
+        );
+    }
+}

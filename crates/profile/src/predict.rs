@@ -1,0 +1,114 @@
+//! Hour-over-hour traffic predictability (§2.1).
+//!
+//! The paper justifies offline profiling with an observation about the HP
+//! Cloud dataset: "data from the previous hour and the time-of-day are good
+//! predictors of the number of bytes transferred in the next hour." This
+//! module models a per-pair hourly byte series with a diurnal base level
+//! and multiplicative noise, implements both predictors, and scores them —
+//! reproducing the claim quantitatively (see `sec21_predictability` in the
+//! bench crate).
+
+use rand::Rng;
+
+use crate::dist::{diurnal_factor, log_normal};
+
+/// Hourly byte series for one task pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourlySeries {
+    /// Bytes per hour, index = hour since series start.
+    pub bytes: Vec<f64>,
+}
+
+impl HourlySeries {
+    /// Synthesize `hours` of traffic: `base × diurnal(hour) × lognormal
+    /// noise`, the structure §2.1 reports for the HP dataset.
+    pub fn synth<R: Rng>(rng: &mut R, base: f64, hours: usize, noise_sigma: f64) -> Self {
+        let bytes = (0..hours)
+            .map(|h| {
+                let tod = diurnal_factor((h % 24) as f64);
+                base * tod * log_normal(rng, -noise_sigma * noise_sigma / 2.0, noise_sigma)
+            })
+            .collect();
+        HourlySeries { bytes }
+    }
+
+    /// Previous-hour predictor: `b̂(h) = b(h−1)`.
+    pub fn predict_prev_hour(&self, h: usize) -> Option<f64> {
+        (h >= 1).then(|| self.bytes[h - 1])
+    }
+
+    /// Time-of-day predictor: mean of all earlier observations at the same
+    /// hour-of-day.
+    pub fn predict_time_of_day(&self, h: usize) -> Option<f64> {
+        let tod = h % 24;
+        let prior: Vec<f64> = (0..h).filter(|p| p % 24 == tod).map(|p| self.bytes[p]).collect();
+        (!prior.is_empty()).then(|| prior.iter().sum::<f64>() / prior.len() as f64)
+    }
+
+    /// Naive global-mean predictor (baseline): mean of all earlier hours.
+    pub fn predict_global_mean(&self, h: usize) -> Option<f64> {
+        (h >= 1).then(|| self.bytes[..h].iter().sum::<f64>() / h as f64)
+    }
+
+    /// Median relative error of a predictor over the series (skipping hours
+    /// it cannot predict).
+    pub fn median_relative_error<F>(&self, predict: F) -> f64
+    where
+        F: Fn(&Self, usize) -> Option<f64>,
+    {
+        let mut errs: Vec<f64> = (0..self.bytes.len())
+            .filter_map(|h| {
+                let p = predict(self, h)?;
+                let actual = self.bytes[h];
+                (actual > 0.0).then(|| (p - actual).abs() / actual)
+            })
+            .collect();
+        assert!(!errs.is_empty(), "series too short to score");
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs[errs.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn series(noise: f64) -> HourlySeries {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        HourlySeries::synth(&mut rng, 1e9, 24 * 21, noise) // 3 weeks, like the paper
+    }
+
+    #[test]
+    fn predictors_beat_global_mean_on_diurnal_traffic() {
+        let s = series(0.25);
+        let prev = s.median_relative_error(HourlySeries::predict_prev_hour);
+        let tod = s.median_relative_error(HourlySeries::predict_time_of_day);
+        let global = s.median_relative_error(HourlySeries::predict_global_mean);
+        assert!(prev < global, "prev-hour {prev} vs global {global}");
+        assert!(tod < global, "time-of-day {tod} vs global {global}");
+    }
+
+    #[test]
+    fn predictors_are_good_in_absolute_terms() {
+        let s = series(0.25);
+        // "Good predictors" — median error well under 50%.
+        assert!(s.median_relative_error(HourlySeries::predict_prev_hour) < 0.5);
+        assert!(s.median_relative_error(HourlySeries::predict_time_of_day) < 0.5);
+    }
+
+    #[test]
+    fn first_hours_unpredictable() {
+        let s = series(0.2);
+        assert!(s.predict_prev_hour(0).is_none());
+        assert!(s.predict_time_of_day(5).is_none(), "no prior same-hour sample in hour 5");
+        assert!(s.predict_time_of_day(30).is_some(), "hour 30 can use hour 6");
+    }
+
+    #[test]
+    fn noiseless_diurnal_time_of_day_is_near_perfect() {
+        let s = series(1e-9);
+        let tod = s.median_relative_error(HourlySeries::predict_time_of_day);
+        assert!(tod < 1e-6, "error {tod}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Flow records and sFlow-style sampled profiling.
+//!
+//! §2.1: "Choreo uses a network monitoring tool such as sFlow or tcpdump to
+//! gather application communication patterns." A [`FlowRecord`] is one
+//! observed transfer between two tasks; [`aggregate`] folds records into a
+//! [`TrafficMatrix`]. Real sFlow samples packets at a configurable rate
+//! rather than seeing every byte, so [`sflow_sample`] emulates that and
+//! [`aggregate_sampled`] scales the sampled counts back up — tests check the
+//! estimate converges on the true matrix.
+
+use choreo_topology::Nanos;
+use rand::Rng;
+
+use crate::matrix::TrafficMatrix;
+
+/// One observed task-to-task transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Sending task index.
+    pub from: usize,
+    /// Receiving task index.
+    pub to: usize,
+    /// Payload bytes observed.
+    pub bytes: u64,
+    /// Observation timestamp.
+    pub at: Nanos,
+}
+
+/// Fold complete flow records into a traffic matrix over `n` tasks.
+pub fn aggregate(n: usize, records: &[FlowRecord]) -> TrafficMatrix {
+    let mut m = TrafficMatrix::zeros(n);
+    for r in records {
+        assert!(r.from < n && r.to < n, "record references task out of range");
+        m.add(r.from, r.to, r.bytes);
+    }
+    m
+}
+
+/// Emulate sFlow packet sampling: each record is decomposed into
+/// `packet_bytes`-sized packets, and each packet is observed independently
+/// with probability `1/sampling_rate`. Returns the *sampled* records.
+pub fn sflow_sample<R: Rng>(
+    records: &[FlowRecord],
+    packet_bytes: u64,
+    sampling_rate: u32,
+    rng: &mut R,
+) -> Vec<FlowRecord> {
+    assert!(sampling_rate >= 1 && packet_bytes >= 1);
+    let p = 1.0 / sampling_rate as f64;
+    records
+        .iter()
+        .filter_map(|r| {
+            let packets = r.bytes.div_ceil(packet_bytes);
+            // Binomial(packets, p) via normal approx for large counts,
+            // exact Bernoulli sum for small ones.
+            let seen = if packets > 10_000 {
+                let mean = packets as f64 * p;
+                let sd = (packets as f64 * p * (1.0 - p)).sqrt();
+                let gauss: f64 = {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                    (-2.0 * u1.ln()).sqrt() * u2.cos()
+                };
+                (mean + sd * gauss).round().max(0.0) as u64
+            } else {
+                (0..packets).filter(|_| rng.gen_bool(p)).count() as u64
+            };
+            (seen > 0).then_some(FlowRecord {
+                from: r.from,
+                to: r.to,
+                bytes: seen * packet_bytes,
+                at: r.at,
+            })
+        })
+        .collect()
+}
+
+/// Aggregate sFlow-sampled records, scaling byte counts by the sampling
+/// rate to estimate the true matrix.
+pub fn aggregate_sampled(n: usize, sampled: &[FlowRecord], sampling_rate: u32) -> TrafficMatrix {
+    let mut m = TrafficMatrix::zeros(n);
+    for r in sampled {
+        m.add(r.from, r.to, r.bytes.saturating_mul(sampling_rate as u64));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aggregate_sums_by_pair() {
+        let recs = vec![
+            FlowRecord { from: 0, to: 1, bytes: 10, at: 0 },
+            FlowRecord { from: 0, to: 1, bytes: 5, at: 1 },
+            FlowRecord { from: 1, to: 0, bytes: 3, at: 2 },
+        ];
+        let m = aggregate(2, &recs);
+        assert_eq!(m.bytes(0, 1), 15);
+        assert_eq!(m.bytes(1, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn aggregate_rejects_bad_task() {
+        aggregate(1, &[FlowRecord { from: 0, to: 1, bytes: 1, at: 0 }]);
+    }
+
+    #[test]
+    fn sflow_estimate_converges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let truth = vec![
+            FlowRecord { from: 0, to: 1, bytes: 1_500_000_000, at: 0 },
+            FlowRecord { from: 1, to: 2, bytes: 750_000_000, at: 0 },
+        ];
+        let sampled = sflow_sample(&truth, 1500, 100, &mut rng);
+        let est = aggregate_sampled(3, &sampled, 100);
+        let true_m = aggregate(3, &truth);
+        for (i, j) in [(0, 1), (1, 2)] {
+            let t = true_m.bytes(i, j) as f64;
+            let e = est.bytes(i, j) as f64;
+            assert!((e - t).abs() / t < 0.05, "({i},{j}): est {e} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn sflow_small_flows_may_disappear() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let truth = vec![FlowRecord { from: 0, to: 1, bytes: 1500, at: 0 }]; // 1 packet
+        // At 1-in-1000 sampling a single packet is almost always missed.
+        let sampled = sflow_sample(&truth, 1500, 1000, &mut rng);
+        assert!(sampled.len() <= 1);
+    }
+
+    #[test]
+    fn sampling_rate_one_is_lossless() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let truth = vec![FlowRecord { from: 0, to: 1, bytes: 15_000, at: 0 }];
+        let sampled = sflow_sample(&truth, 1500, 1, &mut rng);
+        let est = aggregate_sampled(2, &sampled, 1);
+        assert_eq!(est.bytes(0, 1), 15_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! HP-Cloud-like workload synthesis.
+//!
+//! The paper's evaluation draws applications from three weeks of HP Cloud
+//! sFlow traffic matrices (§6.1). We synthesize applications with the
+//! communication shapes the paper discusses:
+//!
+//! * **Shuffle** — MapReduce map→reduce stage: every mapper sends every
+//!   reducer, sizes roughly even (the §7.1 "relatively uniform bandwidth
+//!   usage" pattern Choreo helps least);
+//! * **ScatterGather** — a coordinator fans out small requests and gathers
+//!   large responses (analytic aggregation);
+//! * **Pipeline** — stage-to-stage streaming (ETL / storage backup);
+//! * **Uniform** — all-to-all with equal sizes;
+//! * **Skewed** — a few hot pairs carry most bytes (Zipf weights), the
+//!   pattern with the most headroom for network-aware placement.
+//!
+//! Transfer sizes are log-normal (heavy-tailed, like measured datacenter
+//! flows), CPU demands uniform in {0.5, 1, …, 4} cores (§6.1), and start
+//! times follow a diurnally modulated Poisson process.
+
+use choreo_topology::{Nanos, SECS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::AppProfile;
+use crate::dist::{diurnal_factor, exponential, log_normal, zipf};
+use crate::matrix::TrafficMatrix;
+
+/// Communication shapes the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppPattern {
+    /// `m` mappers × `r` reducers all-to-all shuffle.
+    Shuffle,
+    /// Coordinator scatter/gather.
+    ScatterGather,
+    /// Linear stage pipeline.
+    Pipeline,
+    /// Equal-size all-to-all.
+    Uniform,
+    /// Zipf-weighted hot pairs.
+    Skewed,
+}
+
+impl AppPattern {
+    /// All patterns, for sweeps.
+    pub const ALL: [AppPattern; 5] = [
+        AppPattern::Shuffle,
+        AppPattern::ScatterGather,
+        AppPattern::Pipeline,
+        AppPattern::Uniform,
+        AppPattern::Skewed,
+    ];
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenConfig {
+    /// Inclusive range of task counts per application.
+    pub tasks_min: usize,
+    /// Inclusive upper bound of task counts.
+    pub tasks_max: usize,
+    /// Log-normal µ of transfer sizes, in ln(bytes). 19.0 ≈ 180 MB median.
+    pub bytes_mu: f64,
+    /// Log-normal σ of transfer sizes.
+    pub bytes_sigma: f64,
+    /// Mean inter-arrival time between applications.
+    pub mean_interarrival: Nanos,
+    /// Patterns to draw from (uniformly).
+    pub patterns: Vec<AppPattern>,
+}
+
+impl Default for WorkloadGenConfig {
+    fn default() -> Self {
+        WorkloadGenConfig {
+            tasks_min: 4,
+            tasks_max: 10,
+            bytes_mu: 19.0,
+            bytes_sigma: 0.8,
+            mean_interarrival: 600 * SECS,
+            patterns: AppPattern::ALL.to_vec(),
+        }
+    }
+}
+
+/// Deterministic workload generator.
+pub struct WorkloadGen {
+    cfg: WorkloadGenConfig,
+    rng: StdRng,
+    next_start: Nanos,
+    count: usize,
+}
+
+impl WorkloadGen {
+    /// New generator; equal seeds yield identical workloads.
+    pub fn new(cfg: WorkloadGenConfig, seed: u64) -> Self {
+        assert!(cfg.tasks_min >= 2 && cfg.tasks_max >= cfg.tasks_min);
+        assert!(!cfg.patterns.is_empty());
+        WorkloadGen { cfg, rng: StdRng::seed_from_u64(seed), next_start: 0, count: 0 }
+    }
+
+    fn sample_bytes(&mut self) -> u64 {
+        log_normal(&mut self.rng, self.cfg.bytes_mu, self.cfg.bytes_sigma).max(1.0) as u64
+    }
+
+    fn sample_cpu(&mut self) -> f64 {
+        // §6.1: between 0.5 and 4 cores, in half-core steps.
+        0.5 * self.rng.gen_range(1..=8) as f64
+    }
+
+    /// Generate a matrix of the given pattern over `n` tasks.
+    pub fn matrix(&mut self, pattern: AppPattern, n: usize) -> TrafficMatrix {
+        assert!(n >= 2);
+        let mut m = TrafficMatrix::zeros(n);
+        match pattern {
+            AppPattern::Shuffle => {
+                let maps = (n / 2).max(1);
+                let base = self.sample_bytes() / (maps * (n - maps)).max(1) as u64;
+                for i in 0..maps {
+                    for j in maps..n {
+                        // Shuffle volumes are near-uniform: ±20%.
+                        let jitter = self.rng.gen_range(0.8..1.2);
+                        m.set(i, j, ((base as f64) * jitter).max(1.0) as u64);
+                    }
+                }
+            }
+            AppPattern::ScatterGather => {
+                let root = 0;
+                for leaf in 1..n {
+                    let request = self.sample_bytes() / 100; // small fan-out
+                    let response = self.sample_bytes(); // large gather
+                    m.set(root, leaf, request.max(1));
+                    m.set(leaf, root, response);
+                }
+            }
+            AppPattern::Pipeline => {
+                for stage in 0..n - 1 {
+                    m.set(stage, stage + 1, self.sample_bytes());
+                }
+            }
+            AppPattern::Uniform => {
+                let b = self.sample_bytes() / (n * (n - 1)) as u64;
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            m.set(i, j, b.max(1));
+                        }
+                    }
+                }
+            }
+            AppPattern::Skewed => {
+                // Every ordered pair gets a Zipf-ranked share.
+                let pairs: Vec<(usize, usize)> = (0..n)
+                    .flat_map(|i| (0..n).map(move |j| (i, j)))
+                    .filter(|&(i, j)| i != j)
+                    .collect();
+                let total = self.sample_bytes().saturating_mul(4);
+                // Assign by repeatedly sampling hot ranks.
+                let draws = pairs.len() * 8;
+                let per_draw = (total / draws as u64).max(1);
+                let mut order = pairs.clone();
+                // Deterministic shuffle of which pair is "rank 0".
+                for i in (1..order.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                for _ in 0..draws {
+                    let rank = zipf(&mut self.rng, order.len(), 1.4);
+                    let (i, j) = order[rank];
+                    m.add(i, j, per_draw);
+                }
+            }
+        }
+        m
+    }
+
+    /// Generate the next application: pattern drawn from the configured
+    /// set, Poisson arrival with diurnal rate modulation.
+    pub fn next_app(&mut self) -> AppProfile {
+        let pattern = self.cfg.patterns[self.rng.gen_range(0..self.cfg.patterns.len())];
+        self.next_app_with(pattern)
+    }
+
+    /// Generate the next application with a fixed pattern.
+    pub fn next_app_with(&mut self, pattern: AppPattern) -> AppProfile {
+        let n = self.rng.gen_range(self.cfg.tasks_min..=self.cfg.tasks_max);
+        let matrix = self.matrix(pattern, n);
+        let cpu: Vec<f64> = (0..n).map(|_| self.sample_cpu()).collect();
+        let start = self.next_start;
+        // Advance the arrival process: busier hours -> shorter gaps.
+        let hour = (start / SECS % 86_400) as f64 / 3600.0;
+        let mean = self.cfg.mean_interarrival as f64 / diurnal_factor(hour).max(0.1);
+        self.next_start += exponential(&mut self.rng, mean) as Nanos;
+        self.count += 1;
+        AppProfile::new(format!("{pattern:?}-{}", self.count), cpu, matrix, start)
+    }
+
+    /// Generate `k` applications ordered by start time.
+    pub fn apps(&mut self, k: usize) -> Vec<AppProfile> {
+        (0..k).map(|_| self.next_app()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> WorkloadGen {
+        WorkloadGen::new(WorkloadGenConfig::default(), 1)
+    }
+
+    #[test]
+    fn patterns_have_expected_shape() {
+        let mut g = gen();
+        let n = 6;
+        let shuffle = g.matrix(AppPattern::Shuffle, n);
+        // Mappers (0..3) only send, reducers (3..6) only receive.
+        assert!(shuffle.egress(0) > 0 && shuffle.ingress(0) == 0);
+        assert!(shuffle.egress(4) == 0 && shuffle.ingress(4) > 0);
+
+        let sg = g.matrix(AppPattern::ScatterGather, n);
+        assert!(sg.ingress(0) > sg.egress(0), "responses dwarf requests");
+
+        let pipe = g.matrix(AppPattern::Pipeline, n);
+        assert_eq!(pipe.transfers_desc().len(), n - 1);
+        assert!(pipe.bytes(0, 1) > 0 && pipe.bytes(1, 0) == 0);
+
+        let uni = g.matrix(AppPattern::Uniform, n);
+        assert_eq!(uni.transfers_desc().len(), n * (n - 1));
+        assert!(uni.skewness() < 0.01, "uniform has no skew");
+
+        let skew = g.matrix(AppPattern::Skewed, n);
+        assert!(skew.skewness() > 0.5, "skewed pattern is skewed: {}", skew.skewness());
+    }
+
+    #[test]
+    fn apps_arrive_in_time_order_with_gaps() {
+        let mut g = gen();
+        let apps = g.apps(20);
+        for w in apps.windows(2) {
+            assert!(w[0].start_time <= w[1].start_time);
+        }
+        assert!(apps.last().unwrap().start_time > 0);
+    }
+
+    #[test]
+    fn cpu_demands_match_paper_range() {
+        let mut g = gen();
+        for app in g.apps(30) {
+            for &c in &app.cpu {
+                assert!((0.5..=4.0).contains(&c), "cpu {c}");
+                assert_eq!((c * 2.0).fract(), 0.0, "half-core steps");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = WorkloadGen::new(WorkloadGenConfig::default(), 42).apps(5);
+        let b = WorkloadGen::new(WorkloadGenConfig::default(), 42).apps(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn task_counts_respect_config() {
+        let cfg = WorkloadGenConfig { tasks_min: 3, tasks_max: 5, ..Default::default() };
+        let mut g = WorkloadGen::new(cfg, 9);
+        for app in g.apps(20) {
+            assert!((3..=5).contains(&app.n_tasks()));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_config_rejected() {
+        WorkloadGen::new(
+            WorkloadGenConfig { tasks_min: 1, tasks_max: 1, ..Default::default() },
+            0,
+        );
+    }
+}

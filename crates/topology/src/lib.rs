@@ -1,0 +1,37 @@
+//! Datacenter topology model for the Choreo reproduction.
+//!
+//! Choreo (IMC 2013, §3.3.1) assumes datacenter networks are multi-rooted
+//! trees: virtual machines live on physical hosts, hosts hang off top-of-rack
+//! (ToR) switches, ToRs connect to one or two aggregation tiers, and
+//! aggregation switches connect to a set of core switches. All paths in such
+//! a topology have an even number of hops (or one hop, for two VMs sharing a
+//! physical host).
+//!
+//! This crate provides:
+//!
+//! * [`Topology`] — an explicit graph of nodes ([`NodeKind`]) and full-duplex
+//!   [`Link`]s with per-direction capacity, built either by hand via
+//!   [`TopologyBuilder`] or from canned generators in [`tree`]
+//!   (multi-rooted trees, the ns-2 dumbbell of Fig. 3(a), the two-rack cloud
+//!   of Fig. 3(b)).
+//! * [`route`] — equal-cost shortest-path enumeration and deterministic
+//!   per-flow path selection (ECMP by flow hash), used by both the
+//!   packet-level and the flow-level simulators.
+//! * [`vmmap`] — the VM→host mapping layer ([`VmMap`]), VM-level hop counts
+//!   (`1` for co-located VMs, link count otherwise) and the traceroute
+//!   emulation with provider-specific visibility (Rackspace hides tiers;
+//!   §4.2 of the paper observed only 1- and 4-hop paths there).
+//!
+//! Rates are bits/second (`f64`), time is nanoseconds (`u64`); see [`units`].
+
+pub mod graph;
+pub mod route;
+pub mod tree;
+pub mod units;
+pub mod vmmap;
+
+pub use graph::{Link, LinkDir, LinkId, LinkSpec, Node, NodeId, NodeKind, Topology, TopologyBuilder};
+pub use route::{DirectedHop, Path, RouteTable};
+pub use tree::{dumbbell, two_rack, MultiRootedTreeSpec};
+pub use units::{Nanos, GBIT, KBIT, MBIT, MICROS, MILLIS, SECS};
+pub use vmmap::{TracerouteStyle, VmId, VmMap};

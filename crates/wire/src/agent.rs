@@ -1,0 +1,231 @@
+//! The per-VM measurement agent: a small TCP control server.
+//!
+//! A Choreo deployment runs one agent on every rented VM. The collector
+//! connects over TCP and instructs it to open train receivers, fire
+//! trains at peer agents' receivers, and hand back reports.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use choreo_netsim::TrainConfig;
+
+use crate::format::{ControlMsg, WireBurst};
+use crate::receiver::TrainReceiver;
+use crate::sender::send_train;
+
+/// A running measurement agent.
+pub struct Agent {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct AgentState {
+    receivers: HashMap<u64, TrainReceiver>,
+}
+
+impl Agent {
+    /// Start an agent on an ephemeral localhost TCP port.
+    pub fn start() -> std::io::Result<Agent> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(AgentState::default()));
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let state = state.clone();
+                            let stop = stop.clone();
+                            std::thread::spawn(move || {
+                                let _ = Self::serve(stream, state, stop);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Agent { addr, stop, handle: Some(handle) })
+    }
+
+    /// The agent's control address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn serve(
+        mut stream: TcpStream,
+        state: Arc<Mutex<AgentState>>,
+        stop: Arc<AtomicBool>,
+    ) -> std::io::Result<()> {
+        loop {
+            let msg = match ControlMsg::read_from(&mut stream) {
+                Ok(m) => m,
+                Err(_) => return Ok(()), // peer hung up
+            };
+            let reply = Self::handle(msg, &state, &stop);
+            match reply {
+                Some(r) => r.write_to(&mut stream)?,
+                None => return stream.flush(), // shutdown
+            }
+        }
+    }
+
+    fn handle(
+        msg: ControlMsg,
+        state: &Arc<Mutex<AgentState>>,
+        stop: &Arc<AtomicBool>,
+    ) -> Option<ControlMsg> {
+        Some(match msg {
+            ControlMsg::PrepareReceive { train_id, bursts } => {
+                match TrainReceiver::start(train_id, bursts) {
+                    Ok(rx) => {
+                        let port = rx.port();
+                        state.lock().receivers.insert(train_id, rx);
+                        ControlMsg::Ready { udp_port: port }
+                    }
+                    Err(e) => ControlMsg::Error(format!("receiver: {e}")),
+                }
+            }
+            ControlMsg::SendTrain { train_id, dest, bursts, burst_len, packet_bytes, gap_ns } => {
+                let addr = SocketAddr::from((dest.0, dest.1));
+                let config = TrainConfig { packet_bytes, burst_len, bursts, gap: gap_ns };
+                match send_train(addr, train_id, config) {
+                    Ok(packets) => ControlMsg::Sent { packets },
+                    Err(e) => ControlMsg::Error(format!("send: {e}")),
+                }
+            }
+            ControlMsg::FetchReport { train_id } => {
+                match state.lock().receivers.remove(&train_id) {
+                    Some(rx) => {
+                        // Config/sent are collector-side knowledge; only
+                        // the burst records travel back.
+                        let dummy =
+                            TrainConfig { packet_bytes: 0, burst_len: 0, bursts: 0, gap: 0 };
+                        let report = rx.finish(dummy, 0, 0);
+                        ControlMsg::Report {
+                            bursts: report
+                                .bursts
+                                .iter()
+                                .map(|b| WireBurst {
+                                    burst: b.burst,
+                                    first_rx: b.first_rx,
+                                    last_rx: b.last_rx,
+                                    received: b.received,
+                                    min_idx: b.min_idx,
+                                    max_idx: b.max_idx,
+                                })
+                                .collect(),
+                        }
+                    }
+                    None => ControlMsg::Error(format!("unknown train {train_id}")),
+                }
+            }
+            ControlMsg::Ping => ControlMsg::Pong,
+            ControlMsg::Shutdown => {
+                stop.store(true, Ordering::Relaxed);
+                return None;
+            }
+            other => ControlMsg::Error(format!("unexpected message {other:?}")),
+        })
+    }
+
+    /// Stop the agent (idempotent).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Nudge the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(agent: &Agent) -> TcpStream {
+        TcpStream::connect(agent.addr()).expect("agent reachable")
+    }
+
+    #[test]
+    fn ping_pong() {
+        let agent = Agent::start().unwrap();
+        let mut c = connect(&agent);
+        ControlMsg::Ping.write_to(&mut c).unwrap();
+        assert_eq!(ControlMsg::read_from(&mut c).unwrap(), ControlMsg::Pong);
+    }
+
+    #[test]
+    fn prepare_send_fetch_cycle() {
+        let agent = Agent::start().unwrap();
+        let mut c = connect(&agent);
+        ControlMsg::PrepareReceive { train_id: 5, bursts: 2 }.write_to(&mut c).unwrap();
+        let udp_port = match ControlMsg::read_from(&mut c).unwrap() {
+            ControlMsg::Ready { udp_port } => udp_port,
+            other => panic!("{other:?}"),
+        };
+        // Tell the same agent to send to its own receiver (loopback).
+        ControlMsg::SendTrain {
+            train_id: 5,
+            dest: ([127, 0, 0, 1], udp_port),
+            bursts: 2,
+            burst_len: 20,
+            packet_bytes: 256,
+            gap_ns: 100_000,
+        }
+        .write_to(&mut c)
+        .unwrap();
+        match ControlMsg::read_from(&mut c).unwrap() {
+            ControlMsg::Sent { packets } => assert_eq!(packets, 40),
+            other => panic!("{other:?}"),
+        }
+        // Give the receive thread a beat, then fetch.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        ControlMsg::FetchReport { train_id: 5 }.write_to(&mut c).unwrap();
+        match ControlMsg::read_from(&mut c).unwrap() {
+            ControlMsg::Report { bursts } => {
+                assert_eq!(bursts.len(), 2);
+                let total: u32 = bursts.iter().map(|b| b.received).sum();
+                assert!(total >= 36, "loopback delivery: {total}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Second fetch: unknown train now.
+        ControlMsg::FetchReport { train_id: 5 }.write_to(&mut c).unwrap();
+        assert!(matches!(ControlMsg::read_from(&mut c).unwrap(), ControlMsg::Error(_)));
+    }
+
+    #[test]
+    fn unexpected_message_is_an_error_not_a_crash() {
+        let agent = Agent::start().unwrap();
+        let mut c = connect(&agent);
+        ControlMsg::Pong.write_to(&mut c).unwrap();
+        assert!(matches!(ControlMsg::read_from(&mut c).unwrap(), ControlMsg::Error(_)));
+        // Agent still alive.
+        ControlMsg::Ping.write_to(&mut c).unwrap();
+        assert_eq!(ControlMsg::read_from(&mut c).unwrap(), ControlMsg::Pong);
+    }
+}

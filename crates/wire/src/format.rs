@@ -1,0 +1,357 @@
+//! Wire formats: probe packets and the control protocol.
+//!
+//! Everything is explicit big-endian with `bytes`; the probe header is
+//! fixed-size so the receiver can parse it without allocation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag opening every probe packet (`"CHRO"`).
+pub const PROBE_MAGIC: u32 = 0x4348_524F;
+
+/// Size of the probe header on the wire.
+pub const PROBE_HEADER_BYTES: usize = 4 + 8 + 4 + 4 + 4 + 8;
+
+/// Header carried by every UDP probe packet. The rest of the datagram is
+/// padding up to the configured packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHeader {
+    /// Train this probe belongs to.
+    pub train_id: u64,
+    /// Burst index within the train.
+    pub burst: u32,
+    /// Packet index within the burst.
+    pub idx: u32,
+    /// Burst length (lets the receiver detect tail loss without control
+    /// traffic).
+    pub burst_len: u32,
+    /// Sender timestamp, nanoseconds since the sender's epoch.
+    pub sent_ns: u64,
+}
+
+impl ProbeHeader {
+    /// Serialize into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(PROBE_MAGIC);
+        buf.put_u64(self.train_id);
+        buf.put_u32(self.burst);
+        buf.put_u32(self.idx);
+        buf.put_u32(self.burst_len);
+        buf.put_u64(self.sent_ns);
+    }
+
+    /// Parse from the front of a datagram; `None` if too short or the
+    /// magic doesn't match (stray traffic on the port).
+    pub fn decode(mut data: &[u8]) -> Option<ProbeHeader> {
+        if data.len() < PROBE_HEADER_BYTES || data.get_u32() != PROBE_MAGIC {
+            return None;
+        }
+        Some(ProbeHeader {
+            train_id: data.get_u64(),
+            burst: data.get_u32(),
+            idx: data.get_u32(),
+            burst_len: data.get_u32(),
+            sent_ns: data.get_u64(),
+        })
+    }
+}
+
+/// One burst record as shipped in a report (mirrors
+/// [`choreo_netsim::BurstRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireBurst {
+    /// Burst index.
+    pub burst: u32,
+    /// First-packet receive timestamp (receiver clock, ns).
+    pub first_rx: u64,
+    /// Last-packet receive timestamp.
+    pub last_rx: u64,
+    /// Packets received.
+    pub received: u32,
+    /// Smallest packet index seen.
+    pub min_idx: u32,
+    /// Largest packet index seen.
+    pub max_idx: u32,
+}
+
+/// Control-plane messages (length-prefixed over TCP).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Collector → agent: open a UDP receiver for a train.
+    PrepareReceive {
+        /// Train identifier.
+        train_id: u64,
+        /// Expected bursts.
+        bursts: u32,
+    },
+    /// Agent → collector: receiver listening on this UDP port.
+    Ready {
+        /// Bound UDP port.
+        udp_port: u16,
+    },
+    /// Collector → agent: send a train to a peer's receiver.
+    SendTrain {
+        /// Train identifier.
+        train_id: u64,
+        /// Destination IPv4 (octets) and UDP port.
+        dest: ([u8; 4], u16),
+        /// Bursts to send.
+        bursts: u32,
+        /// Packets per burst.
+        burst_len: u32,
+        /// Wire bytes per packet.
+        packet_bytes: u32,
+        /// Inter-burst gap, nanoseconds.
+        gap_ns: u64,
+    },
+    /// Agent → collector: train fully handed to the kernel.
+    Sent {
+        /// Packets emitted.
+        packets: u64,
+    },
+    /// Collector → agent: fetch (and drop) a train's report.
+    FetchReport {
+        /// Train identifier.
+        train_id: u64,
+    },
+    /// Agent → collector: the receiver-side burst records.
+    Report {
+        /// Per-burst records (only bursts that received packets).
+        bursts: Vec<WireBurst>,
+    },
+    /// Liveness / RTT probe.
+    Ping,
+    /// Ping response.
+    Pong,
+    /// Tear the agent down.
+    Shutdown,
+    /// Agent → collector: failure description.
+    Error(String),
+}
+
+impl ControlMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            ControlMsg::PrepareReceive { .. } => 0x01,
+            ControlMsg::Ready { .. } => 0x81,
+            ControlMsg::SendTrain { .. } => 0x02,
+            ControlMsg::Sent { .. } => 0x82,
+            ControlMsg::FetchReport { .. } => 0x03,
+            ControlMsg::Report { .. } => 0x83,
+            ControlMsg::Ping => 0x04,
+            ControlMsg::Pong => 0x84,
+            ControlMsg::Shutdown => 0x05,
+            ControlMsg::Error(_) => 0x7F,
+        }
+    }
+
+    /// Encode with a u32 length prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        body.put_u8(self.tag());
+        match self {
+            ControlMsg::PrepareReceive { train_id, bursts } => {
+                body.put_u64(*train_id);
+                body.put_u32(*bursts);
+            }
+            ControlMsg::Ready { udp_port } => body.put_u16(*udp_port),
+            ControlMsg::SendTrain { train_id, dest, bursts, burst_len, packet_bytes, gap_ns } => {
+                body.put_u64(*train_id);
+                body.put_slice(&dest.0);
+                body.put_u16(dest.1);
+                body.put_u32(*bursts);
+                body.put_u32(*burst_len);
+                body.put_u32(*packet_bytes);
+                body.put_u64(*gap_ns);
+            }
+            ControlMsg::Sent { packets } => body.put_u64(*packets),
+            ControlMsg::FetchReport { train_id } => body.put_u64(*train_id),
+            ControlMsg::Report { bursts } => {
+                body.put_u32(bursts.len() as u32);
+                for b in bursts {
+                    body.put_u32(b.burst);
+                    body.put_u64(b.first_rx);
+                    body.put_u64(b.last_rx);
+                    body.put_u32(b.received);
+                    body.put_u32(b.min_idx);
+                    body.put_u32(b.max_idx);
+                }
+            }
+            ControlMsg::Ping | ControlMsg::Pong | ControlMsg::Shutdown => {}
+            ControlMsg::Error(s) => {
+                body.put_u32(s.len() as u32);
+                body.put_slice(s.as_bytes());
+            }
+        }
+        let mut framed = BytesMut::with_capacity(4 + body.len());
+        framed.put_u32(body.len() as u32);
+        framed.extend_from_slice(&body);
+        framed.freeze()
+    }
+
+    /// Decode one message body (the length prefix already stripped).
+    pub fn decode(mut data: &[u8]) -> Result<ControlMsg, String> {
+        if data.is_empty() {
+            return Err("empty control frame".into());
+        }
+        let tag = data.get_u8();
+        let need = |data: &[u8], n: usize| {
+            if data.len() < n {
+                Err(format!("truncated control frame: tag {tag:#x}"))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            0x01 => {
+                need(data, 12)?;
+                Ok(ControlMsg::PrepareReceive { train_id: data.get_u64(), bursts: data.get_u32() })
+            }
+            0x81 => {
+                need(data, 2)?;
+                Ok(ControlMsg::Ready { udp_port: data.get_u16() })
+            }
+            0x02 => {
+                need(data, 8 + 6 + 4 + 4 + 4 + 8)?;
+                let train_id = data.get_u64();
+                let mut ip = [0u8; 4];
+                data.copy_to_slice(&mut ip);
+                let port = data.get_u16();
+                Ok(ControlMsg::SendTrain {
+                    train_id,
+                    dest: (ip, port),
+                    bursts: data.get_u32(),
+                    burst_len: data.get_u32(),
+                    packet_bytes: data.get_u32(),
+                    gap_ns: data.get_u64(),
+                })
+            }
+            0x82 => {
+                need(data, 8)?;
+                Ok(ControlMsg::Sent { packets: data.get_u64() })
+            }
+            0x03 => {
+                need(data, 8)?;
+                Ok(ControlMsg::FetchReport { train_id: data.get_u64() })
+            }
+            0x83 => {
+                need(data, 4)?;
+                let n = data.get_u32() as usize;
+                need(data, n * 32)?;
+                let bursts = (0..n)
+                    .map(|_| WireBurst {
+                        burst: data.get_u32(),
+                        first_rx: data.get_u64(),
+                        last_rx: data.get_u64(),
+                        received: data.get_u32(),
+                        min_idx: data.get_u32(),
+                        max_idx: data.get_u32(),
+                    })
+                    .collect();
+                Ok(ControlMsg::Report { bursts })
+            }
+            0x04 => Ok(ControlMsg::Ping),
+            0x84 => Ok(ControlMsg::Pong),
+            0x05 => Ok(ControlMsg::Shutdown),
+            0x7F => {
+                need(data, 4)?;
+                let n = data.get_u32() as usize;
+                need(data, n)?;
+                let s = String::from_utf8_lossy(&data[..n]).into_owned();
+                Ok(ControlMsg::Error(s))
+            }
+            other => Err(format!("unknown control tag {other:#x}")),
+        }
+    }
+
+    /// Write a framed message to a stream.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Read one framed message from a stream.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ControlMsg> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_be_bytes(len) as usize;
+        if len > 16 << 20 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "oversized control frame",
+            ));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        ControlMsg::decode(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_header_round_trips() {
+        let h = ProbeHeader { train_id: 7, burst: 3, idx: 199, burst_len: 200, sent_ns: 123_456 };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), PROBE_HEADER_BYTES);
+        assert_eq!(ProbeHeader::decode(&buf), Some(h));
+    }
+
+    #[test]
+    fn probe_decode_rejects_garbage() {
+        assert_eq!(ProbeHeader::decode(&[0u8; 8]), None, "too short");
+        let mut buf = BytesMut::new();
+        ProbeHeader { train_id: 1, burst: 0, idx: 0, burst_len: 1, sent_ns: 0 }.encode(&mut buf);
+        let mut bad = buf.to_vec();
+        bad[0] ^= 0xFF; // corrupt magic
+        assert_eq!(ProbeHeader::decode(&bad), None);
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        let msgs = vec![
+            ControlMsg::PrepareReceive { train_id: 9, bursts: 10 },
+            ControlMsg::Ready { udp_port: 45_000 },
+            ControlMsg::SendTrain {
+                train_id: 9,
+                dest: ([127, 0, 0, 1], 45_000),
+                bursts: 10,
+                burst_len: 200,
+                packet_bytes: 1500,
+                gap_ns: 1_000_000,
+            },
+            ControlMsg::Sent { packets: 2000 },
+            ControlMsg::FetchReport { train_id: 9 },
+            ControlMsg::Report {
+                bursts: vec![
+                    WireBurst { burst: 0, first_rx: 1, last_rx: 2, received: 3, min_idx: 0, max_idx: 4 },
+                    WireBurst { burst: 1, first_rx: 5, last_rx: 9, received: 7, min_idx: 1, max_idx: 8 },
+                ],
+            },
+            ControlMsg::Ping,
+            ControlMsg::Pong,
+            ControlMsg::Shutdown,
+            ControlMsg::Error("boom".into()),
+        ];
+        for m in msgs {
+            let framed = m.encode();
+            let body = &framed[4..];
+            assert_eq!(ControlMsg::decode(body), Ok(m.clone()), "{m:?}");
+            // And through a stream.
+            let mut cursor = std::io::Cursor::new(framed.to_vec());
+            assert_eq!(ControlMsg::read_from(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_errors() {
+        let framed = ControlMsg::Sent { packets: 1 }.encode();
+        let body = &framed[4..framed.len() - 2];
+        assert!(ControlMsg::decode(body).is_err());
+        assert!(ControlMsg::decode(&[]).is_err());
+        assert!(ControlMsg::decode(&[0x42]).is_err(), "unknown tag");
+    }
+}

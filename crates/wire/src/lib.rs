@@ -1,0 +1,41 @@
+//! Real-socket measurement plumbing for Choreo.
+//!
+//! The paper's measurement module runs on actual cloud VMs: a UDP
+//! packet-train sender, a receiver that timestamps each burst's first and
+//! last packet with kernel timestamps (`SO_TIMESTAMPNS`), and a control
+//! plane that retrieves per-burst reports to "a centralized server outside
+//! the cloud" (§4.1). This crate is that plumbing, built on `std::net`
+//! blocking sockets plus threads — measurement is timing-sensitive, and a
+//! dedicated blocking thread per socket is the simplest design that
+//! doesn't perturb timestamps with scheduler hops.
+//!
+//! * [`format`] — the probe-packet wire format and the length-prefixed
+//!   control protocol (hand-rolled with `bytes`; no serialization
+//!   framework on the hot path).
+//! * [`receiver`] — [`TrainReceiver`]: binds a UDP socket, records
+//!   per-burst `(first_rx, last_rx, count, min_idx, max_idx)` exactly like
+//!   the simulator's receiver, and yields a
+//!   [`choreo_netsim::TrainReport`] the estimator consumes unchanged.
+//! * [`sender`] — [`send_train`]: emits bursts back-to-back with the
+//!   configured inter-burst gap δ.
+//! * [`agent`] — [`Agent`]: a per-VM control server (TCP) that prepares
+//!   receivers, fires trains at peers, and serves reports.
+//! * [`collector`] — [`Collector`]: the tenant-side orchestrator that
+//!   measures a full mesh of agents pair by pair.
+//!
+//! On loopback the measured "throughput" is meaningless (gigabytes per
+//! second); tests assert the plumbing — sequence accounting, loss
+//! handling, report aggregation — not absolute rates. Against real NICs
+//! the same code measures real paths.
+
+pub mod agent;
+pub mod collector;
+pub mod format;
+pub mod receiver;
+pub mod sender;
+
+pub use agent::Agent;
+pub use collector::Collector;
+pub use format::{ControlMsg, ProbeHeader, PROBE_HEADER_BYTES};
+pub use receiver::TrainReceiver;
+pub use sender::send_train;

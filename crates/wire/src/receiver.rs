@@ -1,0 +1,210 @@
+//! UDP train receiver: the real-socket analogue of the simulator's
+//! receiver-side train state.
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use choreo_netsim::{BurstRecord, TrainConfig, TrainReport};
+
+use crate::format::ProbeHeader;
+
+/// Receives one train's probes on its own socket + thread, recording the
+/// per-burst first/last timestamps, counts and index extremes the
+/// estimator needs. Timestamps are nanoseconds on the receiver's
+/// monotonic clock (the stand-in for `SO_TIMESTAMPNS`).
+pub struct TrainReceiver {
+    port: u16,
+    records: Arc<Mutex<Vec<Option<BurstRecord>>>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    epoch: Instant,
+}
+
+impl TrainReceiver {
+    /// Bind an ephemeral localhost UDP socket and start receiving probes
+    /// for a train of `bursts` bursts.
+    pub fn start(train_id: u64, bursts: u32) -> std::io::Result<TrainReceiver> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let port = socket.local_addr()?.port();
+        let records: Arc<Mutex<Vec<Option<BurstRecord>>>> =
+            Arc::new(Mutex::new(vec![None; bursts as usize]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let handle = {
+            let records = records.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                while !stop.load(Ordering::Relaxed) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, _peer)) => {
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            let Some(h) = ProbeHeader::decode(&buf[..n]) else {
+                                continue; // stray datagram
+                            };
+                            if h.train_id != train_id || h.burst as usize >= bursts as usize {
+                                continue;
+                            }
+                            let mut recs = records.lock();
+                            let slot = &mut recs[h.burst as usize];
+                            match slot {
+                                None => {
+                                    *slot = Some(BurstRecord {
+                                        burst: h.burst,
+                                        first_rx: now,
+                                        last_rx: now,
+                                        received: 1,
+                                        min_idx: h.idx,
+                                        max_idx: h.idx,
+                                    });
+                                }
+                                Some(r) => {
+                                    r.last_rx = now;
+                                    r.received += 1;
+                                    r.min_idx = r.min_idx.min(h.idx);
+                                    r.max_idx = r.max_idx.max(h.idx);
+                                }
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(TrainReceiver { port, records, stop, handle: Some(handle), epoch })
+    }
+
+    /// UDP port the sender should target.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Total probes received so far.
+    pub fn received(&self) -> u64 {
+        self.records.lock().iter().flatten().map(|b| b.received as u64).sum()
+    }
+
+    /// Nanoseconds since this receiver's epoch (test hook).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Stop the receive thread and assemble the report. `sent` and
+    /// `base_rtt` come from the control plane (the receiver cannot know
+    /// them).
+    pub fn finish(mut self, config: TrainConfig, sent: u64, base_rtt: u64) -> TrainReport {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let bursts = self.records.lock().iter().flatten().copied().collect();
+        TrainReport { config, bursts, sent, base_rtt }
+    }
+}
+
+impl Drop for TrainReceiver {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn send_probe(port: u16, h: ProbeHeader, pad_to: usize) {
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        buf.resize(pad_to.max(buf.len()), 0);
+        sock.send_to(&buf, ("127.0.0.1", port)).unwrap();
+    }
+
+    fn wait_for(rx: &TrainReceiver, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rx.received() < n {
+            assert!(Instant::now() < deadline, "timed out waiting for {n} probes");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn records_probes_into_bursts() {
+        let rx = TrainReceiver::start(42, 2).unwrap();
+        for idx in 0..3 {
+            send_probe(
+                rx.port(),
+                ProbeHeader { train_id: 42, burst: 0, idx, burst_len: 3, sent_ns: 0 },
+                256,
+            );
+        }
+        send_probe(
+            rx.port(),
+            ProbeHeader { train_id: 42, burst: 1, idx: 1, burst_len: 3, sent_ns: 0 },
+            256,
+        );
+        wait_for(&rx, 4);
+        let config = TrainConfig { packet_bytes: 256, burst_len: 3, bursts: 2, gap: 0 };
+        let report = rx.finish(config, 6, 1000);
+        assert_eq!(report.bursts.len(), 2);
+        let b0 = report.bursts.iter().find(|b| b.burst == 0).unwrap();
+        assert_eq!(b0.received, 3);
+        assert_eq!((b0.min_idx, b0.max_idx), (0, 2));
+        assert!(b0.last_rx >= b0.first_rx);
+        let b1 = report.bursts.iter().find(|b| b.burst == 1).unwrap();
+        assert!(b1.lost_head(), "idx 0 missing");
+        assert!(b1.lost_tail(3), "idx 2 missing");
+        assert!((report.loss_rate() - (1.0 - 4.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_foreign_trains_and_garbage() {
+        let rx = TrainReceiver::start(1, 1).unwrap();
+        // Wrong train id.
+        send_probe(
+            rx.port(),
+            ProbeHeader { train_id: 999, burst: 0, idx: 0, burst_len: 1, sent_ns: 0 },
+            64,
+        );
+        // Out-of-range burst.
+        send_probe(
+            rx.port(),
+            ProbeHeader { train_id: 1, burst: 7, idx: 0, burst_len: 1, sent_ns: 0 },
+            64,
+        );
+        // Raw garbage.
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"not a probe", ("127.0.0.1", rx.port())).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rx.received(), 0);
+        let config = TrainConfig { packet_bytes: 64, burst_len: 1, bursts: 1, gap: 0 };
+        let report = rx.finish(config, 1, 0);
+        assert!(report.bursts.is_empty());
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let rx = TrainReceiver::start(5, 1).unwrap();
+        let port = rx.port();
+        drop(rx);
+        // Port becomes reusable shortly after drop (thread exited).
+        std::thread::sleep(Duration::from_millis(50));
+        let _rebind = UdpSocket::bind(("127.0.0.1", port)).expect("port released");
+    }
+}

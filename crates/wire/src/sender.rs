@@ -1,0 +1,86 @@
+//! UDP train sender.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+
+use choreo_netsim::TrainConfig;
+
+use crate::format::{ProbeHeader, PROBE_HEADER_BYTES};
+
+/// Send one packet train to `dest`: `config.bursts` bursts of
+/// `config.burst_len` back-to-back datagrams of `config.packet_bytes`,
+/// separated by `config.gap` nanoseconds (δ in the paper, 1 ms).
+///
+/// Returns the number of packets handed to the kernel. `sendto` may block
+/// when the socket buffer fills — exactly the behaviour that paces real
+/// senders behind hypervisor rate limiters.
+pub fn send_train(dest: SocketAddr, train_id: u64, config: TrainConfig) -> std::io::Result<u64> {
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    socket.connect(dest)?;
+    let packet_bytes = (config.packet_bytes as usize).max(PROBE_HEADER_BYTES);
+    let epoch = Instant::now();
+    let mut sent = 0u64;
+    let mut buf = BytesMut::with_capacity(packet_bytes);
+    for burst in 0..config.bursts {
+        for idx in 0..config.burst_len {
+            buf.clear();
+            ProbeHeader {
+                train_id,
+                burst,
+                idx,
+                burst_len: config.burst_len,
+                sent_ns: epoch.elapsed().as_nanos() as u64,
+            }
+            .encode(&mut buf);
+            buf.resize(packet_bytes, 0);
+            match socket.send(&buf) {
+                Ok(_) => sent += 1,
+                // A full buffer on loopback can surface as WouldBlock;
+                // treat it as loss (the estimator corrects for it).
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if burst + 1 < config.bursts && config.gap > 0 {
+            std::thread::sleep(Duration::from_nanos(config.gap));
+        }
+    }
+    Ok(sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::TrainReceiver;
+
+    #[test]
+    fn full_train_arrives_on_loopback() {
+        let config = TrainConfig { packet_bytes: 512, burst_len: 40, bursts: 4, gap: 500_000 };
+        let rx = TrainReceiver::start(11, config.bursts).unwrap();
+        let dest: SocketAddr = format!("127.0.0.1:{}", rx.port()).parse().unwrap();
+        let sent = send_train(dest, 11, config).unwrap();
+        assert_eq!(sent, 160);
+        // Loopback rarely drops, but don't flake if it does.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while rx.received() < sent && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = rx.finish(config, sent, 0);
+        assert!(report.received() >= sent * 9 / 10, "received {}", report.received());
+        assert_eq!(report.bursts.len(), 4);
+        for b in &report.bursts {
+            assert!(b.last_rx >= b.first_rx);
+        }
+    }
+
+    #[test]
+    fn tiny_packets_padded_to_header() {
+        let config = TrainConfig { packet_bytes: 8, burst_len: 2, bursts: 1, gap: 0 };
+        let rx = TrainReceiver::start(12, 1).unwrap();
+        let dest: SocketAddr = format!("127.0.0.1:{}", rx.port()).parse().unwrap();
+        let sent = send_train(dest, 12, config).unwrap();
+        assert_eq!(sent, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! A MapReduce-style shuffle placed on a cloud with slow VMs.
+//!
+//! The paper's intro motivates Choreo with Hadoop-style jobs: the shuffle
+//! stage moves the bulk of the data, and one slow path can dominate job
+//! completion. Here a quarter of the rented VMs sit behind degraded
+//! (≈300–420 Mbit/s) hoses; Choreo steers shuffle sources away from them
+//! while round-robin walks straight into them. §7.1 also notes shuffles
+//! are close to Choreo's worst case (near-uniform demand), so the win is
+//! modest but real.
+//!
+//! ```sh
+//! cargo run --release --example mapreduce_shuffle
+//! ```
+
+use choreo_repro::choreo::{runner, Choreo, ChoreoConfig, PlacerKind};
+use choreo_repro::cloudlab::profile::HoseComponent;
+use choreo_repro::cloudlab::{Cloud, HoseDist, ProviderProfile};
+use choreo_repro::place::problem::{Machines, Placement};
+use choreo_repro::profile::{AppPattern, WorkloadGen, WorkloadGenConfig};
+use choreo_repro::topology::VmId;
+
+fn main() {
+    // EC2-like region where the slow tail is pronounced: 1 in 4 VMs is
+    // badly rate-limited.
+    let mut profile = ProviderProfile::ec2_2013(false);
+    profile.hose = HoseDist::Mixture(vec![
+        (0.75, HoseComponent::Normal { mean: 950e6, sd: 20e6 }),
+        (0.25, HoseComponent::Uniform { lo: 300e6, hi: 420e6 }),
+    ]);
+    let mut cloud = Cloud::new(profile, 11);
+    cloud.allocate(8);
+
+    // A 4-mapper / 4-reducer shuffle.
+    let mut gen = WorkloadGen::new(
+        WorkloadGenConfig { tasks_min: 8, tasks_max: 8, bytes_mu: 21.0, ..Default::default() },
+        5,
+    );
+    let app = gen.next_app_with(AppPattern::Shuffle);
+    println!(
+        "shuffle: {:.1} GB across {} task pairs",
+        app.total_bytes() as f64 / 1e9,
+        app.matrix.transfers_desc().len()
+    );
+
+    let machines = Machines::uniform(8, 4.0);
+
+    // Choreo: measure, show the measured slow VMs, place, run.
+    let mut fc = cloud.flow_cloud(1);
+    let mut choreo = Choreo::new(machines.clone(), ChoreoConfig::default());
+    let snap = choreo.measure(&mut fc).clone();
+    println!("\nmeasured egress rate per VM:");
+    for v in 0..8u32 {
+        let hose = snap.hose_rate(VmId(v));
+        let slow = if hose < 500e6 { "  <-- slow" } else { "" };
+        println!("  vm{v}: {:7.0} Mbit/s{slow}", hose / 1e6);
+    }
+    let placement = choreo.place(&app).expect("fits");
+    println!("\nChoreo placement (task -> vm): {:?}", placement.assignment);
+    let t_choreo = runner::run_app(&mut fc, &mut choreo, &app, &placement);
+
+    // Round-robin on an identical cloud.
+    let mut fc2 = cloud.flow_cloud(1);
+    let mut rr = Choreo::new(
+        machines,
+        ChoreoConfig { placer: PlacerKind::RoundRobin, ..Default::default() },
+    );
+    let rrp = rr.place(&app).expect("fits");
+    println!("round-robin placement:          {:?}", rrp.assignment);
+    let t_rr = runner::run_app(&mut fc2, &mut rr, &app, &rrp);
+
+    // How much shuffle traffic does each scheme source from slow VMs?
+    let slow_vms: Vec<u32> = (0..8u32).filter(|&v| snap.hose_rate(VmId(v)) < 500e6).collect();
+    let through_slow = |p: &Placement| -> u64 {
+        app.matrix
+            .transfers_desc()
+            .iter()
+            .filter(|&&(i, j, _)| {
+                p.assignment[i] != p.assignment[j] && slow_vms.contains(&p.assignment[i])
+            })
+            .map(|&(_, _, b)| b)
+            .sum()
+    };
+    println!(
+        "\nbytes sourced from slow VMs: Choreo {:.2} GB, round-robin {:.2} GB",
+        through_slow(&placement) as f64 / 1e9,
+        through_slow(&rrp) as f64 / 1e9
+    );
+    println!(
+        "shuffle completion: Choreo {:.2} s, round-robin {:.2} s",
+        t_choreo as f64 / 1e9,
+        t_rr as f64 / 1e9
+    );
+    let speedup = 100.0 * (t_rr as f64 - t_choreo as f64) / t_rr as f64;
+    println!("relative speed-up: {speedup:.1}%");
+}

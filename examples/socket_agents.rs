@@ -1,0 +1,56 @@
+//! Real-socket measurement plumbing on localhost (the `choreo-wire`
+//! crate): three agents, a collector, a full-mesh packet-train sweep.
+//!
+//! On loopback the absolute rates are meaningless (many Gbit/s); what this
+//! demonstrates is the deployment-shaped plumbing the paper describes in
+//! §4.1 — per-VM agents, UDP trains with sequence numbers, kernel-style
+//! receive timestamps, and report collection to a central server —
+//! feeding the same estimator the simulators use.
+//!
+//! ```sh
+//! cargo run --release --example socket_agents
+//! ```
+
+use choreo_repro::measure::estimate_from_report;
+use choreo_repro::netsim::TrainConfig;
+use choreo_repro::wire::{Agent, Collector};
+
+fn main() {
+    let agents: Vec<Agent> = (0..3).map(|_| Agent::start().expect("bind agent")).collect();
+    println!("started {} agents:", agents.len());
+    for (i, a) in agents.iter().enumerate() {
+        println!("  vm{i} control endpoint {}", a.addr());
+    }
+
+    let mut collector = Collector::new(agents.iter().map(|a| a.addr()).collect());
+    let config = TrainConfig { packet_bytes: 1472, burst_len: 100, bursts: 5, gap: 1_000_000 };
+    println!(
+        "\nmeasuring full mesh ({} ordered pairs), {} packets per train…",
+        collector.n_vms() * (collector.n_vms() - 1),
+        config.total_packets()
+    );
+    let t0 = std::time::Instant::now();
+    let mesh = collector.measure_mesh(config).expect("mesh measurement");
+    println!("mesh measured in {:.1?}\n", t0.elapsed());
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>14} {:>10}",
+        "path", "sent", "recv", "loss", "estimate", "took"
+    );
+    for m in &mesh {
+        let est = estimate_from_report(&m.report);
+        println!(
+            "vm{}->vm{}   {:>8} {:>8} {:>7.2}% {:>11.2} Gb/s {:>8.0?}",
+            m.from,
+            m.to,
+            m.report.sent,
+            m.report.received(),
+            100.0 * m.report.loss_rate(),
+            est.throughput_bps / 1e9,
+            m.elapsed
+        );
+    }
+
+    collector.shutdown_agents();
+    println!("\nagents shut down.");
+}

@@ -1,0 +1,17 @@
+//! Facade crate for the Choreo reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can depend on a single package. Library users should
+//! depend on the individual `choreo-*` crates (or the `choreo` orchestrator
+//! crate) directly.
+
+pub use choreo;
+pub use choreo_cloudlab as cloudlab;
+pub use choreo_flowsim as flowsim;
+pub use choreo_lp as lp;
+pub use choreo_measure as measure;
+pub use choreo_netsim as netsim;
+pub use choreo_place as place;
+pub use choreo_profile as profile;
+pub use choreo_topology as topology;
+pub use choreo_wire as wire;

@@ -1,0 +1,258 @@
+//! Property-based tests over the core data structures and invariants.
+
+use choreo_repro::flowsim::max_min_rates;
+use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
+use choreo_repro::measure::{NetworkSnapshot, RateModel};
+use choreo_repro::place::greedy::GreedyPlacer;
+use choreo_repro::place::problem::{validate, Machines, NetworkLoad};
+use choreo_repro::profile::{AppProfile, TrafficMatrix};
+use choreo_repro::topology::{MultiRootedTreeSpec, RouteTable};
+use choreo_repro::wire::ControlMsg;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- max-min
+
+proptest! {
+    #[test]
+    fn maxmin_never_exceeds_capacity_and_is_work_conserving(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..6),
+        flow_paths in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 1..12),
+    ) {
+        let nr = caps.len();
+        let flows: Vec<Vec<u32>> = flow_paths
+            .iter()
+            .map(|p| {
+                let mut f: Vec<u32> = p.iter().map(|r| (r % nr) as u32).collect();
+                f.sort_unstable();
+                f.dedup(); // a flow crosses each resource at most once
+                f
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &flows);
+        // 1. No resource over capacity.
+        for r in 0..nr {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.contains(&(r as u32)))
+                .map(|(_, rate)| *rate)
+                .sum();
+            prop_assert!(used <= caps[r] + 1e-6, "resource {r}: {used} > {}", caps[r]);
+        }
+        // 2. Every flow gets a strictly positive rate.
+        for (i, rate) in rates.iter().enumerate() {
+            prop_assert!(*rate > 0.0, "flow {i} starved");
+        }
+        // 3. Work conservation: every flow crosses at least one saturated
+        //    resource (otherwise its rate could grow -> not max-min).
+        for (f, rate) in flows.iter().zip(&rates) {
+            let bottlenecked = f.iter().any(|&r| {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.contains(&r))
+                    .map(|(_, x)| *x)
+                    .sum();
+                used >= caps[r as usize] - 1e-6
+            });
+            prop_assert!(bottlenecked, "flow with rate {rate} has slack everywhere");
+        }
+    }
+}
+
+// ------------------------------------------------------------- placement
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn greedy_placements_are_always_valid(
+        n_tasks in 2usize..7,
+        n_vms in 2usize..6,
+        seed in 0u64..500,
+        demands in prop::collection::vec(1u32..=8, 2..7),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = TrafficMatrix::zeros(n_tasks);
+        for i in 0..n_tasks {
+            for j in 0..n_tasks {
+                if i != j && rng.gen_bool(0.5) {
+                    m.set(i, j, rng.gen_range(1..1_000_000_000));
+                }
+            }
+        }
+        let cpu: Vec<f64> = (0..n_tasks)
+            .map(|t| 0.5 * demands[t % demands.len()] as f64)
+            .collect();
+        let app = AppProfile::new("prop", cpu, m, 0);
+        let machines = Machines::uniform(n_vms, 4.0);
+        let mut rates = vec![0.0; n_vms * n_vms];
+        for v in rates.iter_mut() {
+            *v = rng.gen_range(1e8..4e9);
+        }
+        let model = if seed % 2 == 0 { RateModel::Hose } else { RateModel::Pipe };
+        let snap = NetworkSnapshot::from_rates(n_vms, rates, model);
+        match GreedyPlacer.place(&app, &machines, &snap, &NetworkLoad::new(n_vms)) {
+            Ok(p) => {
+                prop_assert!(validate(&app, &machines, &p).is_ok());
+                prop_assert_eq!(p.assignment.len(), n_tasks);
+            }
+            Err(_) => {
+                // Only acceptable when demand genuinely cannot fit.
+                let total: f64 = app.cpu.iter().sum();
+                let biggest = app.cpu.iter().cloned().fold(0.0, f64::max);
+                prop_assert!(
+                    total > n_vms as f64 * 4.0 || biggest > 4.0 ||
+                    // or bin-packing fragmentation, which we accept
+                    total > n_vms as f64 * 4.0 * 0.5,
+                    "greedy failed on an easy instance: total {total}"
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ wire format
+
+proptest! {
+    #[test]
+    fn control_messages_roundtrip(
+        train_id in any::<u64>(),
+        bursts in 1u32..1000,
+        burst_len in 1u32..5000,
+        packet_bytes in 32u32..9000,
+        gap in 0u64..10_000_000,
+        port in 1u16..u16::MAX,
+        ip in any::<[u8; 4]>(),
+    ) {
+        let msgs = vec![
+            ControlMsg::PrepareReceive { train_id, bursts },
+            ControlMsg::Ready { udp_port: port },
+            ControlMsg::SendTrain {
+                train_id,
+                dest: (ip, port),
+                bursts,
+                burst_len,
+                packet_bytes,
+                gap_ns: gap,
+            },
+            ControlMsg::Sent { packets: train_id },
+            ControlMsg::FetchReport { train_id },
+        ];
+        for m in msgs {
+            let framed = m.encode();
+            let decoded = ControlMsg::decode(&framed[4..]);
+            prop_assert_eq!(decoded, Ok(m));
+        }
+    }
+
+    #[test]
+    fn probe_header_roundtrips(
+        train_id in any::<u64>(),
+        burst in any::<u32>(),
+        idx in any::<u32>(),
+        burst_len in any::<u32>(),
+        sent_ns in any::<u64>(),
+    ) {
+        use choreo_repro::wire::ProbeHeader;
+        let h = ProbeHeader { train_id, burst, idx, burst_len, sent_ns };
+        let mut buf = bytes_mut();
+        h.encode(&mut buf);
+        prop_assert_eq!(ProbeHeader::decode(&buf), Some(h));
+    }
+}
+
+fn bytes_mut() -> bytes::BytesMut {
+    bytes::BytesMut::new()
+}
+
+// -------------------------------------------------------------- topology
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn tree_hop_counts_are_one_or_even(
+        cores in 1usize..3,
+        pods in 1usize..3,
+        aggs in 1usize..3,
+        tors in 1usize..3,
+        hosts in 1usize..4,
+        deep in any::<bool>(),
+    ) {
+        let spec = MultiRootedTreeSpec {
+            cores,
+            pods,
+            aggs_per_pod: aggs,
+            tors_per_pod: tors,
+            hosts_per_tor: hosts,
+            second_agg_tier: deep,
+            ..Default::default()
+        };
+        let topo = spec.build();
+        let routes = RouteTable::new(&topo);
+        for &a in topo.hosts() {
+            for &b in topo.hosts() {
+                if a != b {
+                    let h = routes.hop_count(a, b);
+                    prop_assert!(h % 2 == 0 && h >= 2 && h <= 8, "hops {h}");
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- lp
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn lp_optimum_is_feasible_and_no_worse_than_origin(
+        n in 1usize..5,
+        objs in prop::collection::vec(-5.0f64..5.0, 1..5),
+        rhs in prop::collection::vec(0.5f64..20.0, 1..4),
+    ) {
+        // Box-constrained LPs with <=-constraints through the origin:
+        // always feasible (x = 0), never unbounded (finite boxes).
+        let mut lp = Lp::new(n);
+        for v in 0..n {
+            lp.set_objective(v, objs[v % objs.len()]);
+            lp.set_bounds(v, 0.0, 3.0);
+        }
+        for (k, r) in rhs.iter().enumerate() {
+            let coeffs: Vec<(usize, f64)> =
+                (0..n).map(|v| (v, ((v + k) % 3) as f64)).collect();
+            lp.add_constraint(coeffs, Relation::Le, *r);
+        }
+        match solve_lp(&lp) {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.is_feasible(&s.x, 1e-6));
+                prop_assert!(s.objective <= 1e-9, "origin is feasible with objective 0");
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+}
+
+// --------------------------------------------------------------- matrix
+
+proptest! {
+    #[test]
+    fn traffic_matrix_transfer_order_is_total_and_descending(
+        entries in prop::collection::vec((0usize..6, 0usize..6, 1u64..1_000_000), 0..20),
+    ) {
+        let mut m = TrafficMatrix::zeros(6);
+        for (i, j, b) in entries {
+            m.add(i, j, b);
+        }
+        let t = m.transfers_desc();
+        for w in t.windows(2) {
+            prop_assert!(w[0].2 >= w[1].2, "descending bytes");
+        }
+        let total: u64 = t.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(total, m.total_bytes());
+        for &(i, j, b) in &t {
+            prop_assert!(i != j && b > 0);
+            prop_assert_eq!(m.bytes(i, j), b);
+        }
+    }
+}
