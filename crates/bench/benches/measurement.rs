@@ -45,8 +45,7 @@ fn bench_simplex(c: &mut Criterion) {
         lp.set_bounds(v, 0.0, 10.0);
     }
     for k in 0..30 {
-        let coeffs: Vec<(usize, f64)> =
-            (0..n).map(|v| (v, (((v + k) % 5) as f64) * 0.3)).collect();
+        let coeffs: Vec<(usize, f64)> = (0..n).map(|v| (v, (((v + k) % 5) as f64) * 0.3)).collect();
         lp.add_constraint(coeffs, Relation::Le, 50.0 + k as f64);
     }
     c.bench_function("simplex_40v_30c", |b| b.iter(|| black_box(solve_lp(black_box(&lp)))));

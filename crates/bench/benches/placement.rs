@@ -39,9 +39,7 @@ fn bench_greedy_scaling(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    GreedyPlacer
-                        .place(black_box(&app), &machines, &snap, &load)
-                        .expect("feasible")
+                    GreedyPlacer.place(black_box(&app), &machines, &snap, &load).expect("feasible")
                 })
             },
         );

@@ -10,7 +10,8 @@ use choreo_netsim::{Sim, SimConfig};
 use choreo_topology::{dumbbell, LinkSpec, RouteTable, GBIT, MICROS, MILLIS, SECS};
 
 fn nets() -> (Arc<choreo_topology::Topology>, Arc<RouteTable>) {
-    let t = Arc::new(dumbbell(4, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(GBIT, 20 * MICROS)));
+    let t =
+        Arc::new(dumbbell(4, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(GBIT, 20 * MICROS)));
     let r = Arc::new(RouteTable::new(&t));
     (t, r)
 }

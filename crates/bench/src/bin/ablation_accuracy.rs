@@ -17,8 +17,7 @@ use choreo_profile::{AppProfile, WorkloadGen, WorkloadGenConfig};
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let experiments: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let experiments: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
     let n_vms = 10;
     // One core per VM and (below) one core per task: co-location — whose
     // benefit is rate-independent — is off the table, isolating the part
@@ -48,14 +47,8 @@ fn main() {
             // matters most when there is something to avoid.
             let mut profile = ProviderProfile::ec2_2013(false);
             profile.hose = HoseDist::Mixture(vec![
-                (
-                    0.7,
-                    choreo_cloudlab::profile::HoseComponent::Normal { mean: 950e6, sd: 25e6 },
-                ),
-                (
-                    0.3,
-                    choreo_cloudlab::profile::HoseComponent::Uniform { lo: 250e6, hi: 700e6 },
-                ),
+                (0.7, choreo_cloudlab::profile::HoseComponent::Normal { mean: 950e6, sd: 25e6 }),
+                (0.3, choreo_cloudlab::profile::HoseComponent::Uniform { lo: 250e6, hi: 700e6 }),
             ]);
             let seed = 3000 + exp as u64;
             let t_choreo = {
@@ -70,15 +63,9 @@ fn main() {
                     for b in 0..n_vms as u32 {
                         if a != b {
                             let f: f64 = 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
-                            let r = snap.rate(
-                                choreo_topology::VmId(a),
-                                choreo_topology::VmId(b),
-                            ) * f.max(0.05);
-                            noisy.set_rate(
-                                choreo_topology::VmId(a),
-                                choreo_topology::VmId(b),
-                                r,
-                            );
+                            let r = snap.rate(choreo_topology::VmId(a), choreo_topology::VmId(b))
+                                * f.max(0.05);
+                            noisy.set_rate(choreo_topology::VmId(a), choreo_topology::VmId(b), r);
                         }
                     }
                 }

@@ -16,8 +16,7 @@ use choreo_place::problem::Machines;
 use choreo_profile::{AppPattern, WorkloadGen, WorkloadGenConfig};
 
 fn main() {
-    let experiments: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let experiments: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
     let n_vms = 8;
     let machines = Machines::uniform(n_vms, 4.0);
     println!("# ablation: greedy rate model (hose vs pipe) on a hose-limited cloud");

@@ -16,8 +16,7 @@ use choreo_profile::PhasedApp;
 use choreo_topology::{MILLIS, SECS};
 
 fn main() {
-    let experiments: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let experiments: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
     let n_vms = 10;
     let machines = Machines::uniform(n_vms, 1.5); // tight CPU: placement matters
     println!("# §7.2 ablation: single-matrix vs per-phase placement (MapReduce shape)");

@@ -21,19 +21,17 @@ use choreo_profile::{AppProfile, WorkloadGen, WorkloadGenConfig};
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let experiments: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let experiments: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
     let n_vms = 10;
     let machines = Machines::uniform(n_vms, 4.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16_A);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16A);
     let mut gen = WorkloadGen::new(
         WorkloadGenConfig { tasks_min: 4, tasks_max: 8, bytes_mu: 20.0, ..Default::default() },
-        0xF16_A,
+        0xF16A,
     );
 
-    let baselines: [(&str, fn(u64) -> PlacerKind); 3] = [
+    type Baseline = (&'static str, fn(u64) -> PlacerKind);
+    let baselines: [Baseline; 3] = [
         ("random", |seed| PlacerKind::Random(seed)),
         ("round-robin", |_| PlacerKind::RoundRobin),
         ("min-machines", |_| PlacerKind::MinMachines),
@@ -56,7 +54,8 @@ fn main() {
             let mut cloud = Cloud::new(profile.clone(), cloud_seed);
             cloud.allocate(n_vms);
             let mut fc = cloud.flow_cloud(7);
-            let mut orch = Choreo::new(machines.clone(), ChoreoConfig { placer, ..Default::default() });
+            let mut orch =
+                Choreo::new(machines.clone(), ChoreoConfig { placer, ..Default::default() });
             orch.measure(&mut fc);
             let placement = orch.place(&combined).ok()?;
             Some(run_app(&mut fc, &mut orch, &combined, &placement) as f64 / 1e9)

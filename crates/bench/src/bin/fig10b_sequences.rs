@@ -20,13 +20,10 @@ use choreo_topology::SECS;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let experiments: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let experiments: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let n_vms = 10;
     let machines = Machines::uniform(n_vms, 4.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16_B);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16B);
     let mut gen = WorkloadGen::new(
         WorkloadGenConfig {
             tasks_min: 4,
@@ -38,10 +35,11 @@ fn main() {
             mean_interarrival: 8 * SECS,
             ..Default::default()
         },
-        0xF16_B,
+        0xF16B,
     );
 
-    let baselines: [(&str, fn(u64) -> PlacerKind); 3] = [
+    type Baseline = (&'static str, fn(u64) -> PlacerKind);
+    let baselines: [Baseline; 3] = [
         ("random", |seed| PlacerKind::Random(seed)),
         ("round-robin", |_| PlacerKind::RoundRobin),
         ("min-machines", |_| PlacerKind::MinMachines),

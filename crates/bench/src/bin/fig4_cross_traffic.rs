@@ -30,9 +30,17 @@ struct Scenario {
 
 fn run_scenario(sc: &Scenario) {
     let topo = Arc::new(if sc.cloud_variant {
-        two_rack(sc.n_pairs, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(10.0 * GBIT, 5 * MICROS))
+        two_rack(
+            sc.n_pairs,
+            LinkSpec::new(GBIT, 5 * MICROS),
+            LinkSpec::new(10.0 * GBIT, 5 * MICROS),
+        )
     } else {
-        dumbbell(sc.n_pairs, LinkSpec::new(5.0 * GBIT, 5 * MICROS), LinkSpec::new(GBIT, 20 * MICROS))
+        dumbbell(
+            sc.n_pairs,
+            LinkSpec::new(5.0 * GBIT, 5 * MICROS),
+            LinkSpec::new(GBIT, 20 * MICROS),
+        )
     });
     let routes = Arc::new(RouteTable::new(&topo));
     let mut sim = Sim::new(topo.clone(), routes, SimConfig::default(), 4242);

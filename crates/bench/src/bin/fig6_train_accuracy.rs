@@ -17,10 +17,8 @@ use choreo_netsim::TrainConfig;
 use choreo_topology::{VmId, MILLIS, SECS};
 
 fn main() {
-    let paths_per_provider: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let paths_per_provider: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let burst_lengths = [100u32, 200, 500, 1000, 2000, 3000, 3800];
     let burst_counts = [10u32, 20, 50];
 
@@ -45,11 +43,8 @@ fn main() {
                     let report = pc.packet_train(vms[0], vms[1], cfg);
                     // Wire time of the train itself (sim clock).
                     if bursts == 10 && burst_len == 200 {
-                        let span = report
-                            .bursts
-                            .last()
-                            .map(|b| b.last_rx.saturating_sub(t0))
-                            .unwrap_or(0);
+                        let span =
+                            report.bursts.last().map(|b| b.last_rx.saturating_sub(t0)).unwrap_or(0);
                         train_seconds.push(span as f64 / 1e9);
                     }
                     let est = estimate_from_report(&report).throughput_bps;

@@ -40,15 +40,12 @@ fn main() {
                 }
                 fc.advance(10 * SECS);
             }
-            series.extend(
-                samples.into_iter().map(|s| StabilitySeries::new(10 * SECS, s)),
-            );
+            series.extend(samples.into_iter().map(|s| StabilitySeries::new(10 * SECS, s)));
         }
         for &(tau_s, tau_label) in &taus {
             let tau: Nanos = tau_s * SECS;
             // Per-path summary errors (the paper's CDF is over paths).
-            let path_errors: Vec<f64> =
-                series.iter().map(|s| 100.0 * s.mean_error(tau)).collect();
+            let path_errors: Vec<f64> = series.iter().map(|s| 100.0 * s.mean_error(tau)).collect();
             print_cdf(&format!("{label}/{tau_label}"), &path_errors, 1.0);
             let medians: Vec<f64> = series.iter().map(|s| 100.0 * s.median_error(tau)).collect();
             eprintln!(

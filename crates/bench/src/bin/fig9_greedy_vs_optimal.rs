@@ -39,8 +39,7 @@ fn fig9_instance() -> (AppProfile, NetworkSnapshot, Machines) {
 }
 
 fn main() {
-    let apps_to_test: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(111);
+    let apps_to_test: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(111);
 
     // ---- Part 1: the Fig. 9 instance ---------------------------------
     let (app, snap, machines) = fig9_instance();
@@ -92,11 +91,7 @@ fn main() {
         let n = 4;
         let mut rates = vec![0.0; n * n];
         for v in rates.iter_mut() {
-            *v = if rng.gen_bool(0.2) {
-                rng.gen_range(3e8..9e8)
-            } else {
-                rng.gen_range(9e8..11e8)
-            };
+            *v = if rng.gen_bool(0.2) { rng.gen_range(3e8..9e8) } else { rng.gen_range(9e8..11e8) };
         }
         let snap = NetworkSnapshot::from_rates(n, rates, RateModel::Hose);
         let Ok(g) = GreedyPlacer.place(&app, &machines, &snap, &load) else { continue };

@@ -155,12 +155,8 @@ impl MeasureBackend for FlowCloud {
         assert!(a != b, "netperf needs two distinct VMs");
         let src = self.vms.host(a);
         let dst = self.vms.host(b);
-        let raw = self.sim.measure_tcp_throughput(
-            src,
-            dst,
-            Some(self.hoses[a.0 as usize]),
-            duration,
-        );
+        let raw =
+            self.sim.measure_tcp_throughput(src, dst, Some(self.hoses[a.0 as usize]), duration);
         raw * self.noise()
     }
 

@@ -88,8 +88,13 @@ impl PacketCloud {
         assert!(a != b, "train needs two distinct VMs");
         let src = self.vms.host(a);
         let dst = self.vms.host(b);
-        let flow =
-            self.sim.start_train(src, dst, config, Some(self.shapers[a.0 as usize]), self.sim.now());
+        let flow = self.sim.start_train(
+            src,
+            dst,
+            config,
+            Some(self.shapers[a.0 as usize]),
+            self.sim.now(),
+        );
         // Upper-bound the train's wire time by its size at a conservative
         // 50 Mbit/s plus gaps, then a drain margin.
         let worst = (config.total_bytes() as f64 * 8.0 / 50e6 * 1e9) as Nanos
@@ -227,10 +232,8 @@ mod tests {
         let vms = cloud.allocate(4);
         let mut pc = cloud.packet_cloud(1);
         let solo = pc.netperf(vms[0], vms[1], 300 * MILLIS);
-        let same =
-            pc.concurrent_netperf(&[(vms[0], vms[1]), (vms[0], vms[2])], 300 * MILLIS);
-        let distinct =
-            pc.concurrent_netperf(&[(vms[0], vms[1]), (vms[2], vms[3])], 300 * MILLIS);
+        let same = pc.concurrent_netperf(&[(vms[0], vms[1]), (vms[0], vms[2])], 300 * MILLIS);
+        let distinct = pc.concurrent_netperf(&[(vms[0], vms[1]), (vms[2], vms[3])], 300 * MILLIS);
         assert!(same[0] < 0.7 * solo, "same-source halves: {} vs {solo}", same[0]);
         assert!(distinct[0] > 0.8 * solo, "distinct unaffected: {} vs {solo}", distinct[0]);
     }

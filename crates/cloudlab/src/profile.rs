@@ -2,7 +2,9 @@
 //! EC2-2012, EC2-2013 or Rackspace.
 
 use choreo_netsim::TrainConfig;
-use choreo_topology::{LinkSpec, MultiRootedTreeSpec, Nanos, TracerouteStyle, GBIT, MBIT, MICROS, MILLIS, SECS};
+use choreo_topology::{
+    LinkSpec, MultiRootedTreeSpec, Nanos, TracerouteStyle, GBIT, MBIT, MICROS, MILLIS, SECS,
+};
 use rand::Rng;
 
 use crate::cloud::sample_normal;
@@ -149,7 +151,12 @@ impl ProviderProfile {
             traceroute: TracerouteStyle::Full,
             background: BackgroundSpec { pairs: 6, mean_on: 5 * SECS, mean_off: 20 * SECS },
             measurement_noise: 0.012,
-            train_config: TrainConfig { packet_bytes: 1500, burst_len: 200, bursts: 10, gap: MILLIS },
+            train_config: TrainConfig {
+                packet_bytes: 1500,
+                burst_len: 200,
+                bursts: 10,
+                gap: MILLIS,
+            },
         }
     }
 
@@ -260,8 +267,8 @@ mod tests {
         let frac = near_gig as f64 / samples.len() as f64;
         // Fig. 2a: "roughly 80%" between 900 and 1100 Mbit/s.
         assert!((0.7..0.95).contains(&frac), "frac = {frac}");
-        let slow = samples.iter().filter(|&&h| h < 900.0 * MBIT).count() as f64
-            / samples.len() as f64;
+        let slow =
+            samples.iter().filter(|&&h| h < 900.0 * MBIT).count() as f64 / samples.len() as f64;
         assert!(slow > 0.1, "a slow tail exists: {slow}");
     }
 

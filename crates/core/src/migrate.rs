@@ -156,8 +156,15 @@ mod tests {
         let rem = remaining_app(&app, &|_, _| 100);
         let current = Placement { assignment: vec![0, 1] };
         let s = snap(2, &[]);
-        match reevaluate(&rem, &current, &Machines::uniform(2, 1.0), &s, &NetworkLoad::new(2), 0.0, 0.1)
-        {
+        match reevaluate(
+            &rem,
+            &current,
+            &Machines::uniform(2, 1.0),
+            &s,
+            &NetworkLoad::new(2),
+            0.0,
+            0.1,
+        ) {
             Reevaluation::Stay { predicted_secs } => assert_eq!(predicted_secs, 0.0),
             other => panic!("{other:?}"),
         }

@@ -73,12 +73,8 @@ pub fn run_phased(
         };
         let mut penalty = 0;
         if let (PhaseStrategy::PerPhase { penalty_per_move }, Some(prev)) = (&strategy, &current) {
-            let moved = prev
-                .assignment
-                .iter()
-                .zip(&placement.assignment)
-                .filter(|(a, b)| a != b)
-                .count();
+            let moved =
+                prev.assignment.iter().zip(&placement.assignment).filter(|(a, b)| a != b).count();
             migrations += moved;
             penalty = *penalty_per_move * moved as u64;
         }
@@ -117,10 +113,9 @@ mod tests {
     fn both_strategies_complete_all_phases() {
         let app = choreo_profile::PhasedApp::map_reduce(3, 3, 300_000_000);
         let machines = Machines::uniform(8, 1.5); // tasks mostly spread
-        for strategy in [
-            PhaseStrategy::SingleMatrix,
-            PhaseStrategy::PerPhase { penalty_per_move: SECS / 10 },
-        ] {
+        for strategy in
+            [PhaseStrategy::SingleMatrix, PhaseStrategy::PerPhase { penalty_per_move: SECS / 10 }]
+        {
             let mut c = cloud();
             let mut fc = c.flow_cloud(1);
             let mut orch = Choreo::new(machines.clone(), ChoreoConfig::default());
@@ -138,12 +133,8 @@ mod tests {
         let mut c = cloud();
         let mut fc = c.flow_cloud(1);
         let mut orch = Choreo::new(machines, ChoreoConfig::default());
-        let out = run_phased(
-            &mut fc,
-            &mut orch,
-            &app,
-            PhaseStrategy::PerPhase { penalty_per_move: 0 },
-        );
+        let out =
+            run_phased(&mut fc, &mut orch, &app, PhaseStrategy::PerPhase { penalty_per_move: 0 });
         // Scatter/shuffle/gather have different hot pairs: some movement
         // is essentially guaranteed on 1.5-core machines.
         assert!(out.migrations > 0);

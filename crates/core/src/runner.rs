@@ -216,10 +216,7 @@ mod tests {
             rand_total += rt;
         }
         let rand_mean = rand_total / k;
-        assert!(
-            g_rt <= rand_mean,
-            "greedy {g_rt} should not lose to mean random {rand_mean}"
-        );
+        assert!(g_rt <= rand_mean, "greedy {g_rt} should not lose to mean random {rand_mean}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use choreo_topology::route::splitmix64;
 use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, RouteTable, Topology};
 
-use crate::fairshare::max_min_rates;
+use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver};
 
 /// Handle to a flow in a [`FlowSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,9 +31,14 @@ pub enum FlowStatus {
     Done(Nanos),
 }
 
+/// Sentinel for "flow not in the arena".
+const NO_SLOT: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct Flow {
     resources: Vec<u32>,
+    /// Arena slot while the flow is active; `NO_SLOT` otherwise.
+    slot: u32,
     /// Remaining payload bytes; `None` = unbounded.
     remaining: Option<f64>,
     /// Cumulative delivered bytes.
@@ -46,11 +51,35 @@ struct Flow {
     tag: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Start(FlowKey),
     Stop(FlowKey),
     Toggle(u32),
+}
+
+/// One scheduled event. Ordering is **explicit and total**: events fire in
+/// `(at, seq)` order — earliest time first, FIFO among events scheduled
+/// for the same instant (`seq` is a strictly increasing scheduling
+/// counter, so no two entries ever compare equal and the payload never
+/// participates in the ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventEntry {
+    at: Nanos,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 #[derive(Debug)]
@@ -65,6 +94,11 @@ struct OnOff {
 }
 
 /// Flow-level simulator over a [`Topology`].
+///
+/// The active flow set lives in a persistent [`FlowArena`] that is
+/// updated incrementally as flows start and stop; reallocation reuses a
+/// [`MaxMinSolver`]'s scratch state, so the steady-state
+/// `reallocate_if_dirty` path performs no heap allocation.
 pub struct FlowSim {
     topo: Arc<Topology>,
     routes: Arc<RouteTable>,
@@ -72,31 +106,21 @@ pub struct FlowSim {
     capacities: Vec<f64>,
     loopback: LinkSpec,
     flows: Vec<Flow>,
+    /// Active flows, indexed by arena slot.
+    arena: FlowArena,
+    /// Arena slot → flow index, for writing rates back after a solve.
+    slot_owner: Vec<u32>,
+    solver: MaxMinSolver,
+    /// Rate buffer reused across solves (indexed by arena slot).
+    rates_scratch: Vec<f64>,
+    /// Resource-list scratch for probes.
+    probe_scratch: Vec<u32>,
     sources: Vec<OnOff>,
-    events: BinaryHeap<Reverse<(Nanos, u64, EvBox)>>,
+    events: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
     now: Nanos,
     dirty: bool,
     rng: StdRng,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct EvBox(Ev);
-impl PartialEq for EvBox {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl Eq for EvBox {}
-impl PartialOrd for EvBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvBox {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
 }
 
 /// Numerical slop (bytes) below which a flow counts as finished.
@@ -105,7 +129,12 @@ const DONE_EPS: f64 = 0.5;
 impl FlowSim {
     /// Build a simulator. `loopback` is the capacity/delay model for
     /// co-located traffic (the paper's ≈4 Gbit/s same-host paths).
-    pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>, loopback: LinkSpec, seed: u64) -> Self {
+    pub fn new(
+        topo: Arc<Topology>,
+        routes: Arc<RouteTable>,
+        loopback: LinkSpec,
+        seed: u64,
+    ) -> Self {
         let mut capacities = Vec::with_capacity(topo.link_count() * 2 + topo.hosts().len());
         for l in topo.links() {
             capacities.push(l.spec.rate_bps);
@@ -114,12 +143,18 @@ impl FlowSim {
         for _ in topo.hosts() {
             capacities.push(loopback.rate_bps);
         }
+        let arena = FlowArena::new(capacities.len());
         FlowSim {
             topo,
             routes,
             capacities,
             loopback,
             flows: Vec::new(),
+            arena,
+            slot_owner: Vec::new(),
+            solver: MaxMinSolver::new(),
+            rates_scratch: Vec::new(),
+            probe_scratch: Vec::new(),
             sources: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -144,25 +179,27 @@ impl FlowSim {
         assert!(rate_bps > 0.0);
         let id = HoseId((self.capacities.len()) as u32);
         self.capacities.push(rate_bps);
+        self.arena.grow_resources(self.capacities.len());
         HoseId(id.0)
     }
 
     fn push_event(&mut self, at: Nanos, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, EvBox(ev))));
+        self.events.push(Reverse(EventEntry { at, seq: self.seq, ev }));
     }
 
     fn host_loopback_res(&self, host: NodeId) -> u32 {
-        let idx = self
-            .topo
-            .hosts()
-            .iter()
-            .position(|&h| h == host)
-            .expect("not a host");
+        let idx = self.topo.hosts().iter().position(|&h| h == host).expect("not a host");
         (self.topo.link_count() * 2 + idx) as u32
     }
 
-    fn resources_for(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>, key: u32) -> Vec<u32> {
+    fn resources_for(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        hose: Option<HoseId>,
+        key: u32,
+    ) -> Vec<u32> {
         if src == dst {
             // Co-located: loopback only; hose bypassed (hypervisor-local).
             return vec![self.host_loopback_res(src)];
@@ -186,6 +223,28 @@ impl FlowSim {
         res
     }
 
+    /// Put an activating flow into the arena.
+    fn arena_insert(&mut self, key: FlowKey) {
+        let f = &mut self.flows[key.0 as usize];
+        let slot = self.arena.add(&f.resources);
+        f.slot = slot.0;
+        let s = slot.0 as usize;
+        if self.slot_owner.len() <= s {
+            self.slot_owner.resize(s + 1, NO_SLOT);
+        }
+        self.slot_owner[s] = key.0;
+    }
+
+    /// Drop a deactivating flow from the arena.
+    fn arena_evict(&mut self, key: FlowKey) {
+        let f = &mut self.flows[key.0 as usize];
+        if f.slot != NO_SLOT {
+            self.arena.remove(FlowSlot(f.slot));
+            self.slot_owner[f.slot as usize] = NO_SLOT;
+            f.slot = NO_SLOT;
+        }
+    }
+
     /// Schedule a flow of `bytes` (`None` = unbounded) from `src` to `dst`
     /// starting at `at`, optionally constrained by a hose cap, grouped
     /// under `tag`.
@@ -202,6 +261,7 @@ impl FlowSim {
         let resources = self.resources_for(src, dst, hose, key.0);
         self.flows.push(Flow {
             resources,
+            slot: NO_SLOT,
             remaining: bytes.map(|b| b as f64),
             delivered: 0.0,
             rate: 0.0,
@@ -293,40 +353,39 @@ impl FlowSim {
     /// hose-capped) would receive right now, without perturbing the
     /// simulation. This is the flow-level analogue of starting a probe
     /// connection.
+    ///
+    /// Implemented as a what-if solve: the probe briefly joins the
+    /// persistent arena, the solver runs into the scratch rate buffer
+    /// (the real flows' committed rates are untouched), and the probe is
+    /// evicted again. The arena's allocation is a pure function of the
+    /// live flow set, so the round trip leaves the simulation state
+    /// exactly as it was.
     pub fn probe_rate(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>) -> f64 {
         self.reallocate_if_dirty();
-        let probe_res = {
+        self.probe_scratch.clear();
+        if src == dst {
+            self.probe_scratch.push(self.host_loopback_res(src));
+        } else {
             // Use the first equal-cost path deterministically for probes.
-            if src == dst {
-                vec![self.host_loopback_res(src)]
-            } else {
-                let path = &self.routes.paths(src, dst)[0];
-                let mut res: Vec<u32> = path
-                    .hops
-                    .iter()
-                    .map(|h| {
-                        2 * h.link.0
-                            + match h.dir {
-                                LinkDir::Forward => 0,
-                                LinkDir::Reverse => 1,
-                            }
-                    })
-                    .collect();
-                if let Some(h) = hose {
-                    res.push(h.0);
-                }
-                res
+            let path = &self.routes.paths(src, dst)[0];
+            for h in &path.hops {
+                self.probe_scratch.push(
+                    2 * h.link.0
+                        + match h.dir {
+                            LinkDir::Forward => 0,
+                            LinkDir::Reverse => 1,
+                        },
+                );
             }
-        };
-        let mut all: Vec<Vec<u32>> = self
-            .flows
-            .iter()
-            .filter(|f| f.status == FlowStatus::Active)
-            .map(|f| f.resources.clone())
-            .collect();
-        all.push(probe_res);
-        let rates = max_min_rates(&self.capacities, &all);
-        *rates.last().expect("probe included")
+            if let Some(h) = hose {
+                self.probe_scratch.push(h.0);
+            }
+        }
+        let probe = self.arena.add(&self.probe_scratch);
+        self.solver.solve(&self.capacities, &self.arena, &mut self.rates_scratch);
+        let rate = self.rates_scratch[probe.0 as usize];
+        self.arena.remove(probe);
+        rate
     }
 
     /// Emulate a bulk TCP throughput measurement: run a real flow for
@@ -354,26 +413,27 @@ impl FlowSim {
 
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.iter().filter(|f| f.status == FlowStatus::Active).count()
+        self.arena.n_flows()
     }
 
     // ------------------------------------------------------------ dynamics
 
+    /// Recompute the max-min allocation if the active flow set changed.
+    ///
+    /// The arena already reflects every start/stop, so this is a single
+    /// solver run into the reusable rate buffer followed by a write-back —
+    /// no per-call `Vec` construction (the old implementation cloned every
+    /// active flow's resource list here).
     fn reallocate_if_dirty(&mut self) {
         if !self.dirty {
             return;
         }
         self.dirty = false;
-        let active: Vec<usize> = (0..self.flows.len())
-            .filter(|&i| self.flows[i].status == FlowStatus::Active)
-            .collect();
-        let specs: Vec<Vec<u32>> = active.iter().map(|&i| self.flows[i].resources.clone()).collect();
-        let rates = max_min_rates(&self.capacities, &specs);
-        for f in &mut self.flows {
-            f.rate = 0.0;
-        }
-        for (&i, r) in active.iter().zip(rates) {
-            self.flows[i].rate = r;
+        self.solver.solve(&self.capacities, &self.arena, &mut self.rates_scratch);
+        for (slot, &owner) in self.slot_owner.iter().enumerate() {
+            if owner != NO_SLOT {
+                self.flows[owner as usize].rate = self.rates_scratch[slot];
+            }
         }
     }
 
@@ -383,8 +443,12 @@ impl FlowSim {
             return;
         }
         let secs = dt as f64 / 1e9;
-        for f in &mut self.flows {
-            if f.status == FlowStatus::Active && f.rate > 0.0 {
+        for &owner in &self.slot_owner {
+            if owner == NO_SLOT {
+                continue;
+            }
+            let f = &mut self.flows[owner as usize];
+            if f.rate > 0.0 {
                 let bytes = f.rate * secs / 8.0;
                 f.delivered += bytes;
                 if let Some(rem) = &mut f.remaining {
@@ -397,10 +461,11 @@ impl FlowSim {
     /// Earliest completion among active bounded flows.
     fn next_completion(&self) -> Option<Nanos> {
         let mut best: Option<f64> = None;
-        for f in &self.flows {
-            if f.status != FlowStatus::Active {
+        for &owner in &self.slot_owner {
+            if owner == NO_SLOT {
                 continue;
             }
+            let f = &self.flows[owner as usize];
             if let Some(rem) = f.remaining {
                 if f.rate > 0.0 {
                     let dt = (rem.max(0.0)) * 8.0 / f.rate * 1e9;
@@ -414,14 +479,18 @@ impl FlowSim {
     }
 
     fn finish_completed(&mut self) {
-        for f in &mut self.flows {
-            if f.status == FlowStatus::Active {
-                if let Some(rem) = f.remaining {
-                    if rem <= DONE_EPS {
-                        f.status = FlowStatus::Done(self.now);
-                        f.rate = 0.0;
-                        self.dirty = true;
-                    }
+        for slot in 0..self.slot_owner.len() {
+            let owner = self.slot_owner[slot];
+            if owner == NO_SLOT {
+                continue;
+            }
+            let f = &mut self.flows[owner as usize];
+            if let Some(rem) = f.remaining {
+                if rem <= DONE_EPS {
+                    f.status = FlowStatus::Done(self.now);
+                    f.rate = 0.0;
+                    self.dirty = true;
+                    self.arena_evict(FlowKey(owner));
                 }
             }
         }
@@ -435,6 +504,7 @@ impl FlowSim {
                     f.status = FlowStatus::Active;
                     f.started_at = self.now;
                     self.dirty = true;
+                    self.arena_insert(key);
                 }
             }
             Ev::Stop(key) => {
@@ -443,6 +513,7 @@ impl FlowSim {
                     f.status = FlowStatus::Done(self.now);
                     f.rate = 0.0;
                     self.dirty = true;
+                    self.arena_evict(key);
                 }
             }
             Ev::Toggle(id) => {
@@ -469,7 +540,7 @@ impl FlowSim {
     pub fn run_until(&mut self, t: Nanos) {
         loop {
             self.reallocate_if_dirty();
-            let next_ev = self.events.peek().map(|Reverse((at, _, _))| *at);
+            let next_ev = self.events.peek().map(|Reverse(e)| e.at);
             let next_done = self.next_completion();
             let target = [Some(t), next_ev, next_done].into_iter().flatten().min().expect("t");
             if target > t {
@@ -479,15 +550,14 @@ impl FlowSim {
             self.now = target;
             self.finish_completed();
             // Fire all events scheduled at exactly `target`.
-            while let Some(Reverse((at, _, _))) = self.events.peek() {
-                if *at > self.now {
+            while let Some(Reverse(e)) = self.events.peek() {
+                if e.at > self.now {
                     break;
                 }
-                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
-                self.dispatch(ev);
+                let Reverse(e) = self.events.pop().expect("peeked");
+                self.dispatch(e.ev);
             }
-            if self.now >= t && next_ev.map_or(true, |e| e > t) && next_done.map_or(true, |d| d > t)
-            {
+            if self.now >= t && next_ev.is_none_or(|e| e > t) && next_done.is_none_or(|d| d > t) {
                 break;
             }
         }
@@ -515,7 +585,7 @@ impl FlowSim {
                 return self.now;
             }
             self.reallocate_if_dirty();
-            let next_ev = self.events.peek().map(|Reverse((at, _, _))| *at);
+            let next_ev = self.events.peek().map(|Reverse(e)| e.at);
             let next_done = self.next_completion();
             let target = [next_ev, next_done]
                 .into_iter()
@@ -525,12 +595,12 @@ impl FlowSim {
             self.integrate(target - self.now);
             self.now = target;
             self.finish_completed();
-            while let Some(Reverse((at, _, _))) = self.events.peek() {
-                if *at > self.now {
+            while let Some(Reverse(e)) = self.events.peek() {
+                if e.at > self.now {
                     break;
                 }
-                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
-                self.dispatch(ev);
+                let Reverse(e) = self.events.pop().expect("peeked");
+                self.dispatch(e.ev);
             }
         }
     }
@@ -635,8 +705,10 @@ mod tests {
         let f = s.start_flow(h[0], h[1], Some(125_000_000), None, 0, 1);
         s.run_until(100 * MILLIS);
         let before = s.delivered_bytes(f);
+        let rate_before = s.rate_bps(f);
         let _ = s.probe_rate(h[0], h[1], None);
         assert_eq!(s.delivered_bytes(f), before);
+        assert_eq!(s.rate_bps(f), rate_before, "committed rates survive the what-if");
         let end = s.run_to_completion();
         assert!((end as f64 - 1e9).abs() < 1e6);
     }
@@ -703,5 +775,44 @@ mod tests {
         assert_eq!(s.delivered_bytes(f), 0);
         let end = s.run_to_completion();
         assert!((end as f64 - 3e9).abs() < 1e6, "starts at 2 s, runs 1 s");
+    }
+
+    #[test]
+    fn event_entries_order_by_time_then_fifo() {
+        let a = EventEntry { at: 5, seq: 2, ev: Ev::Toggle(0) };
+        let b = EventEntry { at: 5, seq: 3, ev: Ev::Toggle(1) };
+        let c = EventEntry { at: 4, seq: 9, ev: Ev::Toggle(2) };
+        assert!(c < a, "earlier time wins regardless of seq");
+        assert!(a < b, "same instant: FIFO by scheduling order");
+        assert_ne!(a, b, "distinct events are not equal");
+        let mut heap = BinaryHeap::new();
+        for e in [a, b, c] {
+            heap.push(Reverse(e));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.seq)).collect();
+        assert_eq!(order, vec![9, 2, 3]);
+    }
+
+    #[test]
+    fn arena_stays_consistent_through_churn() {
+        let mut s = sim(4, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let mut keys = Vec::new();
+        for i in 0..8 {
+            let f = s.start_flow(
+                h[i % 4],
+                h[4 + (i + 1) % 4],
+                Some(1_000_000 * (i as u64 + 1)),
+                None,
+                (i as u64) * 10 * MILLIS,
+                i as u64,
+            );
+            keys.push(f);
+        }
+        s.run_to_completion();
+        assert_eq!(s.active_flows(), 0, "all evicted from the arena");
+        for k in keys {
+            assert!(matches!(s.status(k), FlowStatus::Done(_)));
+        }
     }
 }

@@ -1,80 +1,452 @@
-//! Max-min fair rate allocation by progressive filling.
+//! Max-min fair rate allocation by progressive filling, over a persistent
+//! incrementally-maintained flow set.
 //!
 //! Given resources with capacities and flows that each traverse a set of
 //! resources, raise every flow's rate together until some resource
 //! saturates; freeze the flows crossing it at that level; repeat. The
 //! result is the unique max-min fair allocation — the steady state an
 //! ensemble of equally aggressive bulk TCP flows approaches.
+//!
+//! # Architecture
+//!
+//! Two pieces replace the old per-call `&[Vec<u32>]` interface:
+//!
+//! * [`FlowArena`] — a CSR-style arena holding the *current* flow set:
+//!   every flow's resource list lives in one flat `pool`, addressed by
+//!   per-slot `(start, len)`, plus a **reverse index** `resource → [(slot,
+//!   k)]` so the solver can enumerate the flows crossing a bottleneck
+//!   without scanning all flows. Flows are added and removed in `O(path
+//!   length)`; slots and pool blocks are recycled through free lists so a
+//!   steady churn of flows performs no heap allocation.
+//! * [`MaxMinSolver`] — progressive filling driven by a **lazy min-heap**
+//!   over per-resource fair shares. All working state (`slack`, `users`,
+//!   `frozen`, the heap, per-round scratch) is retained between calls;
+//!   after the first solve at a given problem size, a solve allocates
+//!   nothing.
+//!
+//! # Arena invariants
+//!
+//! 1. For every live slot `f` and position `k < len[f]`, let `r =
+//!    pool[start[f] + k]`. Then `rev[r][rev_pos[start[f] + k]]` is exactly
+//!    the entry `(f, k)` — the forward and reverse indexes mirror each
+//!    other.
+//! 2. `rev[r].len()` equals the number of live flows crossing `r` (each
+//!    flow lists a resource at most once), so the solver reads initial
+//!    user counts in `O(1)` per resource.
+//! 3. Vacant slots keep their pool block (capacity `cap[f]`); surplus
+//!    blocks are banked in power-of-two free lists, never leaked.
+//! 4. Resource ids are dense `0..n_resources`; [`FlowArena::grow_resources`]
+//!    extends the id space without disturbing existing flows.
+//!
+//! Determinism: the solver freezes whole rounds with order-insensitive
+//! arithmetic (`slack -= count × level`, applied per resource, bottleneck
+//! chosen by minimal `(share, resource id)`), so the allocation is a pure
+//! function of the *set* of live flows — independent of the
+//! insertion/removal history that shaped the arena's internal ordering.
+//! The property suite exploits this to bit-match incremental results
+//! against a from-scratch reference solve.
 
-/// Compute max-min fair rates.
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a flow inside a [`FlowArena`].
 ///
-/// * `capacities[r]` — capacity of resource `r` (bits/s, must be > 0).
-/// * `flows[f]` — indices of the resources flow `f` traverses (each
-///   must be non-empty: a flow that crosses nothing has no bottleneck).
-///
-/// Returns one rate per flow. Runs in `O(rounds × (F·path + R))` where
-/// `rounds ≤ F`.
-pub fn max_min_rates(capacities: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
-    for (i, f) in flows.iter().enumerate() {
-        assert!(!f.is_empty(), "flow {i} traverses no resources");
-        for &r in f {
-            assert!((r as usize) < capacities.len(), "flow {i}: bad resource {r}");
+/// Slots are recycled: a handle is valid from [`FlowArena::add`] until the
+/// matching [`FlowArena::remove`], after which the arena may reuse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowSlot(pub u32);
+
+/// Reverse-index entry: packed `(slot, k)` where `k` is the position of
+/// the resource within the slot's resource list.
+#[inline]
+fn pack(slot: u32, k: u32) -> u64 {
+    ((slot as u64) << 32) | k as u64
+}
+#[inline]
+fn unpack(e: u64) -> (u32, u32) {
+    ((e >> 32) as u32, e as u32)
+}
+
+/// CSR-style arena of flows over a dense resource id space.
+#[derive(Debug, Default, Clone)]
+pub struct FlowArena {
+    /// Flat storage of resource ids; each slot owns a fixed-capacity block.
+    pool: Vec<u32>,
+    /// Per-incidence position inside `rev[resource]` (parallel to `pool`).
+    rev_pos: Vec<u32>,
+    /// Per-slot block offset into `pool`.
+    start: Vec<u32>,
+    /// Per-slot live resource count (`0` while vacant).
+    len: Vec<u32>,
+    /// Per-slot block capacity (a power of two).
+    cap: Vec<u32>,
+    /// Whether the slot currently holds a flow.
+    live: Vec<bool>,
+    /// Vacant slots, reusable by `add` (each keeps its pool block).
+    free_slots: Vec<u32>,
+    /// Spare pool blocks by log2(capacity).
+    free_blocks: Vec<Vec<u32>>,
+    /// Reverse index: resource id → packed `(slot, k)` of live crossings.
+    rev: Vec<Vec<u64>>,
+    n_live: usize,
+}
+
+impl FlowArena {
+    /// Arena over resources `0..n_resources`.
+    pub fn new(n_resources: usize) -> FlowArena {
+        FlowArena { rev: vec![Vec::new(); n_resources], ..FlowArena::default() }
+    }
+
+    /// Number of resource ids the arena knows about.
+    pub fn n_resources(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// Extend the resource id space to `n_resources` (no-op if smaller).
+    pub fn grow_resources(&mut self, n_resources: usize) {
+        if n_resources > self.rev.len() {
+            self.rev.resize_with(n_resources, Vec::new);
         }
+    }
+
+    /// Number of live flows.
+    pub fn n_flows(&self) -> usize {
+        self.n_live
+    }
+
+    /// Upper bound (exclusive) on live slot indices; slots below this may
+    /// be vacant. Rate buffers must be sized to this.
+    pub fn slot_bound(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Number of live flows crossing resource `r`.
+    pub fn users(&self, r: u32) -> usize {
+        self.rev[r as usize].len()
+    }
+
+    /// Is `slot` currently live?
+    pub fn is_live(&self, slot: FlowSlot) -> bool {
+        (slot.0 as usize) < self.live.len() && self.live[slot.0 as usize]
+    }
+
+    /// The resource list of a live flow.
+    pub fn resources(&self, slot: FlowSlot) -> &[u32] {
+        let f = slot.0 as usize;
+        assert!(self.live[f], "slot {f} is vacant");
+        let s = self.start[f] as usize;
+        &self.pool[s..s + self.len[f] as usize]
+    }
+
+    /// Iterate `(slot, resources)` over live flows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowSlot, &[u32])> + '_ {
+        (0..self.len.len()).filter(|&f| self.live[f]).map(move |f| {
+            let s = self.start[f] as usize;
+            (FlowSlot(f as u32), &self.pool[s..s + self.len[f] as usize])
+        })
+    }
+
+    /// Add a flow crossing `resources`; returns its slot.
+    ///
+    /// Panics if `resources` is empty (a flow that crosses nothing has no
+    /// bottleneck) or names an id `≥ n_resources()`. In debug builds also
+    /// rejects duplicate ids (a flow would be double-charged).
+    pub fn add(&mut self, resources: &[u32]) -> FlowSlot {
+        assert!(!resources.is_empty(), "flow traverses no resources");
+        for &r in resources {
+            assert!((r as usize) < self.rev.len(), "flow: bad resource {r}");
+        }
+        // Allocation-free duplicate check (paths are short), so debug
+        // builds keep the steady-state zero-alloc guarantee testable.
         debug_assert!(
-            {
-                let mut s = f.clone();
-                s.sort_unstable();
-                s.windows(2).all(|w| w[0] != w[1])
-            },
-            "flow {i} lists a resource twice (it would be double-charged)"
+            resources.iter().enumerate().all(|(i, r)| !resources[..i].contains(r)),
+            "flow lists a resource twice (it would be double-charged)"
         );
+        let need = resources.len() as u32;
+        let f = match self.free_slots.pop() {
+            Some(f) => f as usize,
+            None => {
+                self.start.push(0);
+                self.len.push(0);
+                self.cap.push(0);
+                self.live.push(false);
+                self.len.len() - 1
+            }
+        };
+        if self.cap[f] < need {
+            self.release_block(f);
+            self.acquire_block(f, need);
+        }
+        let s = self.start[f] as usize;
+        self.len[f] = need;
+        self.live[f] = true;
+        self.n_live += 1;
+        for (k, &r) in resources.iter().enumerate() {
+            self.pool[s + k] = r;
+            self.rev_pos[s + k] = self.rev[r as usize].len() as u32;
+            self.rev[r as usize].push(pack(f as u32, k as u32));
+        }
+        FlowSlot(f as u32)
     }
-    let nr = capacities.len();
-    let nf = flows.len();
-    let mut rate = vec![0.0f64; nf];
-    let mut frozen = vec![false; nf];
-    // Remaining capacity per resource and number of unfrozen flows on it.
-    let mut slack: Vec<f64> = capacities.to_vec();
-    let mut users = vec![0u32; nr];
-    for f in flows {
-        for &r in f {
-            users[r as usize] += 1;
+
+    /// Remove a live flow. Its slot and pool block are recycled.
+    pub fn remove(&mut self, slot: FlowSlot) {
+        let f = slot.0 as usize;
+        assert!(self.live[f], "remove: slot {f} is vacant");
+        let s = self.start[f] as usize;
+        for k in 0..self.len[f] as usize {
+            let r = self.pool[s + k] as usize;
+            let p = self.rev_pos[s + k] as usize;
+            let list = &mut self.rev[r];
+            list.swap_remove(p);
+            if p < list.len() {
+                // Fix the moved entry's back-pointer.
+                let (mf, mk) = unpack(list[p]);
+                self.rev_pos[self.start[mf as usize] as usize + mk as usize] = p as u32;
+            }
+        }
+        self.len[f] = 0;
+        self.live[f] = false;
+        self.n_live -= 1;
+        self.free_slots.push(f as u32);
+    }
+
+    /// Hand slot `f`'s block (if any) to the free lists.
+    fn release_block(&mut self, f: usize) {
+        let cap = self.cap[f];
+        if cap > 0 {
+            let class = cap.trailing_zeros() as usize;
+            if self.free_blocks.len() <= class {
+                self.free_blocks.resize_with(class + 1, Vec::new);
+            }
+            self.free_blocks[class].push(self.start[f]);
+            self.cap[f] = 0;
         }
     }
-    let mut remaining = nf;
-    while remaining > 0 {
-        // Find the tightest resource.
-        let mut best: Option<(usize, f64)> = None;
+
+    /// Give slot `f` a block of capacity ≥ `need` (power of two).
+    fn acquire_block(&mut self, f: usize, need: u32) {
+        let cap = need.next_power_of_two();
+        let class = cap.trailing_zeros() as usize;
+        if let Some(start) = self.free_blocks.get_mut(class).and_then(Vec::pop) {
+            self.start[f] = start;
+        } else {
+            self.start[f] = self.pool.len() as u32;
+            self.pool.resize(self.pool.len() + cap as usize, 0);
+            self.rev_pos.resize(self.pool.len(), 0);
+        }
+        self.cap[f] = cap;
+    }
+
+    /// Resource list of a slot, without the liveness assertion (solver
+    /// hot path; callers guarantee the slot came from the reverse index,
+    /// which only holds live flows).
+    #[inline]
+    fn resources_unchecked(&self, slot: u32) -> &[u32] {
+        let f = slot as usize;
+        let s = self.start[f] as usize;
+        &self.pool[s..s + self.len[f] as usize]
+    }
+
+    /// Internal consistency check (tests / debug only): invariants 1–3.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut live_incidences = 0usize;
+        for f in 0..self.len.len() {
+            if !self.live[f] {
+                assert_eq!(self.len[f], 0, "vacant slot {f} has length");
+                continue;
+            }
+            let s = self.start[f] as usize;
+            for k in 0..self.len[f] as usize {
+                let r = self.pool[s + k] as usize;
+                let p = self.rev_pos[s + k] as usize;
+                assert_eq!(self.rev[r][p], pack(f as u32, k as u32), "rev mirror broken");
+                live_incidences += 1;
+            }
+        }
+        let rev_total: usize = self.rev.iter().map(Vec::len).sum();
+        assert_eq!(rev_total, live_incidences, "reverse index leaks entries");
+    }
+}
+
+/// Heap key: per-resource fair share packed into one `u128` —
+/// `share_bits(64) | resource(32) | version(32)`, ordered ascending.
+///
+/// Shares are finite and non-negative, so their raw IEEE-754 bit patterns
+/// order exactly like the values; packing them above the resource id
+/// yields `(share, resource)` ordering with a single integer compare, and
+/// ties freeze the lowest-numbered resource first — matching the
+/// reference solver's linear scan. The version stamp rides in the low
+/// bits (it never influences which of two *distinct* resources pops
+/// first) and invalidates stale entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ShareKey(u128);
+
+impl ShareKey {
+    #[inline]
+    fn new(share: f64, res: u32, version: u32) -> ShareKey {
+        debug_assert!(share >= 0.0 && share.is_finite());
+        ShareKey(((share.to_bits() as u128) << 64) | ((res as u128) << 32) | version as u128)
+    }
+    #[inline]
+    fn share(self) -> f64 {
+        f64::from_bits((self.0 >> 64) as u64)
+    }
+    #[inline]
+    fn res(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+    #[inline]
+    fn version(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Progressive-filling solver with persistent scratch state.
+///
+/// Reuse one instance across solves: after the first call at a given
+/// problem size, [`MaxMinSolver::solve`] performs **no heap allocation**
+/// (verified by the workspace's allocation-counter test).
+#[derive(Debug, Default)]
+pub struct MaxMinSolver {
+    /// Backing buffer for the lazy min-heap of per-resource shares; kept
+    /// between solves so heap construction is an alloc-free `O(R)`
+    /// heapify.
+    heap_buf: Vec<Reverse<ShareKey>>,
+    /// Per-resource generation stamp, invalidating stale heap entries.
+    version: Vec<u32>,
+    /// Remaining capacity per resource.
+    slack: Vec<f64>,
+    /// Unfrozen flows per resource.
+    users: Vec<u32>,
+    /// Per-slot frozen flag.
+    frozen: Vec<bool>,
+    /// Scratch: resources touched by the current freeze round.
+    touched: Vec<u32>,
+    /// Scratch: per-resource count of flows frozen this round.
+    delta: Vec<u32>,
+}
+
+impl MaxMinSolver {
+    /// Fresh solver (scratch grows on first use).
+    pub fn new() -> MaxMinSolver {
+        MaxMinSolver::default()
+    }
+
+    /// Compute max-min fair rates for every live flow in `arena`.
+    ///
+    /// * `capacities[r]` — capacity of resource `r` (bits/s, must be > 0
+    ///   for any resource a flow crosses).
+    /// * `rates` is resized to [`FlowArena::slot_bound`]; on return,
+    ///   `rates[slot]` is the allocated rate of the flow in `slot`
+    ///   (vacant slots read 0).
+    ///
+    /// Runs in `O(R + Σ_f path_f · log R)`.
+    pub fn solve(&mut self, capacities: &[f64], arena: &FlowArena, rates: &mut Vec<f64>) {
+        let nr = arena.n_resources();
+        assert!(capacities.len() >= nr, "capacities shorter than resource space");
+        let nslots = arena.slot_bound();
+        rates.clear();
+        rates.resize(nslots, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(nslots, false);
+        self.slack.clear();
+        self.slack.extend_from_slice(&capacities[..nr]);
+        self.users.clear();
+        self.users.resize(nr, 0);
+        self.version.clear();
+        self.version.resize(nr, 0);
+        self.delta.clear();
+        self.delta.resize(nr, 0);
+        self.touched.clear();
+        let mut remaining = arena.n_flows();
+        if remaining == 0 {
+            return;
+        }
+        // Build the initial heap by O(R) heapify over the retained buffer
+        // (cheaper than R sift-up pushes, and alloc-free after warm-up).
+        self.heap_buf.clear();
         for r in 0..nr {
-            if users[r] > 0 {
-                let share = (slack[r] / users[r] as f64).max(0.0);
-                if best.map_or(true, |(_, s)| share < s) {
-                    best = Some((r, share));
+            let u = arena.users(r as u32) as u32;
+            self.users[r] = u;
+            if u > 0 {
+                let share = (self.slack[r] / u as f64).max(0.0);
+                self.heap_buf.push(Reverse(ShareKey::new(share, r as u32, 0)));
+            }
+        }
+        let mut heap = BinaryHeap::from(std::mem::take(&mut self.heap_buf));
+        while remaining > 0 {
+            let Some(Reverse(key)) = heap.pop() else {
+                debug_assert!(false, "flows remain but no resource has users");
+                break;
+            };
+            let b = key.res() as usize;
+            if key.version() != self.version[b] {
+                continue; // stale entry
+            }
+            let level = key.share();
+            // Freeze every unfrozen flow crossing the bottleneck at
+            // `level`, accumulating per-resource counts so the slack
+            // update is independent of reverse-index ordering.
+            self.touched.clear();
+            for &e in &arena.rev[b] {
+                let (slot, _) = unpack(e);
+                let f = slot as usize;
+                if self.frozen[f] {
+                    continue;
+                }
+                self.frozen[f] = true;
+                rates[f] = level;
+                remaining -= 1;
+                for &r2 in arena.resources_unchecked(slot) {
+                    let r2 = r2 as usize;
+                    if self.delta[r2] == 0 {
+                        self.touched.push(r2 as u32);
+                    }
+                    self.delta[r2] += 1;
+                }
+            }
+            debug_assert!(!self.touched.is_empty(), "bottleneck had users but froze nothing");
+            for i in 0..self.touched.len() {
+                let r2 = self.touched[i] as usize;
+                let d = self.delta[r2];
+                self.delta[r2] = 0;
+                self.users[r2] -= d;
+                self.slack[r2] -= d as f64 * level;
+                let v = self.version[r2].wrapping_add(1);
+                self.version[r2] = v;
+                if self.users[r2] > 0 {
+                    let share = (self.slack[r2] / self.users[r2] as f64).max(0.0);
+                    heap.push(Reverse(ShareKey::new(share, r2 as u32, v)));
                 }
             }
         }
-        let Some((bottleneck, level)) = best else { break };
-        // Freeze every unfrozen flow crossing the bottleneck at `level`.
-        let mut froze_any = false;
-        for (fi, f) in flows.iter().enumerate() {
-            if frozen[fi] || !f.contains(&(bottleneck as u32)) {
-                continue;
-            }
-            frozen[fi] = true;
-            froze_any = true;
-            rate[fi] = level;
-            remaining -= 1;
-            for &r in f {
-                slack[r as usize] -= level;
-                users[r as usize] -= 1;
-            }
-        }
-        debug_assert!(froze_any, "bottleneck had users but froze nothing");
-        if !froze_any {
-            break; // defensive: avoid infinite loop on numeric weirdness
-        }
+        // Return the heap's buffer for the next solve.
+        self.heap_buf = heap.into_vec();
     }
-    rate
+}
+
+/// Compute max-min fair rates from a one-shot flow list.
+///
+/// Compatibility wrapper over [`FlowArena`] + [`MaxMinSolver`]: builds the
+/// arena, solves once, and returns one rate per flow (in input order).
+/// Long-lived callers that mutate the flow set should hold an arena and a
+/// solver instead — this wrapper reconstructs both on every call.
+///
+/// * `capacities[r]` — capacity of resource `r` (bits/s, must be > 0).
+/// * `flows[f]` — indices of the resources flow `f` traverses (each must
+///   be non-empty: a flow that crosses nothing has no bottleneck).
+pub fn max_min_rates(capacities: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
+    let mut arena = FlowArena::new(capacities.len());
+    for f in flows {
+        arena.add(f);
+    }
+    let mut solver = MaxMinSolver::new();
+    let mut rates = Vec::new();
+    solver.solve(capacities, &arena, &mut rates);
+    rates.truncate(flows.len());
+    rates
 }
 
 #[cfg(test)]
@@ -152,14 +524,14 @@ mod tests {
         let flows = vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![2]];
         let rates = max_min_rates(&caps, &flows);
         // Per-resource usage within capacity.
-        for r in 0..caps.len() {
+        for (r, cap) in caps.iter().enumerate() {
             let used: f64 = flows
                 .iter()
                 .zip(&rates)
                 .filter(|(f, _)| f.contains(&(r as u32)))
                 .map(|(_, rate)| rate)
                 .sum();
-            assert!(used <= caps[r] + 1e-6, "resource {r} over capacity: {used}");
+            assert!(used <= cap + 1e-6, "resource {r} over capacity: {used}");
         }
     }
 
@@ -194,5 +566,81 @@ mod tests {
         assert!(close(rates[1], 2.0));
         assert!(close(rates[2], 2.0));
         assert!(close(rates[0], 10.0));
+    }
+
+    // ------------------------------------------------- incremental arena
+
+    #[test]
+    fn arena_add_remove_roundtrip_keeps_invariants() {
+        let mut a = FlowArena::new(8);
+        let s0 = a.add(&[0, 1, 2]);
+        let s1 = a.add(&[2, 3]);
+        let s2 = a.add(&[4]);
+        a.check_invariants();
+        assert_eq!(a.n_flows(), 3);
+        assert_eq!(a.users(2), 2);
+        a.remove(s1);
+        a.check_invariants();
+        assert_eq!(a.users(2), 1);
+        assert_eq!(a.users(3), 0);
+        // Slot reuse: a new flow lands in the vacated slot.
+        let s3 = a.add(&[5, 6]);
+        assert_eq!(s3, s1);
+        a.check_invariants();
+        assert_eq!(a.resources(s0), &[0, 1, 2]);
+        assert_eq!(a.resources(s2), &[4]);
+        assert_eq!(a.resources(s3), &[5, 6]);
+    }
+
+    #[test]
+    fn incremental_solution_tracks_flow_set() {
+        let caps = [10.0, 10.0];
+        let mut arena = FlowArena::new(2);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        let a = arena.add(&[0, 1]);
+        let b = arena.add(&[0]);
+        let c = arena.add(&[1]);
+        solver.solve(&caps, &arena, &mut rates);
+        assert!(close(rates[a.0 as usize], 5.0));
+        // Remove the long flow: b and c each get a full link.
+        arena.remove(a);
+        solver.solve(&caps, &arena, &mut rates);
+        assert!(close(rates[b.0 as usize], 10.0));
+        assert!(close(rates[c.0 as usize], 10.0));
+        // Re-adding an equivalent flow restores the original allocation.
+        let a2 = arena.add(&[0, 1]);
+        solver.solve(&caps, &arena, &mut rates);
+        assert!(close(rates[a2.0 as usize], 5.0));
+        assert!(close(rates[b.0 as usize], 5.0));
+        assert!(close(rates[c.0 as usize], 5.0));
+    }
+
+    #[test]
+    fn block_recycling_reuses_pool_space() {
+        let mut a = FlowArena::new(16);
+        let s = a.add(&[0, 1, 2, 3, 4]); // capacity rounds to 8
+        let pool_len = a.pool.len();
+        a.remove(s);
+        // Same-size flow reuses the same block: the pool must not grow.
+        let s2 = a.add(&[5, 6, 7, 8, 9]);
+        assert_eq!(a.pool.len(), pool_len);
+        a.remove(s2);
+        // A shorter flow fits the banked block too (cap 8 ≥ 2).
+        let s3 = a.add(&[1, 2]);
+        let _ = s3;
+        a.check_invariants();
+    }
+
+    #[test]
+    fn grow_resources_extends_id_space() {
+        let mut a = FlowArena::new(2);
+        a.grow_resources(4);
+        let s = a.add(&[3]);
+        assert_eq!(a.users(3), 1);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve(&[5.0, 5.0, 5.0, 7.0], &a, &mut rates);
+        assert!(close(rates[s.0 as usize], 7.0));
     }
 }

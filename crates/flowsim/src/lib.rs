@@ -17,10 +17,31 @@
 //! changes ([`fairshare`]), and integrates delivered bytes exactly between
 //! events.
 //!
-//! Entry point: [`FlowSim`].
+//! # The incremental fair-share core
+//!
+//! Reallocation is the simulator's hot path: the greedy placer and every
+//! figure-regeneration bench drive thousands of what-if scenarios through
+//! it. Instead of rebuilding flow descriptions per call, the engine keeps
+//! the active flow set in a persistent CSR-style [`FlowArena`]:
+//!
+//! * flow → resources in one flat pool addressed by `(start, len)`, with
+//!   slots and pool blocks recycled through free lists;
+//! * a mirrored reverse index resource → flows, so freezing a bottleneck
+//!   touches exactly the flows that cross it (no `contains` scans);
+//! * a [`MaxMinSolver`] whose lazy min-heap and scratch buffers persist
+//!   across solves — steady-state reallocation allocates nothing.
+//!
+//! The allocation is a deterministic function of the *set* of live flows
+//! (freeze rounds use order-insensitive arithmetic), so incremental
+//! maintenance and a from-scratch solve agree bit-for-bit; the workspace
+//! property suite checks exactly that. See [`fairshare`] for the full
+//! invariant list.
+//!
+//! Entry point: [`FlowSim`]. One-shot callers can still use
+//! [`max_min_rates`].
 
 pub mod engine;
 pub mod fairshare;
 
 pub use engine::{FlowKey, FlowSim, FlowStatus, HoseId};
-pub use fairshare::max_min_rates;
+pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver};

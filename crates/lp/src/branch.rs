@@ -108,9 +108,7 @@ pub fn solve_ilp(lp: &Lp, integer_vars: &[usize], cfg: &IlpConfig) -> IlpOutcome
         |inc: &Option<Solution>| inc.as_ref().map(|s| s.objective).or(cfg.initial_upper_bound);
 
     while let Some(node) = heap.pop() {
-        if nodes >= cfg.max_nodes
-            || cfg.time_limit.map_or(false, |t| started.elapsed() > t)
-        {
+        if nodes >= cfg.max_nodes || cfg.time_limit.is_some_and(|t| started.elapsed() > t) {
             exhausted = true;
             break;
         }
@@ -148,7 +146,7 @@ pub fn solve_ilp(lp: &Lp, integer_vars: &[usize], cfg: &IlpConfig) -> IlpOutcome
             let frac = (val - val.round()).abs();
             if frac > cfg.int_tol {
                 let dist = (val.fract() - 0.5).abs();
-                if branch.map_or(true, |(_, d)| dist < d) {
+                if branch.is_none_or(|(_, d)| dist < d) {
                     branch = Some((v, dist));
                 }
             }
@@ -162,7 +160,7 @@ pub fn solve_ilp(lp: &Lp, integer_vars: &[usize], cfg: &IlpConfig) -> IlpOutcome
                 }
                 let objective = lp.objective_value(&x);
                 if lp.is_feasible(&x, 1e-5)
-                    && incumbent.as_ref().map_or(true, |inc| objective < inc.objective - 1e-9)
+                    && incumbent.as_ref().is_none_or(|inc| objective < inc.objective - 1e-9)
                 {
                     incumbent = Some(Solution { x, objective });
                 }
@@ -256,8 +254,8 @@ mod tests {
         // Optimal cost 2 (diagonal).
         let mut lp = Lp::new(4); // x00 x01 x10 x11
         let costs = [1.0, 10.0, 10.0, 1.0];
-        for v in 0..4 {
-            lp.set_objective(v, costs[v]);
+        for (v, &c) in costs.iter().enumerate() {
+            lp.set_objective(v, c);
             lp.set_bounds(v, 0.0, 1.0);
         }
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 1.0);
@@ -281,8 +279,8 @@ mod tests {
         let mut lp = Lp::new(6);
         let profit = [9.0, 8.0, 7.0, 6.0, 5.0, 4.0];
         let weight = [5.0, 4.0, 3.5, 3.0, 2.5, 2.0];
-        for v in 0..6 {
-            lp.set_objective(v, -profit[v]);
+        for (v, &p) in profit.iter().enumerate() {
+            lp.set_objective(v, -p);
             lp.set_bounds(v, 0.0, 1.0);
         }
         lp.add_constraint(weight.iter().copied().enumerate().collect(), Relation::Le, 10.0);

@@ -184,10 +184,11 @@ impl Tableau {
         } else {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..self.cols {
-                if !self.banned[j] && self.obj[j] < -EPS {
-                    if best.map_or(true, |(_, v)| self.obj[j] < v) {
-                        best = Some((j, self.obj[j]));
-                    }
+                if !self.banned[j]
+                    && self.obj[j] < -EPS
+                    && best.is_none_or(|(_, v)| self.obj[j] < v)
+                {
+                    best = Some((j, self.obj[j]));
                 }
             }
             best.map(|(j, _)| j)
@@ -273,17 +274,17 @@ impl Tableau {
         // ---- Phase 2 ----
         // Rebuild reduced-cost row for the true objective.
         let mut obj = vec![0.0; self.cols + 1];
-        for v in 0..self.n_struct {
-            obj[v] = lp.objective[v];
-            self.obj_const += lp.objective[v] * self.shifts[v];
+        obj[..self.n_struct].copy_from_slice(&lp.objective[..self.n_struct]);
+        for (c, s) in lp.objective.iter().zip(&self.shifts) {
+            self.obj_const += c * s;
         }
         // Subtract basic contributions.
         for r in 0..self.a.len() {
             let b = self.basis[r];
             let cb = if b < self.n_struct { lp.objective[b] } else { 0.0 };
             if cb.abs() > 0.0 {
-                for j in 0..=self.cols {
-                    obj[j] -= cb * self.a[r][j];
+                for (o, a) in obj.iter_mut().zip(&self.a[r]) {
+                    *o -= cb * a;
                 }
             }
         }
@@ -312,11 +313,7 @@ impl Tableau {
 
     /// First artificial column = structural + slack count.
     fn first_artificial_col(&self, lp: &Lp) -> usize {
-        let n_slack = lp
-            .constraints
-            .iter()
-            .filter(|c| c.rel != Relation::Eq)
-            .count()
+        let n_slack = lp.constraints.iter().filter(|c| c.rel != Relation::Eq).count()
             + lp.bounds.iter().filter(|&&(_, hi)| hi.is_finite()).count();
         self.n_struct + n_slack
     }

@@ -21,10 +21,7 @@ pub fn cross_traffic_estimate(observed_bps: f64, path_rate_bps: f64) -> f64 {
 /// Convert a sampled throughput series (as produced by a 10 ms sampler on
 /// the foreground connection) into a cross-traffic series.
 pub fn cross_traffic_series(samples: &[(Nanos, f64)], path_rate_bps: f64) -> Vec<(Nanos, f64)> {
-    samples
-        .iter()
-        .map(|&(t, bps)| (t, cross_traffic_estimate(bps, path_rate_bps)))
-        .collect()
+    samples.iter().map(|&(t, bps)| (t, cross_traffic_estimate(bps, path_rate_bps))).collect()
 }
 
 /// Estimate `c` *and* the unknown path rate from the two-step probe the

@@ -53,11 +53,8 @@ pub fn estimate_from_report(report: &TrainReport) -> TrainEstimate {
             usable += 1;
         }
     }
-    let burst_rate = if sum_t > 0 {
-        p_bytes * sum_n as f64 * 8.0 / (sum_t as f64 / 1e9)
-    } else {
-        0.0
-    };
+    let burst_rate =
+        if sum_t > 0 { p_bytes * sum_n as f64 * 8.0 / (sum_t as f64 / 1e9) } else { 0.0 };
     let loss = report.loss_rate();
     let mathis = if loss > 0.0 && report.base_rtt > 0 {
         let rtt_s = report.base_rtt as f64 / 1e9;
@@ -87,8 +84,7 @@ pub fn measurement_time(
 ) -> Nanos {
     let pairs = (n_vms * n_vms.saturating_sub(1)) as u64;
     let burst_bytes = config.burst_len as u64 * config.packet_bytes as u64;
-    let burst_time =
-        choreo_topology::units::tx_time(burst_bytes, line_rate_bps) + config.gap;
+    let burst_time = choreo_topology::units::tx_time(burst_bytes, line_rate_bps) + config.gap;
     let train_time = burst_time * config.bursts as u64;
     pairs * (train_time + per_pair_overhead)
 }
@@ -180,7 +176,8 @@ mod tests {
 
     #[test]
     fn single_packet_bursts_are_unusable() {
-        let b = BurstRecord { burst: 0, first_rx: 0, last_rx: 0, received: 1, min_idx: 7, max_idx: 7 };
+        let b =
+            BurstRecord { burst: 0, first_rx: 0, last_rx: 0, received: 1, min_idx: 7, max_idx: 7 };
         let rep = mk_report(vec![b], 200, 100_000);
         let est = estimate_from_report(&rep);
         assert_eq!(est.usable_bursts, 0);

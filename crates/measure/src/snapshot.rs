@@ -42,6 +42,10 @@ pub struct NetworkSnapshot {
     /// Row-major n×n inter-VM rates, bits/s. Diagonal = intra-VM
     /// (effectively infinite; stored as `f64::INFINITY`).
     rates: Vec<f64>,
+    /// Per-VM hose (egress) rates, maintained alongside `rates` so
+    /// placement's inner loop reads them in O(1) instead of scanning a
+    /// row per candidate.
+    hose: Vec<f64>,
     /// Rate-sharing model for placement simulations.
     pub model: RateModel,
     /// Traceroute hop counts (same layout), if collected.
@@ -55,11 +59,17 @@ impl NetworkSnapshot {
         for i in 0..n {
             rates[i * n + i] = f64::INFINITY;
         }
-        assert!(
-            rates.iter().all(|r| *r > 0.0),
-            "all measured rates must be positive"
-        );
-        NetworkSnapshot { n, rates, model, hops: None }
+        assert!(rates.iter().all(|r| *r > 0.0), "all measured rates must be positive");
+        let mut snap = NetworkSnapshot { n, rates, hose: vec![0.0; n], model, hops: None };
+        for i in 0..n {
+            snap.hose[i] = snap.scan_hose_rate(i);
+        }
+        snap
+    }
+
+    /// Recompute one VM's hose rate by scanning its row.
+    fn scan_hose_rate(&self, a: usize) -> f64 {
+        (0..self.n).filter(|&j| j != a).map(|j| self.rates[a * self.n + j]).fold(0.0, f64::max)
     }
 
     /// Number of VMs.
@@ -72,22 +82,29 @@ impl NetworkSnapshot {
         self.rates[a.0 as usize * self.n + b.0 as usize]
     }
 
-    /// Overwrite one path's rate (used by re-measurement).
+    /// Overwrite one path's rate (used by re-measurement). Keeps the
+    /// cached hose rate of `a` consistent.
     pub fn set_rate(&mut self, a: VmId, b: VmId, bps: f64) {
         assert!(bps > 0.0);
         if a != b {
-            self.rates[a.0 as usize * self.n + b.0 as usize] = bps;
+            let i = a.0 as usize;
+            let old = self.rates[i * self.n + b.0 as usize];
+            self.rates[i * self.n + b.0 as usize] = bps;
+            if bps >= self.hose[i] {
+                self.hose[i] = bps;
+            } else if old >= self.hose[i] {
+                // The previous row maximum shrank; rescan the row.
+                self.hose[i] = self.scan_hose_rate(i);
+            }
         }
     }
 
     /// Estimated hose (egress) rate of a VM: the maximum measured rate out
     /// of it. Under source rate-limiting a single connection can saturate
     /// the hose, so the max over destinations is a consistent estimator.
+    /// O(1): maintained incrementally by [`NetworkSnapshot::set_rate`].
     pub fn hose_rate(&self, a: VmId) -> f64 {
-        (0..self.n)
-            .filter(|&j| j != a.0 as usize)
-            .map(|j| self.rates[a.0 as usize * self.n + j])
-            .fold(0.0, f64::max)
+        self.hose[a.0 as usize]
     }
 
     /// All finite rates (off-diagonal), for CDFs.
@@ -165,6 +182,21 @@ mod tests {
         let r = s.path_rates();
         assert_eq!(r.len(), 6);
         assert!(r.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn hose_rate_cache_tracks_set_rate() {
+        let mut s = snap3();
+        // Raising the row max updates the cache.
+        s.set_rate(VmId(0), VmId(1), 50.0);
+        assert_eq!(s.hose_rate(VmId(0)), 50.0);
+        // Shrinking the current max forces a rescan to the runner-up.
+        s.set_rate(VmId(0), VmId(1), 1.0);
+        assert_eq!(s.hose_rate(VmId(0)), 20.0);
+        // Non-max updates leave the cache alone.
+        s.set_rate(VmId(2), VmId(1), 30.0);
+        assert_eq!(s.hose_rate(VmId(2)), 30.0);
+        assert_eq!(s.hose_rate(VmId(1)), 30.0);
     }
 
     #[test]

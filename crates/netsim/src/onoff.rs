@@ -65,9 +65,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mean = 5_000_000_000u64; // 5 s, as in the paper
         let n = 20_000;
-        let sum: f64 = (0..n)
-            .map(|_| exp_sample(mean, rng.gen_range(f64::EPSILON..=1.0)) as f64)
-            .sum();
+        let sum: f64 =
+            (0..n).map(|_| exp_sample(mean, rng.gen_range(f64::EPSILON..=1.0)) as f64).sum();
         let avg = sum / n as f64;
         assert!((avg - mean as f64).abs() / (mean as f64) < 0.05, "avg = {avg}");
     }

@@ -117,7 +117,13 @@ mod tests {
     use choreo_topology::{GBIT, MICROS};
 
     fn pkt(size: u32) -> Packet {
-        Packet { flow: FlowId(0), kind: PktKind::Probe { burst: 0, idx: 0 }, size, hop: 0, reverse: false }
+        Packet {
+            flow: FlowId(0),
+            kind: PktKind::Probe { burst: 0, idx: 0 },
+            size,
+            hop: 0,
+            reverse: false,
+        }
     }
 
     #[test]

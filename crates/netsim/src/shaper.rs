@@ -187,7 +187,13 @@ mod tests {
     use choreo_topology::{MBIT, SECS};
 
     fn pkt(size: u32) -> Packet {
-        Packet { flow: FlowId(0), kind: PktKind::Probe { burst: 0, idx: 0 }, size, hop: 0, reverse: false }
+        Packet {
+            flow: FlowId(0),
+            kind: PktKind::Probe { burst: 0, idx: 0 },
+            size,
+            hop: 0,
+            reverse: false,
+        }
     }
 
     #[test]
@@ -223,6 +229,7 @@ mod tests {
         let h2 = tb.offer(0, pkt(1500));
         assert!(matches!(h1, ShaperVerdict::Hold(Some(_))));
         assert_eq!(h2, ShaperVerdict::Hold(None)); // already armed
+
         // At 1 MB/s, 1500 bytes take 1.5 ms.
         let (released, next) = tb.drain(1_500_000);
         assert_eq!(released.len(), 1);

@@ -332,8 +332,9 @@ impl Sim {
     /// (loopback if co-located).
     pub fn base_rtt(&self, src: NodeId, dst: NodeId) -> Nanos {
         if src == dst {
-            return 2 * (self.cfg.loopback.delay
-                + tx_time(self.cfg.data_packet_bytes() as u64, self.cfg.loopback.rate_bps));
+            return 2
+                * (self.cfg.loopback.delay
+                    + tx_time(self.cfg.data_packet_bytes() as u64, self.cfg.loopback.rate_bps));
         }
         let path = &self.routes.paths(src, dst)[0];
         let mut rtt = 0;
@@ -422,16 +423,14 @@ impl Sim {
         let shaper = if pkt.reverse { flow.dst_shaper } else { flow.src_shaper };
         match shaper {
             None => self.forward(pkt),
-            Some(sid) => {
-                match self.shapers[sid.0 as usize].offer(self.now, pkt) {
-                    ShaperVerdict::Pass => self.forward(pkt),
-                    ShaperVerdict::Hold(Some(at)) => {
-                        self.events.push(at, Ev::ShaperReady { shaper: sid.0 })
-                    }
-                    ShaperVerdict::Hold(None) => {}
-                    ShaperVerdict::Dropped => self.total_drops += 1,
+            Some(sid) => match self.shapers[sid.0 as usize].offer(self.now, pkt) {
+                ShaperVerdict::Pass => self.forward(pkt),
+                ShaperVerdict::Hold(Some(at)) => {
+                    self.events.push(at, Ev::ShaperReady { shaper: sid.0 })
                 }
-            }
+                ShaperVerdict::Hold(None) => {}
+                ShaperVerdict::Dropped => self.total_drops += 1,
+            },
         }
     }
 

@@ -218,7 +218,7 @@ impl TcpFlow {
 
     /// Retransmission timer fired (current generation).
     pub fn on_rto(&mut self, _now: Nanos) -> TcpActions {
-        if self.is_complete() || self.flight() == 0 && self.limit.map_or(false, |l| self.una >= l) {
+        if self.is_complete() || self.flight() == 0 && self.limit.is_some_and(|l| self.una >= l) {
             return TcpActions::default();
         }
         self.ssthresh = (self.flight() as f64 / 2.0).max(2.0);

@@ -21,12 +21,8 @@ fn check_total_cpu(
     load: &NetworkLoad,
 ) -> Result<(), PlaceError> {
     let total: f64 = app.cpu.iter().sum();
-    let free: f64 = machines
-        .cpu
-        .iter()
-        .zip(&load.cpu_used)
-        .map(|(cap, used)| (cap - used).max(0.0))
-        .sum();
+    let free: f64 =
+        machines.cpu.iter().zip(&load.cpu_used).map(|(cap, used)| (cap - used).max(0.0)).sum();
     if total > free + 1e-9 {
         Err(PlaceError::InsufficientCpu)
     } else {

@@ -95,10 +95,8 @@ impl Constraints {
         }
         if let Some(hops) = hops {
             for &(a, b, max) in &self.max_hops {
-                if (a == i && b == j) || (a == j && b == i) {
-                    if m != n && hops(m, n) > max {
-                        return false;
-                    }
+                if ((a == i && b == j) || (a == j && b == i)) && m != n && hops(m, n) > max {
+                    return false;
                 }
             }
         }
@@ -213,6 +211,7 @@ impl ConstrainedGreedyPlacer {
                 .expect("rates are not NaN")
         });
 
+        #[allow(clippy::too_many_arguments)]
         fn backtrack(
             idx: usize,
             order: &[usize],

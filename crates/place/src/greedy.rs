@@ -20,6 +20,55 @@ use crate::problem::{Machines, NetworkLoad, PlaceError, Placement};
 #[derive(Debug, Clone, Default)]
 pub struct GreedyPlacer;
 
+/// Memo of per-VM-pair candidate rates for one `place()` call.
+///
+/// Candidate enumeration evaluates the same `(m, n)` rate `O(V²)` times
+/// per transfer, but a placed transfer changes only a sliver of the rate
+/// surface: under the pipe model the pair it landed on, under the hose
+/// model the source row (its egress sharing count moved). The cache keeps
+/// every other entry across transfers and invalidates exactly that
+/// sliver; `NaN` marks entries needing recomputation.
+#[derive(Debug)]
+struct RateCache {
+    vals: Vec<f64>,
+    n_vms: usize,
+}
+
+impl RateCache {
+    fn new(n_vms: usize) -> RateCache {
+        RateCache { vals: vec![f64::NAN; n_vms * n_vms], n_vms }
+    }
+
+    #[inline]
+    fn get(&self, m: u32, n: u32) -> Option<f64> {
+        let v = self.vals[m as usize * self.n_vms + n as usize];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, m: u32, n: u32, rate: f64) {
+        self.vals[m as usize * self.n_vms + n as usize] = rate;
+    }
+
+    /// Invalidate what placing a transfer on `(m, n)` stales.
+    fn invalidate_after_placement(&mut self, model: RateModel, m: u32, n: u32) {
+        if m == n {
+            return; // intra-machine rate is always ∞
+        }
+        match model {
+            RateModel::Pipe => self.vals[m as usize * self.n_vms + n as usize] = f64::NAN,
+            RateModel::Hose => {
+                let row = m as usize * self.n_vms;
+                self.vals[row..row + self.n_vms].fill(f64::NAN);
+            }
+        }
+    }
+}
+
 impl GreedyPlacer {
     /// Place `app` on `machines` given the measured `snapshot`, starting
     /// from a network already carrying `load` (use
@@ -36,12 +85,8 @@ impl GreedyPlacer {
         assert_eq!(snapshot.n_vms(), n_vms, "snapshot covers the machines");
         assert_eq!(load.n_vms(), n_vms, "load covers the machines");
         let total_cpu: f64 = app.cpu.iter().sum();
-        let free_cpu: f64 = machines
-            .cpu
-            .iter()
-            .zip(&load.cpu_used)
-            .map(|(cap, used)| (cap - used).max(0.0))
-            .sum();
+        let free_cpu: f64 =
+            machines.cpu.iter().zip(&load.cpu_used).map(|(cap, used)| (cap - used).max(0.0)).sum();
         if total_cpu > free_cpu + 1e-9 {
             return Err(PlaceError::InsufficientCpu);
         }
@@ -51,6 +96,7 @@ impl GreedyPlacer {
         // Transfers placed *by this call*, for the sharing model.
         let mut placed_path = vec![0u32; n_vms * n_vms];
         let mut placed_egress = vec![0u32; n_vms];
+        let mut cache = RateCache::new(n_vms);
 
         let transfers = app.matrix.transfers_desc();
         for (i, j, _bytes) in &transfers {
@@ -59,6 +105,7 @@ impl GreedyPlacer {
                 (Some(m), Some(n)) => {
                     // Both fixed: just account the transfer on its path.
                     Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                    cache.invalidate_after_placement(snapshot.model, m, n);
                 }
                 _ => {
                     let (m, n) = self.best_pair(
@@ -70,6 +117,7 @@ impl GreedyPlacer {
                         &cpu_used,
                         &placed_path,
                         &placed_egress,
+                        &mut cache,
                         i,
                         j,
                     )?;
@@ -82,17 +130,18 @@ impl GreedyPlacer {
                         cpu_used[n as usize] += app.cpu[j];
                     }
                     Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                    cache.invalidate_after_placement(snapshot.model, m, n);
                 }
             }
         }
 
         // Tasks with no transfers: first-fit by CPU.
-        for t in 0..n_tasks {
-            if assignment[t].is_none() {
+        for (t, slot) in assignment.iter_mut().enumerate() {
+            if slot.is_none() {
                 let vm = (0..n_vms)
                     .find(|&m| cpu_used[m] + app.cpu[t] <= machines.cpu[m] + 1e-9)
                     .ok_or(PlaceError::NoFeasibleMachine { task: t })?;
-                assignment[t] = Some(vm as u32);
+                *slot = Some(vm as u32);
                 cpu_used[vm] += app.cpu[t];
             }
         }
@@ -142,6 +191,8 @@ impl GreedyPlacer {
 
     /// Candidate enumeration per Algorithm 1 lines 3–11, then rate
     /// maximization (line 14). Deterministic tie-break on (rate, m, n).
+    /// Rates are memoized in `cache` across transfers of one `place()`
+    /// call; only entries staled by the previous placement recompute.
     #[allow(clippy::too_many_arguments)]
     fn best_pair(
         &self,
@@ -153,10 +204,19 @@ impl GreedyPlacer {
         cpu_used: &[f64],
         placed_path: &[u32],
         placed_egress: &[u32],
+        cache: &mut RateCache,
         i: usize,
         j: usize,
     ) -> Result<(u32, u32), PlaceError> {
         let n_vms = machines.len() as u32;
+        let mut rate_memo = |m: u32, n: u32| match cache.get(m, n) {
+            Some(r) => r,
+            None => {
+                let r = self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, m, n);
+                cache.put(m, n, r);
+                r
+            }
+        };
         let fits = |task: usize, vm: u32, extra: f64| {
             cpu_used[vm as usize] + extra + app.cpu[task] <= machines.cpu[vm as usize] + 1e-9
         };
@@ -176,18 +236,14 @@ impl GreedyPlacer {
             (Some(k), None) => {
                 for n in 0..n_vms {
                     if fits(j, n, 0.0) {
-                        let r =
-                            self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, k, n);
-                        consider(k, n, r);
+                        consider(k, n, rate_memo(k, n));
                     }
                 }
             }
             (None, Some(l)) => {
                 for m in 0..n_vms {
                     if fits(i, m, 0.0) {
-                        let r =
-                            self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, m, l);
-                        consider(m, l, r);
+                        consider(m, l, rate_memo(m, l));
                     }
                 }
             }
@@ -203,16 +259,7 @@ impl GreedyPlacer {
                             fits(j, n, 0.0)
                         };
                         if ok {
-                            let r = self.rate(
-                                snapshot,
-                                load,
-                                placed_path,
-                                placed_egress,
-                                n_vms as usize,
-                                m,
-                                n,
-                            );
-                            consider(m, n, r);
+                            consider(m, n, rate_memo(m, n));
                         }
                     }
                 }
@@ -326,9 +373,7 @@ mod tests {
         let bg = AppProfile::new("bg", vec![0.1; 4], bg_m, 0);
         load.apply(&bg, &Placement { assignment: vec![0, 1, 2, 3] });
         assert_eq!(load.egress(VmId(0)), 3);
-        let p = GreedyPlacer
-            .place(&app, &Machines::uniform(4, 2.0), &s, &load)
-            .expect("feasible");
+        let p = GreedyPlacer.place(&app, &Machines::uniform(4, 2.0), &s, &load).expect("feasible");
         // The fresh transfer avoids VM 0 as its source.
         assert_ne!(p.assignment[0], 0, "avoids the loaded hose: {:?}", p.assignment);
     }
@@ -383,9 +428,8 @@ mod tests {
         m.set(0, 1, 10);
         let app = AppProfile::new("big", vec![3.0, 3.0], m, 0);
         let s = snap(2, &[(0, 1, 1.0), (1, 0, 1.0)], RateModel::Pipe);
-        let err = GreedyPlacer
-            .place(&app, &one_core_each(2), &s, &NetworkLoad::new(2))
-            .unwrap_err();
+        let err =
+            GreedyPlacer.place(&app, &one_core_each(2), &s, &NetworkLoad::new(2)).unwrap_err();
         assert_eq!(err, PlaceError::InsufficientCpu);
     }
 

@@ -74,9 +74,8 @@ impl IlpPlacer {
         assert_eq!(snapshot.n_vms(), m_vms);
 
         // Pair bookkeeping.
-        let all_pairs: Vec<(usize, usize)> = (0..j_tasks)
-            .flat_map(|i| ((i + 1)..j_tasks).map(move |j| (i, j)))
-            .collect();
+        let all_pairs: Vec<(usize, usize)> =
+            (0..j_tasks).flat_map(|i| ((i + 1)..j_tasks).map(move |j| (i, j))).collect();
         let pairs: Vec<(usize, usize)> = match self.formulation {
             Formulation::Paper => all_pairs.clone(),
             Formulation::Sparse => all_pairs
@@ -87,8 +86,7 @@ impl IlpPlacer {
         };
         let x_idx = |i: usize, m: usize| i * m_vms + m;
         let z_base = j_tasks * m_vms;
-        let z_idx =
-            |p: usize, m: usize, n: usize| z_base + p * m_vms * m_vms + m * m_vms + n;
+        let z_idx = |p: usize, m: usize, n: usize| z_base + p * m_vms * m_vms + m * m_vms + n;
         let z_scalar = z_base + pairs.len() * m_vms * m_vms;
         let n_vars = z_scalar + 1;
 
@@ -205,9 +203,8 @@ impl IlpPlacer {
         // cannot beat it (the paper's observation that greedy is
         // near-optimal makes this cutoff very tight in practice).
         let warm = crate::greedy::GreedyPlacer.place(app, machines, snapshot, load).ok();
-        let warm_obj = warm
-            .as_ref()
-            .map(|p| crate::predict::predict_completion_secs(app, p, snapshot));
+        let warm_obj =
+            warm.as_ref().map(|p| crate::predict::predict_completion_secs(app, p, snapshot));
         let mut config = self.config;
         config.initial_upper_bound = warm_obj;
 
@@ -230,7 +227,11 @@ impl IlpPlacer {
             },
             IlpOutcome::Unbounded => return Err(PlaceError::NoFeasibleMachine { task: 0 }),
         };
-        Ok(IlpPlacerOutcome { placement: sol_placement, objective_secs: objective, proven_optimal: proven })
+        Ok(IlpPlacerOutcome {
+            placement: sol_placement,
+            objective_secs: objective,
+            proven_optimal: proven,
+        })
     }
 
     /// Round the relaxation's `X` block into an assignment.
@@ -238,9 +239,7 @@ impl IlpPlacer {
         let mut assignment = Vec::with_capacity(j_tasks);
         for i in 0..j_tasks {
             let m = (0..m_vms)
-                .max_by(|&a, &b| {
-                    x[i * m_vms + a].partial_cmp(&x[i * m_vms + b]).expect("no NaN")
-                })
+                .max_by(|&a, &b| x[i * m_vms + a].partial_cmp(&x[i * m_vms + b]).expect("no NaN"))
                 .expect("at least one machine");
             assignment.push(m as u32);
         }
@@ -273,9 +272,8 @@ mod tests {
         let app = AppProfile::new("t", vec![1.0, 1.0], m, 0);
         let machines = Machines::uniform(2, 4.0);
         let s = snap(2, &[], RateModel::Pipe);
-        let out = IlpPlacer::default()
-            .place(&app, &machines, &s, &NetworkLoad::new(2))
-            .expect("solved");
+        let out =
+            IlpPlacer::default().place(&app, &machines, &s, &NetworkLoad::new(2)).expect("solved");
         assert!(out.proven_optimal);
         assert_eq!(out.placement.assignment[0], out.placement.assignment[1]);
         assert!(out.objective_secs.abs() < 1e-6);
@@ -292,9 +290,8 @@ mod tests {
             &[(0, 1, 2.0), (1, 0, 2.0), (0, 2, 16.0), (2, 0, 16.0), (1, 2, 4.0), (2, 1, 4.0)],
             RateModel::Pipe,
         );
-        let out = IlpPlacer::default()
-            .place(&app, &machines, &s, &NetworkLoad::new(3))
-            .expect("solved");
+        let out =
+            IlpPlacer::default().place(&app, &machines, &s, &NetworkLoad::new(3)).expect("solved");
         assert!(out.proven_optimal);
         // Fastest directed paths are 0->2 and 2->0 at rate 16:
         // 100*8/16 = 50 s. Either orientation is optimal.
@@ -382,9 +379,8 @@ mod tests {
         let app = AppProfile::new("fan", vec![1.0; 3], m, 0);
         let machines = Machines::uniform(3, 1.0);
         let s = snap(3, &[], RateModel::Hose); // all hoses rate 1
-        let out = IlpPlacer::default()
-            .place(&app, &machines, &s, &NetworkLoad::new(3))
-            .expect("solved");
+        let out =
+            IlpPlacer::default().place(&app, &machines, &s, &NetworkLoad::new(3)).expect("solved");
         // 100 bytes * 8 / 1 = 800 s whatever the (forced distinct) layout.
         assert!((out.objective_secs - 800.0).abs() < 1e-6, "{}", out.objective_secs);
     }
@@ -396,9 +392,8 @@ mod tests {
         let app = AppProfile::new("t", vec![3.0, 3.0], m, 0);
         let machines = Machines::uniform(2, 2.0);
         let s = snap(2, &[], RateModel::Pipe);
-        let err = IlpPlacer::default()
-            .place(&app, &machines, &s, &NetworkLoad::new(2))
-            .unwrap_err();
+        let err =
+            IlpPlacer::default().place(&app, &machines, &s, &NetworkLoad::new(2)).unwrap_err();
         assert_eq!(err, PlaceError::InsufficientCpu);
     }
 

@@ -51,9 +51,9 @@ pub fn predict_completion_secs(
                 }
             }
             let mut worst = 0.0f64;
-            for m in 0..n_vms {
-                if egress[m] > 0 {
-                    let t = egress[m] as f64 * 8.0 / snapshot.hose_rate(VmId(m as u32));
+            for (m, &eg) in egress.iter().enumerate() {
+                if eg > 0 {
+                    let t = eg as f64 * 8.0 / snapshot.hose_rate(VmId(m as u32));
                     worst = worst.max(t);
                 }
             }

@@ -107,7 +107,8 @@ impl TrafficMatrix {
             return 0.0;
         }
         let mean = t.iter().map(|&(_, _, b)| b as f64).sum::<f64>() / t.len() as f64;
-        let var = t.iter().map(|&(_, _, b)| (b as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
+        let var =
+            t.iter().map(|&(_, _, b)| (b as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
         var.sqrt() / mean
     }
 }

@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn sflow_small_flows_may_disappear() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let truth = vec![FlowRecord { from: 0, to: 1, bytes: 1500, at: 0 }]; // 1 packet
         // At 1-in-1000 sampling a single packet is almost always missed.
+        let truth = vec![FlowRecord { from: 0, to: 1, bytes: 1500, at: 0 }]; // 1 packet
         let sampled = sflow_sample(&truth, 1500, 1000, &mut rng);
         assert!(sampled.len() <= 1);
     }

@@ -272,9 +272,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn degenerate_config_rejected() {
-        WorkloadGen::new(
-            WorkloadGenConfig { tasks_min: 1, tasks_max: 1, ..Default::default() },
-            0,
-        );
+        WorkloadGen::new(WorkloadGenConfig { tasks_min: 1, tasks_max: 1, ..Default::default() }, 0);
     }
 }

@@ -240,12 +240,7 @@ impl TopologyBuilder {
             adj[l.a.0 as usize].push((l.b, l.id));
             adj[l.b.0 as usize].push((l.a, l.id));
         }
-        let hosts = self
-            .nodes
-            .iter()
-            .filter(|n| n.kind.is_host())
-            .map(|n| n.id)
-            .collect();
+        let hosts = self.nodes.iter().filter(|n| n.kind.is_host()).map(|n| n.id).collect();
         Topology { nodes: self.nodes, links: self.links, adj, hosts }
     }
 }

@@ -30,7 +30,9 @@ pub mod tree;
 pub mod units;
 pub mod vmmap;
 
-pub use graph::{Link, LinkDir, LinkId, LinkSpec, Node, NodeId, NodeKind, Topology, TopologyBuilder};
+pub use graph::{
+    Link, LinkDir, LinkId, LinkSpec, Node, NodeId, NodeKind, Topology, TopologyBuilder,
+};
 pub use route::{DirectedHop, Path, RouteTable};
 pub use tree::{dumbbell, two_rack, MultiRootedTreeSpec};
 pub use units::{Nanos, GBIT, KBIT, MBIT, MICROS, MILLIS, SECS};

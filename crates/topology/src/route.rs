@@ -169,7 +169,8 @@ impl RouteTable {
     }
 
     fn idx(&self, host: NodeId) -> usize {
-        self.host_index[host.0 as usize].unwrap_or_else(|| panic!("{host:?} is not a host")) as usize
+        self.host_index[host.0 as usize].unwrap_or_else(|| panic!("{host:?} is not a host"))
+            as usize
     }
 
     /// All equal-cost shortest paths from `src` to `dst` (both hosts).

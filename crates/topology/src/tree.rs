@@ -186,7 +186,8 @@ mod tests {
 
     #[test]
     fn two_rack_shape() {
-        let t = two_rack(10, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(10.0 * GBIT, 5 * MICROS));
+        let t =
+            two_rack(10, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(10.0 * GBIT, 5 * MICROS));
         assert_eq!(t.hosts().len(), 20);
         let rt = RouteTable::new(&t);
         // same rack: 2 hops, cross rack: 4 hops.

@@ -81,11 +81,13 @@ impl Collector {
         self.next_train_id += 1;
 
         let mut rx_ctl = self.connect(to)?;
-        let udp_port =
-            match Self::rpc(&mut rx_ctl, ControlMsg::PrepareReceive { train_id, bursts: config.bursts })? {
-                ControlMsg::Ready { udp_port } => udp_port,
-                other => return Err(bad(other)),
-            };
+        let udp_port = match Self::rpc(
+            &mut rx_ctl,
+            ControlMsg::PrepareReceive { train_id, bursts: config.bursts },
+        )? {
+            ControlMsg::Ready { udp_port } => udp_port,
+            other => return Err(bad(other)),
+        };
         let rx_ip = match self.agents[to].ip() {
             std::net::IpAddr::V4(ip) => ip.octets(),
             std::net::IpAddr::V6(_) => {

@@ -327,8 +327,22 @@ mod tests {
             ControlMsg::FetchReport { train_id: 9 },
             ControlMsg::Report {
                 bursts: vec![
-                    WireBurst { burst: 0, first_rx: 1, last_rx: 2, received: 3, min_idx: 0, max_idx: 4 },
-                    WireBurst { burst: 1, first_rx: 5, last_rx: 9, received: 7, min_idx: 1, max_idx: 8 },
+                    WireBurst {
+                        burst: 0,
+                        first_rx: 1,
+                        last_rx: 2,
+                        received: 3,
+                        min_idx: 0,
+                        max_idx: 4,
+                    },
+                    WireBurst {
+                        burst: 1,
+                        first_rx: 5,
+                        last_rx: 9,
+                        received: 7,
+                        min_idx: 1,
+                        max_idx: 8,
+                    },
                 ],
             },
             ControlMsg::Ping,

@@ -33,11 +33,9 @@ fn main() {
             let (a, b) = (vms[i], vms[i + 1]);
             // Probe the fresh path first (field conditions: the limiter's
             // credit is banked), then take the netperf ground truth.
-            let est_short =
-                estimate_from_report(&pc.packet_train(a, b, short)).throughput_bps;
+            let est_short = estimate_from_report(&pc.packet_train(a, b, short)).throughput_bps;
             let truth = pc.netperf(a, b, 2 * SECS);
-            let est_cal =
-                estimate_from_report(&pc.packet_train(a, b, calibrated)).throughput_bps;
+            let est_cal = estimate_from_report(&pc.packet_train(a, b, calibrated)).throughput_bps;
             let err = |e: f64| 100.0 * (e - truth).abs() / truth;
             println!(
                 "vm{}->vm{}   {:>9.0} Mb {:>11.0} Mb {:>8.1}% {:>11.0} Mb {:>8.1}%",

@@ -19,10 +19,8 @@ fn main() {
 
     // 2. Profile an application (synthetic skewed workload: a few hot
     //    task pairs dominate, the pattern with the most placement headroom).
-    let mut gen = WorkloadGen::new(
-        WorkloadGenConfig { tasks_min: 8, tasks_max: 8, ..Default::default() },
-        7,
-    );
+    let mut gen =
+        WorkloadGen::new(WorkloadGenConfig { tasks_min: 8, tasks_max: 8, ..Default::default() }, 7);
     let app = gen.next_app_with(AppPattern::Skewed);
     println!(
         "application `{}`: {} tasks, {:.1} GB total traffic",
@@ -43,10 +41,8 @@ fn main() {
 
     // 4. Same app under a random placement, same cloud conditions.
     let mut fc2 = cloud.flow_cloud(1);
-    let mut random = Choreo::new(
-        machines,
-        ChoreoConfig { placer: PlacerKind::Random(3), ..Default::default() },
-    );
+    let mut random =
+        Choreo::new(machines, ChoreoConfig { placer: PlacerKind::Random(3), ..Default::default() });
     let rp = random.place(&app).expect("fits");
     let t_random = runner::run_app(&mut fc2, &mut random, &app, &rp);
 

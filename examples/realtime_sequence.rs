@@ -25,7 +25,7 @@ fn main() {
     let gen_cfg = WorkloadGenConfig {
         tasks_min: 4,
         tasks_max: 7,
-        bytes_mu: 20.5, // ≈0.8 GB median transfers: tens of seconds each
+        bytes_mu: 20.5,              // ≈0.8 GB median transfers: tens of seconds each
         mean_interarrival: 4 * SECS, // arrivals overlap heavily
         ..Default::default()
     };
@@ -54,8 +54,7 @@ fn main() {
         let mut cloud = Cloud::new(ProviderProfile::ec2_2013(false), 31);
         cloud.allocate(10);
         let mut fc = cloud.flow_cloud(2);
-        let mut orch =
-            Choreo::new(machines.clone(), ChoreoConfig { placer, ..Default::default() });
+        let mut orch = Choreo::new(machines.clone(), ChoreoConfig { placer, ..Default::default() });
         let needs_measure = matches!(orch.config().placer, PlacerKind::Greedy);
         let out = runner::run_sequence(&mut fc, &mut orch, &apps, needs_measure);
         println!("  {name:12} {:8.1} s", out.total() as f64 / 1e9);
@@ -82,9 +81,7 @@ fn main() {
     let rem = remaining_app(&app, &|i, j| if (i, j) == (0, 1) { 4_000_000_000 } else { 0 });
     // Fresh snapshot: VM 0's hose collapsed; VMs 2,3 are healthy.
     let mut rates = vec![950e6; 16];
-    for d in 0..4 {
-        rates[d] = 80e6; // row 0
-    }
+    rates[..4].fill(80e6); // row 0
     let snap = NetworkSnapshot::from_rates(4, rates, RateModel::Hose);
     // 1-core machines: the tasks cannot simply co-locate, so the decision
     // is genuinely about picking a faster path.

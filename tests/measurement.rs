@@ -3,7 +3,9 @@
 //! snapshot assembly, and temporal stability (Fig. 7's headline numbers).
 
 use choreo_repro::cloudlab::{Cloud, ProviderProfile};
-use choreo_repro::measure::{estimate_from_report, MeasureBackend, NetworkSnapshot, RateModel, StabilitySeries};
+use choreo_repro::measure::{
+    estimate_from_report, MeasureBackend, NetworkSnapshot, RateModel, StabilitySeries,
+};
 use choreo_repro::netsim::TrainConfig;
 use choreo_repro::topology::{MBIT, SECS};
 

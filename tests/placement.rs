@@ -150,9 +150,7 @@ fn predictor_agrees_with_ilp_objective() {
         let app = AppProfile::new("agree", vec![1.0; 3], m, 0);
         for model in [RateModel::Pipe, RateModel::Hose] {
             let snap = random_snapshot(3, 400 + seed, model);
-            let out = IlpPlacer::default()
-                .place(&app, &machines, &snap, &load)
-                .expect("solved");
+            let out = IlpPlacer::default().place(&app, &machines, &snap, &load).expect("solved");
             let predicted = predict_completion_secs(&app, &out.placement, &snap);
             assert!(
                 (predicted - out.objective_secs).abs() < 1e-6,

@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use choreo_repro::flowsim::max_min_rates;
+use choreo_repro::flowsim::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver};
 use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
 use choreo_repro::place::greedy::GreedyPlacer;
@@ -30,14 +30,14 @@ proptest! {
             .collect();
         let rates = max_min_rates(&caps, &flows);
         // 1. No resource over capacity.
-        for r in 0..nr {
+        for (r, cap) in caps.iter().enumerate() {
             let used: f64 = flows
                 .iter()
                 .zip(&rates)
                 .filter(|(f, _)| f.contains(&(r as u32)))
                 .map(|(_, rate)| *rate)
                 .sum();
-            prop_assert!(used <= caps[r] + 1e-6, "resource {r}: {used} > {}", caps[r]);
+            prop_assert!(used <= cap + 1e-6, "resource {r}: {used} > {cap}");
         }
         // 2. Every flow gets a strictly positive rate.
         for (i, rate) in rates.iter().enumerate() {
@@ -56,6 +56,120 @@ proptest! {
                 used >= caps[r as usize] - 1e-6
             });
             prop_assert!(bottlenecked, "flow with rate {rate} has slack everywhere");
+        }
+    }
+}
+
+/// From-scratch reference solve: plain progressive filling with a linear
+/// bottleneck scan, freezing whole rounds with the same order-insensitive
+/// arithmetic as the production solver (`slack -= count × level`). The
+/// incremental arena must reproduce these rates **bit for bit**.
+fn reference_max_min(caps: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
+    let nr = caps.len();
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut slack = caps.to_vec();
+    let mut users = vec![0u32; nr];
+    for f in flows {
+        for &r in f {
+            users[r as usize] += 1;
+        }
+    }
+    let mut remaining = flows.len();
+    while remaining > 0 {
+        // Minimal (share, resource id), like the solver's heap order.
+        let mut best: Option<(f64, usize)> = None;
+        for r in 0..nr {
+            if users[r] > 0 {
+                let share = (slack[r] / users[r] as f64).max(0.0);
+                if best.is_none_or(|(s, _)| share < s) {
+                    best = Some((share, r));
+                }
+            }
+        }
+        let Some((level, b)) = best else { break };
+        let mut delta = vec![0u32; nr];
+        for (fi, f) in flows.iter().enumerate() {
+            if frozen[fi] || !f.contains(&(b as u32)) {
+                continue;
+            }
+            frozen[fi] = true;
+            rate[fi] = level;
+            remaining -= 1;
+            for &r in f {
+                delta[r as usize] += 1;
+            }
+        }
+        for r in 0..nr {
+            if delta[r] > 0 {
+                users[r] -= delta[r];
+                slack[r] -= delta[r] as f64 * level;
+            }
+        }
+    }
+    rate
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn incremental_arena_bitmatches_reference_solve(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..7),
+        ops in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(0usize..7, 1..5)),
+            1..48,
+        ),
+    ) {
+        let nr = caps.len();
+        let mut arena = FlowArena::new(nr);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        // Live flows: (slot, resource list), in insertion order.
+        let mut live: Vec<(FlowSlot, Vec<u32>)> = Vec::new();
+        for (opno, (remove, path)) in ops.iter().enumerate() {
+            if *remove && !live.is_empty() {
+                let victim = path[0] % live.len();
+                let (slot, _) = live.swap_remove(victim);
+                arena.remove(slot);
+            } else {
+                let mut f: Vec<u32> = path.iter().map(|r| (r % nr) as u32).collect();
+                f.sort_unstable();
+                f.dedup();
+                let slot = arena.add(&f);
+                live.push((slot, f));
+            }
+            arena.check_invariants();
+            solver.solve(&caps, &arena, &mut rates);
+            let specs: Vec<Vec<u32>> = live.iter().map(|(_, f)| f.clone()).collect();
+            let reference = reference_max_min(&caps, &specs);
+            for ((slot, _), want) in live.iter().zip(&reference) {
+                let got = rates[slot.0 as usize];
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "op {opno}: slot {} got {got}, reference {want}", slot.0
+                );
+            }
+            // Capacity and max-min sanity on the incremental result.
+            for (r, cap) in caps.iter().enumerate() {
+                let used: f64 = live
+                    .iter()
+                    .filter(|(_, f)| f.contains(&(r as u32)))
+                    .map(|(s, _)| rates[s.0 as usize])
+                    .sum();
+                prop_assert!(used <= cap + 1e-6, "resource {r} over capacity: {used}");
+            }
+            for (s, f) in &live {
+                prop_assert!(rates[s.0 as usize] > 0.0, "flow starved");
+                let bottlenecked = f.iter().any(|&r| {
+                    let used: f64 = live
+                        .iter()
+                        .filter(|(_, g)| g.contains(&r))
+                        .map(|(s2, _)| rates[s2.0 as usize])
+                        .sum();
+                    used >= caps[r as usize] - 1e-6
+                });
+                prop_assert!(bottlenecked, "flow could still be raised: not max-min");
+            }
         }
     }
 }
@@ -194,7 +308,7 @@ proptest! {
             for &b in topo.hosts() {
                 if a != b {
                     let h = routes.hop_count(a, b);
-                    prop_assert!(h % 2 == 0 && h >= 2 && h <= 8, "hops {h}");
+                    prop_assert!(h.is_multiple_of(2) && (2..=8).contains(&h), "hops {h}");
                 }
             }
         }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements only what `choreo-wire` uses: [`BytesMut`] as a growable
+//! byte buffer with big-endian `put_*` writers, [`Bytes`] as its frozen
+//! form, the advancing big-endian [`Buf`] readers for `&[u8]`, and the
+//! [`BufMut`] writer trait. Both buffer types deref to `[u8]`, so slicing
+//! and `Write::write_all(&framed)` work as with the real crate.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer (frozen [`BytesMut`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.to_vec() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Resize to `len`, filling new space with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.data.resize(len, fill);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian, advancing reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read `dst.len()` bytes, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Buf: advance past end");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Big-endian writes into a growable sink.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        b.put_u64(0x0708_090A_0B0C_0D0E);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x0304_0506);
+        assert_eq!(r.get_u64(), 0x0708_090A_0B0C_0D0E);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn resize_and_clear_keep_deref_consistent() {
+        let mut b = BytesMut::with_capacity(16);
+        b.extend_from_slice(b"abc");
+        b.resize(6, 0);
+        assert_eq!(&b[..], b"abc\0\0\0");
+        b.clear();
+        assert!(b.is_empty());
+    }
+}
