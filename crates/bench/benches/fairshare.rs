@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use choreo_flowsim::{max_min_rates, FlowArena, MaxMinSolver};
 use choreo_topology::route::splitmix64;
-use choreo_topology::{LinkDir, MultiRootedTreeSpec, RouteTable};
+use choreo_topology::{MultiRootedTreeSpec, RouteTable};
 
 fn workload(flows: usize) -> (Vec<f64>, Vec<Vec<u32>>) {
     let spec = MultiRootedTreeSpec {
@@ -35,7 +35,7 @@ fn workload(flows: usize) -> (Vec<f64>, Vec<Vec<u32>>) {
                 .path_for_flow(a, b, splitmix64(id.wrapping_mul(0x9E37)))
                 .hops
                 .iter()
-                .map(|hop| 2 * hop.link.0 + matches!(hop.dir, LinkDir::Reverse) as u32)
+                .map(choreo_flowsim::hop_resource)
                 .collect()
         })
         .collect();

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use choreo_flowsim::{FlowArena, MaxMinSolver};
 use choreo_topology::route::splitmix64;
-use choreo_topology::{LinkDir, MultiRootedTreeSpec, RouteTable, Topology};
+use choreo_topology::{MultiRootedTreeSpec, RouteTable, Topology};
 
 /// The seed implementation of progressive filling, preserved as the
 /// from-scratch baseline (allocates its state per call and scans all
@@ -81,24 +81,15 @@ fn flow_resources(topo: &Topology, routes: &RouteTable, flow_id: u64, hosts: &[u
         b = h[(h.iter().position(|&x| x == a).unwrap() + 1) % h.len()];
     }
     let path = routes.path_for_flow(a, b, splitmix64(flow_id.wrapping_mul(0x9E37)));
-    path.hops
-        .iter()
-        .map(|hop| {
-            2 * hop.link.0
-                + match hop.dir {
-                    LinkDir::Forward => 0,
-                    LinkDir::Reverse => 1,
-                }
-        })
-        .collect()
+    path.hops.iter().map(choreo_flowsim::hop_resource).collect()
 }
 
 struct Workload {
     capacities: Vec<f64>,
     /// Resource lists of the initial concurrent flow set.
     initial: Vec<Vec<u32>>,
-    /// Resource lists of the churn arrivals (event i replaces flow i %
-    /// initial.len() with churn[i]).
+    /// Resource lists of the churn arrivals (event `i` replaces flow
+    /// `i % initial.len()` with `churn[i]`).
     churn: Vec<Vec<u32>>,
 }
 

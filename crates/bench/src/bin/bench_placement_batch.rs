@@ -1,0 +1,176 @@
+//! Batched what-if candidate scoring vs one solve per candidate.
+//!
+//! Drives the workload the greedy placer's candidate enumeration puts on
+//! the flow engine — score every ordered host pair ("where could this
+//! transfer land?") against a 64-host multi-rooted tree carrying ≥250
+//! concurrent flows — and compares:
+//!
+//! * **baseline** — the pre-batch path: each candidate joins the arena,
+//!   the persistent [`MaxMinSolver`] runs a full solve, the candidate's
+//!   rate is read and it leaves again (what `probe_rate` did before the
+//!   batch API, and the best the per-candidate interface allows);
+//! * **batched** — one [`MaxMinSolver::solve_batch`]: a single logged
+//!   solve whose frozen freeze-round prefix is replayed per candidate in
+//!   `O(rounds · path)` with early exit.
+//!
+//! The two sides must agree **bit for bit** on every candidate (asserted
+//! per run). A [`ScenarioPool`] section additionally reports the parallel
+//! fan-out of whole candidate sweeps across hypothetical background
+//! scenarios. Emits `BENCH_placement.json`; the acceptance target for the
+//! batched path is ≥3× (CI gates at a conservative 2× floor).
+
+use std::time::Instant;
+
+use choreo_flowsim::{FlowArena, MaxMinSolver, ProbeBatch, ScenarioPool};
+use choreo_topology::route::splitmix64;
+use choreo_topology::{MultiRootedTreeSpec, RouteTable, Topology};
+
+/// Deterministic background flow path between two hosts, in engine
+/// resource ids (same generator as `bench_fairshare`).
+fn flow_resources(topo: &Topology, routes: &RouteTable, flow_id: u64) -> Vec<u32> {
+    let h = topo.hosts();
+    let a = h[(splitmix64(flow_id) % h.len() as u64) as usize];
+    let mut b = h[(splitmix64(flow_id ^ 0xDEAD) % h.len() as u64) as usize];
+    if a == b {
+        b = h[(h.iter().position(|&x| x == a).unwrap() + 1) % h.len()];
+    }
+    let path = routes.path_for_flow(a, b, splitmix64(flow_id.wrapping_mul(0x9E37)));
+    path.hops.iter().map(choreo_flowsim::hop_resource).collect()
+}
+
+struct Workload {
+    capacities: Vec<f64>,
+    /// Background flow set (the committed network state).
+    flows: Vec<Vec<u32>>,
+    /// Candidate paths to score: first ECMP path of every ordered host pair.
+    candidates: Vec<Vec<u32>>,
+    hosts: usize,
+}
+
+fn build_workload(flows: usize) -> Workload {
+    // 4 pods × 4 ToRs × 4 hosts = 64 hosts, two cores.
+    let spec = MultiRootedTreeSpec {
+        cores: 2,
+        pods: 4,
+        aggs_per_pod: 2,
+        tors_per_pod: 4,
+        hosts_per_tor: 4,
+        ..Default::default()
+    };
+    let topo = spec.build();
+    assert!(topo.hosts().len() >= 64, "need ≥64 hosts");
+    let routes = RouteTable::new(&topo);
+    let capacities: Vec<f64> =
+        topo.links().iter().flat_map(|l| [l.spec.rate_bps, l.spec.rate_bps]).collect();
+    let flows: Vec<Vec<u32>> =
+        (0..flows).map(|i| flow_resources(&topo, &routes, i as u64)).collect();
+    let hosts = topo.hosts();
+    let mut candidates = Vec::with_capacity(hosts.len() * (hosts.len() - 1));
+    for &a in hosts {
+        for &b in hosts {
+            if a == b {
+                continue;
+            }
+            let path = &routes.paths(a, b)[0];
+            candidates.push(path.hops.iter().map(choreo_flowsim::hop_resource).collect());
+        }
+    }
+    Workload { capacities, flows, candidates, hosts: hosts.len() }
+}
+
+/// Baseline: one full solve per candidate (add → solve → read → remove).
+fn run_per_candidate(w: &Workload, arena: &mut FlowArena) -> (Vec<u64>, u128) {
+    let mut solver = MaxMinSolver::new();
+    let mut rates = Vec::new();
+    solver.solve(&w.capacities, arena, &mut rates); // warm scratch
+    let mut out = Vec::with_capacity(w.candidates.len());
+    let start = Instant::now();
+    for cand in &w.candidates {
+        let probe = arena.add(cand);
+        solver.solve(&w.capacities, arena, &mut rates);
+        out.push(rates[probe.0 as usize].to_bits());
+        arena.remove(probe);
+    }
+    (out, start.elapsed().as_nanos())
+}
+
+/// Batched: one logged solve, then a frozen-prefix replay per candidate.
+fn run_batched(w: &Workload, arena: &FlowArena) -> (Vec<u64>, u128) {
+    let mut solver = MaxMinSolver::new();
+    let mut rates = Vec::new();
+    let mut out = Vec::new();
+    let mut batch = ProbeBatch::new();
+    for cand in &w.candidates {
+        batch.push(cand);
+    }
+    solver.solve(&w.capacities, arena, &mut rates); // warm scratch
+    let start = Instant::now();
+    solver.solve_batch(&w.capacities, arena, &batch, &mut rates, &mut out);
+    (out.iter().map(|r| r.to_bits()).collect(), start.elapsed().as_nanos())
+}
+
+fn main() {
+    let n_flows = 250usize;
+    let w = build_workload(n_flows);
+    let mut arena = FlowArena::new(w.capacities.len());
+    for f in &w.flows {
+        arena.add(f);
+    }
+    let n_cand = w.candidates.len();
+    // Interleave three rounds and keep the best of each side, shielding
+    // the ratio from one-off scheduler noise.
+    let mut base_best = u128::MAX;
+    let mut batch_best = u128::MAX;
+    for _ in 0..3 {
+        let (base_rates, base_ns) = run_per_candidate(&w, &mut arena);
+        let (batch_rates, batch_ns) = run_batched(&w, &arena);
+        assert_eq!(base_rates, batch_rates, "batched scoring must bit-match per-candidate solves");
+        base_best = base_best.min(base_ns);
+        batch_best = batch_best.min(batch_ns);
+    }
+    let speedup = base_best as f64 / batch_best as f64;
+    let base_c = base_best as f64 / n_cand as f64;
+    let batch_c = batch_best as f64 / n_cand as f64;
+
+    // Parallel scenario fan-out: score the full candidate sweep under 16
+    // hypothetical extra background flows, serial vs pooled.
+    let hypos: Vec<Vec<u32>> = (0..16u64)
+        .map(|i| w.flows[(splitmix64(i ^ 0xF00) % w.flows.len() as u64) as usize].clone())
+        .collect();
+    let sweep = |ctx: &mut choreo_flowsim::ScenarioCtx, hypo: &Vec<u32>| {
+        let bg = ctx.arena.add(hypo);
+        let mut batch = ProbeBatch::new();
+        for cand in &w.candidates {
+            batch.push(cand);
+        }
+        let mut out = Vec::new();
+        ctx.solver.solve_batch(&w.capacities, &ctx.arena, &batch, &mut ctx.rates, &mut out);
+        ctx.arena.remove(bg);
+        out.iter().map(|r| r.to_bits()).fold(0u64, |acc, b| acc.wrapping_add(b))
+    };
+    let t = Instant::now();
+    let serial = ScenarioPool::new(1).evaluate(&arena, &hypos, sweep);
+    let serial_ns = t.elapsed().as_nanos();
+    let workers = ScenarioPool::auto().workers().clamp(2, 8);
+    let t = Instant::now();
+    let pooled = ScenarioPool::new(workers).evaluate(&arena, &hypos, sweep);
+    let pool_ns = t.elapsed().as_nanos();
+    assert_eq!(serial, pooled, "scenario pool must be bit-identical to serial");
+    let pool_speedup = serial_ns as f64 / pool_ns as f64;
+
+    println!(
+        "# placement candidate scoring: {n_cand} candidates, {n_flows} flows, {} hosts",
+        w.hosts
+    );
+    println!("per-candidate\t{base_c:.0} ns/candidate");
+    println!("batched\t\t{batch_c:.0} ns/candidate");
+    println!("speedup\t\t{speedup:.2}x");
+    println!("scenario pool\t{workers} workers\t{pool_speedup:.2}x on 16 scenario sweeps");
+    let json = format!(
+        "{{\n  \"bench\": \"placement_candidate_batch\",\n  \"hosts\": {},\n  \"flows\": {n_flows},\n  \"candidates\": {n_cand},\n  \"per_candidate_ns\": {base_c:.1},\n  \"batched_ns\": {batch_c:.1},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 3.0,\n  \"pool_workers\": {workers},\n  \"pool_speedup\": {pool_speedup:.3},\n  \"pass\": {}\n}}\n",
+        w.hosts,
+        speedup >= 3.0
+    );
+    std::fs::write("BENCH_placement.json", json).expect("write BENCH_placement.json");
+    println!("# wrote BENCH_placement.json");
+}

@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use choreo_flowsim::{FlowKey, FlowSim, HoseId};
 use choreo_measure::{MeasureBackend, NetworkSnapshot, RateModel};
-use choreo_topology::{Nanos, RouteTable, TracerouteStyle, VmId, VmMap, SECS};
+use choreo_topology::{Nanos, NodeId, RouteTable, TracerouteStyle, VmId, VmMap, SECS};
 
 use crate::cloud::{sample_normal, Cloud};
 
@@ -24,6 +24,9 @@ pub struct FlowCloud {
     noise_sd: f64,
     loopback_bps: f64,
     rng: StdRng,
+    /// Scratch reused by the batched `probe_paths` override.
+    probe_scratch: Vec<(NodeId, NodeId, Option<HoseId>)>,
+    rate_scratch: Vec<f64>,
 }
 
 impl FlowCloud {
@@ -58,6 +61,8 @@ impl FlowCloud {
             noise_sd: cloud.profile.measurement_noise,
             loopback_bps: cloud.profile.loopback.rate_bps,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED_F00D),
+            probe_scratch: Vec::new(),
+            rate_scratch: Vec::new(),
         };
         // Warm up so background sources reach a mixed state.
         fc.sim.run_until(10 * SECS);
@@ -149,6 +154,39 @@ impl MeasureBackend for FlowCloud {
         // get, with the provider's measurement noise on top.
         let raw = self.ideal_rate(a, b);
         raw * self.noise()
+    }
+
+    fn probe_paths(&mut self, pairs: &[(VmId, VmId)], out: &mut Vec<f64>) {
+        // One batched what-if solve scores every distinct-host pair;
+        // co-located pairs read the loopback constant. Raw rates and the
+        // per-pair noise draws match the sequential `probe_path` path
+        // exactly (same order, same rng stream), so a batched mesh
+        // measurement is bit-identical to the unbatched one — just one
+        // solve instead of one per pair.
+        let mut sim_probes = std::mem::take(&mut self.probe_scratch);
+        let mut batched = std::mem::take(&mut self.rate_scratch);
+        sim_probes.clear();
+        for &(a, b) in pairs {
+            let (src, dst) = (self.vms.host(a), self.vms.host(b));
+            if src != dst {
+                sim_probes.push((src, dst, Some(self.hoses[a.0 as usize])));
+            }
+        }
+        self.sim.probe_rates(&sim_probes, &mut batched);
+        out.clear();
+        out.reserve(pairs.len());
+        let mut next = 0usize;
+        for &(a, b) in pairs {
+            let raw = if self.vms.host(a) == self.vms.host(b) {
+                self.loopback_bps
+            } else {
+                next += 1;
+                batched[next - 1]
+            };
+            out.push(raw * self.noise());
+        }
+        self.probe_scratch = sim_probes;
+        self.rate_scratch = batched;
     }
 
     fn netperf(&mut self, a: VmId, b: VmId, duration: Nanos) -> f64 {
@@ -286,6 +324,38 @@ mod tests {
         let solo = fc.netperf(vms[0], vms[1], SECS);
         let rates = fc.concurrent_netperf(&[(vms[0], vms[1]), (vms[2], vms[3])], SECS);
         assert!((rates[0] - solo).abs() / solo < 0.05, "{} vs {solo}", rates[0]);
+    }
+
+    #[test]
+    fn batched_mesh_matches_sequential_probes_bitwise() {
+        // Same provider, same seeds: the batched probe_paths override must
+        // reproduce the sequential probe_path loop exactly — raw what-if
+        // rates and noise draws alike.
+        let mut p = ProviderProfile::ec2_2013(false);
+        p.background.pairs = 2;
+        p.measurement_noise = 0.05;
+        let build = || {
+            let mut cloud = Cloud::new(p.clone(), 21);
+            let vms = cloud.allocate(6);
+            (cloud.flow_cloud(9), vms)
+        };
+        let (mut fc_batch, vms) = build();
+        let (mut fc_seq, vms2) = build();
+        assert_eq!(vms.len(), vms2.len());
+        let mut pairs = Vec::new();
+        for &a in &vms {
+            for &b in &vms {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let mut batched = Vec::new();
+        fc_batch.probe_paths(&pairs, &mut batched);
+        for (&(a, b), &got) in pairs.iter().zip(&batched) {
+            let want = fc_seq.probe_path(a, b);
+            assert_eq!(got.to_bits(), want.to_bits(), "pair {a:?}->{b:?}: {got} vs {want}");
+        }
     }
 
     #[test]

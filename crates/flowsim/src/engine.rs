@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use choreo_topology::route::splitmix64;
 use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, RouteTable, Topology};
 
-use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver};
+use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 
 /// Handle to a flow in a [`FlowSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,6 +33,22 @@ pub enum FlowStatus {
 
 /// Sentinel for "flow not in the arena".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Engine resource id of a directed link hop.
+///
+/// [`FlowSim`] lays capacities out as the `2·L` directed links first
+/// (forward then reverse, per link), followed by per-host loopbacks and
+/// hoses. This is *the* mapping for turning a routed path into solver
+/// resources — benches and tests that drive [`FlowArena`] directly must
+/// use it rather than re-encode the layout.
+#[inline]
+pub fn hop_resource(hop: &choreo_topology::route::DirectedHop) -> u32 {
+    2 * hop.link.0
+        + match hop.dir {
+            LinkDir::Forward => 0,
+            LinkDir::Reverse => 1,
+        }
+}
 
 #[derive(Debug)]
 struct Flow {
@@ -115,6 +131,8 @@ pub struct FlowSim {
     rates_scratch: Vec<f64>,
     /// Resource-list scratch for probes.
     probe_scratch: Vec<u32>,
+    /// Candidate batch reused by [`FlowSim::probe_rates`].
+    probe_batch: ProbeBatch,
     sources: Vec<OnOff>,
     events: BinaryHeap<Reverse<EventEntry>>,
     seq: u64,
@@ -155,6 +173,7 @@ impl FlowSim {
             solver: MaxMinSolver::new(),
             rates_scratch: Vec::new(),
             probe_scratch: Vec::new(),
+            probe_batch: ProbeBatch::new(),
             sources: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -206,17 +225,7 @@ impl FlowSim {
         }
         let hash = splitmix64(((key as u64) << 32) | self.rng.gen::<u32>() as u64);
         let path = self.routes.path_for_flow(src, dst, hash);
-        let mut res: Vec<u32> = path
-            .hops
-            .iter()
-            .map(|h| {
-                2 * h.link.0
-                    + match h.dir {
-                        LinkDir::Forward => 0,
-                        LinkDir::Reverse => 1,
-                    }
-            })
-            .collect();
+        let mut res: Vec<u32> = path.hops.iter().map(hop_resource).collect();
         if let Some(h) = hose {
             res.push(h.0);
         }
@@ -349,43 +358,72 @@ impl FlowSim {
         }
     }
 
+    /// Fill `probe_scratch` with the resource list a probe flow from
+    /// `src` to `dst` would use (deterministic first equal-cost path).
+    fn fill_probe_path(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>) {
+        self.probe_scratch.clear();
+        if src == dst {
+            self.probe_scratch.push(self.host_loopback_res(src));
+        } else {
+            let path = &self.routes.paths(src, dst)[0];
+            self.probe_scratch.extend(path.hops.iter().map(hop_resource));
+            if let Some(h) = hose {
+                self.probe_scratch.push(h.0);
+            }
+        }
+    }
+
+    /// Make sure the solver's freeze-round log describes the current
+    /// arena: apply pending reallocation, and re-log if the arena drifted
+    /// without a solve (e.g. a hose was added while the rates were clean).
+    fn ensure_probe_log(&mut self) {
+        self.reallocate_if_dirty();
+        if !self.solver.log_matches(&self.arena) {
+            // The flow set is unchanged since the last committed
+            // allocation (otherwise `dirty` would have forced a solve), so
+            // solving into the scratch buffer reproduces the committed
+            // rates; no write-back needed.
+            self.solver.solve_logged(&self.capacities, &self.arena, &mut self.rates_scratch);
+        }
+    }
+
     /// Rate a *hypothetical* new flow from `src` to `dst` (optionally
     /// hose-capped) would receive right now, without perturbing the
     /// simulation. This is the flow-level analogue of starting a probe
     /// connection.
     ///
-    /// Implemented as a what-if solve: the probe briefly joins the
-    /// persistent arena, the solver runs into the scratch rate buffer
-    /// (the real flows' committed rates are untouched), and the probe is
-    /// evicted again. The arena's allocation is a pure function of the
-    /// live flow set, so the round trip leaves the simulation state
-    /// exactly as it was.
+    /// Implemented as a batched-what-if replay: the solver keeps the
+    /// freeze-round log of the committed allocation, and the probe walks
+    /// that shared frozen prefix until one of its own resources would
+    /// become the bottleneck — bit-identical to adding the flow and
+    /// re-solving, but `O(rounds · path)` and **observably
+    /// side-effect-free**: the arena is never touched, so the simulation
+    /// state is exactly as it was (only solver scratch is written).
     pub fn probe_rate(&mut self, src: NodeId, dst: NodeId, hose: Option<HoseId>) -> f64 {
-        self.reallocate_if_dirty();
-        self.probe_scratch.clear();
-        if src == dst {
-            self.probe_scratch.push(self.host_loopback_res(src));
-        } else {
-            // Use the first equal-cost path deterministically for probes.
-            let path = &self.routes.paths(src, dst)[0];
-            for h in &path.hops {
-                self.probe_scratch.push(
-                    2 * h.link.0
-                        + match h.dir {
-                            LinkDir::Forward => 0,
-                            LinkDir::Reverse => 1,
-                        },
-                );
-            }
-            if let Some(h) = hose {
-                self.probe_scratch.push(h.0);
-            }
-        }
-        let probe = self.arena.add(&self.probe_scratch);
-        self.solver.solve(&self.capacities, &self.arena, &mut self.rates_scratch);
-        let rate = self.rates_scratch[probe.0 as usize];
-        self.arena.remove(probe);
+        self.ensure_probe_log();
+        self.fill_probe_path(src, dst, hose);
+        let probe_scratch = std::mem::take(&mut self.probe_scratch);
+        let rate = self.solver.probe(&self.capacities, &self.arena, &probe_scratch);
+        self.probe_scratch = probe_scratch;
         rate
+    }
+
+    /// Batched [`FlowSim::probe_rate`]: rate every hypothetical
+    /// `(src, dst, hose)` flow in `probes`, writing `out[i]` for
+    /// `probes[i]`. All candidates are evaluated **independently** against
+    /// the same committed network state (they do not see one another),
+    /// sharing a single solve instead of paying one each — the entry
+    /// point for candidate scoring in placement.
+    pub fn probe_rates(&mut self, probes: &[(NodeId, NodeId, Option<HoseId>)], out: &mut Vec<f64>) {
+        self.ensure_probe_log();
+        let mut batch = std::mem::take(&mut self.probe_batch);
+        batch.clear();
+        for &(src, dst, hose) in probes {
+            self.fill_probe_path(src, dst, hose);
+            batch.push(&self.probe_scratch);
+        }
+        self.solver.probe_batch(&self.capacities, &self.arena, &batch, out);
+        self.probe_batch = batch;
     }
 
     /// Emulate a bulk TCP throughput measurement: run a real flow for
@@ -429,7 +467,7 @@ impl FlowSim {
             return;
         }
         self.dirty = false;
-        self.solver.solve(&self.capacities, &self.arena, &mut self.rates_scratch);
+        self.solver.solve_logged(&self.capacities, &self.arena, &mut self.rates_scratch);
         for (slot, &owner) in self.slot_owner.iter().enumerate() {
             if owner != NO_SLOT {
                 self.flows[owner as usize].rate = self.rates_scratch[slot];
@@ -700,15 +738,33 @@ mod tests {
 
     #[test]
     fn probe_rate_does_not_perturb() {
-        let mut s = sim(1, GBIT);
+        let mut s = sim(2, GBIT);
         let h = s.topology().hosts().to_vec();
-        let f = s.start_flow(h[0], h[1], Some(125_000_000), None, 0, 1);
+        let f = s.start_flow(h[0], h[2], Some(125_000_000), None, 0, 1);
         s.run_until(100 * MILLIS);
         let before = s.delivered_bytes(f);
         let rate_before = s.rate_bps(f);
-        let _ = s.probe_rate(h[0], h[1], None);
+        let gen_before = {
+            // Probing must never touch the arena: no add/remove round
+            // trip, not even a restoring one.
+            let _ = s.probe_rate(h[0], h[2], None);
+            s.active_flows()
+        };
+        assert_eq!(gen_before, 1);
         assert_eq!(s.delivered_bytes(f), before);
         assert_eq!(s.rate_bps(f), rate_before, "committed rates survive the what-if");
+        // Batched probes are equally side-effect-free, and each candidate
+        // is rated independently: both directions of the same bottleneck
+        // see the same world as a lone probe does.
+        let solo_02 = s.probe_rate(h[0], h[2], None);
+        let solo_13 = s.probe_rate(h[1], h[3], None);
+        let mut batched = Vec::new();
+        s.probe_rates(&[(h[0], h[2], None), (h[1], h[3], None), (h[0], h[2], None)], &mut batched);
+        assert_eq!(batched[0].to_bits(), solo_02.to_bits(), "batched == solo probe");
+        assert_eq!(batched[1].to_bits(), solo_13.to_bits(), "batched == solo probe");
+        assert_eq!(batched[2].to_bits(), batched[0].to_bits(), "candidates are independent");
+        assert_eq!(s.delivered_bytes(f), before);
+        assert_eq!(s.rate_bps(f), rate_before, "committed rates survive the batch");
         let end = s.run_to_completion();
         assert!((end as f64 - 1e9).abs() < 1e6);
     }

@@ -89,6 +89,10 @@ pub struct FlowArena {
     /// Reverse index: resource id → packed `(slot, k)` of live crossings.
     rev: Vec<Vec<u64>>,
     n_live: usize,
+    /// Mutation counter, bumped by every `add`/`remove`/`grow_resources`.
+    /// [`MaxMinSolver::probe`] uses it to detect that its logged solve
+    /// still describes this arena.
+    generation: u64,
 }
 
 impl FlowArena {
@@ -106,7 +110,16 @@ impl FlowArena {
     pub fn grow_resources(&mut self, n_resources: usize) {
         if n_resources > self.rev.len() {
             self.rev.resize_with(n_resources, Vec::new);
+            self.generation = self.generation.wrapping_add(1);
         }
+    }
+
+    /// Mutation counter: two reads returning the same value bracket a span
+    /// in which the arena was not structurally modified. Clones inherit the
+    /// counter, so the stamp identifies a state within one mutation
+    /// lineage, not across independently evolved clones.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of live flows.
@@ -181,6 +194,7 @@ impl FlowArena {
         self.len[f] = need;
         self.live[f] = true;
         self.n_live += 1;
+        self.generation = self.generation.wrapping_add(1);
         for (k, &r) in resources.iter().enumerate() {
             self.pool[s + k] = r;
             self.rev_pos[s + k] = self.rev[r as usize].len() as u32;
@@ -208,6 +222,7 @@ impl FlowArena {
         self.len[f] = 0;
         self.live[f] = false;
         self.n_live -= 1;
+        self.generation = self.generation.wrapping_add(1);
         self.free_slots.push(f as u32);
     }
 
@@ -303,11 +318,117 @@ impl ShareKey {
     }
 }
 
+/// A batch of candidate what-if flows for [`MaxMinSolver::probe_batch`].
+///
+/// Candidate resource lists are packed contiguously (CSR), so building and
+/// draining a batch allocates nothing once the buffers are warm — reuse
+/// one instance via [`ProbeBatch::clear`]. Every candidate is evaluated
+/// **independently**: "what rate would this flow get if it alone joined
+/// the current flow set", all candidates sharing the frozen prefix of a
+/// single logged solve instead of paying one full solve each.
+#[derive(Debug, Default, Clone)]
+pub struct ProbeBatch {
+    /// Flat candidate resource ids.
+    res: Vec<u32>,
+    /// Candidate `i` occupies `res[ends[i - 1]..ends[i]]` (`ends[-1]` ≡ 0).
+    ends: Vec<u32>,
+}
+
+impl ProbeBatch {
+    /// Empty batch.
+    pub fn new() -> ProbeBatch {
+        ProbeBatch::default()
+    }
+
+    /// Drop all candidates, keeping the buffers.
+    pub fn clear(&mut self) {
+        self.res.clear();
+        self.ends.clear();
+    }
+
+    /// Append a candidate flow crossing `resources`; returns its index in
+    /// the batch (the position of its rate in the output of
+    /// [`MaxMinSolver::probe_batch`]).
+    ///
+    /// Panics if `resources` is empty — like [`FlowArena::add`], a flow
+    /// that crosses nothing has no bottleneck.
+    pub fn push(&mut self, resources: &[u32]) -> usize {
+        assert!(!resources.is_empty(), "candidate traverses no resources");
+        self.res.extend_from_slice(resources);
+        self.ends.push(self.res.len() as u32);
+        self.ends.len() - 1
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Resource list of candidate `i`.
+    pub fn resources(&self, i: usize) -> &[u32] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.res[start..self.ends[i] as usize]
+    }
+}
+
+/// Round log of one progressive-filling solve — the *shared frozen prefix*
+/// that candidate replays walk instead of re-running the solve.
+///
+/// Per freeze round it records the popped bottleneck key (version bits
+/// zeroed), the freeze level, and the per-resource `(id, frozen-count)`
+/// deltas the round applied. A candidate crossing resources `S` perturbs
+/// only the shares of `S` (each gains one user), so the base rounds replay
+/// unchanged until the first round whose bottleneck key is beaten by a
+/// candidate share — at which point the candidate itself freezes, because
+/// the winning resource is one of its own. Replay therefore costs
+/// `O(rounds · |S|)` with early exit, not a full solve.
+#[derive(Debug, Default)]
+struct SolveLog {
+    /// Per round: version-stripped bottleneck [`ShareKey`] at pop time.
+    keys: Vec<u128>,
+    /// Per round: the freeze level (the key's share, clamped to ≥ 0).
+    levels: Vec<f64>,
+    /// Per round: end offset (exclusive) into the `touched_*` arrays.
+    round_end: Vec<u32>,
+    /// Flattened `(resource, flows frozen crossing it)` deltas, by round.
+    touched_res: Vec<u32>,
+    touched_delta: Vec<u32>,
+    /// Arena generation the log was recorded against.
+    generation: u64,
+    /// Resource-space size at record time.
+    n_resources: u32,
+    /// False until the first logged solve, and after a plain `solve`.
+    valid: bool,
+}
+
+impl SolveLog {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.levels.clear();
+        self.round_end.clear();
+        self.touched_res.clear();
+        self.touched_delta.clear();
+        self.valid = false;
+    }
+}
+
 /// Progressive-filling solver with persistent scratch state.
 ///
 /// Reuse one instance across solves: after the first call at a given
 /// problem size, [`MaxMinSolver::solve`] performs **no heap allocation**
 /// (verified by the workspace's allocation-counter test).
+///
+/// [`MaxMinSolver::solve_logged`] additionally records the freeze-round
+/// sequence, unlocking the batched what-if APIs ([`MaxMinSolver::probe`],
+/// [`MaxMinSolver::probe_batch`], [`MaxMinSolver::solve_batch`]): rate a
+/// hypothetical extra flow in `O(rounds · path)` by replaying the shared
+/// frozen prefix, bit-identical to adding the flow and solving from
+/// scratch.
 #[derive(Debug, Default)]
 pub struct MaxMinSolver {
     /// Backing buffer for the lazy min-heap of per-resource shares; kept
@@ -326,7 +447,19 @@ pub struct MaxMinSolver {
     touched: Vec<u32>,
     /// Scratch: per-resource count of flows frozen this round.
     delta: Vec<u32>,
+    /// Freeze-round log of the last `solve_logged`, replayed by probes.
+    log: SolveLog,
+    /// Probe scratch: resource → index in the candidate's list (or
+    /// `PROBE_NONE`), sized to the resource space.
+    probe_mark: Vec<u32>,
+    /// Probe scratch: per-candidate-resource remaining capacity.
+    probe_slack: Vec<f64>,
+    /// Probe scratch: per-candidate-resource unfrozen *base* flow count.
+    probe_users: Vec<u32>,
 }
+
+/// `probe_mark` sentinel: resource not crossed by the current candidate.
+const PROBE_NONE: u32 = u32::MAX;
 
 impl MaxMinSolver {
     /// Fresh solver (scratch grows on first use).
@@ -342,10 +475,39 @@ impl MaxMinSolver {
     ///   `rates[slot]` is the allocated rate of the flow in `slot`
     ///   (vacant slots read 0).
     ///
-    /// Runs in `O(R + Σ_f path_f · log R)`.
+    /// Runs in `O(R + Σ_f path_f · log R)`. Invalidates any prior probe
+    /// log; use [`MaxMinSolver::solve_logged`] when probes will follow.
     pub fn solve(&mut self, capacities: &[f64], arena: &FlowArena, rates: &mut Vec<f64>) {
+        self.log.valid = false;
+        self.solve_impl::<false>(capacities, arena, rates);
+    }
+
+    /// [`MaxMinSolver::solve`], additionally recording the freeze-round
+    /// log that [`MaxMinSolver::probe`] and [`MaxMinSolver::probe_batch`]
+    /// replay. Logging costs one append per round plus one per touched
+    /// resource — a few percent of the solve — and stays allocation-free
+    /// once the log buffers are warm.
+    pub fn solve_logged(&mut self, capacities: &[f64], arena: &FlowArena, rates: &mut Vec<f64>) {
+        self.solve_impl::<true>(capacities, arena, rates);
+    }
+
+    fn solve_impl<const LOG: bool>(
+        &mut self,
+        capacities: &[f64],
+        arena: &FlowArena,
+        rates: &mut Vec<f64>,
+    ) {
         let nr = arena.n_resources();
         assert!(capacities.len() >= nr, "capacities shorter than resource space");
+        if LOG {
+            self.log.clear();
+            self.log.generation = arena.generation();
+            self.log.n_resources = nr as u32;
+            if self.probe_mark.len() < nr {
+                self.probe_mark.resize(nr, PROBE_NONE);
+            }
+            self.log.valid = true;
+        }
         let nslots = arena.slot_bound();
         rates.clear();
         rates.resize(nslots, 0.0);
@@ -408,12 +570,20 @@ impl MaxMinSolver {
                 }
             }
             debug_assert!(!self.touched.is_empty(), "bottleneck had users but froze nothing");
+            if LOG {
+                self.log.keys.push(ShareKey::new(level, b as u32, 0).0);
+                self.log.levels.push(level);
+            }
             for i in 0..self.touched.len() {
                 let r2 = self.touched[i] as usize;
                 let d = self.delta[r2];
                 self.delta[r2] = 0;
                 self.users[r2] -= d;
                 self.slack[r2] -= d as f64 * level;
+                if LOG {
+                    self.log.touched_res.push(r2 as u32);
+                    self.log.touched_delta.push(d);
+                }
                 let v = self.version[r2].wrapping_add(1);
                 self.version[r2] = v;
                 if self.users[r2] > 0 {
@@ -421,9 +591,164 @@ impl MaxMinSolver {
                     heap.push(Reverse(ShareKey::new(share, r2 as u32, v)));
                 }
             }
+            if LOG {
+                self.log.round_end.push(self.log.touched_res.len() as u32);
+            }
         }
         // Return the heap's buffer for the next solve.
         self.heap_buf = heap.into_vec();
+    }
+
+    /// Does the probe log describe the current state of `arena`?
+    ///
+    /// True after a [`MaxMinSolver::solve_logged`] with no arena mutation
+    /// since. Probing requires this; callers that let the arena drift must
+    /// re-solve first.
+    pub fn log_matches(&self, arena: &FlowArena) -> bool {
+        self.log.valid
+            && self.log.generation == arena.generation()
+            && self.log.n_resources as usize == arena.n_resources()
+    }
+
+    /// Rate a hypothetical extra flow crossing `resources` would receive
+    /// if it joined the flow set last solved by
+    /// [`MaxMinSolver::solve_logged`] — **bit-identical** to adding the
+    /// flow to `arena`, solving from scratch, and reading its rate, but in
+    /// `O(rounds · path)` by replaying the logged frozen prefix.
+    ///
+    /// The committed solution is untouched: neither `arena` nor the base
+    /// rates change (the only writes are to internal scratch), so probing
+    /// is observably side-effect-free and allocation-free once warm.
+    ///
+    /// Panics if the log is missing or stale ([`MaxMinSolver::log_matches`]),
+    /// or if `resources` is empty or out of range. `capacities` must be
+    /// the slice passed to the logged solve.
+    pub fn probe(&mut self, capacities: &[f64], arena: &FlowArena, resources: &[u32]) -> f64 {
+        assert!(
+            self.log_matches(arena),
+            "probe without a current logged solve (call solve_logged first)"
+        );
+        assert!(capacities.len() >= self.log.n_resources as usize, "capacities too short");
+        self.replay(capacities, arena, resources)
+    }
+
+    /// [`MaxMinSolver::probe`] over a whole batch: `out[i]` becomes the
+    /// what-if rate of `batch.resources(i)`. Candidates are independent —
+    /// each is rated against the base flow set alone, all sharing the one
+    /// logged solve.
+    pub fn probe_batch(
+        &mut self,
+        capacities: &[f64],
+        arena: &FlowArena,
+        batch: &ProbeBatch,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(
+            self.log_matches(arena),
+            "probe_batch without a current logged solve (call solve_logged first)"
+        );
+        assert!(capacities.len() >= self.log.n_resources as usize, "capacities too short");
+        out.clear();
+        out.reserve(batch.len());
+        for i in 0..batch.len() {
+            let rate = self.replay(capacities, arena, batch.resources(i));
+            out.push(rate);
+        }
+    }
+
+    /// One logged solve plus a batched what-if evaluation: computes the
+    /// base allocation into `rates` and each candidate's rate into `out`.
+    /// This is the placement engine's entry point — one solver pass per
+    /// *batch*, not per candidate.
+    pub fn solve_batch(
+        &mut self,
+        capacities: &[f64],
+        arena: &FlowArena,
+        batch: &ProbeBatch,
+        rates: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        self.solve_logged(capacities, arena, rates);
+        self.probe_batch(capacities, arena, batch, out);
+    }
+
+    /// Replay the logged rounds for one candidate.
+    ///
+    /// Before the candidate freezes it only *adds one user* to each of its
+    /// resources — it consumes nothing — so every base round whose
+    /// bottleneck key beats all candidate shares executes exactly as
+    /// logged. The walk maintains `(slack, users)` for the candidate's
+    /// resources only, applying each round's logged deltas with the same
+    /// arithmetic (`slack -= d × level`) the solver used, and stops at the
+    /// first round where a candidate share wins the pop: that resource is
+    /// the candidate's bottleneck and the share is its rate. If no round
+    /// fires, the base set froze entirely and the candidate gets the
+    /// smallest remaining slack on its path.
+    fn replay(&mut self, capacities: &[f64], arena: &FlowArena, s: &[u32]) -> f64 {
+        assert!(!s.is_empty(), "probe flow traverses no resources");
+        let nr = self.log.n_resources as usize;
+        if self.probe_slack.len() < s.len() {
+            self.probe_slack.resize(s.len(), 0.0);
+            self.probe_users.resize(s.len(), 0);
+        }
+        for (i, &r) in s.iter().enumerate() {
+            let ri = r as usize;
+            assert!(ri < nr, "probe: bad resource {r}");
+            debug_assert!(
+                self.probe_mark[ri] == PROBE_NONE,
+                "probe flow lists resource {r} twice (it would be double-charged)"
+            );
+            self.probe_mark[ri] = i as u32;
+            self.probe_slack[i] = capacities[ri];
+            self.probe_users[i] = arena.users(r) as u32;
+        }
+        let mut rate = None;
+        let mut t0 = 0usize;
+        for k in 0..self.log.keys.len() {
+            // The candidate's best (share, resource) key, with one extra
+            // user on each of its resources.
+            let mut cmin = ShareKey(u128::MAX);
+            for (i, &r) in s.iter().enumerate() {
+                let share = (self.probe_slack[i] / (self.probe_users[i] + 1) as f64).max(0.0);
+                let key = ShareKey::new(share, r, 0);
+                if key < cmin {
+                    cmin = key;
+                }
+            }
+            if cmin.0 <= self.log.keys[k] {
+                // A candidate resource saturates before (or exactly as)
+                // the logged bottleneck: the candidate freezes here.
+                rate = Some(cmin.share());
+                break;
+            }
+            // Round executes as logged; apply its deltas to the
+            // candidate's resources.
+            let t1 = self.log.round_end[k] as usize;
+            let level = self.log.levels[k];
+            for t in t0..t1 {
+                let i = self.probe_mark[self.log.touched_res[t] as usize];
+                if i != PROBE_NONE {
+                    let d = self.log.touched_delta[t];
+                    self.probe_users[i as usize] -= d;
+                    self.probe_slack[i as usize] -= d as f64 * level;
+                }
+            }
+            t0 = t1;
+        }
+        let rate = rate.unwrap_or_else(|| {
+            // Every base flow froze without saturating the candidate's
+            // path: it bottlenecks on its smallest remaining slack.
+            let mut best = f64::INFINITY;
+            for i in 0..s.len() {
+                let share = (self.probe_slack[i] / (self.probe_users[i] + 1) as f64).max(0.0);
+                best = best.min(share);
+            }
+            best
+        });
+        for &r in s {
+            self.probe_mark[r as usize] = PROBE_NONE;
+        }
+        rate
     }
 }
 
@@ -642,5 +967,124 @@ mod tests {
         let mut rates = Vec::new();
         solver.solve(&[5.0, 5.0, 5.0, 7.0], &a, &mut rates);
         assert!(close(rates[s.0 as usize], 7.0));
+    }
+
+    // ------------------------------------------------- batched what-if
+
+    /// Reference for a probe: add the candidate for real, solve from
+    /// scratch, read its rate.
+    fn full_solve_probe(caps: &[f64], base: &[Vec<u32>], candidate: &[u32]) -> f64 {
+        let mut arena = FlowArena::new(caps.len());
+        for f in base {
+            arena.add(f);
+        }
+        let probe = arena.add(candidate);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve(caps, &arena, &mut rates);
+        rates[probe.0 as usize]
+    }
+
+    #[test]
+    fn probe_batch_bitmatches_full_solves() {
+        // Mixed bottlenecks: shared link, private links, a hose-like cap.
+        let caps = [10.0, 10.0, 6.0, 300.0];
+        let base: Vec<Vec<u32>> = vec![vec![0, 1], vec![0], vec![1], vec![2], vec![2, 3]];
+        let mut arena = FlowArena::new(caps.len());
+        for f in &base {
+            arena.add(f);
+        }
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        let mut batch = ProbeBatch::new();
+        let candidates: Vec<Vec<u32>> =
+            vec![vec![0], vec![1], vec![2], vec![3], vec![0, 1], vec![0, 2, 3], vec![1, 3]];
+        for c in &candidates {
+            batch.push(c);
+        }
+        let mut out = Vec::new();
+        solver.solve_batch(&caps, &arena, &batch, &mut rates, &mut out);
+        assert_eq!(out.len(), candidates.len());
+        for (c, got) in candidates.iter().zip(&out) {
+            let want = full_solve_probe(&caps, &base, c);
+            assert_eq!(got.to_bits(), want.to_bits(), "candidate {c:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn probe_on_empty_flow_set_sees_raw_capacity() {
+        let caps = [7.0, 3.0];
+        let arena = FlowArena::new(2);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_logged(&caps, &arena, &mut rates);
+        assert!(close(solver.probe(&caps, &arena, &[0]), 7.0));
+        assert!(close(solver.probe(&caps, &arena, &[0, 1]), 3.0));
+    }
+
+    #[test]
+    fn probe_leaves_committed_state_untouched() {
+        let caps = [10.0];
+        let mut arena = FlowArena::new(1);
+        let a = arena.add(&[0]);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_logged(&caps, &arena, &mut rates);
+        let before = rates.clone();
+        let gen = arena.generation();
+        let r = solver.probe(&caps, &arena, &[0]);
+        assert!(close(r, 5.0), "probe shares with the one live flow: {r}");
+        assert_eq!(rates, before, "base rates untouched");
+        assert_eq!(arena.generation(), gen, "arena untouched");
+        assert!(close(rates[a.0 as usize], 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "logged solve")]
+    fn probe_rejects_stale_log() {
+        let caps = [10.0];
+        let mut arena = FlowArena::new(1);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_logged(&caps, &arena, &mut rates);
+        arena.add(&[0]); // mutate after the logged solve
+        let _ = solver.probe(&caps, &arena, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "logged solve")]
+    fn plain_solve_invalidates_probe_log() {
+        let caps = [10.0];
+        let arena = FlowArena::new(1);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_logged(&caps, &arena, &mut rates);
+        solver.solve(&caps, &arena, &mut rates);
+        let _ = solver.probe(&caps, &arena, &[0]);
+    }
+
+    #[test]
+    fn probe_batch_reuse_keeps_candidates_independent() {
+        let caps = [9.0, 9.0];
+        let mut arena = FlowArena::new(2);
+        arena.add(&[0]);
+        let mut solver = MaxMinSolver::new();
+        let (mut rates, mut out) = (Vec::new(), Vec::new());
+        let mut batch = ProbeBatch::new();
+        // Three identical candidates: each must see the same what-if world
+        // (4.5 each on link 0), not stack on one another.
+        for _ in 0..3 {
+            batch.push(&[0]);
+        }
+        solver.solve_batch(&caps, &arena, &batch, &mut rates, &mut out);
+        for r in &out {
+            assert!(close(*r, 4.5), "{r}");
+        }
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&[1]);
+        solver.probe_batch(&caps, &arena, &batch, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(close(out[0], 9.0), "cleared batch rates the idle link: {}", out[0]);
     }
 }

@@ -37,11 +37,30 @@
 //! property suite checks exactly that. See [`fairshare`] for the full
 //! invariant list.
 //!
+//! # Batched & parallel what-if evaluation
+//!
+//! Placement quality hinges on scoring many candidate flows against the
+//! same network state, and a solve per candidate is the scaling
+//! bottleneck. Two layers remove it:
+//!
+//! * **[`ProbeBatch`]** — [`MaxMinSolver::solve_batch`] runs *one* logged
+//!   solve and replays its frozen freeze-round prefix per candidate
+//!   (`O(rounds · path)` each, early exit at the candidate's bottleneck),
+//!   bit-identical to a full solve per candidate. [`FlowSim::probe_rate`]
+//!   and [`FlowSim::probe_rates`] ride on it, which also makes probing
+//!   observably side-effect-free — no arena round-trip.
+//! * **[`ScenarioPool`]** — independent scenarios (placements, failures,
+//!   cross-traffic hypotheses) fan out across worker threads, one arena
+//!   clone + solver per worker, merged in scenario order. Results are
+//!   bit-identical for any worker count.
+//!
 //! Entry point: [`FlowSim`]. One-shot callers can still use
 //! [`max_min_rates`].
 
 pub mod engine;
 pub mod fairshare;
+pub mod scenario;
 
-pub use engine::{FlowKey, FlowSim, FlowStatus, HoseId};
-pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver};
+pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId};
+pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
+pub use scenario::{ScenarioCtx, ScenarioPool};

@@ -24,6 +24,23 @@ pub trait MeasureBackend {
     /// Returns estimated bulk-TCP throughput in bits/s.
     fn probe_path(&mut self, a: VmId, b: VmId) -> f64;
 
+    /// Probe many ordered pairs; fills `out[i]` with the estimate for
+    /// `pairs[i]`.
+    ///
+    /// Default: sequential [`MeasureBackend::probe_path`] calls. Backends
+    /// that can score many candidates against one network state — the
+    /// flow-level cloud batches all pairs through a single what-if solve —
+    /// override this, turning the mesh measurement and the placer's
+    /// candidate scoring from `O(pairs)` solver passes into one.
+    fn probe_paths(&mut self, pairs: &[(VmId, VmId)], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        for &(a, b) in pairs {
+            let rate = self.probe_path(a, b);
+            out.push(rate);
+        }
+    }
+
     /// Ground-truth bulk TCP measurement of `duration` (netperf).
     fn netperf(&mut self, a: VmId, b: VmId, duration: Nanos) -> f64;
 
@@ -122,16 +139,25 @@ impl NetworkSnapshot {
 
     /// Measure every ordered pair with the backend's fast probe and
     /// assemble a snapshot (the paper's "snapshot of the network within a
-    /// few minutes for a ten-node topology").
+    /// few minutes for a ten-node topology"). The full mesh goes through
+    /// [`MeasureBackend::probe_paths`] as one batch, so backends with a
+    /// batched what-if solver pay a single solve for the whole snapshot.
     pub fn measure<B: MeasureBackend>(backend: &mut B, model: RateModel) -> NetworkSnapshot {
         let n = backend.n_vms();
-        let mut rates = vec![f64::INFINITY; n * n];
+        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1));
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    rates[i * n + j] = backend.probe_path(VmId(i as u32), VmId(j as u32));
+                    pairs.push((VmId(i as u32), VmId(j as u32)));
                 }
             }
+        }
+        let mut probed = Vec::new();
+        backend.probe_paths(&pairs, &mut probed);
+        assert_eq!(probed.len(), pairs.len(), "backend probed every pair");
+        let mut rates = vec![f64::INFINITY; n * n];
+        for (&(a, b), &rate) in pairs.iter().zip(&probed) {
+            rates[a.0 as usize * n + b.0 as usize] = rate;
         }
         let mut snap = NetworkSnapshot::from_rates(n, rates, model);
         let mut hops = vec![0usize; n * n];

@@ -9,25 +9,39 @@
 //! fastest (line 14). Intra-machine "paths" have effectively infinite
 //! rate, so heavy pairs co-locate when CPU allows, exactly the behaviour
 //! §9 describes.
+//!
+//! # Batched candidate evaluation
+//!
+//! Raw inter-VM rates come from a [`CandidateRater`], queried **one batch
+//! per transfer** rather than one call per `(m, n)` pair: the feasible
+//! candidates are enumerated, filtered through the per-pair `RateCache`
+//! (a pair is never rated twice in one placement), and the misses go to
+//! the rater as a single `path_rates` batch. Against a snapshot that is a
+//! memory walk; against a live backend (see
+//! [`crate::rater::BackendRater`]) it collapses `O(V²)` what-if solver
+//! passes per transfer into one. The sharing adjustment for transfers
+//! placed earlier in the same call is pure arithmetic applied on top, so
+//! cached raw rates never go stale.
 
 use choreo_measure::{NetworkSnapshot, RateModel};
 use choreo_profile::AppProfile;
 use choreo_topology::VmId;
 
 use crate::problem::{Machines, NetworkLoad, PlaceError, Placement};
+use crate::rater::{CandidateRater, SnapshotRater};
 
 /// The greedy network-aware placer.
 #[derive(Debug, Clone, Default)]
 pub struct GreedyPlacer;
 
-/// Memo of per-VM-pair candidate rates for one `place()` call.
+/// Memo of raw per-VM-pair rates for one `place()` call.
 ///
-/// Candidate enumeration evaluates the same `(m, n)` rate `O(V²)` times
-/// per transfer, but a placed transfer changes only a sliver of the rate
-/// surface: under the pipe model the pair it landed on, under the hose
-/// model the source row (its egress sharing count moved). The cache keeps
-/// every other entry across transfers and invalidates exactly that
-/// sliver; `NaN` marks entries needing recomputation.
+/// Candidate enumeration visits the same `(m, n)` pair `O(V²)` times per
+/// transfer; the cache guarantees each pair is rated by the
+/// [`CandidateRater`] at most once per placement and acts as the filter in
+/// front of the per-transfer batch. Raw rates are placement-independent
+/// (the sharing adjustment happens outside), so entries never invalidate.
+/// `NaN` marks pairs not yet rated.
 #[derive(Debug)]
 struct RateCache {
     vals: Vec<f64>,
@@ -53,20 +67,18 @@ impl RateCache {
     fn put(&mut self, m: u32, n: u32, rate: f64) {
         self.vals[m as usize * self.n_vms + n as usize] = rate;
     }
+}
 
-    /// Invalidate what placing a transfer on `(m, n)` stales.
-    fn invalidate_after_placement(&mut self, model: RateModel, m: u32, n: u32) {
-        if m == n {
-            return; // intra-machine rate is always ∞
-        }
-        match model {
-            RateModel::Pipe => self.vals[m as usize * self.n_vms + n as usize] = f64::NAN,
-            RateModel::Hose => {
-                let row = m as usize * self.n_vms;
-                self.vals[row..row + self.n_vms].fill(f64::NAN);
-            }
-        }
-    }
+/// Reusable buffers for one transfer's candidate batch.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Feasible candidate pairs, in enumeration order (the tie-break
+    /// order).
+    cands: Vec<(u32, u32)>,
+    /// Cache misses submitted to the rater.
+    misses: Vec<(u32, u32)>,
+    /// Rater output, parallel to `misses`.
+    rates: Vec<f64>,
 }
 
 impl GreedyPlacer {
@@ -80,9 +92,24 @@ impl GreedyPlacer {
         snapshot: &NetworkSnapshot,
         load: &NetworkLoad,
     ) -> Result<Placement, PlaceError> {
+        assert_eq!(snapshot.n_vms(), machines.len(), "snapshot covers the machines");
+        self.place_with_rater(app, machines, &mut SnapshotRater { snapshot }, load)
+    }
+
+    /// [`GreedyPlacer::place`] over any [`CandidateRater`] — e.g. a
+    /// [`crate::rater::BackendRater`] that scores each transfer's
+    /// candidate set against the live network in one batched what-if
+    /// round-trip.
+    pub fn place_with_rater<R: CandidateRater>(
+        &self,
+        app: &AppProfile,
+        machines: &Machines,
+        rater: &mut R,
+        load: &NetworkLoad,
+    ) -> Result<Placement, PlaceError> {
         let n_tasks = app.n_tasks();
         let n_vms = machines.len();
-        assert_eq!(snapshot.n_vms(), n_vms, "snapshot covers the machines");
+        assert_eq!(rater.n_vms(), n_vms, "rater covers the machines");
         assert_eq!(load.n_vms(), n_vms, "load covers the machines");
         let total_cpu: f64 = app.cpu.iter().sum();
         let free_cpu: f64 =
@@ -97,6 +124,7 @@ impl GreedyPlacer {
         let mut placed_path = vec![0u32; n_vms * n_vms];
         let mut placed_egress = vec![0u32; n_vms];
         let mut cache = RateCache::new(n_vms);
+        let mut scratch = BatchScratch::default();
 
         let transfers = app.matrix.transfers_desc();
         for (i, j, _bytes) in &transfers {
@@ -105,19 +133,19 @@ impl GreedyPlacer {
                 (Some(m), Some(n)) => {
                     // Both fixed: just account the transfer on its path.
                     Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
-                    cache.invalidate_after_placement(snapshot.model, m, n);
                 }
                 _ => {
                     let (m, n) = self.best_pair(
                         app,
                         machines,
-                        snapshot,
+                        rater,
                         load,
                         &assignment,
                         &cpu_used,
                         &placed_path,
                         &placed_egress,
                         &mut cache,
+                        &mut scratch,
                         i,
                         j,
                     )?;
@@ -130,7 +158,6 @@ impl GreedyPlacer {
                         cpu_used[n as usize] += app.cpu[j];
                     }
                     Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
-                    cache.invalidate_after_placement(snapshot.model, m, n);
                 }
             }
         }
@@ -155,95 +182,80 @@ impl GreedyPlacer {
         }
     }
 
-    /// Rate a *new* transfer would see on `(m, n)` (line 13 of
-    /// Algorithm 1): intra-machine is infinite; otherwise the measured
+    /// Sharing-adjusted rate a *new* transfer would see on `(m, n)` (line
+    /// 13 of Algorithm 1): intra-machine is infinite; otherwise the raw
     /// path rate divided among the connections it shares with, under the
-    /// snapshot's sharing model.
+    /// rater's sharing model. `raw_path`/`raw_hose` come from the
+    /// [`CandidateRater`] via the cache.
     #[allow(clippy::too_many_arguments)]
-    fn rate(
-        &self,
-        snapshot: &NetworkSnapshot,
+    fn shared_rate(
+        model: RateModel,
         load: &NetworkLoad,
         placed_path: &[u32],
         placed_egress: &[u32],
         n_vms: usize,
         m: u32,
         n: u32,
+        raw_path: f64,
+        raw_hose: f64,
     ) -> f64 {
-        if m == n {
-            return f64::INFINITY;
-        }
         let (a, b) = (VmId(m), VmId(n));
-        match snapshot.model {
+        match model {
             RateModel::Pipe => {
                 let sharing = 1 + load.on_path(a, b) + placed_path[m as usize * n_vms + n as usize];
-                snapshot.rate(a, b) / sharing as f64
+                raw_path / sharing as f64
             }
             RateModel::Hose => {
                 let sharing = 1 + load.egress(a) + placed_egress[m as usize];
-                let hose_share = snapshot.hose_rate(a) / sharing as f64;
+                let hose_share = raw_hose / sharing as f64;
                 // A path cannot beat its own measured rate even if the
                 // hose has spare capacity.
-                hose_share.min(snapshot.rate(a, b))
+                hose_share.min(raw_path)
             }
         }
     }
 
     /// Candidate enumeration per Algorithm 1 lines 3–11, then rate
     /// maximization (line 14). Deterministic tie-break on (rate, m, n).
-    /// Rates are memoized in `cache` across transfers of one `place()`
-    /// call; only entries staled by the previous placement recompute.
+    ///
+    /// Runs in three phases: enumerate the feasible candidates, submit the
+    /// `cache` misses to the rater as **one batch for the whole
+    /// transfer**, then apply the sharing adjustment and maximize. The
+    /// cache guarantees no pair is ever rated twice within one placement.
     #[allow(clippy::too_many_arguments)]
-    fn best_pair(
+    fn best_pair<R: CandidateRater>(
         &self,
         app: &AppProfile,
         machines: &Machines,
-        snapshot: &NetworkSnapshot,
+        rater: &mut R,
         load: &NetworkLoad,
         assignment: &[Option<u32>],
         cpu_used: &[f64],
         placed_path: &[u32],
         placed_egress: &[u32],
         cache: &mut RateCache,
+        scratch: &mut BatchScratch,
         i: usize,
         j: usize,
     ) -> Result<(u32, u32), PlaceError> {
         let n_vms = machines.len() as u32;
-        let mut rate_memo = |m: u32, n: u32| match cache.get(m, n) {
-            Some(r) => r,
-            None => {
-                let r = self.rate(snapshot, load, placed_path, placed_egress, n_vms as usize, m, n);
-                cache.put(m, n, r);
-                r
-            }
-        };
         let fits = |task: usize, vm: u32, extra: f64| {
             cpu_used[vm as usize] + extra + app.cpu[task] <= machines.cpu[vm as usize] + 1e-9
         };
-        let mut best: Option<(f64, u32, u32)> = None;
-        let mut consider = |m: u32, n: u32, rate: f64| {
-            let better = match best {
-                None => true,
-                Some((br, bm, bn)) => {
-                    rate > br + 1e-12 || ((rate - br).abs() <= 1e-12 && (m, n) < (bm, bn))
-                }
-            };
-            if better {
-                best = Some((rate, m, n));
-            }
-        };
+        // Phase 1: feasible candidates, in deterministic tie-break order.
+        scratch.cands.clear();
         match (assignment[i], assignment[j]) {
             (Some(k), None) => {
                 for n in 0..n_vms {
                     if fits(j, n, 0.0) {
-                        consider(k, n, rate_memo(k, n));
+                        scratch.cands.push((k, n));
                     }
                 }
             }
             (None, Some(l)) => {
                 for m in 0..n_vms {
                     if fits(i, m, 0.0) {
-                        consider(m, l, rate_memo(m, l));
+                        scratch.cands.push((m, l));
                     }
                 }
             }
@@ -259,12 +271,58 @@ impl GreedyPlacer {
                             fits(j, n, 0.0)
                         };
                         if ok {
-                            consider(m, n, rate_memo(m, n));
+                            scratch.cands.push((m, n));
                         }
                     }
                 }
             }
             (Some(m), Some(n)) => return Ok((m, n)),
+        }
+        // Phase 2: the cache filters the batch — only never-rated pairs
+        // reach the rater, as one call for the whole transfer.
+        scratch.misses.clear();
+        for &(m, n) in &scratch.cands {
+            if m != n && cache.get(m, n).is_none() {
+                scratch.misses.push((m, n));
+            }
+        }
+        if !scratch.misses.is_empty() {
+            rater.path_rates(&scratch.misses, &mut scratch.rates);
+            assert_eq!(scratch.rates.len(), scratch.misses.len(), "rater rated every pair");
+            for (&(m, n), &r) in scratch.misses.iter().zip(&scratch.rates) {
+                cache.put(m, n, r);
+            }
+        }
+        // Phase 3: sharing adjustment + maximization.
+        let model = rater.model();
+        let mut best: Option<(f64, u32, u32)> = None;
+        for &(m, n) in &scratch.cands {
+            let rate = if m == n {
+                f64::INFINITY
+            } else {
+                let raw_path = cache.get(m, n).expect("batched above");
+                let raw_hose = if model == RateModel::Hose { rater.hose_rate(m) } else { f64::NAN };
+                Self::shared_rate(
+                    model,
+                    load,
+                    placed_path,
+                    placed_egress,
+                    n_vms as usize,
+                    m,
+                    n,
+                    raw_path,
+                    raw_hose,
+                )
+            };
+            let better = match best {
+                None => true,
+                Some((br, bm, bn)) => {
+                    rate > br + 1e-12 || ((rate - br).abs() <= 1e-12 && (m, n) < (bm, bn))
+                }
+            };
+            if better {
+                best = Some((rate, m, n));
+            }
         }
         best.map(|(_, m, n)| (m, n)).ok_or(PlaceError::NoFeasibleMachine { task: i })
     }

@@ -1,0 +1,243 @@
+//! Candidate-rate sources for the greedy placer's batched evaluation.
+//!
+//! Algorithm 1's inner loop asks, per transfer, "what raw rate does the
+//! network offer between VMs `m` and `n`?" for every feasible candidate
+//! pair. [`CandidateRater`] answers that question **in batches — one
+//! round-trip per transfer instead of one query per pair** — so a backend
+//! that can score many candidates against a single network state (the
+//! flow cloud's batched what-if solver) pays one solve per transfer, not
+//! `O(V²)`. The placer applies the hose/pipe sharing adjustment for
+//! transfers it has already placed on top of these raw rates itself.
+//!
+//! Two implementations:
+//!
+//! * [`SnapshotRater`] — reads a measured [`NetworkSnapshot`] (the
+//!   paper's workflow: measure once, place many).
+//! * [`BackendRater`] — probes a live [`MeasureBackend`] per batch, so
+//!   placement sees the network as it is *right now* rather than as it
+//!   was at the last snapshot.
+
+use choreo_measure::{MeasureBackend, NetworkSnapshot, RateModel};
+use choreo_topology::VmId;
+
+/// Batched source of raw (sharing-unadjusted) inter-VM rates.
+///
+/// Contract: rates must be stable for the lifetime of one `place()` call —
+/// the placer caches them per VM pair and never re-queries a pair it has
+/// seen (the [`crate::greedy::GreedyPlacer`] `RateCache` filters the
+/// batch).
+pub trait CandidateRater {
+    /// Number of VMs the rater covers.
+    fn n_vms(&self) -> usize;
+
+    /// The sharing model the placer should apply on top of raw rates.
+    fn model(&self) -> RateModel;
+
+    /// Raw path rate estimates: fills `out[i]` for `pairs[i]`, where each
+    /// pair is `(source VM, destination VM)` with distinct endpoints.
+    fn path_rates(&mut self, pairs: &[(u32, u32)], out: &mut Vec<f64>);
+
+    /// Raw hose (egress) rate of a VM — the denominator of the hose
+    /// sharing rule. Only called when [`CandidateRater::model`] is
+    /// [`RateModel::Hose`].
+    fn hose_rate(&mut self, vm: u32) -> f64;
+}
+
+/// Rater over a measured [`NetworkSnapshot`].
+#[derive(Debug)]
+pub struct SnapshotRater<'a> {
+    /// The snapshot to read rates from.
+    pub snapshot: &'a NetworkSnapshot,
+}
+
+impl CandidateRater for SnapshotRater<'_> {
+    fn n_vms(&self) -> usize {
+        self.snapshot.n_vms()
+    }
+
+    fn model(&self) -> RateModel {
+        self.snapshot.model
+    }
+
+    fn path_rates(&mut self, pairs: &[(u32, u32)], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(pairs.len());
+        for &(m, n) in pairs {
+            out.push(self.snapshot.rate(VmId(m), VmId(n)));
+        }
+    }
+
+    fn hose_rate(&mut self, vm: u32) -> f64 {
+        self.snapshot.hose_rate(VmId(vm))
+    }
+}
+
+/// Rater that probes a live [`MeasureBackend`] — placement against the
+/// network's *current* state.
+///
+/// Path rates go through [`MeasureBackend::probe_paths`], so a backend
+/// with a batched what-if solver (the flow cloud) answers a whole
+/// transfer's candidate set with one solve. A full raw-rate memo
+/// guarantees **every ordered pair is probed at most once per placement**,
+/// whether it is first requested as a candidate or as part of a hose row —
+/// so one measurement is one number, and probe (and noise) cost is bounded
+/// by the mesh size.
+pub struct BackendRater<'a, B: MeasureBackend> {
+    backend: &'a mut B,
+    model: RateModel,
+    n_vms: usize,
+    /// Row-major raw-rate memo (`NaN` = not yet probed).
+    raw: Vec<f64>,
+    /// Per-VM hose memo (`NaN` = not yet derived). The hose estimate is
+    /// the row maximum of probed rates, like
+    /// [`NetworkSnapshot::hose_rate`]'s definition.
+    hose: Vec<f64>,
+    /// Scratch: `(VmId, VmId)` misses of the current batch.
+    pair_scratch: Vec<(VmId, VmId)>,
+    /// Scratch: backend output for `pair_scratch`.
+    rate_scratch: Vec<f64>,
+}
+
+impl<'a, B: MeasureBackend> BackendRater<'a, B> {
+    /// Rater over `backend` with the given sharing model.
+    pub fn new(backend: &'a mut B, model: RateModel) -> Self {
+        let n = backend.n_vms();
+        BackendRater {
+            backend,
+            model,
+            n_vms: n,
+            raw: vec![f64::NAN; n * n],
+            hose: vec![f64::NAN; n],
+            pair_scratch: Vec::new(),
+            rate_scratch: Vec::new(),
+        }
+    }
+
+    /// Probe the not-yet-memoized pairs of `pair_scratch` (as one batch)
+    /// and commit them to the memo.
+    fn probe_misses(&mut self) {
+        let (raw, n) = (&self.raw, self.n_vms);
+        self.pair_scratch.retain(|&(a, b)| raw[a.0 as usize * n + b.0 as usize].is_nan());
+        if self.pair_scratch.is_empty() {
+            return;
+        }
+        self.backend.probe_paths(&self.pair_scratch, &mut self.rate_scratch);
+        for (&(a, b), &r) in self.pair_scratch.iter().zip(&self.rate_scratch) {
+            self.raw[a.0 as usize * self.n_vms + b.0 as usize] = r;
+        }
+    }
+}
+
+impl<B: MeasureBackend> CandidateRater for BackendRater<'_, B> {
+    fn n_vms(&self) -> usize {
+        self.n_vms
+    }
+
+    fn model(&self) -> RateModel {
+        self.model
+    }
+
+    fn path_rates(&mut self, pairs: &[(u32, u32)], out: &mut Vec<f64>) {
+        self.pair_scratch.clear();
+        self.pair_scratch.extend(pairs.iter().map(|&(m, n)| (VmId(m), VmId(n))));
+        self.probe_misses();
+        out.clear();
+        out.extend(pairs.iter().map(|&(m, n)| self.raw[m as usize * self.n_vms + n as usize]));
+    }
+
+    fn hose_rate(&mut self, vm: u32) -> f64 {
+        if self.hose[vm as usize].is_nan() {
+            // Complete the VM's egress row (probing only unseen pairs)
+            // and keep the maximum.
+            let n = self.n_vms as u32;
+            self.pair_scratch.clear();
+            self.pair_scratch.extend((0..n).filter(|&j| j != vm).map(|j| (VmId(vm), VmId(j))));
+            self.probe_misses();
+            let row = &self.raw[vm as usize * self.n_vms..(vm as usize + 1) * self.n_vms];
+            self.hose[vm as usize] =
+                row.iter().filter(|r| !r.is_nan()).fold(0.0, |a, &b| f64::max(a, b));
+        }
+        self.hose[vm as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_rater_reads_rates_and_hoses() {
+        let rates = vec![
+            0.0, 10.0, 20.0, //
+            15.0, 0.0, 30.0, //
+            25.0, 35.0, 0.0,
+        ];
+        let snap = NetworkSnapshot::from_rates(3, rates, RateModel::Hose);
+        let mut rater = SnapshotRater { snapshot: &snap };
+        assert_eq!(rater.n_vms(), 3);
+        assert_eq!(rater.model(), RateModel::Hose);
+        let mut out = Vec::new();
+        rater.path_rates(&[(0, 1), (2, 1), (1, 0)], &mut out);
+        assert_eq!(out, vec![10.0, 35.0, 15.0]);
+        assert_eq!(rater.hose_rate(0), 20.0);
+        assert_eq!(rater.hose_rate(2), 35.0);
+    }
+
+    struct CountingBackend {
+        n: usize,
+        probes: usize,
+        batches: usize,
+    }
+
+    impl MeasureBackend for CountingBackend {
+        fn n_vms(&self) -> usize {
+            self.n
+        }
+        fn probe_path(&mut self, a: VmId, b: VmId) -> f64 {
+            self.probes += 1;
+            ((a.0 + 1) * 10 + b.0 + 1) as f64
+        }
+        fn probe_paths(&mut self, pairs: &[(VmId, VmId)], out: &mut Vec<f64>) {
+            self.batches += 1;
+            out.clear();
+            for &(a, b) in pairs {
+                let r = self.probe_path(a, b);
+                out.push(r);
+            }
+        }
+        fn netperf(&mut self, a: VmId, b: VmId, _d: choreo_topology::Nanos) -> f64 {
+            self.probe_path(a, b)
+        }
+        fn concurrent_netperf(
+            &mut self,
+            pairs: &[(VmId, VmId)],
+            _d: choreo_topology::Nanos,
+        ) -> Vec<f64> {
+            pairs.iter().map(|&(a, b)| self.probe_path(a, b)).collect()
+        }
+        fn traceroute(&mut self, _a: VmId, _b: VmId) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn backend_rater_batches_and_memoizes_hoses() {
+        let mut b = CountingBackend { n: 3, probes: 0, batches: 0 };
+        let mut rater = BackendRater::new(&mut b, RateModel::Hose);
+        let mut out = Vec::new();
+        rater.path_rates(&[(0, 1), (0, 2), (1, 2)], &mut out);
+        assert_eq!(out, vec![12.0, 13.0, 23.0]);
+        // Hose of VM 1 = max over its row; derived once, then memoized.
+        assert_eq!(rater.hose_rate(1), 23.0);
+        assert_eq!(rater.hose_rate(1), 23.0);
+        // Re-requesting memoized pairs must not touch the backend again.
+        rater.path_rates(&[(0, 2), (1, 2)], &mut out);
+        assert_eq!(out, vec![13.0, 23.0]);
+        let (batches, probes) = {
+            let r = &rater;
+            (r.backend.batches, r.backend.probes)
+        };
+        assert_eq!(batches, 2, "one candidate batch + one hose-row completion");
+        assert_eq!(probes, 4, "3 candidates + 1 unseen hose-row pair: (1,2) is memoized");
+    }
+}

@@ -9,7 +9,7 @@
 //! dedicated blocking thread per socket is the simplest design that
 //! doesn't perturb timestamps with scheduler hops.
 //!
-//! * [`format`] — the probe-packet wire format and the length-prefixed
+//! * [`format`](mod@format) — the probe-packet wire format and the length-prefixed
 //!   control protocol (hand-rolled with `bytes`; no serialization
 //!   framework on the hot path).
 //! * [`receiver`] — [`TrainReceiver`]: binds a UDP socket, records

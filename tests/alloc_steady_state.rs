@@ -17,7 +17,7 @@ use std::sync::Arc;
 use choreo_repro::flowsim::{FlowArena, FlowSim, MaxMinSolver};
 use choreo_repro::topology::route::splitmix64;
 use choreo_repro::topology::{
-    dumbbell, LinkDir, LinkSpec, MultiRootedTreeSpec, RouteTable, GBIT, MICROS, SECS,
+    dumbbell, LinkSpec, MultiRootedTreeSpec, RouteTable, GBIT, MICROS, SECS,
 };
 
 struct CountingAlloc;
@@ -71,7 +71,7 @@ fn steady_state_reallocation_allocates_nothing() {
             .path_for_flow(a, b, splitmix64(id.wrapping_mul(0x9E37)))
             .hops
             .iter()
-            .map(|h| 2 * h.link.0 + matches!(h.dir, LinkDir::Reverse) as u32)
+            .map(choreo_repro::flowsim::hop_resource)
             .collect()
     };
     let n_flows = 220u64;
@@ -129,5 +129,21 @@ fn steady_state_reallocation_allocates_nothing() {
     }
     let probe_allocs = alloc_count() - before;
     assert!(acc > 0.0);
-    assert_eq!(probe_allocs, 0, "warm probe_rate (what-if solve) must not allocate");
+    assert_eq!(probe_allocs, 0, "warm probe_rate (what-if replay) must not allocate");
+
+    // ------------------------------------------------ batched what-if path
+    // Batched candidate scoring reuses the probe batch and the caller's
+    // output buffer: once warm, an entire batch per call allocates nothing.
+    let probes = [(h[0], h[4], None), (h[1], h[5], None), (h[2], h[6], None), (h[3], h[7], None)];
+    let mut out = Vec::new();
+    sim.probe_rates(&probes, &mut out); // warm the batch + output buffers
+    let before = alloc_count();
+    let mut acc = 0.0;
+    for _ in 0..100 {
+        sim.probe_rates(&probes, &mut out);
+        acc += out.iter().sum::<f64>();
+    }
+    let batch_allocs = alloc_count() - before;
+    assert!(acc > 0.0);
+    assert_eq!(batch_allocs, 0, "warm probe_rates (batched what-if) must not allocate");
 }

@@ -1,6 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
-use choreo_repro::flowsim::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver};
+use choreo_repro::flowsim::{
+    max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch, ScenarioPool,
+};
 use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
 use choreo_repro::place::greedy::GreedyPlacer;
@@ -171,6 +173,118 @@ proptest! {
                 prop_assert!(bottlenecked, "flow could still be raised: not max-min");
             }
         }
+    }
+}
+
+// ------------------------------------------------- batched what-if probes
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn batched_probes_bitmatch_per_candidate_solves_under_churn(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..7),
+        ops in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(0usize..7, 1..5)),
+            1..32,
+        ),
+        candidate_paths in prop::collection::vec(
+            prop::collection::vec(0usize..7, 1..5),
+            1..12,
+        ),
+    ) {
+        let nr = caps.len();
+        let norm = |path: &Vec<usize>| -> Vec<u32> {
+            let mut f: Vec<u32> = path.iter().map(|r| (r % nr) as u32).collect();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        // Build a churned arena (exercising slot/block recycling) so the
+        // batch is evaluated against a non-trivial internal layout.
+        let mut arena = FlowArena::new(nr);
+        let mut live: Vec<(FlowSlot, Vec<u32>)> = Vec::new();
+        for (remove, path) in &ops {
+            if *remove && !live.is_empty() {
+                let victim = path[0] % live.len();
+                let (slot, _) = live.swap_remove(victim);
+                arena.remove(slot);
+            } else {
+                let f = norm(path);
+                let slot = arena.add(&f);
+                live.push((slot, f));
+            }
+        }
+        let mut batch = ProbeBatch::new();
+        for c in &candidate_paths {
+            batch.push(&norm(c));
+        }
+        let mut solver = MaxMinSolver::new();
+        let (mut rates, mut out) = (Vec::new(), Vec::new());
+        solver.solve_batch(&caps, &arena, &batch, &mut rates, &mut out);
+        prop_assert_eq!(out.len(), candidate_paths.len());
+        // Reference: each candidate joins a from-scratch arena for real.
+        for (c, got) in candidate_paths.iter().zip(&out) {
+            let mut ref_arena = FlowArena::new(nr);
+            for (_, f) in &live {
+                ref_arena.add(f);
+            }
+            let probe = ref_arena.add(&norm(c));
+            let mut ref_solver = MaxMinSolver::new();
+            let mut ref_rates = Vec::new();
+            ref_solver.solve(&caps, &ref_arena, &mut ref_rates);
+            let want = ref_rates[probe.0 as usize];
+            prop_assert_eq!(
+                got.to_bits(), want.to_bits(),
+                "candidate {:?}: batched {} vs from-scratch {}", c, got, want
+            );
+        }
+        // The batch left the arena untouched: the base solution still
+        // bit-matches a fresh solve of the same flow set.
+        let mut check = Vec::new();
+        let mut fresh = MaxMinSolver::new();
+        fresh.solve(&caps, &arena, &mut check);
+        for (slot, _) in &live {
+            prop_assert_eq!(
+                rates[slot.0 as usize].to_bits(),
+                check[slot.0 as usize].to_bits()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn scenario_pool_results_identical_for_any_worker_count(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..6),
+        base_paths in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 0..10),
+        scenario_paths in prop::collection::vec(prop::collection::vec(0usize..6, 1..4), 1..20),
+    ) {
+        let nr = caps.len();
+        let norm = |path: &Vec<usize>| -> Vec<u32> {
+            let mut f: Vec<u32> = path.iter().map(|r| (r % nr) as u32).collect();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        let mut arena = FlowArena::new(nr);
+        for p in &base_paths {
+            arena.add(&norm(p));
+        }
+        let scenarios: Vec<Vec<u32>> = scenario_paths.iter().map(norm).collect();
+        // Scenario: add a hypothetical flow, solve, score it, restore.
+        let score = |ctx: &mut choreo_repro::flowsim::ScenarioCtx, path: &Vec<u32>| {
+            let probe = ctx.arena.add(path);
+            ctx.solver.solve(&caps, &ctx.arena, &mut ctx.rates);
+            let rate = ctx.rates[probe.0 as usize];
+            ctx.arena.remove(probe);
+            rate.to_bits()
+        };
+        let serial = ScenarioPool::new(1).evaluate(&arena, &scenarios, score);
+        let two = ScenarioPool::new(2).evaluate(&arena, &scenarios, score);
+        let eight = ScenarioPool::new(8).evaluate(&arena, &scenarios, score);
+        prop_assert_eq!(&serial, &two, "2 workers diverged");
+        prop_assert_eq!(&serial, &eight, "8 workers diverged");
     }
 }
 
