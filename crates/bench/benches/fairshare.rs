@@ -72,6 +72,25 @@ fn bench_fairshare_core(c: &mut Criterion) {
                 black_box(rates.len())
             })
         });
+        // Warm-started: same churn, but every reallocation replays the
+        // previous solve's freeze-round log and re-runs only the rounds
+        // the churned flow perturbed (bit-identical to the cold solve).
+        let mut warm_arena = FlowArena::new(caps.len());
+        let mut warm_slots: Vec<_> = paths.iter().map(|p| warm_arena.add(p)).collect();
+        let mut warm_solver = MaxMinSolver::new();
+        let mut warm_rates = Vec::new();
+        warm_solver.solve_warm(&caps, &mut warm_arena, &mut warm_rates);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::new("warm", flows), &(), |b, _| {
+            b.iter(|| {
+                let k = next % warm_slots.len();
+                warm_arena.remove(warm_slots[k]);
+                warm_slots[k] = warm_arena.add(&paths[(next * 7 + 1) % paths.len()]);
+                next += 1;
+                warm_solver.solve_warm(&caps, &mut warm_arena, &mut warm_rates);
+                black_box(warm_rates.len())
+            })
+        });
     }
     group.finish();
 }

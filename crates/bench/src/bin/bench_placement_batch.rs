@@ -16,8 +16,14 @@
 //! The two sides must agree **bit for bit** on every candidate (asserted
 //! per run). A [`ScenarioPool`] section additionally reports the parallel
 //! fan-out of whole candidate sweeps across hypothetical background
-//! scenarios. Emits `BENCH_placement.json`; the acceptance target for the
-//! batched path is ≥3× (CI gates at a conservative 2× floor).
+//! scenarios — the pool sizes itself to the machine
+//! (`std::thread::available_parallelism`), each worker chains
+//! warm-started solves across its scenario sequence, and the honest
+//! worker count is recorded; on a single-core runner the pool-speedup
+//! comparison is skipped (`pool_speedup: null`) rather than reporting a
+//! meaningless ≈1× figure. Emits `BENCH_placement.json`; the acceptance
+//! target for the batched path is ≥3× (CI gates at a conservative 2×
+//! floor).
 
 use std::time::Instant;
 
@@ -133,7 +139,10 @@ fn main() {
     let batch_c = batch_best as f64 / n_cand as f64;
 
     // Parallel scenario fan-out: score the full candidate sweep under 16
-    // hypothetical extra background flows, serial vs pooled.
+    // hypothetical extra background flows, serial vs pooled. Each worker
+    // chains warm solves across its scenario sequence: the warm solve
+    // replays the freeze rounds the previous scenario's solve validated,
+    // and the probe batch rides the warm-maintained log.
     let hypos: Vec<Vec<u32>> = (0..16u64)
         .map(|i| w.flows[(splitmix64(i ^ 0xF00) % w.flows.len() as u64) as usize].clone())
         .collect();
@@ -144,19 +153,27 @@ fn main() {
             batch.push(cand);
         }
         let mut out = Vec::new();
-        ctx.solver.solve_batch(&w.capacities, &ctx.arena, &batch, &mut ctx.rates, &mut out);
+        ctx.solve(&w.capacities);
+        ctx.solver.probe_batch(&w.capacities, &ctx.arena, &batch, &mut out);
         ctx.arena.remove(bg);
         out.iter().map(|r| r.to_bits()).fold(0u64, |acc, b| acc.wrapping_add(b))
     };
     let t = Instant::now();
     let serial = ScenarioPool::new(1).evaluate(&arena, &hypos, sweep);
     let serial_ns = t.elapsed().as_nanos();
-    let workers = ScenarioPool::auto().workers().clamp(2, 8);
-    let t = Instant::now();
-    let pooled = ScenarioPool::new(workers).evaluate(&arena, &hypos, sweep);
-    let pool_ns = t.elapsed().as_nanos();
-    assert_eq!(serial, pooled, "scenario pool must be bit-identical to serial");
-    let pool_speedup = serial_ns as f64 / pool_ns as f64;
+    // The pool sizes itself to the machine; report the honest worker
+    // count, and skip the speedup comparison entirely on a single-core
+    // runner — a "parallel" run there measures nothing but noise.
+    let workers = ScenarioPool::default().workers();
+    let pool_speedup = if workers > 1 {
+        let t = Instant::now();
+        let pooled = ScenarioPool::default().evaluate(&arena, &hypos, sweep);
+        let pool_ns = t.elapsed().as_nanos();
+        assert_eq!(serial, pooled, "scenario pool must be bit-identical to serial");
+        Some(serial_ns as f64 / pool_ns as f64)
+    } else {
+        None
+    };
 
     println!(
         "# placement candidate scoring: {n_cand} candidates, {n_flows} flows, {} hosts",
@@ -165,9 +182,13 @@ fn main() {
     println!("per-candidate\t{base_c:.0} ns/candidate");
     println!("batched\t\t{batch_c:.0} ns/candidate");
     println!("speedup\t\t{speedup:.2}x");
-    println!("scenario pool\t{workers} workers\t{pool_speedup:.2}x on 16 scenario sweeps");
+    match pool_speedup {
+        Some(s) => println!("scenario pool\t{workers} workers\t{s:.2}x on 16 scenario sweeps"),
+        None => println!("scenario pool\t1 worker\tspeedup comparison skipped (single core)"),
+    }
+    let pool_speedup_json = pool_speedup.map_or("null".to_string(), |s| format!("{s:.3}"));
     let json = format!(
-        "{{\n  \"bench\": \"placement_candidate_batch\",\n  \"hosts\": {},\n  \"flows\": {n_flows},\n  \"candidates\": {n_cand},\n  \"per_candidate_ns\": {base_c:.1},\n  \"batched_ns\": {batch_c:.1},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 3.0,\n  \"pool_workers\": {workers},\n  \"pool_speedup\": {pool_speedup:.3},\n  \"pass\": {}\n}}\n",
+        "{{\n  \"bench\": \"placement_candidate_batch\",\n  \"hosts\": {},\n  \"flows\": {n_flows},\n  \"candidates\": {n_cand},\n  \"per_candidate_ns\": {base_c:.1},\n  \"batched_ns\": {batch_c:.1},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 3.0,\n  \"pool_workers\": {workers},\n  \"pool_speedup\": {pool_speedup_json},\n  \"pass\": {}\n}}\n",
         w.hosts,
         speedup >= 3.0
     );

@@ -374,16 +374,18 @@ impl FlowSim {
     }
 
     /// Make sure the solver's freeze-round log describes the current
-    /// arena: apply pending reallocation, and re-log if the arena drifted
-    /// without a solve (e.g. a hose was added while the rates were clean).
+    /// arena: apply pending reallocation, and re-stamp the log if the
+    /// arena drifted without a solve (e.g. a hose was added while the
+    /// rates were clean).
     fn ensure_probe_log(&mut self) {
         self.reallocate_if_dirty();
         if !self.solver.log_matches(&self.arena) {
             // The flow set is unchanged since the last committed
             // allocation (otherwise `dirty` would have forced a solve), so
-            // solving into the scratch buffer reproduces the committed
-            // rates; no write-back needed.
-            self.solver.solve_logged(&self.capacities, &self.arena, &mut self.rates_scratch);
+            // a warm solve into the scratch buffer revalidates the whole
+            // log and reproduces the committed rates; no write-back
+            // needed.
+            self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch);
         }
     }
 
@@ -461,13 +463,18 @@ impl FlowSim {
     /// The arena already reflects every start/stop, so this is a single
     /// solver run into the reusable rate buffer followed by a write-back —
     /// no per-call `Vec` construction (the old implementation cloned every
-    /// active flow's resource list here).
+    /// active flow's resource list here). The solve is **warm-started**:
+    /// flow starts, stops and ON–OFF toggles leave the previous solve's
+    /// freeze-round log hot, and the solver replays its validated prefix
+    /// instead of cold-solving, falling back to live filling only from the
+    /// first round the churn actually perturbed — bit-identical either
+    /// way, so the simulation's trajectory is unchanged.
     fn reallocate_if_dirty(&mut self) {
         if !self.dirty {
             return;
         }
         self.dirty = false;
-        self.solver.solve_logged(&self.capacities, &self.arena, &mut self.rates_scratch);
+        self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch);
         for (slot, &owner) in self.slot_owner.iter().enumerate() {
             if owner != NO_SLOT {
                 self.flows[owner as usize].rate = self.rates_scratch[slot];

@@ -22,7 +22,12 @@
 //!   over per-resource fair shares. All working state (`slack`, `users`,
 //!   `frozen`, the heap, per-round scratch) is retained between calls;
 //!   after the first solve at a given problem size, a solve allocates
-//!   nothing.
+//!   nothing. [`MaxMinSolver::solve_logged`] additionally records the
+//!   freeze-round sequence (`SolveLog`), which powers both the batched
+//!   what-if probes and [`MaxMinSolver::solve_warm`] — the warm-started
+//!   delta solve that replays the log after arena churn and runs live
+//!   rounds only for the perturbed cascade (see the crate docs for the
+//!   cold → logged → warm lifecycle).
 //!
 //! # Arena invariants
 //!
@@ -88,17 +93,33 @@ pub struct FlowArena {
     free_blocks: Vec<Vec<u32>>,
     /// Reverse index: resource id → packed `(slot, k)` of live crossings.
     rev: Vec<Vec<u64>>,
+    /// Per-resource live-flow count (mirrors `rev[r].len()`, kept flat so
+    /// solvers read initial user counts with one memcpy).
+    users_cnt: Vec<u32>,
     n_live: usize,
     /// Mutation counter, bumped by every `add`/`remove`/`grow_resources`.
     /// [`MaxMinSolver::probe`] uses it to detect that its logged solve
     /// still describes this arena.
     generation: u64,
+    /// Resources whose incident flow set changed since the last
+    /// [`FlowArena::clear_dirty`] — the perturbation set a warm-started
+    /// solve must re-validate. Deduplicated through `dirty_mark`, so the
+    /// list is bounded by the resource count and steady churn appends
+    /// without allocating once the buffer is warm.
+    dirty: Vec<u32>,
+    /// Per-resource membership flag for `dirty`.
+    dirty_mark: Vec<bool>,
 }
 
 impl FlowArena {
     /// Arena over resources `0..n_resources`.
     pub fn new(n_resources: usize) -> FlowArena {
-        FlowArena { rev: vec![Vec::new(); n_resources], ..FlowArena::default() }
+        FlowArena {
+            rev: vec![Vec::new(); n_resources],
+            users_cnt: vec![0; n_resources],
+            dirty_mark: vec![false; n_resources],
+            ..FlowArena::default()
+        }
     }
 
     /// Number of resource ids the arena knows about.
@@ -110,6 +131,8 @@ impl FlowArena {
     pub fn grow_resources(&mut self, n_resources: usize) {
         if n_resources > self.rev.len() {
             self.rev.resize_with(n_resources, Vec::new);
+            self.users_cnt.resize(n_resources, 0);
+            self.dirty_mark.resize(n_resources, false);
             self.generation = self.generation.wrapping_add(1);
         }
     }
@@ -135,7 +158,12 @@ impl FlowArena {
 
     /// Number of live flows crossing resource `r`.
     pub fn users(&self, r: u32) -> usize {
-        self.rev[r as usize].len()
+        self.users_cnt[r as usize] as usize
+    }
+
+    /// Per-resource live-flow counts, indexed by resource id.
+    pub fn users_counts(&self) -> &[u32] {
+        &self.users_cnt
     }
 
     /// Is `slot` currently live?
@@ -199,6 +227,8 @@ impl FlowArena {
             self.pool[s + k] = r;
             self.rev_pos[s + k] = self.rev[r as usize].len() as u32;
             self.rev[r as usize].push(pack(f as u32, k as u32));
+            self.users_cnt[r as usize] += 1;
+            self.mark_dirty(r);
         }
         FlowSlot(f as u32)
     }
@@ -210,6 +240,8 @@ impl FlowArena {
         let s = self.start[f] as usize;
         for k in 0..self.len[f] as usize {
             let r = self.pool[s + k] as usize;
+            self.users_cnt[r] -= 1;
+            self.mark_dirty(r as u32);
             let p = self.rev_pos[s + k] as usize;
             let list = &mut self.rev[r];
             list.swap_remove(p);
@@ -224,6 +256,44 @@ impl FlowArena {
         self.n_live -= 1;
         self.generation = self.generation.wrapping_add(1);
         self.free_slots.push(f as u32);
+    }
+
+    /// Record that resource `r`'s incident flow set changed (idempotent
+    /// between clears).
+    #[inline]
+    fn mark_dirty(&mut self, r: u32) {
+        if !self.dirty_mark[r as usize] {
+            self.dirty_mark[r as usize] = true;
+            self.dirty.push(r);
+        }
+    }
+
+    /// Dirty set size (tests / diagnostics).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Resources mutated since the dirty window was last closed (warm
+    /// solves consume and re-open it), in first-touch order. This is the perturbation set
+    /// [`MaxMinSolver::solve_warm`] re-validates logged freeze rounds
+    /// against; it is deliberately an *over*-approximation (entries are
+    /// only removed by a clear), which is always safe — a falsely-dirty
+    /// resource just gets an explicit share check.
+    pub fn dirty_resources(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// Open a new dirty window. Called by [`MaxMinSolver::solve_warm`] at
+    /// the moment its log is re-recorded against this arena, which keeps
+    /// the invariant warm solving relies on: the dirty set always covers
+    /// every mutation since the solver's log was written. (This is also
+    /// why at most one warm-chaining solver should drive a given arena —
+    /// a second one would consume the first one's window.)
+    fn clear_dirty(&mut self) {
+        for &r in &self.dirty {
+            self.dirty_mark[r as usize] = false;
+        }
+        self.dirty.clear();
     }
 
     /// Hand slot `f`'s block (if any) to the free lists.
@@ -282,6 +352,9 @@ impl FlowArena {
         }
         let rev_total: usize = self.rev.iter().map(Vec::len).sum();
         assert_eq!(rev_total, live_incidences, "reverse index leaks entries");
+        for (r, list) in self.rev.iter().enumerate() {
+            assert_eq!(self.users_cnt[r] as usize, list.len(), "user count drifted at {r}");
+        }
     }
 }
 
@@ -398,6 +471,11 @@ struct SolveLog {
     /// Flattened `(resource, flows frozen crossing it)` deltas, by round.
     touched_res: Vec<u32>,
     touched_delta: Vec<u32>,
+    /// Flattened arena slots frozen per round (warm replay walks these
+    /// sequentially instead of chasing the reverse index).
+    freeze_slots: Vec<u32>,
+    /// Per round: end offset (exclusive) into `freeze_slots`.
+    freeze_end: Vec<u32>,
     /// Arena generation the log was recorded against.
     generation: u64,
     /// Resource-space size at record time.
@@ -413,6 +491,8 @@ impl SolveLog {
         self.round_end.clear();
         self.touched_res.clear();
         self.touched_delta.clear();
+        self.freeze_slots.clear();
+        self.freeze_end.clear();
         self.valid = false;
     }
 }
@@ -449,6 +529,20 @@ pub struct MaxMinSolver {
     delta: Vec<u32>,
     /// Freeze-round log of the last `solve_logged`, replayed by probes.
     log: SolveLog,
+    /// Spare log buffers: [`MaxMinSolver::solve_warm`] re-records the log
+    /// while reading the old one, so the two alternate between `log` and
+    /// `log_spare` (no allocation once both are warm).
+    log_spare: SolveLog,
+    /// Warm-solve scratch: resources whose state has left the logged
+    /// trajectory (the live-tracked perturbation set).
+    perturbed: Vec<bool>,
+    /// Warm-solve scratch: indexed min-heap over the perturbed resources'
+    /// current share keys — exactly one entry per tracked resource,
+    /// updated in place (no stale entries, O(1) min read).
+    wheap: Vec<u128>,
+    /// Warm-solve scratch: resource → position in `wheap` (`WPOS_NONE`
+    /// when absent).
+    wpos: Vec<u32>,
     /// Probe scratch: resource → index in the candidate's list (or
     /// `PROBE_NONE`), sized to the resource space.
     probe_mark: Vec<u32>,
@@ -460,6 +554,104 @@ pub struct MaxMinSolver {
 
 /// `probe_mark` sentinel: resource not crossed by the current candidate.
 const PROBE_NONE: u32 = u32::MAX;
+
+/// `wpos` sentinel: resource has no entry in the warm heap.
+const WPOS_NONE: u32 = u32::MAX;
+
+/// Indexed binary min-heap over [`ShareKey`]-packed `u128`s with a
+/// resource → slot position map, used by the warm solve's live tracking.
+/// Unlike the cold solve's lazy `BinaryHeap` (push-per-touch, stale
+/// entries versioned out at pop time), every tracked resource has exactly
+/// one entry, moved in place when its share changes — the root is always
+/// the true minimum, so run-batched replay reads it in O(1). The pop
+/// sequence is the sequence of minima either way, so the two structures
+/// drive bit-identical solves.
+mod wheap {
+    use super::ShareKey;
+
+    #[inline]
+    fn res_of(key: u128) -> usize {
+        ShareKey(key).res() as usize
+    }
+
+    fn sift_up(heap: &mut [u128], pos: &mut [u32], mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if heap[parent] <= heap[i] {
+                break;
+            }
+            heap.swap(i, parent);
+            pos[res_of(heap[i])] = i as u32;
+            i = parent;
+        }
+        pos[res_of(heap[i])] = i as u32;
+    }
+
+    fn sift_down(heap: &mut [u128], pos: &mut [u32], mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= heap.len() {
+                break;
+            }
+            let c = if l + 1 < heap.len() && heap[l + 1] < heap[l] { l + 1 } else { l };
+            if heap[i] <= heap[c] {
+                break;
+            }
+            heap.swap(i, c);
+            pos[res_of(heap[i])] = i as u32;
+            i = c;
+        }
+        pos[res_of(heap[i])] = i as u32;
+    }
+
+    /// Insert `key`; its resource must not already have an entry.
+    pub(super) fn insert(heap: &mut Vec<u128>, pos: &mut [u32], key: u128) {
+        debug_assert_eq!(pos[res_of(key)], super::WPOS_NONE);
+        heap.push(key);
+        let tail = heap.len() - 1;
+        sift_up(heap, pos, tail);
+    }
+
+    /// Replace the existing entry of `key`'s resource with `key`.
+    pub(super) fn update(heap: &mut [u128], pos: &mut [u32], key: u128) {
+        let i = pos[res_of(key)] as usize;
+        let old = heap[i];
+        heap[i] = key;
+        if key < old {
+            sift_up(heap, pos, i);
+        } else {
+            sift_down(heap, pos, i);
+        }
+    }
+
+    /// Drop resource `r`'s entry.
+    pub(super) fn remove(heap: &mut Vec<u128>, pos: &mut [u32], r: usize) {
+        let i = pos[r] as usize;
+        pos[r] = super::WPOS_NONE;
+        let last = heap.pop().expect("entry exists");
+        if i < heap.len() {
+            let old = heap[i];
+            heap[i] = last;
+            if last < old {
+                sift_up(heap, pos, i);
+            } else {
+                sift_down(heap, pos, i);
+            }
+        }
+    }
+
+    /// Remove and return the minimum entry.
+    pub(super) fn pop_min(heap: &mut Vec<u128>, pos: &mut [u32]) -> u128 {
+        let min = heap[0];
+        pos[res_of(min)] = super::WPOS_NONE;
+        let last = heap.pop().expect("non-empty");
+        if !heap.is_empty() {
+            heap[0] = last;
+            sift_down(heap, pos, 0);
+        }
+        min
+    }
+}
 
 impl MaxMinSolver {
     /// Fresh solver (scratch grows on first use).
@@ -489,6 +681,322 @@ impl MaxMinSolver {
     /// once the log buffers are warm.
     pub fn solve_logged(&mut self, capacities: &[f64], arena: &FlowArena, rates: &mut Vec<f64>) {
         self.solve_impl::<true>(capacities, arena, rates);
+    }
+
+    /// Warm-started [`MaxMinSolver::solve_logged`]: re-solve after arena
+    /// churn with live work proportional to the *perturbed* rounds, by
+    /// replaying the previous solve's freeze-round log.
+    ///
+    /// The arena's dirty set ([`FlowArena::dirty_resources`]) seeds a
+    /// **perturbation set** — resources whose state may have left the
+    /// logged trajectory. The walk interleaves two kinds of rounds, always
+    /// picking whichever saturates first (exactly what a cold solve's heap
+    /// would pop):
+    ///
+    /// * **replayed** — the next logged round, valid while its bottleneck
+    ///   is unperturbed and no perturbed resource's current share beats
+    ///   its key. Its level and user count are re-validated against the
+    ///   mutated arena (the freeze set comes from the live reverse index
+    ///   and is checked against the logged bottleneck delta), then the
+    ///   logged per-resource deltas apply verbatim: no shares computed, no
+    ///   heap traffic, no per-flow path walks.
+    /// * **live** — a perturbed resource pops first and freezes its flows
+    ///   with the full cold-solve arithmetic. Every resource it touches
+    ///   joins the perturbation set (its future logged deltas are stale).
+    ///
+    /// Logged rounds whose bottleneck got perturbed are skipped — their
+    /// touched resources join the perturbation set while their exact state
+    /// still matches the old trajectory, and their flows freeze through
+    /// live rounds instead. Single-flow churn therefore pays the flat log
+    /// replay plus a handful of live rounds around the churned flow's
+    /// freeze levels, not a full progressive filling.
+    ///
+    /// The result is **bit-identical** to a cold
+    /// [`MaxMinSolver::solve_logged`] of the same arena, and the log is
+    /// re-recorded as the walk runs (replayed rounds copied, live rounds
+    /// freshly logged), so consecutive churn events chain warm and probes
+    /// keep working. With no valid log to start from, this *is* a cold
+    /// `solve_logged`. `capacities` must extend the slice used by the
+    /// previous solve (existing entries unchanged; growth for new
+    /// resources is fine).
+    ///
+    /// Takes the arena mutably because the call *consumes* the dirty
+    /// window (see [`FlowArena::dirty_resources`]); for the same reason at
+    /// most one warm-chaining solver should drive a given arena.
+    pub fn solve_warm(&mut self, capacities: &[f64], arena: &mut FlowArena, rates: &mut Vec<f64>) {
+        let nr = arena.n_resources();
+        assert!(capacities.len() >= nr, "capacities shorter than resource space");
+        if !self.log.valid || self.log.n_resources as usize > nr {
+            // Nothing to warm-start from: open a fresh dirty window at the
+            // moment the log is recorded, so the next call chains warm.
+            arena.clear_dirty();
+            self.solve_logged(capacities, arena, rates);
+            return;
+        }
+        // Cold-solve state init — the hybrid walk must evolve the exact
+        // state a from-scratch solve would, or bit-identity is lost.
+        let nslots = arena.slot_bound();
+        rates.clear();
+        rates.resize(nslots, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(nslots, false);
+        self.slack.clear();
+        self.slack.extend_from_slice(&capacities[..nr]);
+        self.users.clear();
+        self.users.extend_from_slice(&arena.users_counts()[..nr]);
+        // `delta` is always all-zero between solves; it only needs sizing
+        // for growth. (`version` belongs to the cold solves' lazy heap —
+        // the warm path's indexed heap has no stale entries to stamp.)
+        if self.delta.len() < nr {
+            self.delta.resize(nr, 0);
+        }
+        self.touched.clear();
+        self.perturbed.clear();
+        self.perturbed.resize(nr, false);
+        if self.probe_mark.len() < nr {
+            self.probe_mark.resize(nr, PROBE_NONE);
+        }
+        let mut remaining = arena.n_flows();
+
+        // The old log is read-only input; the new one is re-recorded into
+        // the spare buffers and swapped in (both stay warm across calls).
+        let old = std::mem::take(&mut self.log);
+        std::mem::swap(&mut self.log, &mut self.log_spare);
+        self.log.clear();
+        self.log.generation = arena.generation();
+        self.log.n_resources = nr as u32;
+        self.log.valid = true;
+
+        // Reset the indexed live heap (left-over entries from the last
+        // warm solve release their positions) and seed the perturbation
+        // set from the arena's dirty window, then close the window — it
+        // re-opens exactly as this log is recorded.
+        for &k in &self.wheap {
+            self.wpos[ShareKey(k).res() as usize] = WPOS_NONE;
+        }
+        self.wheap.clear();
+        if self.wpos.len() < nr {
+            self.wpos.resize(nr, WPOS_NONE);
+        }
+        for &r in arena.dirty_resources() {
+            let ri = r as usize;
+            if !self.perturbed[ri] {
+                self.perturbed[ri] = true;
+                if self.users[ri] > 0 {
+                    let share = (self.slack[ri] / self.users[ri] as f64).max(0.0);
+                    wheap::insert(&mut self.wheap, &mut self.wpos, ShareKey::new(share, r, 0).0);
+                }
+            }
+        }
+        arena.clear_dirty();
+
+        let rounds = old.keys.len();
+        let mut kcur = 0usize;
+        let mut t0 = 0usize;
+        let mut f0 = 0usize;
+        while remaining > 0 {
+            // Advance the cursor past logged rounds whose bottleneck was
+            // perturbed: their freeze sets are stale, so their flows are
+            // handed to the live heap instead. Every resource such a round
+            // touched joins the perturbation set *now*, while its exact
+            // state still matches the old trajectory (its share is ≥ the
+            // skipped key, so it cannot have deserved an earlier pop).
+            let logged_key = loop {
+                if kcur >= rounds {
+                    break u128::MAX;
+                }
+                let key = old.keys[kcur];
+                if !self.perturbed[ShareKey(key).res() as usize] {
+                    break key;
+                }
+                let t1 = old.round_end[kcur] as usize;
+                for t in t0..t1 {
+                    let r2 = old.touched_res[t];
+                    let ri = r2 as usize;
+                    if !self.perturbed[ri] {
+                        self.perturbed[ri] = true;
+                        if self.users[ri] > 0 {
+                            let share = (self.slack[ri] / self.users[ri] as f64).max(0.0);
+                            wheap::insert(
+                                &mut self.wheap,
+                                &mut self.wpos,
+                                ShareKey::new(share, r2, 0).0,
+                            );
+                        }
+                    }
+                }
+                t0 = t1;
+                f0 = old.freeze_end[kcur] as usize;
+                kcur += 1;
+            };
+            // Minimum over the live-tracked resources: the indexed heap's
+            // root, always current.
+            let live_key = self.wheap.first().map(|&k| ShareKey(k));
+            // Unperturbed resources sit exactly on the logged trajectory,
+            // so their shares are ≥ the next logged key: the true global
+            // minimum is whichever of (live top, logged key) is smaller,
+            // and a tie is impossible (the ids would have to match, but a
+            // perturbed bottleneck never reaches the comparison).
+            match live_key {
+                Some(k) if k.0 < logged_key => {
+                    // Live round: identical arithmetic to a cold round —
+                    // this body is a deliberate copy of `fill_rounds`'s
+                    // freeze-round core (over the indexed heap instead of
+                    // the lazy one) and must stay in lockstep with it.
+                    let popped = wheap::pop_min(&mut self.wheap, &mut self.wpos);
+                    debug_assert_eq!(popped, k.0);
+                    let b = k.res() as usize;
+                    let level = k.share();
+                    self.touched.clear();
+                    let mut froze = 0usize;
+                    for &e in &arena.rev[b] {
+                        let (slot, _) = unpack(e);
+                        let f = slot as usize;
+                        if self.frozen[f] {
+                            continue;
+                        }
+                        self.frozen[f] = true;
+                        rates[f] = level;
+                        froze += 1;
+                        self.log.freeze_slots.push(slot);
+                        for &r2 in arena.resources_unchecked(slot) {
+                            let r2 = r2 as usize;
+                            if self.delta[r2] == 0 {
+                                self.touched.push(r2 as u32);
+                            }
+                            self.delta[r2] += 1;
+                        }
+                    }
+                    debug_assert!(froze > 0, "live bottleneck had users but froze nothing");
+                    remaining -= froze;
+                    self.log.keys.push(ShareKey::new(level, b as u32, 0).0);
+                    self.log.levels.push(level);
+                    self.log.freeze_end.push(self.log.freeze_slots.len() as u32);
+                    for i in 0..self.touched.len() {
+                        let r2 = self.touched[i] as usize;
+                        let d = self.delta[r2];
+                        self.delta[r2] = 0;
+                        self.users[r2] -= d;
+                        self.slack[r2] -= d as f64 * level;
+                        self.log.touched_res.push(r2 as u32);
+                        self.log.touched_delta.push(d);
+                        // A live freeze drags every touched resource off
+                        // the logged trajectory: it joins the live set.
+                        self.perturbed[r2] = true;
+                        self.wheap_upsert(r2);
+                    }
+                    self.log.round_end.push(self.log.touched_res.len() as u32);
+                }
+                _ if logged_key != u128::MAX => {
+                    // Replayed rounds: the logged freeze sets are still
+                    // exact (no flow crossing these bottlenecks was added,
+                    // removed or live-frozen — any of those would have
+                    // perturbed them), so the recorded slots and deltas
+                    // apply verbatim: sequential walks, no shares, no heap.
+                    // Consecutive clean rounds run as one batch — the heap
+                    // cannot change under them — and their log segment is
+                    // copied over in bulk afterwards.
+                    let k_start = kcur;
+                    let t_start = t0;
+                    let f_start = f0;
+                    loop {
+                        let key = old.keys[kcur];
+                        let b = ShareKey(key).res() as usize;
+                        let level = old.levels[kcur];
+                        let f1 = old.freeze_end[kcur] as usize;
+                        // Re-validate the bottleneck against the mutated
+                        // arena: its current unfrozen user count must
+                        // equal the logged freeze count (kept in release
+                        // builds — it is O(1) per round and turns a
+                        // contract violation, e.g. a solver driven across
+                        // two arenas or a second warm solver consuming
+                        // this one's dirty window, into a panic instead
+                        // of silently corrupt rates); each logged flow
+                        // must also still be live and unfrozen (debug).
+                        assert_eq!(
+                            self.users[b] as usize,
+                            f1 - f0,
+                            "replayed bottleneck user count diverged from the log \
+                             (was this solver's log recorded against a different arena?)"
+                        );
+                        for &slot in &old.freeze_slots[f0..f1] {
+                            let f = slot as usize;
+                            debug_assert!(
+                                arena.is_live(FlowSlot(slot)) && !self.frozen[f],
+                                "replayed freeze set diverged from the log"
+                            );
+                            self.frozen[f] = true;
+                            rates[f] = level;
+                        }
+                        remaining -= f1 - f0;
+                        let t1 = old.round_end[kcur] as usize;
+                        for (&r2, &d) in
+                            old.touched_res[t0..t1].iter().zip(&old.touched_delta[t0..t1])
+                        {
+                            let r2 = r2 as usize;
+                            self.users[r2] -= d;
+                            self.slack[r2] -= d as f64 * level;
+                            if self.perturbed[r2] {
+                                self.wheap_upsert(r2);
+                            }
+                        }
+                        f0 = f1;
+                        t0 = t1;
+                        kcur += 1;
+                        // Extend the run only while the decision the outer
+                        // loop would make is unchanged: flows left, next
+                        // round clean and still beating the live minimum
+                        // (the root read is O(1) and always current, so
+                        // perturbed touches inside the run are handled).
+                        if remaining == 0 || kcur >= rounds {
+                            break;
+                        }
+                        let nk = old.keys[kcur];
+                        if self.perturbed[ShareKey(nk).res() as usize]
+                            || self.wheap.first().is_some_and(|&k| k < nk)
+                        {
+                            break;
+                        }
+                    }
+                    // Bulk-copy the run's log segment, shifting the
+                    // per-round end offsets onto the new log's bases.
+                    let nt_base = self.log.touched_res.len() as u32;
+                    let nf_base = self.log.freeze_slots.len() as u32;
+                    self.log.keys.extend_from_slice(&old.keys[k_start..kcur]);
+                    self.log.levels.extend_from_slice(&old.levels[k_start..kcur]);
+                    self.log.freeze_slots.extend_from_slice(&old.freeze_slots[f_start..f0]);
+                    self.log.touched_res.extend_from_slice(&old.touched_res[t_start..t0]);
+                    self.log.touched_delta.extend_from_slice(&old.touched_delta[t_start..t0]);
+                    for k in k_start..kcur {
+                        self.log.round_end.push(old.round_end[k] - t_start as u32 + nt_base);
+                        self.log.freeze_end.push(old.freeze_end[k] - f_start as u32 + nf_base);
+                    }
+                }
+                _ => {
+                    debug_assert!(false, "flows remain but no live or logged round to run");
+                    break;
+                }
+            }
+        }
+        self.log_spare = old;
+    }
+
+    /// Refresh perturbed resource `r2`'s entry in the warm heap after its
+    /// `(slack, users)` changed: update in place, insert on first touch,
+    /// drop once its last unfrozen flow froze.
+    #[inline]
+    fn wheap_upsert(&mut self, r2: usize) {
+        if self.users[r2] > 0 {
+            let share = (self.slack[r2] / self.users[r2] as f64).max(0.0);
+            let key = ShareKey::new(share, r2 as u32, 0).0;
+            if self.wpos[r2] == WPOS_NONE {
+                wheap::insert(&mut self.wheap, &mut self.wpos, key);
+            } else {
+                wheap::update(&mut self.wheap, &mut self.wpos, key);
+            }
+        } else if self.wpos[r2] != WPOS_NONE {
+            wheap::remove(&mut self.wheap, &mut self.wpos, r2);
+        }
     }
 
     fn solve_impl<const LOG: bool>(
@@ -522,7 +1030,7 @@ impl MaxMinSolver {
         self.delta.clear();
         self.delta.resize(nr, 0);
         self.touched.clear();
-        let mut remaining = arena.n_flows();
+        let remaining = arena.n_flows();
         if remaining == 0 {
             return;
         }
@@ -537,6 +1045,27 @@ impl MaxMinSolver {
                 self.heap_buf.push(Reverse(ShareKey::new(share, r as u32, 0)));
             }
         }
+        self.fill_rounds::<LOG>(arena, rates, remaining);
+    }
+
+    /// Progressive filling from the solver's *current* `(slack, users,
+    /// frozen, version)` state until `remaining` flows freeze. The heap is
+    /// seeded by heapifying `heap_buf`, which must hold one entry per
+    /// resource that still carries unfrozen flows, keyed at the current
+    /// share and version. Appends freeze rounds to the log when `LOG`.
+    ///
+    /// Used by the cold solves (state initialised from scratch).
+    /// [`MaxMinSolver::solve_warm`] does **not** call this: its live
+    /// rounds deliberately duplicate this freeze-round arithmetic over
+    /// the indexed warm heap — the two bodies must stay in lockstep
+    /// (same operations in the same order) or bit-identity between warm
+    /// and cold solves breaks; the workspace property suite pins that.
+    fn fill_rounds<const LOG: bool>(
+        &mut self,
+        arena: &FlowArena,
+        rates: &mut [f64],
+        mut remaining: usize,
+    ) {
         let mut heap = BinaryHeap::from(std::mem::take(&mut self.heap_buf));
         while remaining > 0 {
             let Some(Reverse(key)) = heap.pop() else {
@@ -561,6 +1090,9 @@ impl MaxMinSolver {
                 self.frozen[f] = true;
                 rates[f] = level;
                 remaining -= 1;
+                if LOG {
+                    self.log.freeze_slots.push(slot);
+                }
                 for &r2 in arena.resources_unchecked(slot) {
                     let r2 = r2 as usize;
                     if self.delta[r2] == 0 {
@@ -573,6 +1105,7 @@ impl MaxMinSolver {
             if LOG {
                 self.log.keys.push(ShareKey::new(level, b as u32, 0).0);
                 self.log.levels.push(level);
+                self.log.freeze_end.push(self.log.freeze_slots.len() as u32);
             }
             for i in 0..self.touched.len() {
                 let r2 = self.touched[i] as usize;
@@ -1061,6 +1594,110 @@ mod tests {
         solver.solve_logged(&caps, &arena, &mut rates);
         solver.solve(&caps, &arena, &mut rates);
         let _ = solver.probe(&caps, &arena, &[0]);
+    }
+
+    // ------------------------------------------------- warm-started solves
+
+    /// Bit-compare a warm-chained solver against per-step cold solves.
+    fn assert_warm_matches_cold(warm: &[f64], arena: &FlowArena, caps: &[f64]) {
+        let mut cold_solver = MaxMinSolver::new();
+        let mut cold = Vec::new();
+        cold_solver.solve(caps, arena, &mut cold);
+        assert_eq!(warm.len(), cold.len());
+        for (slot, (w, c)) in warm.iter().zip(&cold).enumerate() {
+            assert_eq!(w.to_bits(), c.to_bits(), "slot {slot}: warm {w} vs cold {c}");
+        }
+    }
+
+    #[test]
+    fn warm_solve_bitmatches_cold_across_churn() {
+        let caps = [10.0, 8.0, 6.0, 12.0, 5.0, 300.0];
+        let mut arena = FlowArena::new(caps.len());
+        let mut slots = Vec::new();
+        for f in [vec![0u32, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![0, 5]] {
+            slots.push(arena.add(&f));
+        }
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        // First warm call has no log: exactly a cold logged solve.
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Single-flow churn chains warm.
+        arena.remove(slots[2]);
+        slots[2] = arena.add(&[1, 3, 5]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Pure removal.
+        arena.remove(slots[4]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Pure addition into the recycled slot.
+        slots[4] = arena.add(&[0, 2, 4]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // No-op churn (identical flow set): the whole log revalidates.
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+    }
+
+    #[test]
+    fn warm_solve_handles_grow_and_empty_sets() {
+        let mut caps = vec![9.0, 7.0];
+        let mut arena = FlowArena::new(2);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_warm(&caps, &mut arena, &mut rates); // empty arena, empty log
+        let a = arena.add(&[0]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert!(close(rates[a.0 as usize], 9.0));
+        // Grow the resource space and land a flow on the new resource.
+        arena.grow_resources(3);
+        caps.push(4.0);
+        let b = arena.add(&[1, 2]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert!(close(rates[b.0 as usize], 4.0));
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Empty out the arena again.
+        arena.remove(a);
+        arena.remove(b);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert!(rates.iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn warm_solve_leaves_a_hot_probe_log() {
+        let caps = [10.0, 10.0];
+        let mut arena = FlowArena::new(2);
+        arena.add(&[0]);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        arena.add(&[1]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert!(solver.log_matches(&arena), "warm solve re-stamps the log");
+        // Probes replay the warm-maintained log like a cold-logged one.
+        assert!(close(solver.probe(&caps, &arena, &[0]), 5.0));
+        assert!(close(solver.probe(&caps, &arena, &[0, 1]), 5.0));
+    }
+
+    #[test]
+    fn dirty_window_survives_interleaved_cold_solves() {
+        // solve_logged/solve do not clear the dirty window, so a warm
+        // solve after an interleaved cold solve still sees a (super)set of
+        // its own perturbations and stays exact.
+        let caps = [12.0, 6.0, 8.0];
+        let mut arena = FlowArena::new(3);
+        let s0 = arena.add(&[0, 1]);
+        arena.add(&[1, 2]);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        arena.remove(s0);
+        // Interleaved cold logged solve (e.g. a probe-driven path).
+        solver.solve_logged(&caps, &arena, &mut rates);
+        arena.add(&[0, 2]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
     }
 
     #[test]

@@ -52,7 +52,45 @@
 //! * **[`ScenarioPool`]** — independent scenarios (placements, failures,
 //!   cross-traffic hypotheses) fan out across worker threads, one arena
 //!   clone + solver per worker, merged in scenario order. Results are
-//!   bit-identical for any worker count.
+//!   bit-identical for any worker count, and each worker chains
+//!   warm-started solves across its scenario sequence
+//!   ([`ScenarioCtx::solve`]).
+//!
+//! # Warm-started delta solves: the `SolveLog` lifecycle
+//!
+//! The freeze-round log inside [`MaxMinSolver`] moves through three
+//! states, and knowing which one you are in tells you what the next solve
+//! costs:
+//!
+//! 1. **Cold** — after construction or a plain [`MaxMinSolver::solve`]:
+//!    no log (probes panic, a warm solve falls back to a full logged
+//!    solve).
+//! 2. **Logged** — after [`MaxMinSolver::solve_logged`] (or
+//!    [`MaxMinSolver::solve_batch`]): the log records every freeze round
+//!    (bottleneck key, level, frozen slots, per-resource deltas) and is
+//!    stamped with the arena's generation. Probes replay it in
+//!    `O(rounds · path)`; the stamp must match the arena exactly
+//!    ([`MaxMinSolver::log_matches`]) — any mutation staled it.
+//! 3. **Warm** — after [`MaxMinSolver::solve_warm`]: the solver *replayed*
+//!    the previous log against the mutated arena, re-running live only
+//!    the rounds the mutations actually perturbed (the arena's dirty
+//!    resource set seeds the perturbation tracking), and re-recorded the
+//!    log for the new state — bit-identical to a cold `solve_logged`, at
+//!    a fraction of the cost for single-flow churn. The log is again
+//!    *logged* with a fresh generation stamp, so probes work and the next
+//!    churn event chains warm.
+//!
+//! Staleness rules: the generation stamp makes `probe`/`probe_batch`
+//! refuse a log recorded before any arena mutation; `solve_warm` instead
+//! *consumes* the mutations (via [`FlowArena::dirty_resources`], whose
+//! dirty window it closes) — which is why it takes the arena mutably and
+//! why at most one warm-chaining solver should drive a given arena.
+//! [`FlowSim`]'s event loop keeps its log hot this way: flow starts,
+//! stops and ON–OFF toggles mutate the arena freely, and the next
+//! reallocation warm-starts from the last one's log instead of
+//! invalidating it; the greedy placer's commit path (place → start
+//! transfers → re-solve) rides the same chain, reusing the probe-era log
+//! it just rated candidates against.
 //!
 //! Entry point: [`FlowSim`]. One-shot callers can still use
 //! [`max_min_rates`].

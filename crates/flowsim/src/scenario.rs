@@ -33,6 +33,22 @@ pub struct ScenarioCtx {
     pub rates: Vec<f64>,
 }
 
+impl ScenarioCtx {
+    /// Solve the context's current flow set into [`ScenarioCtx::rates`],
+    /// **warm-starting** from the previous solve on this worker: scenario
+    /// `i + 1` replays the freeze-round log scenario `i` left behind,
+    /// re-running only the rounds its own mutations perturbed. Because a
+    /// warm solve is bit-identical to a cold one, chaining changes
+    /// nothing observable — results stay independent of worker count and
+    /// of how scenarios are chunked — it just makes each worker's sweep
+    /// cheaper. The log stays hot afterwards, so
+    /// [`MaxMinSolver::probe_batch`] can follow directly.
+    pub fn solve(&mut self, capacities: &[f64]) -> &[f64] {
+        self.solver.solve_warm(capacities, &mut self.arena, &mut self.rates);
+        &self.rates
+    }
+}
+
 /// Fan-out evaluator for independent what-if scenarios.
 ///
 /// ```
@@ -41,20 +57,33 @@ pub struct ScenarioCtx {
 /// let mut arena = FlowArena::new(2);
 /// arena.add(&[0]);
 /// let caps = [10.0, 4.0];
-/// // Score "what would a flow on this path get" for three paths.
+/// // Score "what would a flow on this path get" for three paths. Each
+/// // worker chains warm solves: `ctx.solve` replays the freeze rounds the
+/// // previous scenario on that worker validated.
 /// let paths: Vec<Vec<u32>> = vec![vec![0], vec![1], vec![0, 1]];
 /// let scores = ScenarioPool::new(2).evaluate(&arena, &paths, |ctx, path| {
 ///     let probe = ctx.arena.add(path);
-///     ctx.solver.solve(&caps, &ctx.arena, &mut ctx.rates);
+///     ctx.solve(&caps);
 ///     let rate = ctx.rates[probe.0 as usize];
 ///     ctx.arena.remove(probe); // restore the base state
 ///     rate
 /// });
 /// assert_eq!(scores, vec![5.0, 4.0, 4.0]);
 /// ```
+///
+/// [`ScenarioPool::default`] sizes the pool to the machine
+/// ([`std::thread::available_parallelism`]); worker count never affects
+/// results, only wall-clock.
 #[derive(Debug, Clone)]
 pub struct ScenarioPool {
     workers: usize,
+}
+
+impl Default for ScenarioPool {
+    /// [`ScenarioPool::auto`]: one worker per available core.
+    fn default() -> ScenarioPool {
+        ScenarioPool::auto()
+    }
 }
 
 impl ScenarioPool {
@@ -170,9 +199,10 @@ mod tests {
     fn results_are_bit_identical_across_worker_counts() {
         let (caps, arena) = base();
         let scen = scenarios();
+        // Warm-chained per worker: scenario i+1 replays scenario i's log.
         let score = |ctx: &mut ScenarioCtx, path: &Vec<u32>| {
             let probe = ctx.arena.add(path);
-            ctx.solver.solve(&caps, &ctx.arena, &mut ctx.rates);
+            ctx.solve(&caps);
             let rate = ctx.rates[probe.0 as usize];
             ctx.arena.remove(probe);
             rate.to_bits()
@@ -182,6 +212,16 @@ mod tests {
             let parallel = ScenarioPool::new(workers).evaluate(&arena, &scen, score);
             assert_eq!(serial, parallel, "{workers} workers diverged from serial");
         }
+        // Warm chaining is an implementation detail: a pool whose closure
+        // cold-solves every scenario must produce the same bits.
+        let cold = ScenarioPool::new(3).evaluate(&arena, &scen, |ctx, path: &Vec<u32>| {
+            let probe = ctx.arena.add(path);
+            ctx.solver.solve(&caps, &ctx.arena, &mut ctx.rates);
+            let rate = ctx.rates[probe.0 as usize];
+            ctx.arena.remove(probe);
+            rate.to_bits()
+        });
+        assert_eq!(serial, cold, "warm-chained workers diverged from cold solves");
     }
 
     #[test]
@@ -236,5 +276,6 @@ mod tests {
     fn auto_pool_reports_at_least_one_worker() {
         assert!(ScenarioPool::auto().workers() >= 1);
         assert_eq!(ScenarioPool::new(0).workers(), 1);
+        assert_eq!(ScenarioPool::default().workers(), ScenarioPool::auto().workers());
     }
 }

@@ -211,66 +211,69 @@ impl ConstrainedGreedyPlacer {
                 .expect("rates are not NaN")
         });
 
-        #[allow(clippy::too_many_arguments)]
-        fn backtrack(
-            idx: usize,
-            order: &[usize],
-            vm_pref: &[u32],
-            app: &AppProfile,
-            machines: &Machines,
-            constraints: &Constraints,
-            hops: Option<&dyn Fn(VmId, VmId) -> usize>,
-            assignment: &mut Vec<Option<u32>>,
-            cpu_used: &mut Vec<f64>,
-        ) -> bool {
-            if idx == order.len() {
-                return true;
-            }
-            let task = order[idx];
-            for &vm in vm_pref {
-                if cpu_used[vm as usize] + app.cpu[task] > machines.cpu[vm as usize] + 1e-9 {
-                    continue;
-                }
-                // Check pairwise constraints against already-placed tasks.
-                let ok = assignment.iter().enumerate().all(|(other, a)| match a {
-                    Some(placed) => constraints.pair_ok(task, other, VmId(vm), VmId(*placed), hops),
-                    None => true,
-                });
-                if !ok {
-                    continue;
-                }
-                assignment[task] = Some(vm);
-                cpu_used[vm as usize] += app.cpu[task];
-                if backtrack(
-                    idx + 1,
-                    order,
-                    vm_pref,
-                    app,
-                    machines,
-                    constraints,
-                    hops,
-                    assignment,
-                    cpu_used,
-                ) {
-                    return true;
-                }
-                assignment[task] = None;
-                cpu_used[vm as usize] -= app.cpu[task];
-            }
-            false
+        /// The immutable context of one constrained first-fit search; the
+        /// mutable `(assignment, cpu_used)` state threads through
+        /// `backtrack` as the only loose parameters.
+        struct Search<'a> {
+            order: &'a [usize],
+            vm_pref: &'a [u32],
+            app: &'a AppProfile,
+            machines: &'a Machines,
+            constraints: &'a Constraints,
+            hops: Option<&'a dyn Fn(VmId, VmId) -> usize>,
         }
 
-        if backtrack(
-            0,
-            &order,
-            &vm_pref,
+        impl Search<'_> {
+            fn backtrack(
+                &self,
+                idx: usize,
+                assignment: &mut [Option<u32>],
+                cpu_used: &mut [f64],
+            ) -> bool {
+                if idx == self.order.len() {
+                    return true;
+                }
+                let task = self.order[idx];
+                for &vm in self.vm_pref {
+                    let used = cpu_used[vm as usize] + self.app.cpu[task];
+                    if used > self.machines.cpu[vm as usize] + 1e-9 {
+                        continue;
+                    }
+                    // Check pairwise constraints against placed tasks.
+                    let ok = assignment.iter().enumerate().all(|(other, a)| match a {
+                        Some(placed) => self.constraints.pair_ok(
+                            task,
+                            other,
+                            VmId(vm),
+                            VmId(*placed),
+                            self.hops,
+                        ),
+                        None => true,
+                    });
+                    if !ok {
+                        continue;
+                    }
+                    assignment[task] = Some(vm);
+                    cpu_used[vm as usize] += self.app.cpu[task];
+                    if self.backtrack(idx + 1, assignment, cpu_used) {
+                        return true;
+                    }
+                    assignment[task] = None;
+                    cpu_used[vm as usize] -= self.app.cpu[task];
+                }
+                false
+            }
+        }
+
+        let search = Search {
+            order: &order,
+            vm_pref: &vm_pref,
             app,
             machines,
-            &self.constraints,
+            constraints: &self.constraints,
             hops,
-            &mut assignment,
-            &mut cpu_used,
-        ) {
+        };
+        if search.backtrack(0, &mut assignment, &mut cpu_used) {
             let placement = Placement {
                 assignment: assignment.into_iter().map(|a| a.expect("complete")).collect(),
             };

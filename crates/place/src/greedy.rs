@@ -22,6 +22,13 @@
 //! passes per transfer into one. The sharing adjustment for transfers
 //! placed earlier in the same call is pure arithmetic applied on top, so
 //! cached raw rates never go stale.
+//!
+//! Committing the placement completes the warm chain: rating candidates
+//! against a live flow cloud leaves the engine's solver holding the
+//! freeze-round log of the committed allocation, so when the placed
+//! transfers start, the engine's next reallocation warm-starts from that
+//! probe-era log (`MaxMinSolver::solve_warm` in `choreo-flowsim`) instead
+//! of cold-solving.
 
 use choreo_measure::{NetworkSnapshot, RateModel};
 use choreo_profile::AppProfile;
@@ -81,6 +88,158 @@ struct BatchScratch {
     rates: Vec<f64>,
 }
 
+/// Working state of one `place_with_rater` call: the placement inputs
+/// plus everything the greedy walk mutates as transfers are placed. One
+/// struct instead of a dozen loose parameters threading through
+/// `best_pair`.
+struct PlaceCtx<'a, R: CandidateRater> {
+    app: &'a AppProfile,
+    machines: &'a Machines,
+    rater: &'a mut R,
+    load: &'a NetworkLoad,
+    /// Task → VM decided so far.
+    assignment: Vec<Option<u32>>,
+    /// Per-VM CPU committed (pre-existing load + this placement).
+    cpu_used: Vec<f64>,
+    /// Transfers placed *by this call* per directed VM pair.
+    placed_path: Vec<u32>,
+    /// Transfers placed *by this call* per source VM.
+    placed_egress: Vec<u32>,
+    /// Raw-rate memo (one rater query per pair, ever).
+    cache: RateCache,
+    /// Per-transfer candidate batch buffers.
+    scratch: BatchScratch,
+}
+
+impl<R: CandidateRater> PlaceCtx<'_, R> {
+    /// Account a placed transfer on its path for the sharing model.
+    fn account(&mut self, m: u32, n: u32) {
+        if m != n {
+            let n_vms = self.machines.len();
+            self.placed_path[m as usize * n_vms + n as usize] += 1;
+            self.placed_egress[m as usize] += 1;
+        }
+    }
+
+    /// Sharing-adjusted rate a *new* transfer would see on `(m, n)` (line
+    /// 13 of Algorithm 1): the raw path rate divided among the
+    /// connections it shares with, under the rater's sharing model.
+    /// `raw_path` comes from the [`CandidateRater`] via the cache; the
+    /// hose rate is fetched (memoized) from the rater when needed.
+    fn shared_rate(&mut self, model: RateModel, m: u32, n: u32, raw_path: f64) -> f64 {
+        let n_vms = self.machines.len();
+        let (a, b) = (VmId(m), VmId(n));
+        match model {
+            RateModel::Pipe => {
+                let sharing =
+                    1 + self.load.on_path(a, b) + self.placed_path[m as usize * n_vms + n as usize];
+                raw_path / sharing as f64
+            }
+            RateModel::Hose => {
+                let raw_hose = self.rater.hose_rate(m);
+                let sharing = 1 + self.load.egress(a) + self.placed_egress[m as usize];
+                let hose_share = raw_hose / sharing as f64;
+                // A path cannot beat its own measured rate even if the
+                // hose has spare capacity.
+                hose_share.min(raw_path)
+            }
+        }
+    }
+
+    /// Candidate enumeration per Algorithm 1 lines 3–11, then rate
+    /// maximization (line 14). Deterministic tie-break on (rate, m, n).
+    ///
+    /// Runs in three phases: enumerate the feasible candidates, submit the
+    /// cache misses to the rater as **one batch for the whole transfer**,
+    /// then apply the sharing adjustment and maximize. The cache
+    /// guarantees no pair is ever rated twice within one placement.
+    fn best_pair(&mut self, i: usize, j: usize) -> Result<(u32, u32), PlaceError> {
+        let n_vms = self.machines.len() as u32;
+        // Phase 1: feasible candidates, in deterministic tie-break order.
+        {
+            let PlaceCtx { app, machines, assignment, cpu_used, scratch, .. } = self;
+            let fits = |task: usize, vm: u32, extra: f64| {
+                cpu_used[vm as usize] + extra + app.cpu[task] <= machines.cpu[vm as usize] + 1e-9
+            };
+            scratch.cands.clear();
+            match (assignment[i], assignment[j]) {
+                (Some(k), None) => {
+                    for n in 0..n_vms {
+                        if fits(j, n, 0.0) {
+                            scratch.cands.push((k, n));
+                        }
+                    }
+                }
+                (None, Some(l)) => {
+                    for m in 0..n_vms {
+                        if fits(i, m, 0.0) {
+                            scratch.cands.push((m, l));
+                        }
+                    }
+                }
+                (None, None) => {
+                    for m in 0..n_vms {
+                        if !fits(i, m, 0.0) {
+                            continue;
+                        }
+                        for n in 0..n_vms {
+                            let ok = if m == n {
+                                fits(j, n, app.cpu[i]) // both tasks land together
+                            } else {
+                                fits(j, n, 0.0)
+                            };
+                            if ok {
+                                scratch.cands.push((m, n));
+                            }
+                        }
+                    }
+                }
+                (Some(m), Some(n)) => return Ok((m, n)),
+            }
+        }
+        // Phase 2: the cache filters the batch — only never-rated pairs
+        // reach the rater, as one call for the whole transfer.
+        {
+            let PlaceCtx { rater, cache, scratch, .. } = self;
+            scratch.misses.clear();
+            for &(m, n) in &scratch.cands {
+                if m != n && cache.get(m, n).is_none() {
+                    scratch.misses.push((m, n));
+                }
+            }
+            if !scratch.misses.is_empty() {
+                rater.path_rates(&scratch.misses, &mut scratch.rates);
+                assert_eq!(scratch.rates.len(), scratch.misses.len(), "rater rated every pair");
+                for (&(m, n), &r) in scratch.misses.iter().zip(&scratch.rates) {
+                    cache.put(m, n, r);
+                }
+            }
+        }
+        // Phase 3: sharing adjustment + maximization.
+        let model = self.rater.model();
+        let mut best: Option<(f64, u32, u32)> = None;
+        for idx in 0..self.scratch.cands.len() {
+            let (m, n) = self.scratch.cands[idx];
+            let rate = if m == n {
+                f64::INFINITY
+            } else {
+                let raw_path = self.cache.get(m, n).expect("batched above");
+                self.shared_rate(model, m, n, raw_path)
+            };
+            let better = match best {
+                None => true,
+                Some((br, bm, bn)) => {
+                    rate > br + 1e-12 || ((rate - br).abs() <= 1e-12 && (m, n) < (bm, bn))
+                }
+            };
+            if better {
+                best = Some((rate, m, n));
+            }
+        }
+        best.map(|(_, m, n)| (m, n)).ok_or(PlaceError::NoFeasibleMachine { task: i })
+    }
+}
+
 impl GreedyPlacer {
     /// Place `app` on `machines` given the measured `snapshot`, starting
     /// from a network already carrying `load` (use
@@ -118,213 +277,55 @@ impl GreedyPlacer {
             return Err(PlaceError::InsufficientCpu);
         }
 
-        let mut assignment: Vec<Option<u32>> = vec![None; n_tasks];
-        let mut cpu_used = load.cpu_used.clone();
-        // Transfers placed *by this call*, for the sharing model.
-        let mut placed_path = vec![0u32; n_vms * n_vms];
-        let mut placed_egress = vec![0u32; n_vms];
-        let mut cache = RateCache::new(n_vms);
-        let mut scratch = BatchScratch::default();
+        let mut ctx = PlaceCtx {
+            app,
+            machines,
+            rater,
+            load,
+            assignment: vec![None; n_tasks],
+            cpu_used: load.cpu_used.clone(),
+            placed_path: vec![0u32; n_vms * n_vms],
+            placed_egress: vec![0u32; n_vms],
+            cache: RateCache::new(n_vms),
+            scratch: BatchScratch::default(),
+        };
 
         let transfers = app.matrix.transfers_desc();
         for (i, j, _bytes) in &transfers {
             let (i, j) = (*i, *j);
-            match (assignment[i], assignment[j]) {
+            match (ctx.assignment[i], ctx.assignment[j]) {
                 (Some(m), Some(n)) => {
                     // Both fixed: just account the transfer on its path.
-                    Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                    ctx.account(m, n);
                 }
                 _ => {
-                    let (m, n) = self.best_pair(
-                        app,
-                        machines,
-                        rater,
-                        load,
-                        &assignment,
-                        &cpu_used,
-                        &placed_path,
-                        &placed_egress,
-                        &mut cache,
-                        &mut scratch,
-                        i,
-                        j,
-                    )?;
-                    if assignment[i].is_none() {
-                        assignment[i] = Some(m);
-                        cpu_used[m as usize] += app.cpu[i];
+                    let (m, n) = ctx.best_pair(i, j)?;
+                    if ctx.assignment[i].is_none() {
+                        ctx.assignment[i] = Some(m);
+                        ctx.cpu_used[m as usize] += app.cpu[i];
                     }
-                    if assignment[j].is_none() {
-                        assignment[j] = Some(n);
-                        cpu_used[n as usize] += app.cpu[j];
+                    if ctx.assignment[j].is_none() {
+                        ctx.assignment[j] = Some(n);
+                        ctx.cpu_used[n as usize] += app.cpu[j];
                     }
-                    Self::account(&mut placed_path, &mut placed_egress, n_vms, m, n);
+                    ctx.account(m, n);
                 }
             }
         }
 
         // Tasks with no transfers: first-fit by CPU.
-        for (t, slot) in assignment.iter_mut().enumerate() {
+        for (t, slot) in ctx.assignment.iter_mut().enumerate() {
             if slot.is_none() {
                 let vm = (0..n_vms)
-                    .find(|&m| cpu_used[m] + app.cpu[t] <= machines.cpu[m] + 1e-9)
+                    .find(|&m| ctx.cpu_used[m] + app.cpu[t] <= machines.cpu[m] + 1e-9)
                     .ok_or(PlaceError::NoFeasibleMachine { task: t })?;
                 *slot = Some(vm as u32);
-                cpu_used[vm] += app.cpu[t];
+                ctx.cpu_used[vm] += app.cpu[t];
             }
         }
-        Ok(Placement { assignment: assignment.into_iter().map(|a| a.expect("placed")).collect() })
-    }
-
-    fn account(path: &mut [u32], egress: &mut [u32], n_vms: usize, m: u32, n: u32) {
-        if m != n {
-            path[m as usize * n_vms + n as usize] += 1;
-            egress[m as usize] += 1;
-        }
-    }
-
-    /// Sharing-adjusted rate a *new* transfer would see on `(m, n)` (line
-    /// 13 of Algorithm 1): intra-machine is infinite; otherwise the raw
-    /// path rate divided among the connections it shares with, under the
-    /// rater's sharing model. `raw_path`/`raw_hose` come from the
-    /// [`CandidateRater`] via the cache.
-    #[allow(clippy::too_many_arguments)]
-    fn shared_rate(
-        model: RateModel,
-        load: &NetworkLoad,
-        placed_path: &[u32],
-        placed_egress: &[u32],
-        n_vms: usize,
-        m: u32,
-        n: u32,
-        raw_path: f64,
-        raw_hose: f64,
-    ) -> f64 {
-        let (a, b) = (VmId(m), VmId(n));
-        match model {
-            RateModel::Pipe => {
-                let sharing = 1 + load.on_path(a, b) + placed_path[m as usize * n_vms + n as usize];
-                raw_path / sharing as f64
-            }
-            RateModel::Hose => {
-                let sharing = 1 + load.egress(a) + placed_egress[m as usize];
-                let hose_share = raw_hose / sharing as f64;
-                // A path cannot beat its own measured rate even if the
-                // hose has spare capacity.
-                hose_share.min(raw_path)
-            }
-        }
-    }
-
-    /// Candidate enumeration per Algorithm 1 lines 3–11, then rate
-    /// maximization (line 14). Deterministic tie-break on (rate, m, n).
-    ///
-    /// Runs in three phases: enumerate the feasible candidates, submit the
-    /// `cache` misses to the rater as **one batch for the whole
-    /// transfer**, then apply the sharing adjustment and maximize. The
-    /// cache guarantees no pair is ever rated twice within one placement.
-    #[allow(clippy::too_many_arguments)]
-    fn best_pair<R: CandidateRater>(
-        &self,
-        app: &AppProfile,
-        machines: &Machines,
-        rater: &mut R,
-        load: &NetworkLoad,
-        assignment: &[Option<u32>],
-        cpu_used: &[f64],
-        placed_path: &[u32],
-        placed_egress: &[u32],
-        cache: &mut RateCache,
-        scratch: &mut BatchScratch,
-        i: usize,
-        j: usize,
-    ) -> Result<(u32, u32), PlaceError> {
-        let n_vms = machines.len() as u32;
-        let fits = |task: usize, vm: u32, extra: f64| {
-            cpu_used[vm as usize] + extra + app.cpu[task] <= machines.cpu[vm as usize] + 1e-9
-        };
-        // Phase 1: feasible candidates, in deterministic tie-break order.
-        scratch.cands.clear();
-        match (assignment[i], assignment[j]) {
-            (Some(k), None) => {
-                for n in 0..n_vms {
-                    if fits(j, n, 0.0) {
-                        scratch.cands.push((k, n));
-                    }
-                }
-            }
-            (None, Some(l)) => {
-                for m in 0..n_vms {
-                    if fits(i, m, 0.0) {
-                        scratch.cands.push((m, l));
-                    }
-                }
-            }
-            (None, None) => {
-                for m in 0..n_vms {
-                    if !fits(i, m, 0.0) {
-                        continue;
-                    }
-                    for n in 0..n_vms {
-                        let ok = if m == n {
-                            fits(j, n, app.cpu[i]) // both tasks land together
-                        } else {
-                            fits(j, n, 0.0)
-                        };
-                        if ok {
-                            scratch.cands.push((m, n));
-                        }
-                    }
-                }
-            }
-            (Some(m), Some(n)) => return Ok((m, n)),
-        }
-        // Phase 2: the cache filters the batch — only never-rated pairs
-        // reach the rater, as one call for the whole transfer.
-        scratch.misses.clear();
-        for &(m, n) in &scratch.cands {
-            if m != n && cache.get(m, n).is_none() {
-                scratch.misses.push((m, n));
-            }
-        }
-        if !scratch.misses.is_empty() {
-            rater.path_rates(&scratch.misses, &mut scratch.rates);
-            assert_eq!(scratch.rates.len(), scratch.misses.len(), "rater rated every pair");
-            for (&(m, n), &r) in scratch.misses.iter().zip(&scratch.rates) {
-                cache.put(m, n, r);
-            }
-        }
-        // Phase 3: sharing adjustment + maximization.
-        let model = rater.model();
-        let mut best: Option<(f64, u32, u32)> = None;
-        for &(m, n) in &scratch.cands {
-            let rate = if m == n {
-                f64::INFINITY
-            } else {
-                let raw_path = cache.get(m, n).expect("batched above");
-                let raw_hose = if model == RateModel::Hose { rater.hose_rate(m) } else { f64::NAN };
-                Self::shared_rate(
-                    model,
-                    load,
-                    placed_path,
-                    placed_egress,
-                    n_vms as usize,
-                    m,
-                    n,
-                    raw_path,
-                    raw_hose,
-                )
-            };
-            let better = match best {
-                None => true,
-                Some((br, bm, bn)) => {
-                    rate > br + 1e-12 || ((rate - br).abs() <= 1e-12 && (m, n) < (bm, bn))
-                }
-            };
-            if better {
-                best = Some((rate, m, n));
-            }
-        }
-        best.map(|(_, m, n)| (m, n)).ok_or(PlaceError::NoFeasibleMachine { task: i })
+        Ok(Placement {
+            assignment: ctx.assignment.into_iter().map(|a| a.expect("placed")).collect(),
+        })
     }
 }
 

@@ -2,10 +2,11 @@
 //!
 //! A counting global allocator wraps the system allocator; after warming
 //! the arena's free lists and the solver's scratch buffers, a sustained
-//! churn of flow replacements plus reallocations — and the engine's
-//! what-if probe path — must not allocate at all. This pins down the
-//! tentpole guarantee: `reallocate_if_dirty` (arena maintenance + solve +
-//! write-back) does no per-call `Vec` construction.
+//! churn of flow replacements plus reallocations — warm-started delta
+//! solves included — and the engine's what-if probe path must not
+//! allocate at all. This pins down the tentpole guarantee:
+//! `reallocate_if_dirty` (arena maintenance + warm solve + write-back)
+//! does no per-call `Vec` construction.
 //!
 //! Kept in its own integration-test binary with a single `#[test]` so no
 //! concurrent test pollutes the counter.
@@ -106,6 +107,40 @@ fn steady_state_reallocation_allocates_nothing() {
     let solver_allocs = alloc_count() - before;
     assert!(checksum > 0.0, "solves produced rates");
     assert_eq!(solver_allocs, 0, "steady-state arena churn + reallocation must not allocate");
+
+    // ------------------------------------------------ warm-started solves
+    // Warm-started delta solves chain off the previous event's freeze-round
+    // log (replaying it, re-recording into the spare log buffers, and
+    // tracking the perturbed cascade in the indexed live heap). After the
+    // same warm-up discipline as above, a sustained churn of single-flow
+    // events must not allocate at all.
+    let mut warm_solver = MaxMinSolver::new();
+    let mut warm_rates = Vec::new();
+    warm_solver.solve_warm(&caps, &mut arena, &mut warm_rates);
+    for round in 0..3 {
+        for (i, arrival) in churn[n_flows as usize..].iter().enumerate() {
+            let k = (i + round) % slots.len();
+            arena.remove(slots[k]);
+            warm_solver.solve_warm(&caps, &mut arena, &mut warm_rates);
+            slots[k] = arena.add(arrival);
+            warm_solver.solve_warm(&caps, &mut arena, &mut warm_rates);
+        }
+    }
+    let before = alloc_count();
+    let mut warm_checksum = 0.0f64;
+    for round in 0..3 {
+        for (i, arrival) in churn[n_flows as usize..].iter().enumerate() {
+            let k = (i + round) % slots.len();
+            arena.remove(slots[k]);
+            warm_solver.solve_warm(&caps, &mut arena, &mut warm_rates);
+            slots[k] = arena.add(arrival);
+            warm_solver.solve_warm(&caps, &mut arena, &mut warm_rates);
+            warm_checksum += warm_rates[slots[k].0 as usize];
+        }
+    }
+    let warm_allocs = alloc_count() - before;
+    assert!(warm_checksum > 0.0, "warm solves produced rates");
+    assert_eq!(warm_allocs, 0, "steady-state warm-started reallocation must not allocate");
 
     // ------------------------------------------------- engine what-if path
     // The probe joins the arena, the persistent solver reallocates, and

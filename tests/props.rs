@@ -176,6 +176,95 @@ proptest! {
     }
 }
 
+// ------------------------------------------------- warm-started solves
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn chained_warm_solves_bitmatch_cold_solves_under_churn(
+        caps in prop::collection::vec(1.0f64..1000.0, 2..9),
+        ops in prop::collection::vec(
+            (0u8..6, prop::collection::vec(0usize..9, 1..5)),
+            1..40,
+        ),
+    ) {
+        // One warm-chaining solver rides a mutating arena through adds,
+        // removes, replace-style churn (remove-then-re-add recycles the
+        // slot), resource-space growth and interleaved probes; after every
+        // step its output must bit-match a from-scratch cold solve of the
+        // same arena. Start with part of the resource space hidden so
+        // grow_resources is exercised mid-chain.
+        let mut nr = caps.len().div_ceil(2);
+        let mut arena = FlowArena::new(nr);
+        let mut warm = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        let mut live: Vec<(FlowSlot, Vec<u32>)> = Vec::new();
+        let norm = |path: &Vec<usize>, nr: usize| -> Vec<u32> {
+            let mut f: Vec<u32> = path.iter().map(|r| (r % nr) as u32).collect();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        for (opno, (op, path)) in ops.iter().enumerate() {
+            match op {
+                // Remove (when possible), else add.
+                0 if !live.is_empty() => {
+                    let victim = path[0] % live.len();
+                    let (slot, _) = live.swap_remove(victim);
+                    arena.remove(slot);
+                }
+                // Replace: remove a victim and immediately re-add a
+                // different path — the add recycles the vacated slot.
+                1 if !live.is_empty() => {
+                    let victim = path[0] % live.len();
+                    let (slot, _) = live.swap_remove(victim);
+                    arena.remove(slot);
+                    let f = norm(path, nr);
+                    let slot2 = arena.add(&f);
+                    prop_assert_eq!(slot2, slot, "recycled slot expected");
+                    live.push((slot2, f));
+                }
+                // Grow the resource id space (no-op once at full size).
+                2 => {
+                    nr = (nr + 1).min(caps.len());
+                    arena.grow_resources(nr);
+                }
+                // Add a flow.
+                _ => {
+                    let f = norm(path, nr);
+                    let slot = arena.add(&f);
+                    live.push((slot, f));
+                }
+            }
+            arena.check_invariants();
+            warm.solve_warm(&caps[..nr.max(arena.n_resources())], &mut arena, &mut rates);
+            let mut cold = MaxMinSolver::new();
+            let mut cold_rates = Vec::new();
+            cold.solve(&caps[..arena.n_resources()], &arena, &mut cold_rates);
+            prop_assert_eq!(rates.len(), cold_rates.len());
+            for (slot, got) in rates.iter().enumerate() {
+                prop_assert_eq!(
+                    got.to_bits(), cold_rates[slot].to_bits(),
+                    "op {opno}: slot {slot} warm {} vs cold {}", got, cold_rates[slot]
+                );
+            }
+            // The warm-maintained log also serves probes: a what-if probe
+            // against it must bit-match adding the candidate for real.
+            let cand = norm(path, nr);
+            let got = warm.probe(&caps[..arena.n_resources()], &arena, &cand);
+            let mut ref_arena = arena.clone();
+            let probe_slot = ref_arena.add(&cand);
+            let mut ref_solver = MaxMinSolver::new();
+            let mut ref_rates = Vec::new();
+            ref_solver.solve(&caps[..ref_arena.n_resources()], &ref_arena, &mut ref_rates);
+            prop_assert_eq!(
+                got.to_bits(), ref_rates[probe_slot.0 as usize].to_bits(),
+                "op {opno}: probe over the warm log diverged"
+            );
+        }
+    }
+}
+
 // ------------------------------------------------- batched what-if probes
 
 proptest! {
