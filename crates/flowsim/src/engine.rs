@@ -11,6 +11,7 @@ use choreo_topology::route::splitmix64;
 use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, RouteTable, Topology};
 
 use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
+use crate::shard::{ResourcePartition, ShardedSolver};
 
 /// Handle to a flow in a [`FlowSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -139,6 +140,16 @@ pub struct FlowSim {
     now: Nanos,
     dirty: bool,
     rng: StdRng,
+    /// Sharded solve path ([`FlowSim::enable_sharded`]); `None` = warm
+    /// solves only.
+    sharded: Option<ShardedPath>,
+}
+
+/// The sharded reallocation route: a pod partition of the topology plus
+/// the persistent sharded-solve driver.
+struct ShardedPath {
+    part: ResourcePartition,
+    solver: ShardedSolver,
 }
 
 /// Numerical slop (bytes) below which a flow counts as finished.
@@ -180,7 +191,37 @@ impl FlowSim {
             now: 0,
             dirty: false,
             rng: StdRng::seed_from_u64(seed),
+            sharded: None,
         }
+    }
+
+    /// Route reallocation through the sharded solve path: partition the
+    /// topology into pods ([`ResourcePartition::for_topology`]) and fan
+    /// shard-local solves across `workers` threads (`0` = auto, one per
+    /// core). Returns the number of pods found.
+    ///
+    /// Sharded and warm solves are **bit-identical**, so enabling this
+    /// never changes the simulation trajectory — only wall-clock. When
+    /// the topology has no real pod structure — fewer than two pods
+    /// owning intra-pod links ([`ResourcePartition::link_pods`]; a
+    /// dumbbell's singleton-host pods carry no local flows) — the event
+    /// loop keeps using warm/cold solves. Hoses registered later land on
+    /// the spine shard and their flows are reconciled as boundary flows.
+    pub fn enable_sharded(&mut self, workers: usize) -> usize {
+        let part = ResourcePartition::for_topology(&self.topo);
+        let pods = part.n_pods();
+        self.sharded = Some(ShardedPath { part, solver: ShardedSolver::new(workers) });
+        pods
+    }
+
+    /// Drop the sharded solve path; reallocation goes back to warm solves.
+    pub fn disable_sharded(&mut self) {
+        self.sharded = None;
+    }
+
+    /// Pods of the active sharded path (`None` when sharding is off).
+    pub fn sharded_pods(&self) -> Option<usize> {
+        self.sharded.as_ref().map(|s| s.part.n_pods())
     }
 
     /// Current simulated time.
@@ -474,7 +515,23 @@ impl FlowSim {
             return;
         }
         self.dirty = false;
-        self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch);
+        // Sharded path when enabled and the topology has real pod
+        // structure — at least two pods that own intra-pod links (a
+        // dumbbell's singleton-host pods carry no local flows, so
+        // sharding it would make every churn event a full live
+        // reconciliation); otherwise warm-start off the previous solve's
+        // log. Both are bit-identical to a cold solve and both leave the
+        // log hot, so the routes interchange freely event to event.
+        match &mut self.sharded {
+            Some(sh) if sh.part.link_pods() >= 2 => sh.solver.solve_sharded(
+                &self.capacities,
+                &mut self.arena,
+                &sh.part,
+                &mut self.solver,
+                &mut self.rates_scratch,
+            ),
+            _ => self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch),
+        }
         for (slot, &owner) in self.slot_owner.iter().enumerate() {
             if owner != NO_SLOT {
                 self.flows[owner as usize].rate = self.rates_scratch[slot];

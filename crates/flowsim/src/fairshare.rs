@@ -109,6 +109,12 @@ pub struct FlowArena {
     dirty: Vec<u32>,
     /// Per-resource membership flag for `dirty`.
     dirty_mark: Vec<bool>,
+    /// Slots added or removed in the same window (deduplicated via
+    /// `dirty_slot_mark`) — the flow-level view of the churn, consumed by
+    /// the sharded solve's incremental split alongside `dirty`.
+    dirty_slots: Vec<u32>,
+    /// Per-slot membership flag for `dirty_slots`.
+    dirty_slot_mark: Vec<bool>,
 }
 
 impl FlowArena {
@@ -223,6 +229,7 @@ impl FlowArena {
         self.live[f] = true;
         self.n_live += 1;
         self.generation = self.generation.wrapping_add(1);
+        self.mark_dirty_slot(f);
         for (k, &r) in resources.iter().enumerate() {
             self.pool[s + k] = r;
             self.rev_pos[s + k] = self.rev[r as usize].len() as u32;
@@ -255,6 +262,7 @@ impl FlowArena {
         self.live[f] = false;
         self.n_live -= 1;
         self.generation = self.generation.wrapping_add(1);
+        self.mark_dirty_slot(f);
         self.free_slots.push(f as u32);
     }
 
@@ -268,9 +276,31 @@ impl FlowArena {
         }
     }
 
+    /// Record that `f`'s slot changed liveness or contents (idempotent
+    /// between clears).
+    #[inline]
+    fn mark_dirty_slot(&mut self, f: usize) {
+        if self.dirty_slot_mark.len() <= f {
+            self.dirty_slot_mark.resize(f + 1, false);
+        }
+        if !self.dirty_slot_mark[f] {
+            self.dirty_slot_mark[f] = true;
+            self.dirty_slots.push(f as u32);
+        }
+    }
+
     /// Dirty set size (tests / diagnostics).
     pub fn dirty_len(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Slots added or removed since the dirty window was last closed, in
+    /// first-touch order — the flow-level twin of
+    /// [`FlowArena::dirty_resources`], sharing its window (one clear
+    /// resets both). A recycled slot (removed then re-added) appears
+    /// once; consumers re-read its current state.
+    pub fn dirty_slots(&self) -> &[u32] {
+        &self.dirty_slots
     }
 
     /// Resources mutated since the dirty window was last closed (warm
@@ -294,6 +324,10 @@ impl FlowArena {
             self.dirty_mark[r as usize] = false;
         }
         self.dirty.clear();
+        for &f in &self.dirty_slots {
+            self.dirty_slot_mark[f as usize] = false;
+        }
+        self.dirty_slots.clear();
     }
 
     /// Hand slot `f`'s block (if any) to the free lists.
@@ -460,32 +494,38 @@ impl ProbeBatch {
 /// candidate share — at which point the candidate itself freezes, because
 /// the winning resource is one of its own. Replay therefore costs
 /// `O(rounds · |S|)` with early exit, not a full solve.
+///
+/// Crate-visible (fields included) so the sharded solve in
+/// [`crate::shard`] can merge per-shard logs into one global-order log;
+/// everything else should go through [`MaxMinSolver`].
 #[derive(Debug, Default)]
-struct SolveLog {
+pub(crate) struct SolveLog {
     /// Per round: version-stripped bottleneck [`ShareKey`] at pop time.
-    keys: Vec<u128>,
+    /// Strictly increasing within one log: freeze levels never decrease,
+    /// and at equal level the lower resource id pops first.
+    pub(crate) keys: Vec<u128>,
     /// Per round: the freeze level (the key's share, clamped to ≥ 0).
-    levels: Vec<f64>,
+    pub(crate) levels: Vec<f64>,
     /// Per round: end offset (exclusive) into the `touched_*` arrays.
-    round_end: Vec<u32>,
+    pub(crate) round_end: Vec<u32>,
     /// Flattened `(resource, flows frozen crossing it)` deltas, by round.
-    touched_res: Vec<u32>,
-    touched_delta: Vec<u32>,
+    pub(crate) touched_res: Vec<u32>,
+    pub(crate) touched_delta: Vec<u32>,
     /// Flattened arena slots frozen per round (warm replay walks these
     /// sequentially instead of chasing the reverse index).
-    freeze_slots: Vec<u32>,
+    pub(crate) freeze_slots: Vec<u32>,
     /// Per round: end offset (exclusive) into `freeze_slots`.
-    freeze_end: Vec<u32>,
+    pub(crate) freeze_end: Vec<u32>,
     /// Arena generation the log was recorded against.
-    generation: u64,
+    pub(crate) generation: u64,
     /// Resource-space size at record time.
-    n_resources: u32,
+    pub(crate) n_resources: u32,
     /// False until the first logged solve, and after a plain `solve`.
-    valid: bool,
+    pub(crate) valid: bool,
 }
 
 impl SolveLog {
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.keys.clear();
         self.levels.clear();
         self.round_end.clear();
@@ -550,6 +590,9 @@ pub struct MaxMinSolver {
     probe_slack: Vec<f64>,
     /// Probe scratch: per-candidate-resource unfrozen *base* flow count.
     probe_users: Vec<u32>,
+    /// Warm-solve scratch: copy of the arena's dirty window, taken before
+    /// the walk closes it (the walk borrows the arena mutably).
+    seed_buf: Vec<u32>,
 }
 
 /// `probe_mark` sentinel: resource not crossed by the current candidate.
@@ -733,6 +776,47 @@ impl MaxMinSolver {
             self.solve_logged(capacities, arena, rates);
             return;
         }
+        // The old log is read-only input; the new one is re-recorded into
+        // the spare buffers and swapped in (both stay warm across calls).
+        // The perturbation seed is the arena's dirty window, copied out
+        // before the walk closes it.
+        let old = std::mem::take(&mut self.log);
+        std::mem::swap(&mut self.log, &mut self.log_spare);
+        let mut seed = std::mem::take(&mut self.seed_buf);
+        seed.clear();
+        seed.extend_from_slice(arena.dirty_resources());
+        self.replay_walk(capacities, arena, rates, &old, &seed);
+        self.seed_buf = seed;
+        self.log_spare = old;
+    }
+
+    /// The warm-solve engine behind [`MaxMinSolver::solve_warm`] and the
+    /// sharded solve's reconciliation pass ([`crate::shard`]): replay
+    /// `old` — the freeze-round log of a solve of some *subset* of the
+    /// arena's current flows — interleaved with live rounds for the
+    /// perturbed cascade, recording the result into `self.log`.
+    ///
+    /// `seed` must cover every resource whose `(slack, users)` state may
+    /// deviate from `old`'s trajectory: for a warm solve, the resources
+    /// touched by arena mutations since `old` was recorded; for the
+    /// sharded reconciliation, the resources crossed by the boundary
+    /// flows `old`'s shard-local solves never saw. Over-approximation is
+    /// always safe. `old.freeze_slots` must name live, distinct slots of
+    /// `arena` (the caller remaps shard-local slots before merging).
+    ///
+    /// Consumes the arena's dirty window (it re-opens as this log is
+    /// recorded) and leaves `self.log` valid for the current arena, so
+    /// probes and further warm solves chain off it.
+    pub(crate) fn replay_walk(
+        &mut self,
+        capacities: &[f64],
+        arena: &mut FlowArena,
+        rates: &mut Vec<f64>,
+        old: &SolveLog,
+        seed: &[u32],
+    ) {
+        let nr = arena.n_resources();
+        assert!(capacities.len() >= nr, "capacities shorter than resource space");
         // Cold-solve state init — the hybrid walk must evolve the exact
         // state a from-scratch solve would, or bit-identity is lost.
         let nslots = arena.slot_bound();
@@ -758,10 +842,6 @@ impl MaxMinSolver {
         }
         let mut remaining = arena.n_flows();
 
-        // The old log is read-only input; the new one is re-recorded into
-        // the spare buffers and swapped in (both stay warm across calls).
-        let old = std::mem::take(&mut self.log);
-        std::mem::swap(&mut self.log, &mut self.log_spare);
         self.log.clear();
         self.log.generation = arena.generation();
         self.log.n_resources = nr as u32;
@@ -769,8 +849,8 @@ impl MaxMinSolver {
 
         // Reset the indexed live heap (left-over entries from the last
         // warm solve release their positions) and seed the perturbation
-        // set from the arena's dirty window, then close the window — it
-        // re-opens exactly as this log is recorded.
+        // set, then close the arena's dirty window — it re-opens exactly
+        // as this log is recorded.
         for &k in &self.wheap {
             self.wpos[ShareKey(k).res() as usize] = WPOS_NONE;
         }
@@ -778,7 +858,7 @@ impl MaxMinSolver {
         if self.wpos.len() < nr {
             self.wpos.resize(nr, WPOS_NONE);
         }
-        for &r in arena.dirty_resources() {
+        for &r in seed {
             let ri = r as usize;
             if !self.perturbed[ri] {
                 self.perturbed[ri] = true;
@@ -978,7 +1058,11 @@ impl MaxMinSolver {
                 }
             }
         }
-        self.log_spare = old;
+    }
+
+    /// The freeze-round log of the last logged/warm solve (sharded merge).
+    pub(crate) fn solve_log(&self) -> &SolveLog {
+        &self.log
     }
 
     /// Refresh perturbed resource `r2`'s entry in the warm heap after its

@@ -92,13 +92,33 @@
 //! transfers → re-solve) rides the same chain, reusing the probe-era log
 //! it just rated candidates against.
 //!
+//! # Sharded solves: partition → local solve → reconcile
+//!
+//! On pod-structured topologies the solve itself parallelizes
+//! ([`shard`]): a [`ResourcePartition`] groups resources by pod (links
+//! of each subtree under the aggregation roots; uplinks and core links
+//! on a shared spine), [`ShardedArena`] splits the live flow set into
+//! per-pod sub-arenas plus the boundary flows that cross pods, a
+//! [`ShardedSolver`] fans the shard-local logged solves across worker
+//! threads, and a reconciliation pass merges the shard logs in global
+//! freeze order and replays them on the main solver — live rounds run
+//! only where a boundary flow makes a shard-local level disagree. The
+//! result is **bit-identical to a cold `solve_logged`** for any worker
+//! count and any partition, including the degenerate ones (single pod,
+//! all flows cross-pod, empty shards); see [`shard`] for the lifecycle
+//! and fallback rules. [`FlowSim::enable_sharded`] routes the event
+//! loop's reallocation through it when the topology has ≥ 2 pods,
+//! falling back to warm/cold solves otherwise.
+//!
 //! Entry point: [`FlowSim`]. One-shot callers can still use
 //! [`max_min_rates`].
 
 pub mod engine;
 pub mod fairshare;
 pub mod scenario;
+pub mod shard;
 
 pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId};
 pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 pub use scenario::{ScenarioCtx, ScenarioPool};
+pub use shard::{ResourcePartition, ShardedArena, ShardedSolver};

@@ -14,6 +14,9 @@
 //!   [`TopologyBuilder`] or from canned generators in [`tree`]
 //!   (multi-rooted trees, the ns-2 dumbbell of Fig. 3(a), the two-rack cloud
 //!   of Fig. 3(b)).
+//! * [`pods`] — pod partitioning ([`PodPartition`]): spine switches vs
+//!   per-pod subtrees, the locality structure the sharded fair-share
+//!   solver in `choreo-flowsim` parallelizes over.
 //! * [`route`] — equal-cost shortest-path enumeration and deterministic
 //!   per-flow path selection (ECMP by flow hash), used by both the
 //!   packet-level and the flow-level simulators.
@@ -25,6 +28,7 @@
 //! Rates are bits/second (`f64`), time is nanoseconds (`u64`); see [`units`].
 
 pub mod graph;
+pub mod pods;
 pub mod route;
 pub mod tree;
 pub mod units;
@@ -33,6 +37,7 @@ pub mod vmmap;
 pub use graph::{
     Link, LinkDir, LinkId, LinkSpec, Node, NodeId, NodeKind, Topology, TopologyBuilder,
 };
+pub use pods::PodPartition;
 pub use route::{DirectedHop, Path, RouteTable};
 pub use tree::{dumbbell, two_rack, MultiRootedTreeSpec};
 pub use units::{Nanos, GBIT, KBIT, MBIT, MICROS, MILLIS, SECS};

@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use choreo_repro::flowsim::{FlowArena, FlowSim, MaxMinSolver};
+use choreo_repro::flowsim::{FlowArena, FlowSim, MaxMinSolver, ResourcePartition, ShardedSolver};
 use choreo_repro::topology::route::splitmix64;
 use choreo_repro::topology::{
     dumbbell, LinkSpec, MultiRootedTreeSpec, RouteTable, GBIT, MICROS, SECS,
@@ -141,6 +141,49 @@ fn steady_state_reallocation_allocates_nothing() {
     let warm_allocs = alloc_count() - before;
     assert!(warm_checksum > 0.0, "warm solves produced rates");
     assert_eq!(warm_allocs, 0, "steady-state warm-started reallocation must not allocate");
+
+    // -------------------------------------------------- sharded re-solves
+    // The sharded path rebuilds the per-pod sub-arenas from scratch every
+    // solve (split), runs one logged solve per shard, merges the shard
+    // logs and reconciles — and every buffer involved (sub-arenas, slot
+    // maps, boundary lists, per-shard solver scratch, the merged log, the
+    // main solver's walk state) is retained across solves. With a single
+    // worker (no thread spawns) a steady-state sharded re-solve must
+    // therefore allocate nothing per shard once warm. Warm-up runs two
+    // full passes of the measured churn so the measured pass revisits
+    // exactly the flow-set trajectory (and thus the high-water marks) the
+    // warm-up already reached.
+    let part = ResourcePartition::for_topology(&topo);
+    assert!(part.n_pods() >= 2, "workload tree must have pod structure");
+    let mut sharded = ShardedSolver::new(1);
+    let mut sh_solver = MaxMinSolver::new();
+    let mut sh_rates = Vec::new();
+    for _pass in 0..2 {
+        for round in 0..3 {
+            for (i, arrival) in churn[n_flows as usize..].iter().enumerate() {
+                let k = (i + round) % slots.len();
+                arena.remove(slots[k]);
+                sharded.solve_sharded(&caps, &mut arena, &part, &mut sh_solver, &mut sh_rates);
+                slots[k] = arena.add(arrival);
+                sharded.solve_sharded(&caps, &mut arena, &part, &mut sh_solver, &mut sh_rates);
+            }
+        }
+    }
+    let before = alloc_count();
+    let mut sh_checksum = 0.0f64;
+    for round in 0..3 {
+        for (i, arrival) in churn[n_flows as usize..].iter().enumerate() {
+            let k = (i + round) % slots.len();
+            arena.remove(slots[k]);
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut sh_solver, &mut sh_rates);
+            slots[k] = arena.add(arrival);
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut sh_solver, &mut sh_rates);
+            sh_checksum += sh_rates[slots[k].0 as usize];
+        }
+    }
+    let sharded_allocs = alloc_count() - before;
+    assert!(sh_checksum > 0.0, "sharded solves produced rates");
+    assert_eq!(sharded_allocs, 0, "steady-state sharded re-solve must not allocate once warm");
 
     // ------------------------------------------------- engine what-if path
     // The probe joins the arena, the persistent solver reallocates, and

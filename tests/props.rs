@@ -1,14 +1,18 @@
 //! Property-based tests over the core data structures and invariants.
 
 use choreo_repro::flowsim::{
-    max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch, ScenarioPool,
+    hop_resource, max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch, ResourcePartition,
+    ScenarioPool, ShardedSolver,
 };
 use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
 use choreo_repro::place::greedy::GreedyPlacer;
 use choreo_repro::place::problem::{validate, Machines, NetworkLoad};
 use choreo_repro::profile::{AppProfile, TrafficMatrix};
-use choreo_repro::topology::{MultiRootedTreeSpec, RouteTable};
+use choreo_repro::topology::route::splitmix64;
+use choreo_repro::topology::{
+    dumbbell, two_rack, LinkSpec, MultiRootedTreeSpec, RouteTable, Topology, GBIT, MICROS,
+};
 use choreo_repro::wire::ControlMsg;
 use proptest::prelude::*;
 
@@ -261,6 +265,165 @@ proptest! {
                 got.to_bits(), ref_rates[probe_slot.0 as usize].to_bits(),
                 "op {opno}: probe over the warm log diverged"
             );
+        }
+    }
+}
+
+// --------------------------------------------------------- sharded solves
+
+/// The test topologies for the sharded solve: the Fig. 3(a) dumbbell
+/// (degenerate partition: every host its own pod, all flows boundary),
+/// the Fig. 3(b) two-rack cloud (two pods joined by one agg), and the
+/// Fig. 5 multi-rooted tree (three pods under two cores, the intended
+/// workload), optionally with the second aggregation tier.
+fn sharded_topology(kind: u8) -> Topology {
+    let edge = LinkSpec::new(GBIT, 5 * MICROS);
+    let fabric = LinkSpec::new(10.0 * GBIT, 5 * MICROS);
+    match kind % 4 {
+        0 => dumbbell(4, edge, LinkSpec::new(GBIT, 20 * MICROS)),
+        1 => two_rack(4, edge, fabric),
+        k => MultiRootedTreeSpec {
+            cores: 2,
+            pods: 3,
+            aggs_per_pod: 2,
+            tors_per_pod: 2,
+            hosts_per_tor: 2,
+            second_agg_tier: k == 3,
+            ..Default::default()
+        }
+        .build(),
+    }
+}
+
+proptest! {
+    // CI cranks this suite with PROPTEST_CASES (read explicitly, so the
+    // override works with real proptest's precedence too: env beats an
+    // explicit with_cases only because we ask it to here).
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(48)))]
+    #[test]
+    fn sharded_solves_bitmatch_cold_solves_under_churn(
+        topo_kind in 0u8..4,
+        ops in prop::collection::vec((0u8..8, any::<u16>(), any::<u16>(), any::<u16>()), 1..24),
+    ) {
+        // Three independent sharded stacks (1, 2 and 8 workers) chase the
+        // same churn through adds, removes, replace-recycled-slot churn,
+        // resource-space growth (late hoses land on the spine) and
+        // interleaved probes; after every event each stack's rates must
+        // bit-match a cold solve of the same flow set, on every topology —
+        // including the dumbbell, whose partition degenerates to
+        // singleton pods with every flow on the boundary. Each stack
+        // drives its own arena replica: the incremental split chains on
+        // the arena's dirty window, whose consumer must be unique per
+        // arena (the documented warm-solve contract). The replicas see
+        // identical op sequences, so their slot assignments stay in
+        // lockstep (asserted).
+        let topo = sharded_topology(topo_kind);
+        let routes = RouteTable::new(&topo);
+        let part = ResourcePartition::for_topology(&topo);
+        let hosts = topo.hosts().to_vec();
+        let n_links2 = topo.link_count() * 2;
+        let mut caps: Vec<f64> =
+            topo.links().iter().flat_map(|l| [l.spec.rate_bps, l.spec.rate_bps]).collect();
+        caps.extend(std::iter::repeat_n(4.2e9, hosts.len())); // loopbacks
+        // Replicas 0-2 belong to the sharded stacks; replica 3 is the
+        // cold-reference arena (cold solves never touch dirty windows).
+        let mut arenas: Vec<FlowArena> = (0..4).map(|_| FlowArena::new(caps.len())).collect();
+        let mut hoses: Vec<u32> = Vec::new();
+        let mut live: Vec<FlowSlot> = Vec::new();
+        let mut stacks: Vec<(ShardedSolver, MaxMinSolver, Vec<f64>)> = [1usize, 2, 8]
+            .into_iter()
+            .map(|w| (ShardedSolver::new(w), MaxMinSolver::new(), Vec::new()))
+            .collect();
+        let mut cold = MaxMinSolver::new();
+        let mut cold_rates = Vec::new();
+        // Path of a hypothetical flow a→b (loopback when co-located),
+        // optionally capped by the latest hose.
+        let path_of = |a: u16, b: u16, h: u64, hoses: &[u32], with_hose: bool| -> Vec<u32> {
+            let src = hosts[a as usize % hosts.len()];
+            let dst = hosts[b as usize % hosts.len()];
+            let mut res: Vec<u32> = if src == dst {
+                vec![(n_links2 + a as usize % hosts.len()) as u32]
+            } else {
+                routes.path_for_flow(src, dst, splitmix64(h)).hops.iter().map(hop_resource).collect()
+            };
+            if with_hose {
+                if let Some(&hose) = hoses.last() {
+                    res.push(hose);
+                }
+            }
+            res
+        };
+        for (opno, &(op, a, b, c)) in ops.iter().enumerate() {
+            let h = (opno as u64) << 32 | (a as u64) << 16 | b as u64;
+            match op {
+                0 if !live.is_empty() => {
+                    let victim = a as usize % live.len();
+                    let slot = live.swap_remove(victim);
+                    for arena in &mut arenas {
+                        arena.remove(slot);
+                    }
+                }
+                1 if !live.is_empty() => {
+                    // Replace: the add recycles the vacated slot.
+                    let victim = a as usize % live.len();
+                    let slot = live.swap_remove(victim);
+                    let path = path_of(b, c, h, &hoses, false);
+                    for arena in &mut arenas {
+                        arena.remove(slot);
+                        let slot2 = arena.add(&path);
+                        prop_assert_eq!(slot2, slot, "recycled slot expected");
+                    }
+                    live.push(slot);
+                }
+                2 => {
+                    // Register a hose: a resource the partition has never
+                    // seen (it maps to the spine shard).
+                    let id = arenas[0].n_resources();
+                    for arena in &mut arenas {
+                        arena.grow_resources(id + 1);
+                    }
+                    caps.push(2.5e8 + 1e6 * (a % 64) as f64);
+                    hoses.push(id as u32);
+                }
+                _ => {
+                    let path = path_of(a, b, h, &hoses, op == 3 && !hoses.is_empty());
+                    let mut slot = None;
+                    for arena in &mut arenas {
+                        let s = arena.add(&path);
+                        prop_assert!(slot.is_none_or(|prev| prev == s), "replicas diverged");
+                        slot = Some(s);
+                    }
+                    live.push(slot.unwrap());
+                }
+            }
+            arenas[3].check_invariants();
+            cold.solve(&caps, &arenas[3], &mut cold_rates);
+            for (i, (sharded, main, rates)) in stacks.iter_mut().enumerate() {
+                sharded.solve_sharded(&caps, &mut arenas[i], &part, main, rates);
+                prop_assert_eq!(rates.len(), cold_rates.len());
+                for (slot, (got, want)) in rates.iter().zip(&cold_rates).enumerate() {
+                    prop_assert_eq!(
+                        got.to_bits(), want.to_bits(),
+                        "op {opno} (stack {i}): slot {slot} sharded {} vs cold {}",
+                        got, want
+                    );
+                }
+            }
+            // The reconciled log serves probes: a what-if over it must
+            // bit-match adding the candidate for real.
+            let cand = path_of(b, a, h ^ 0x51ED, &hoses, false);
+            let mut ref_arena = arenas[3].clone();
+            let probe_slot = ref_arena.add(&cand);
+            let mut ref_solver = MaxMinSolver::new();
+            let mut ref_rates = Vec::new();
+            ref_solver.solve(&caps, &ref_arena, &mut ref_rates);
+            for (i, (_, main, _)) in stacks.iter_mut().enumerate() {
+                let got = main.probe(&caps, &arenas[i], &cand);
+                prop_assert_eq!(
+                    got.to_bits(), ref_rates[probe_slot.0 as usize].to_bits(),
+                    "op {}: probe over the sharded log diverged", opno
+                );
+            }
         }
     }
 }

@@ -199,8 +199,13 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Mirrors real proptest's precedence: `PROPTEST_CASES` overrides
+    /// the *default* case count only — an explicit
+    /// [`ProptestConfig::with_cases`] always wins over the environment.
+    /// Blocks that want an env-overridable count read the variable
+    /// themselves before calling `with_cases`.
     fn default() -> Self {
-        ProptestConfig { cases: 128 }
+        ProptestConfig { cases: resolve_cases(128) }
     }
 }
 
@@ -256,6 +261,14 @@ macro_rules! __proptest_impl {
 #[doc(hidden)]
 pub fn __run_case(f: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
     f()
+}
+
+/// The `PROPTEST_CASES` environment variable when set, else `default` —
+/// the same resolution real proptest applies when building its default
+/// config. Public so test suites can opt a `with_cases` block into the
+/// env override explicitly (e.g. CI cranking a specific suite).
+pub fn resolve_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Soft assertion inside `proptest!` bodies.
