@@ -42,6 +42,7 @@
 
 use std::time::Instant;
 
+use choreo_bench::JsonReport;
 use choreo_flowsim::{FlowArena, MaxMinSolver, ResourcePartition, ShardedSolver};
 use choreo_topology::route::splitmix64;
 use choreo_topology::{MultiRootedTreeSpec, RouteTable, Topology};
@@ -463,19 +464,31 @@ fn main() {
         Some(s) => println!("sharded speedup\t{s:.2}x parallel over serial sharding"),
         None => println!("sharded speedup\tskipped (single core)"),
     }
-    let sharded_speedup_json = sharded_speedup.map_or("null".to_string(), |s| format!("{s:.3}"));
     // `pass` means every *target* holds (the CI gate applies looser
     // floors); a null sharded_speedup (single core) is not a failure.
-    let json = format!(
-        "{{\n  \"bench\": \"fairshare_reallocation\",\n  \"hosts\": {hosts},\n  \"flows\": {flows},\n  \"events\": {events},\n  \"baseline_ns_per_event\": {base_ev:.1},\n  \"incremental_ns_per_event\": {inc_ev:.1},\n  \"warm_ns_per_event\": {warm_ev:.1},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 3.0,\n  \"warm_speedup\": {warm_speedup:.3},\n  \"warm_target_speedup\": 2.0,\n  \"sharded_hosts\": {},\n  \"sharded_flows\": {},\n  \"sharded_epochs\": {},\n  \"sharded_churn_per_epoch\": {},\n  \"sharded_ns_per_epoch\": {sharded_epoch_ns:.1},\n  \"sharded_ns_per_event\": {sharded_ev:.1},\n  \"sharded_workers\": {sharded_workers},\n  \"sharded_speedup\": {sharded_speedup_json},\n  \"sharded_target_speedup\": 2.0,\n  \"pass\": {}\n}}\n",
-        ws.hosts,
-        ws.initial.len(),
-        ws.epochs,
-        ws.churn_per_epoch,
-        speedup >= 3.0
-            && warm_speedup >= 2.0
-            && sharded_speedup.is_none_or(|s| s >= 2.0)
-    );
-    std::fs::write("BENCH_fairshare.json", json).expect("write BENCH_fairshare.json");
-    println!("# wrote BENCH_fairshare.json");
+    JsonReport::new("fairshare_reallocation")
+        .int("hosts", hosts as u64)
+        .int("flows", flows as u64)
+        .int("events", events as u64)
+        .num("baseline_ns_per_event", base_ev, 1)
+        .num("incremental_ns_per_event", inc_ev, 1)
+        .num("warm_ns_per_event", warm_ev, 1)
+        .num("speedup", speedup, 3)
+        .num("target_speedup", 3.0, 1)
+        .num("warm_speedup", warm_speedup, 3)
+        .num("warm_target_speedup", 2.0, 1)
+        .int("sharded_hosts", ws.hosts as u64)
+        .int("sharded_flows", ws.initial.len() as u64)
+        .int("sharded_epochs", ws.epochs as u64)
+        .int("sharded_churn_per_epoch", ws.churn_per_epoch as u64)
+        .num("sharded_ns_per_epoch", sharded_epoch_ns, 1)
+        .num("sharded_ns_per_event", sharded_ev, 1)
+        .int("sharded_workers", sharded_workers as u64)
+        .opt_num("sharded_speedup", sharded_speedup, 3)
+        .num("sharded_target_speedup", 2.0, 1)
+        .bool(
+            "pass",
+            speedup >= 3.0 && warm_speedup >= 2.0 && sharded_speedup.is_none_or(|s| s >= 2.0),
+        )
+        .write("BENCH_fairshare.json");
 }

@@ -27,6 +27,7 @@
 
 use std::time::Instant;
 
+use choreo_bench::JsonReport;
 use choreo_flowsim::{FlowArena, MaxMinSolver, ProbeBatch, ScenarioPool};
 use choreo_topology::route::splitmix64;
 use choreo_topology::{MultiRootedTreeSpec, RouteTable, Topology};
@@ -186,12 +187,16 @@ fn main() {
         Some(s) => println!("scenario pool\t{workers} workers\t{s:.2}x on 16 scenario sweeps"),
         None => println!("scenario pool\t1 worker\tspeedup comparison skipped (single core)"),
     }
-    let pool_speedup_json = pool_speedup.map_or("null".to_string(), |s| format!("{s:.3}"));
-    let json = format!(
-        "{{\n  \"bench\": \"placement_candidate_batch\",\n  \"hosts\": {},\n  \"flows\": {n_flows},\n  \"candidates\": {n_cand},\n  \"per_candidate_ns\": {base_c:.1},\n  \"batched_ns\": {batch_c:.1},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 3.0,\n  \"pool_workers\": {workers},\n  \"pool_speedup\": {pool_speedup_json},\n  \"pass\": {}\n}}\n",
-        w.hosts,
-        speedup >= 3.0
-    );
-    std::fs::write("BENCH_placement.json", json).expect("write BENCH_placement.json");
-    println!("# wrote BENCH_placement.json");
+    JsonReport::new("placement_candidate_batch")
+        .int("hosts", w.hosts as u64)
+        .int("flows", n_flows as u64)
+        .int("candidates", n_cand as u64)
+        .num("per_candidate_ns", base_c, 1)
+        .num("batched_ns", batch_c, 1)
+        .num("speedup", speedup, 3)
+        .num("target_speedup", 3.0, 1)
+        .int("pool_workers", workers as u64)
+        .opt_num("pool_speedup", pool_speedup, 3)
+        .bool("pass", speedup >= 3.0)
+        .write("BENCH_placement.json");
 }

@@ -46,6 +46,20 @@ pub enum Reevaluation {
     },
 }
 
+/// The hysteresis rule shared by [`reevaluate`] and the online service's
+/// cluster-wide migration planner (`choreo-online`): a candidate is worth
+/// moving to only when its cost is **strictly** below
+/// `current · (1 − threshold)` — at exactly the threshold the answer is
+/// *stay*, so repeated re-evaluations of an unchanged world can never
+/// flap. Costs are "lower is better" (predicted seconds here; the online
+/// planner passes reciprocal rates).
+///
+/// A non-finite candidate cost (e.g. `1/rate` of a starved candidate)
+/// never wins.
+pub fn improves_enough(current_cost: f64, candidate_cost: f64, threshold: f64) -> bool {
+    candidate_cost.is_finite() && candidate_cost < current_cost * (1.0 - threshold)
+}
+
 /// Decide whether a running application should migrate.
 ///
 /// * `remaining` — the app's unfinished traffic (see [`remaining_app`]).
@@ -68,7 +82,7 @@ pub fn reevaluate(
     };
     let move_secs =
         predict_completion_secs(remaining, &candidate, snapshot) + migration_penalty_secs;
-    if move_secs < stay_secs * (1.0 - threshold) && candidate != *current {
+    if improves_enough(stay_secs, move_secs, threshold) && candidate != *current {
         Reevaluation::Migrate { placement: candidate, stay_secs, move_secs }
     } else {
         Reevaluation::Stay { predicted_secs: stay_secs }
@@ -147,6 +161,76 @@ mod tests {
         match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 1000.0, 0.10) {
             Reevaluation::Stay { .. } => {}
             other => panic!("expected stay with big penalty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn improves_enough_is_strict_at_the_threshold() {
+        // Exactly at the boundary: 100 · (1 − 0.10) = 90 → stay. The rule
+        // is strict so an unchanged world re-evaluated forever never
+        // flaps between "equally good" options.
+        assert!(!improves_enough(100.0, 90.0, 0.10));
+        assert!(improves_enough(100.0, 90.0 - 1e-9, 0.10));
+        // Zero threshold still requires a strict improvement: an exactly
+        // equal candidate loses.
+        assert!(!improves_enough(50.0, 50.0, 0.0));
+        assert!(improves_enough(50.0, 49.999, 0.0));
+        // Degenerate candidates never win.
+        assert!(!improves_enough(100.0, f64::INFINITY, 0.10));
+        assert!(!improves_enough(100.0, f64::NAN, 0.10));
+    }
+
+    #[test]
+    fn rate_exactly_at_threshold_stays() {
+        // stay = 800 s on the rate-1 path; the best alternative offers
+        // rate 10/9 → move = 720 s = stay · (1 − 0.10): exactly at the
+        // 10 % threshold, which must read as "not enough".
+        let app = app_with(100);
+        let current = Placement { assignment: vec![0, 1] };
+        let mut rates = vec![10.0 / 9.0; 16];
+        rates[1] = 1.0; // current path 0->1 degraded to rate 1
+        let s = NetworkSnapshot::from_rates(4, rates, RateModel::Pipe);
+        let machines = Machines::uniform(4, 1.0);
+        match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 0.0, 0.10) {
+            Reevaluation::Stay { predicted_secs } => {
+                assert!((predicted_secs - 800.0).abs() < 1e-9);
+            }
+            other => panic!("exact-threshold candidate must not migrate, got {other:?}"),
+        }
+        // One hair past the threshold flips the decision.
+        match reevaluate(&app, &current, &machines, &s, &NetworkLoad::new(4), 0.0, 0.10 - 1e-6) {
+            Reevaluation::Migrate { .. } => {}
+            other => panic!("just-past-threshold candidate must migrate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_reevaluation_does_not_flap() {
+        // After migrating away from a degraded path, re-evaluating the
+        // new placement against the same snapshot must keep deciding
+        // Stay, run after run — the migration decision is a fixed point,
+        // not an oscillation between equivalent placements.
+        let app = app_with(100);
+        let mut current = Placement { assignment: vec![0, 1] };
+        let s = snap(4, &[(0, 1, 1.0)]);
+        let machines = Machines::uniform(4, 1.0);
+        let load = NetworkLoad::new(4);
+        match reevaluate(&app, &current, &machines, &s, &load, 0.0, 0.10) {
+            Reevaluation::Migrate { placement, .. } => current = placement,
+            other => panic!("expected the initial migration, got {other:?}"),
+        }
+        for round in 0..3 {
+            match reevaluate(&app, &current, &machines, &s, &load, 0.0, 0.10) {
+                Reevaluation::Stay { .. } => {}
+                other => panic!("round {round}: migrated again — flapping ({other:?})"),
+            }
+        }
+        // Even at threshold 0 the settled placement holds: the greedy
+        // candidate equals the current placement, and equal cost is not
+        // an improvement.
+        match reevaluate(&app, &current, &machines, &s, &load, 0.0, 0.0) {
+            Reevaluation::Stay { .. } => {}
+            other => panic!("zero-threshold flap: {other:?}"),
         }
     }
 

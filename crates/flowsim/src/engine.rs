@@ -295,10 +295,10 @@ impl FlowSim {
         }
     }
 
-    /// Schedule a flow of `bytes` (`None` = unbounded) from `src` to `dst`
-    /// starting at `at`, optionally constrained by a hose cap, grouped
-    /// under `tag`.
-    pub fn start_flow(
+    /// Construct a `Pending` flow record; the caller decides how it
+    /// enters the simulation (scheduled via the event heap, or activated
+    /// on the spot).
+    fn push_flow(
         &mut self,
         src: NodeId,
         dst: NodeId,
@@ -319,6 +319,22 @@ impl FlowSim {
             started_at: at,
             tag,
         });
+        key
+    }
+
+    /// Schedule a flow of `bytes` (`None` = unbounded) from `src` to `dst`
+    /// starting at `at`, optionally constrained by a hose cap, grouped
+    /// under `tag`.
+    pub fn start_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Option<u64>,
+        hose: Option<HoseId>,
+        at: Nanos,
+        tag: u64,
+    ) -> FlowKey {
+        let key = self.push_flow(src, dst, bytes, hose, at, tag);
         self.push_event(at.max(self.now), Ev::Start(key));
         key
     }
@@ -326,6 +342,48 @@ impl FlowSim {
     /// Stop (kill) a flow at time `at`.
     pub fn stop_flow_at(&mut self, key: FlowKey, at: Nanos) {
         self.push_event(at.max(self.now), Ev::Stop(key));
+    }
+
+    /// Start a flow **immediately**: the flow goes straight into the
+    /// arena as `Active` at the current time, skipping the event heap.
+    ///
+    /// This is the online placement service's admission hook — a placed
+    /// tenant's transfers become visible to the very next probe without
+    /// an event-heap round trip, and a tenant's whole flow set lands in
+    /// one arena dirty window, so the next reallocation is a single warm
+    /// (or sharded) delta solve covering all of them.
+    pub fn start_flow_now(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Option<u64>,
+        hose: Option<HoseId>,
+        tag: u64,
+    ) -> FlowKey {
+        let key = self.push_flow(src, dst, bytes, hose, self.now, tag);
+        // Same transition the `Ev::Start` dispatch performs, minus the
+        // heap round trip.
+        self.flows[key.0 as usize].status = FlowStatus::Active;
+        self.dirty = true;
+        self.arena_insert(key);
+        key
+    }
+
+    /// Stop a set of flows **immediately** (tenant teardown): every
+    /// pending or active flow in `keys` is marked done at the current
+    /// time and evicted from the arena, accumulating one combined dirty
+    /// window — the next reallocation is a single warm (or sharded)
+    /// delta solve over the whole departure instead of one per flow.
+    pub fn stop_flows_now(&mut self, keys: &[FlowKey]) {
+        for &key in keys {
+            let f = &mut self.flows[key.0 as usize];
+            if matches!(f.status, FlowStatus::Pending | FlowStatus::Active) {
+                f.status = FlowStatus::Done(self.now);
+                f.rate = 0.0;
+                self.dirty = true;
+                self.arena_evict(key);
+            }
+        }
     }
 
     /// Register an ON–OFF background source (starts OFF; exponential
@@ -911,6 +969,35 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.seq)).collect();
         assert_eq!(order, vec![9, 2, 3]);
+    }
+
+    #[test]
+    fn immediate_start_and_teardown_hooks() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        // An immediate flow is active (and visible to probes) with no
+        // event-heap round trip.
+        let f1 = s.start_flow_now(h[0], h[2], None, None, 77);
+        let f2 = s.start_flow_now(h[1], h[3], None, None, 77);
+        assert_eq!(s.status(f1), FlowStatus::Active);
+        assert_eq!(s.active_flows(), 2);
+        let r = s.probe_rate(h[0], h[2], None);
+        // Both immediate flows cross the dumbbell's shared link, so a
+        // probe is a third sharer there.
+        assert!((r - 1e9 / 3.0).abs() < 1.0, "probe shares with the immediate flows: {r}");
+        s.run_until(SECS);
+        assert!(s.delivered_bytes(f1) > 0, "immediate flows deliver bytes");
+        // Teardown of the whole tag in one call: both evicted, one
+        // combined dirty window, next probe sees an idle network.
+        s.stop_flows_now(&[f1, f2]);
+        assert_eq!(s.active_flows(), 0);
+        assert!(matches!(s.status(f1), FlowStatus::Done(_)));
+        assert!(matches!(s.status(f2), FlowStatus::Done(_)));
+        let r = s.probe_rate(h[0], h[2], None);
+        assert!((r - 1e9).abs() < 1.0, "idle after teardown: {r}");
+        // Stopping again is a no-op.
+        s.stop_flows_now(&[f1, f2]);
+        assert_eq!(s.active_flows(), 0);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Service configuration.
+
+use choreo_topology::{LinkSpec, Nanos, GBIT, MICROS, SECS};
+
+/// Which placer admission uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Algorithm 1 over live batched what-if probes (the service's point).
+    Greedy,
+    /// Seeded network-oblivious random placement — the §6 baseline the
+    /// online bench compares tenant rates against.
+    Random(u64),
+}
+
+/// Knobs of the background migration planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Run a cluster-wide re-placement pass every this much simulated
+    /// time (`None` disables the planner).
+    pub cadence: Option<Nanos>,
+    /// A tenant counts as degraded when its current mean per-flow rate
+    /// drops strictly below this fraction of the rate it saw right after
+    /// its last placement.
+    pub degraded_fraction: f64,
+    /// Cost-side hysteresis threshold of the shared
+    /// `choreo::migrate::improves_enough` rule, applied to reciprocal
+    /// rates: a move fires only when
+    /// `predicted > current / (1 − min_improvement)` — e.g. the default
+    /// `0.10` (the paper's §2.4 threshold) demands a ≥ 11 % predicted
+    /// rate gain, `0.25` a ≥ 33 % gain, `0.5` a 2× gain. The band
+    /// between `degraded_fraction` and this bar is what keeps tenants
+    /// from flapping.
+    pub min_improvement: f64,
+    /// Maximum number of tenants moved per pass — migration is not free,
+    /// so each pass executes only the best improvements.
+    pub budget: usize,
+    /// A tenant placed or moved less than this long ago is left alone.
+    pub cooldown: Nanos,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            cadence: Some(10 * SECS),
+            degraded_fraction: 0.85,
+            min_improvement: 0.10,
+            budget: 2,
+            cooldown: 20 * SECS,
+        }
+    }
+}
+
+/// Configuration of an [`crate::OnlineScheduler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// CPU cores per host (§6.1: four-core machines).
+    pub cores_per_host: f64,
+    /// Capacity/delay model for co-located traffic (the paper's
+    /// ≈4 Gbit/s same-host paths).
+    pub loopback: LinkSpec,
+    /// Placement works within the `candidate_hosts` hosts with the most
+    /// free CPU (deterministic tie-break on host index) instead of the
+    /// whole cluster: candidate probing is one batched what-if solve per
+    /// transfer, so the subset bounds per-arrival latency at large host
+    /// counts the way power-of-k-choices schedulers do.
+    pub candidate_hosts: usize,
+    /// Each tenant's heaviest this-many transfers become live simulated
+    /// flows; placement still sees the full matrix. Bounds per-tenant
+    /// flow count for all-to-all patterns.
+    pub max_modeled_transfers: usize,
+    /// Arrivals that do not fit wait in a FIFO queue of at most this many
+    /// tenants (retried on departures); beyond it they are rejected.
+    pub queue_capacity: usize,
+    /// Admission placer.
+    pub policy: PlacementPolicy,
+    /// Worker threads for the sharded solve path (`0` = warm solves
+    /// only). Sharded and warm solves are bit-identical, so this changes
+    /// wall-clock only, never the trajectory.
+    pub workers: usize,
+    /// Background migration planner knobs.
+    pub migration: MigrationConfig,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            cores_per_host: 4.0,
+            loopback: LinkSpec::new(4.2 * GBIT, 20 * MICROS),
+            candidate_hosts: 16,
+            max_modeled_transfers: 12,
+            queue_capacity: 64,
+            policy: PlacementPolicy::Greedy,
+            workers: 0,
+            migration: MigrationConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = OnlineConfig::default();
+        assert_eq!(c.policy, PlacementPolicy::Greedy);
+        assert!(c.candidate_hosts >= 2 && c.queue_capacity > 0);
+        assert!(c.migration.degraded_fraction < 1.0);
+        assert!(c.migration.min_improvement > 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The always-on, multi-tenant placement service.
+//!
+//! The paper's workflow (measure → profile → place, §2) is framed per
+//! application, but its evaluation world is a shared cloud under churn.
+//! This crate is that world's control plane: a deterministic,
+//! long-running service that consumes a stream of tenant events —
+//! arrival with a profiled traffic matrix, intensity changes, departure
+//! (see [`choreo_profile::stream`]) — and keeps a live
+//! [`choreo_flowsim::FlowSim`] cluster placed well over time.
+//!
+//! Three cooperating pieces:
+//!
+//! * **[`OnlineScheduler`]** — the event loop. Arrivals are placed by
+//!   Algorithm 1 over **live batched what-if probes**
+//!   ([`choreo_flowsim::FlowSim::probe_rates`] through a
+//!   [`rater::LiveRater`]), never a measured snapshot, within the
+//!   [`OnlineConfig::candidate_hosts`] hosts that have the most free
+//!   CPU — the power-of-k-choices trick that bounds per-arrival latency
+//!   on large clusters. Admitted tenants' heaviest transfers run as
+//!   real simulated flows; departures tear them down in one arena dirty
+//!   window ([`choreo_flowsim::FlowSim::stop_flows_now`]) so the next
+//!   reallocation is a single warm delta solve.
+//! * **Admission control** — CPU feasibility is checked against a
+//!   global ledger; arrivals that do not fit wait in a bounded FIFO
+//!   queue that is retried whenever a departure frees capacity, and are
+//!   rejected once the queue is full. The ledger, the queue bound and
+//!   placement validity are service invariants
+//!   ([`OnlineScheduler::check_invariants`], property-tested).
+//! * **The migration planner** ([`migrate`]) — §2.4's single-app
+//!   re-evaluation generalized into a cadence-driven cluster-wide pass:
+//!   scan for degraded tenants, price candidate moves with probe
+//!   batches, execute the best improvements under a per-pass budget
+//!   with hysteresis and cooldowns (the decision rule is shared with
+//!   `core`'s [`choreo::migrate::improves_enough`]).
+//!
+//! Whole service runs are **reproducible bit-for-bit**: the same event
+//! stream, seed and config give the same trajectory digest
+//! ([`ServiceStats::trace_hash`]) for any solver worker count, because
+//! warm and sharded solves are bit-identical. `bench_online` measures
+//! the service at 10k+ tenant events/sec on a 128-host topology and
+//! compares mean tenant service rates against the random-placement
+//! baseline (`BENCH_online.json`).
+
+pub mod config;
+pub mod migrate;
+pub mod rater;
+pub mod scheduler;
+pub mod stats;
+
+pub use config::{MigrationConfig, OnlineConfig, PlacementPolicy};
+pub use rater::LiveRater;
+pub use scheduler::OnlineScheduler;
+pub use stats::ServiceStats;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use choreo_profile::{TenantEvent, TenantEventKind};
+    use choreo_topology::{two_rack, LinkSpec, RouteTable, GBIT, MICROS, SECS};
+
+    use super::*;
+
+    fn service(cfg: OnlineConfig) -> OnlineScheduler {
+        let topo = Arc::new(two_rack(
+            4,
+            LinkSpec::new(GBIT, 5 * MICROS),
+            LinkSpec::new(2.0 * GBIT, 20 * MICROS),
+        ));
+        let routes = Arc::new(RouteTable::new(&topo));
+        OnlineScheduler::new(topo, routes, cfg, 7)
+    }
+
+    fn pair_app(name: &str, cpu: f64) -> choreo_profile::AppProfile {
+        let mut m = choreo_profile::TrafficMatrix::zeros(2);
+        m.set(0, 1, 1_000_000_000);
+        choreo_profile::AppProfile::new(name, vec![cpu, cpu], m, 0)
+    }
+
+    /// `n` tasks of `cpu` cores each, one heavy 0→1 transfer.
+    fn fat_app(name: &str, n: usize, cpu: f64) -> choreo_profile::AppProfile {
+        let mut m = choreo_profile::TrafficMatrix::zeros(n);
+        m.set(0, 1, 1_000_000_000);
+        choreo_profile::AppProfile::new(name, vec![cpu; n], m, 0)
+    }
+
+    fn arrive(at: u64, tenant: u64, app: choreo_profile::AppProfile) -> TenantEvent {
+        TenantEvent { at, tenant, kind: TenantEventKind::Arrive { app: Box::new(app) } }
+    }
+
+    #[test]
+    fn admits_and_departs_a_tenant() {
+        let mut s = service(OnlineConfig::default());
+        s.step(&arrive(0, 0, pair_app("a", 1.0)));
+        assert_eq!(s.active_tenants(), 1);
+        assert_eq!(s.stats().admitted, 1);
+        s.check_invariants();
+        // Greedy co-locates the chatty pair on a 4-core host: no flows.
+        let p = s.tenant_placement(0).expect("admitted");
+        assert_eq!(p.assignment[0], p.assignment[1], "chatty pair co-locates");
+        s.step(&TenantEvent { at: SECS, tenant: 0, kind: TenantEventKind::Depart });
+        assert_eq!(s.active_tenants(), 0);
+        assert_eq!(s.stats().departed, 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn queue_fills_retries_and_rejects() {
+        let cfg = OnlineConfig { queue_capacity: 1, ..OnlineConfig::default() };
+        let mut s = service(cfg);
+        // 8 hosts × 4 cores = 32 cores; each tenant takes 16 (4 tasks ×
+        // 4 cores), so two tenants fill the cluster.
+        s.step(&arrive(0, 0, fat_app("big0", 4, 4.0)));
+        s.step(&arrive(1, 1, fat_app("big1", 4, 4.0)));
+        assert_eq!(s.active_tenants(), 2);
+        // Full: the next waits, the one after is rejected.
+        s.step(&arrive(2, 2, fat_app("wait", 4, 4.0)));
+        assert_eq!(s.queue_len(), 1);
+        s.step(&arrive(3, 3, fat_app("reject", 4, 4.0)));
+        assert_eq!(s.stats().rejected, 1);
+        s.check_invariants();
+        // A departure frees capacity and admits the waiter.
+        s.step(&TenantEvent { at: SECS, tenant: 0, kind: TenantEventKind::Depart });
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.stats().queue_admitted, 1);
+        assert_eq!(s.active_tenants(), 2);
+        s.check_invariants();
+        // A queued tenant can also depart before being admitted.
+        s.step(&arrive(2 * SECS, 4, fat_app("wait2", 4, 4.0)));
+        assert_eq!(s.queue_len(), 1);
+        s.step(&TenantEvent { at: 3 * SECS, tenant: 4, kind: TenantEventKind::Depart });
+        assert_eq!(s.queue_len(), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn intensity_changes_scale_flow_counts() {
+        // 1-core hosts force the pair apart, so it runs a network flow.
+        let cfg = OnlineConfig { cores_per_host: 1.0, ..OnlineConfig::default() };
+        let mut s = service(cfg);
+        s.step(&arrive(0, 0, pair_app("a", 1.0)));
+        assert_eq!(s.sim_mut().active_flows(), 1);
+        s.step(&TenantEvent {
+            at: SECS,
+            tenant: 0,
+            kind: TenantEventKind::SetIntensity { intensity: 3 },
+        });
+        assert_eq!(s.sim_mut().active_flows(), 3);
+        s.check_invariants();
+        s.step(&TenantEvent {
+            at: 2 * SECS,
+            tenant: 0,
+            kind: TenantEventKind::SetIntensity { intensity: 2 },
+        });
+        assert_eq!(s.sim_mut().active_flows(), 2);
+        s.check_invariants();
+        s.step(&TenantEvent { at: 3 * SECS, tenant: 0, kind: TenantEventKind::Depart });
+        assert_eq!(s.sim_mut().active_flows(), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn intensity_bump_alone_does_not_trigger_migration() {
+        // A tenant that triples its own connection count sees its
+        // per-connection score drop by construction; on an otherwise
+        // idle network that self-induced drop must not read as network
+        // degradation (the baseline re-anchors on the new layout, and
+        // move predictions divide the single-connection probe by the
+        // intensity).
+        let cfg = OnlineConfig {
+            cores_per_host: 1.0,
+            migration: MigrationConfig {
+                cadence: None,
+                cooldown: 0,
+                degraded_fraction: 0.8,
+                min_improvement: 0.10,
+                budget: 4,
+            },
+            ..OnlineConfig::default()
+        };
+        let mut s = service(cfg);
+        s.step(&arrive(0, 0, pair_app("a", 1.0)));
+        s.step(&TenantEvent {
+            at: SECS,
+            tenant: 0,
+            kind: TenantEventKind::SetIntensity { intensity: 3 },
+        });
+        s.sim_mut().run_until(2 * SECS);
+        s.force_migration_pass();
+        assert_eq!(s.stats().migrations, 0, "self-induced sharing is not degradation");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn planner_moves_a_degraded_tenant() {
+        // 1-core hosts: tasks spread, flows are real. Disable the
+        // cadence; drive the pass by hand.
+        let cfg = OnlineConfig {
+            cores_per_host: 1.0,
+            migration: MigrationConfig {
+                cadence: None,
+                cooldown: 0,
+                degraded_fraction: 0.8,
+                min_improvement: 0.10,
+                budget: 4,
+            },
+            ..OnlineConfig::default()
+        };
+        let mut s = service(cfg);
+        s.step(&arrive(0, 0, pair_app("victim", 1.0)));
+        let before = s.tenant_placement(0).expect("admitted").clone();
+        s.check_invariants();
+        // Congest the victim's path with 7 background flows.
+        let (a, b) = (before.assignment[0] as usize, before.assignment[1] as usize);
+        let hosts = s.sim_mut().topology().hosts().to_vec();
+        let keys: Vec<_> = (0..7)
+            .map(|_| s.sim_mut().start_flow_now(hosts[a], hosts[b], None, None, u64::MAX))
+            .collect();
+        s.sim_mut().run_until(SECS);
+        s.force_migration_pass();
+        assert_eq!(s.stats().migrations, 1, "degraded tenant moved");
+        let after = s.tenant_placement(0).expect("still running").clone();
+        assert_ne!(before, after, "placement changed");
+        s.check_invariants();
+        // A second pass immediately after must not flap.
+        s.force_migration_pass();
+        assert_eq!(s.stats().migrations, 1, "no flapping");
+        s.sim_mut().stop_flows_now(&keys);
+        s.step(&TenantEvent { at: 2 * SECS, tenant: 0, kind: TenantEventKind::Depart });
+        s.check_invariants();
+    }
+}

@@ -1,0 +1,201 @@
+//! The background migration planner: §2.4's per-application
+//! re-evaluation generalized into a cluster-wide pass.
+//!
+//! `core/migrate.rs` decides for **one** application, from a snapshot,
+//! whether moving its remaining bytes beats staying. The online service
+//! generalizes the shape: on a configurable cadence it scans **every**
+//! running tenant for degradation (current service score vs the score
+//! recorded right after its last placement), prices candidate moves with
+//! the engine's batched what-if probes (one [`FlowSim::probe_rates`]
+//! batch per candidate — no snapshot, no perturbation), keeps only moves
+//! that clear the shared hysteresis rule
+//! ([`choreo::migrate::improves_enough`]), and executes the best
+//! improvements under a per-pass migration budget.
+//!
+//! Two properties keep the pass safe and calm:
+//!
+//! * **no flapping** — degradation is measured against a band
+//!   (`degraded_fraction` below baseline to arm, strictly more than
+//!   `min_improvement` predicted gain to fire) and every move re-arms a
+//!   per-tenant cooldown;
+//! * **determinism** — tenants are scanned in id order, moves are ranked
+//!   by `(gain, id)`, and each executed move re-checks CPU feasibility
+//!   against the post-move ledger, so a pass is a pure function of the
+//!   service state.
+//!
+//! Probes price candidate paths while the tenant's current flows are
+//! still running, so predicted gains are conservative: the freed
+//! capacity at the old location is not credited to the new one.
+//!
+//! [`FlowSim::probe_rates`]: choreo_flowsim::FlowSim::probe_rates
+
+use choreo::migrate::improves_enough;
+use choreo_place::problem::Placement;
+use choreo_profile::TenantId;
+
+use crate::config::PlacementPolicy;
+use crate::scheduler::OnlineScheduler;
+
+/// A move the planner decided to execute.
+#[derive(Debug, Clone, PartialEq)]
+struct PlannedMove {
+    /// Predicted score over current score (> 1).
+    gain: f64,
+    tenant: TenantId,
+    placement: Placement,
+}
+
+impl OnlineScheduler {
+    /// One cluster-wide planning pass; called from the event loop on the
+    /// cadence clock (or [`OnlineScheduler::force_migration_pass`]).
+    pub(crate) fn migration_pass(&mut self) {
+        self.stats.migration_passes += 1;
+        self.stats.note(0x4d); // 'M'
+        let now = self.sim.now();
+        let cooldown = self.cfg.migration.cooldown;
+        let degraded_fraction = self.cfg.migration.degraded_fraction;
+        let min_improvement = self.cfg.migration.min_improvement;
+
+        // Phase 1: scan for degraded tenants, in id order, carrying each
+        // one's current score into phase 2 (probes and placement
+        // searches are side-effect-free, so the score cannot drift
+        // between the phases).
+        let mut degraded: Vec<(TenantId, f64)> = Vec::new();
+        for id in 0..self.tenants.len() {
+            let Some(t) = self.tenants[id].as_ref() else { continue };
+            if now.saturating_sub(t.last_move_at) < cooldown {
+                continue;
+            }
+            if t.flows.iter().all(|fl| fl.is_empty()) {
+                continue; // fully co-located: nothing the network can degrade
+            }
+            let flows = t.flows.clone();
+            let baseline = t.baseline;
+            let current = self.service_score(&flows);
+            if current < degraded_fraction * baseline {
+                degraded.push((id as TenantId, current));
+            }
+        }
+
+        // Phase 2: price a candidate move per degraded tenant. The
+        // tenant's own CPU is released while searching so it may reuse
+        // its current hosts in a better arrangement.
+        let mut moves: Vec<PlannedMove> = Vec::new();
+        for (id, current) in degraded {
+            let (app, old_placement, transfers, intensity) = {
+                let t = self.tenants[id as usize].as_ref().expect("degraded are running");
+                (t.app.clone(), t.placement.clone(), t.transfers.clone(), t.intensity)
+            };
+            self.load.remove(&app, &old_placement);
+            let candidate = self.try_place(&app, PlacementPolicy::Greedy);
+            self.load.apply(&app, &old_placement);
+            let Some(candidate) = candidate else { continue };
+            if candidate == old_placement {
+                continue;
+            }
+            let predicted = self.predicted_score(&transfers, &candidate, intensity);
+            // Same hysteresis rule as §2.4, on reciprocal rates (costs).
+            if improves_enough(1.0 / current, 1.0 / predicted, min_improvement) {
+                moves.push(PlannedMove {
+                    gain: predicted / current,
+                    tenant: id,
+                    placement: candidate,
+                });
+            }
+        }
+
+        // Phase 3: execute the best moves under the budget. Ranked by
+        // (gain desc, id asc) — deterministic; CPU feasibility is
+        // re-checked per move because earlier moves reshape the ledger.
+        moves.sort_by(|a, b| {
+            b.gain.partial_cmp(&a.gain).expect("finite gains").then(a.tenant.cmp(&b.tenant))
+        });
+        for m in moves.into_iter().take(self.cfg.migration.budget) {
+            self.execute_move(m.tenant, m.placement);
+        }
+    }
+
+    /// Predicted service score of `transfers` under `placement`: one
+    /// batched what-if probe for the network transfers, the loopback
+    /// rate for co-located ones.
+    ///
+    /// The probe prices a **single** hypothetical connection, but the
+    /// tenant will run `intensity` connections per transfer that mostly
+    /// share the same bottleneck, so the per-connection prediction is
+    /// `probe / intensity` — exact when the candidate path is otherwise
+    /// idle, conservative when it is shared. Without the division a
+    /// self-bottlenecked intensity-k tenant would see a phantom k× gain
+    /// on every idle path and migrate for nothing.
+    fn predicted_score(
+        &mut self,
+        transfers: &[(usize, usize)],
+        placement: &Placement,
+        intensity: u32,
+    ) -> f64 {
+        let loopback = self.cfg.loopback.rate_bps;
+        if transfers.is_empty() {
+            return loopback;
+        }
+        let mut probes = Vec::with_capacity(transfers.len());
+        for &(i, j) in transfers {
+            let (a, b) = (placement.assignment[i], placement.assignment[j]);
+            if a != b {
+                probes.push((self.hosts[a as usize], self.hosts[b as usize], None));
+            }
+        }
+        let mut rates = Vec::new();
+        self.sim.probe_rates(&probes, &mut rates);
+        let colocated = transfers.len() - probes.len();
+        let sum: f64 =
+            rates.iter().map(|r| r / intensity as f64).sum::<f64>() + colocated as f64 * loopback;
+        sum / transfers.len() as f64
+    }
+
+    /// Tear the tenant down at its old placement and bring it up at the
+    /// new one (same modeled transfers, same intensity), refreshing its
+    /// baseline and cooldown. Skips the move if the new placement no
+    /// longer fits the CPU ledger (an earlier move this pass took the
+    /// room).
+    fn execute_move(&mut self, id: TenantId, placement: Placement) {
+        let t = self.tenants[id as usize].take().expect("planned moves target running tenants");
+        self.load.remove(&t.app, &t.placement);
+        let fits = {
+            let mut extra = vec![0.0f64; self.machines.len()];
+            for (task, &vm) in placement.assignment.iter().enumerate() {
+                extra[vm as usize] += t.app.cpu[task];
+            }
+            extra
+                .iter()
+                .zip(&self.load.cpu_used)
+                .zip(&self.machines.cpu)
+                .all(|((e, used), cap)| used + e <= cap + 1e-9)
+        };
+        if !fits {
+            self.load.apply(&t.app, &t.placement);
+            self.tenants[id as usize] = Some(t);
+            return;
+        }
+        let old_keys: Vec<_> = t.flows.iter().flatten().copied().collect();
+        self.sim.stop_flows_now(&old_keys);
+        self.load.apply(&t.app, &placement);
+        let flows = self.start_transfer_flows(id, &placement, &t.transfers, t.intensity);
+        let baseline = self.service_score(&flows);
+        self.stats.migrations += 1;
+        self.stats.note(0x56); // 'V' — a move
+        self.stats.note(id);
+        for &h in &placement.assignment {
+            self.stats.note(h as u64);
+        }
+        self.stats.note_f64(baseline);
+        let now = self.sim.now();
+        self.tenants[id as usize] = Some(crate::scheduler::Tenant {
+            app: t.app,
+            placement,
+            intensity: t.intensity,
+            transfers: t.transfers,
+            flows,
+            baseline,
+            last_move_at: now,
+        });
+    }
+}

@@ -1,0 +1,513 @@
+//! The always-on placement service.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use choreo_flowsim::{FlowKey, FlowSim};
+use choreo_place::greedy::GreedyPlacer;
+use choreo_place::problem::{validate, Machines, NetworkLoad, Placement};
+use choreo_place::RandomPlacer;
+use choreo_profile::{AppProfile, TenantEvent, TenantEventKind, TenantId};
+use choreo_topology::{Nanos, NodeId, RouteTable, Topology};
+
+use crate::config::{OnlineConfig, PlacementPolicy};
+use crate::rater::LiveRater;
+use crate::stats::ServiceStats;
+
+/// One admitted tenant's live state.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    /// The profiled application (full matrix; placement input).
+    pub(crate) app: AppProfile,
+    /// Task → global host index.
+    pub(crate) placement: Placement,
+    /// Connections per modeled transfer.
+    pub(crate) intensity: u32,
+    /// Modeled transfers `(src task, dst task)`, heaviest first — the
+    /// top [`OnlineConfig::max_modeled_transfers`] of the matrix.
+    pub(crate) transfers: Vec<(usize, usize)>,
+    /// Live flow keys per modeled transfer; empty = co-located.
+    pub(crate) flows: Vec<Vec<FlowKey>>,
+    /// Mean service score right after the last (re)placement — the
+    /// reference the migration planner measures degradation against.
+    pub(crate) baseline: f64,
+    /// When the tenant was last placed or moved (cooldown anchor).
+    pub(crate) last_move_at: Nanos,
+}
+
+/// The online multi-tenant placement service.
+///
+/// Consumes a time-ordered stream of [`TenantEvent`]s and keeps a live
+/// [`FlowSim`] cluster placed well over time:
+///
+/// * **arrivals** are admitted through the configured placer against the
+///   live network (batched what-if probes, never a snapshot), or parked
+///   in a bounded FIFO wait queue when they do not fit;
+/// * **departures** tear the tenant's flows down in one dirty window and
+///   retry the wait queue against the freed capacity;
+/// * **intensity changes** grow or shrink a tenant's per-transfer
+///   connection count in place;
+/// * a background **migration planner** (see [`crate::migrate`]) runs on
+///   a simulated-time cadence and re-places degraded tenants under a
+///   per-pass budget.
+///
+/// Everything is deterministic: the same event stream, seed and config
+/// produce bit-identical trajectories ([`ServiceStats::trace_hash`]) for
+/// any [`OnlineConfig::workers`] count, because warm and sharded solves
+/// are bit-identical.
+pub struct OnlineScheduler {
+    pub(crate) sim: FlowSim,
+    pub(crate) hosts: Vec<NodeId>,
+    pub(crate) machines: Machines,
+    pub(crate) load: NetworkLoad,
+    pub(crate) tenants: Vec<Option<Tenant>>,
+    queue: VecDeque<(TenantId, AppProfile)>,
+    pub(crate) cfg: OnlineConfig,
+    random: RandomPlacer,
+    pub(crate) stats: ServiceStats,
+    next_migration_at: Nanos,
+    active: usize,
+    /// Scratch: candidate-host subset of the current placement attempt.
+    cand: Vec<u32>,
+}
+
+impl OnlineScheduler {
+    /// Service over `topo` with one VM per host. The seed drives the
+    /// simulator's ECMP draws (and the random-placement baseline).
+    pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>, cfg: OnlineConfig, seed: u64) -> Self {
+        assert!(cfg.candidate_hosts >= 2, "placement needs at least two candidate hosts");
+        assert!(cfg.max_modeled_transfers >= 1, "model at least one transfer per tenant");
+        if let Some(c) = cfg.migration.cadence {
+            assert!(c > 0, "migration cadence must be positive");
+        }
+        let mut sim = FlowSim::new(topo.clone(), routes, cfg.loopback, seed);
+        if cfg.workers > 0 {
+            sim.enable_sharded(cfg.workers);
+        }
+        let hosts = topo.hosts().to_vec();
+        let n = hosts.len();
+        let random_seed = match cfg.policy {
+            PlacementPolicy::Random(s) => s,
+            PlacementPolicy::Greedy => seed,
+        };
+        let next_migration_at = cfg.migration.cadence.unwrap_or(Nanos::MAX);
+        OnlineScheduler {
+            sim,
+            hosts,
+            machines: Machines::uniform(n, cfg.cores_per_host),
+            load: NetworkLoad::new(n),
+            tenants: Vec::new(),
+            queue: VecDeque::new(),
+            cfg,
+            random: RandomPlacer::new(random_seed),
+            stats: ServiceStats::default(),
+            next_migration_at,
+            active: 0,
+            cand: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------ queries
+
+    /// Counters and the trajectory digest.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    /// Tenants currently admitted and running.
+    pub fn active_tenants(&self) -> usize {
+        self.active
+    }
+
+    /// Tenants waiting for capacity.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The cluster's machine capacities (one VM per host).
+    pub fn machines(&self) -> &Machines {
+        &self.machines
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// A running tenant's current placement (global host indices).
+    pub fn tenant_placement(&self, tenant: TenantId) -> Option<&Placement> {
+        self.tenants.get(tenant as usize)?.as_ref().map(|t| &t.placement)
+    }
+
+    /// Direct access to the live simulator — tests and benches inject
+    /// background traffic or inspect flows through this.
+    pub fn sim_mut(&mut self) -> &mut FlowSim {
+        &mut self.sim
+    }
+
+    // ----------------------------------------------------------- the loop
+
+    /// Advance simulated time to `at`, running any migration passes that
+    /// come due on the way. [`OnlineScheduler::step`] does this itself;
+    /// callers that want to time the dispatch alone (the latency
+    /// percentiles in `bench_online`) advance first so the timed step is
+    /// pure event handling.
+    pub fn advance_to(&mut self, at: Nanos) {
+        let at = at.max(self.sim.now());
+        self.run_due_migration_passes(at);
+        self.sim.run_until(at);
+    }
+
+    /// Consume one tenant event: advance simulated time (running any
+    /// migration passes that come due on the way), then dispatch.
+    pub fn step(&mut self, ev: &TenantEvent) {
+        self.advance_to(ev.at);
+        self.stats.events += 1;
+        self.stats.note(ev.tenant << 8 | event_code(&ev.kind));
+        match &ev.kind {
+            TenantEventKind::Arrive { app } => self.arrive(ev.tenant, (**app).clone()),
+            TenantEventKind::SetIntensity { intensity } => {
+                self.set_intensity(ev.tenant, *intensity)
+            }
+            TenantEventKind::Depart => self.depart(ev.tenant),
+        }
+    }
+
+    /// Consume a whole stream.
+    pub fn run<I: IntoIterator<Item = TenantEvent>>(&mut self, events: I) {
+        for ev in events {
+            self.step(&ev);
+        }
+    }
+
+    fn run_due_migration_passes(&mut self, upto: Nanos) {
+        let Some(cadence) = self.cfg.migration.cadence else { return };
+        while self.next_migration_at <= upto {
+            let t = self.next_migration_at;
+            self.sim.run_until(t);
+            self.migration_pass();
+            self.next_migration_at = t + cadence;
+        }
+    }
+
+    /// Run a migration pass right now regardless of the cadence clock
+    /// (tests and externally-scheduled deployments).
+    pub fn force_migration_pass(&mut self) {
+        self.migration_pass();
+    }
+
+    // ---------------------------------------------------------- admission
+
+    fn arrive(&mut self, id: TenantId, app: AppProfile) {
+        self.stats.arrivals += 1;
+        if self.tenants.len() <= id as usize {
+            self.tenants.resize_with(id as usize + 1, || None);
+        }
+        match self.try_place(&app, self.cfg.policy) {
+            Some(placement) => {
+                self.admit(id, app, placement);
+                self.stats.admitted += 1;
+            }
+            None if self.queue.len() < self.cfg.queue_capacity => {
+                self.stats.queued += 1;
+                self.stats.note(0x51); // 'Q'
+                self.queue.push_back((id, app));
+            }
+            None => {
+                self.stats.rejected += 1;
+                self.stats.note(0x52); // 'R'
+            }
+        }
+    }
+
+    /// Try to place `app` within the best candidate-host subset. Returns
+    /// a **global** placement, or `None` when the placer finds no
+    /// feasible assignment there.
+    pub(crate) fn try_place(
+        &mut self,
+        app: &AppProfile,
+        policy: PlacementPolicy,
+    ) -> Option<Placement> {
+        let n = self.machines.len();
+        let k = self.cfg.candidate_hosts.min(n);
+        // The k hosts with the most free CPU, ties broken on host index:
+        // deterministic, and concentrates placement where there is room.
+        let mut order = std::mem::take(&mut self.cand);
+        order.clear();
+        order.extend(0..n as u32);
+        let free = |h: u32| self.machines.cpu[h as usize] - self.load.cpu_used[h as usize];
+        order.sort_unstable_by(|&a, &b| {
+            free(b).partial_cmp(&free(a)).expect("finite").then(a.cmp(&b))
+        });
+        order.truncate(k);
+        self.cand = order;
+        let sub_machines =
+            Machines { cpu: self.cand.iter().map(|&h| self.machines.cpu[h as usize]).collect() };
+        let local = match policy {
+            PlacementPolicy::Greedy => {
+                // CPU comes from the global ledger; network counters stay
+                // zero: the live probes already price in every running
+                // flow, and stacking the transfer counters on top would
+                // double-count traffic (the `Choreo::place_live`
+                // contract).
+                let mut sub_load = NetworkLoad::new(k);
+                for (i, &h) in self.cand.iter().enumerate() {
+                    sub_load.cpu_used[i] = self.load.cpu_used[h as usize];
+                }
+                let mut rater = LiveRater::new(&mut self.sim, &self.hosts, &self.cand);
+                GreedyPlacer.place_with_rater(app, &sub_machines, &mut rater, &sub_load).ok()?
+            }
+            PlacementPolicy::Random(_) => {
+                // The network-oblivious baseline reads nothing from live
+                // probes, so the projected sub-load is the right view.
+                self.random.place(app, &sub_machines, &self.load.project(&self.cand)).ok()?
+            }
+        };
+        let cand = &self.cand;
+        Some(Placement { assignment: local.assignment.iter().map(|&v| cand[v as usize]).collect() })
+    }
+
+    /// Register an admitted tenant: account its load, start its modeled
+    /// transfers as live flows, and record its baseline service score.
+    fn admit(&mut self, id: TenantId, app: AppProfile, placement: Placement) {
+        debug_assert!(validate(&app, &self.machines, &placement).is_ok());
+        self.load.apply(&app, &placement);
+        let transfers: Vec<(usize, usize)> = app
+            .matrix
+            .transfers_desc()
+            .into_iter()
+            .filter(|&(_, _, b)| b > 0)
+            .take(self.cfg.max_modeled_transfers)
+            .map(|(i, j, _)| (i, j))
+            .collect();
+        let intensity = 1u32;
+        let flows = self.start_transfer_flows(id, &placement, &transfers, intensity);
+        let baseline = self.service_score(&flows);
+        self.stats.note(0x41); // 'A'
+        for &h in &placement.assignment {
+            self.stats.note(h as u64);
+        }
+        self.stats.note_f64(baseline);
+        let now = self.sim.now();
+        self.tenants[id as usize] = Some(Tenant {
+            app,
+            placement,
+            intensity,
+            transfers,
+            flows,
+            baseline,
+            last_move_at: now,
+        });
+        self.active += 1;
+    }
+
+    /// Start `intensity` unbounded flows per network transfer (co-located
+    /// transfers get none) — all in one arena dirty window.
+    pub(crate) fn start_transfer_flows(
+        &mut self,
+        id: TenantId,
+        placement: &Placement,
+        transfers: &[(usize, usize)],
+        intensity: u32,
+    ) -> Vec<Vec<FlowKey>> {
+        transfers
+            .iter()
+            .map(|&(i, j)| {
+                let (a, b) = (placement.assignment[i], placement.assignment[j]);
+                if a == b {
+                    return Vec::new();
+                }
+                let (src, dst) = (self.hosts[a as usize], self.hosts[b as usize]);
+                (0..intensity).map(|_| self.sim.start_flow_now(src, dst, None, None, id)).collect()
+            })
+            .collect()
+    }
+
+    /// The service-quality score of a flow layout: mean over modeled
+    /// transfers of the transfer's mean per-connection rate, with
+    /// co-located transfers counting the loopback rate. One metric for
+    /// baselines, degradation checks, move predictions and the departed-
+    /// tenant quality headline.
+    pub(crate) fn service_score(&mut self, flows: &[Vec<FlowKey>]) -> f64 {
+        let loopback = self.cfg.loopback.rate_bps;
+        if flows.is_empty() {
+            return loopback;
+        }
+        let mut sum = 0.0;
+        for fl in flows {
+            if fl.is_empty() {
+                sum += loopback;
+            } else {
+                let s: f64 = fl.iter().map(|&k| self.sim.rate_bps(k)).sum();
+                sum += s / fl.len() as f64;
+            }
+        }
+        sum / flows.len() as f64
+    }
+
+    // ---------------------------------------------------------- lifecycle
+
+    fn depart(&mut self, id: TenantId) {
+        self.stats.departures += 1;
+        if let Some(pos) = self.queue.iter().position(|(t, _)| *t == id) {
+            // Left before capacity freed up.
+            self.queue.remove(pos);
+            self.stats.note(0x44); // 'D'
+            return;
+        }
+        let Some(t) = self.tenants.get_mut(id as usize).and_then(Option::take) else {
+            return; // was rejected at arrival
+        };
+        self.active -= 1;
+        let score = self.service_score(&t.flows);
+        self.stats.record_departed_rate(score);
+        let keys: Vec<FlowKey> = t.flows.iter().flatten().copied().collect();
+        self.sim.stop_flows_now(&keys);
+        self.load.remove(&t.app, &t.placement);
+        self.retry_queue();
+    }
+
+    /// Departure freed capacity: re-try every waiting tenant in FIFO
+    /// order, admitting each one that now fits (no head-of-line
+    /// blocking — a large tenant at the front cannot starve small ones
+    /// behind it).
+    fn retry_queue(&mut self) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let (id, app) = self.queue[i].clone();
+            if let Some(placement) = self.try_place(&app, self.cfg.policy) {
+                self.queue.remove(i);
+                self.admit(id, app, placement);
+                self.stats.queue_admitted += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn set_intensity(&mut self, id: TenantId, intensity: u32) {
+        debug_assert!(intensity >= 1);
+        let Some(slot) = self.tenants.get_mut(id as usize) else { return };
+        let Some(t) = slot.as_mut() else { return }; // queued or rejected
+        if t.intensity == intensity {
+            return;
+        }
+        self.stats.intensity_changes += 1;
+        self.stats.note(0x49); // 'I'
+        self.stats.note(intensity as u64);
+        if intensity > t.intensity {
+            let extra = intensity - t.intensity;
+            // Grow every network transfer by `extra` connections.
+            let grow: Vec<(usize, u32, u32)> = t
+                .flows
+                .iter()
+                .enumerate()
+                .filter(|(_, fl)| !fl.is_empty())
+                .map(|(idx, _)| {
+                    let (i, j) = t.transfers[idx];
+                    (idx, t.placement.assignment[i], t.placement.assignment[j])
+                })
+                .collect();
+            for (idx, a, b) in grow {
+                let (src, dst) = (self.hosts[a as usize], self.hosts[b as usize]);
+                for _ in 0..extra {
+                    let key = self.sim.start_flow_now(src, dst, None, None, id);
+                    t.flows[idx].push(key);
+                }
+            }
+        } else {
+            // Shrink every network transfer down to `intensity`
+            // connections, torn down in one dirty window.
+            let mut drop_keys = Vec::new();
+            for fl in t.flows.iter_mut().filter(|fl| !fl.is_empty()) {
+                while fl.len() > intensity as usize {
+                    drop_keys.push(fl.pop().expect("non-empty"));
+                }
+            }
+            self.sim.stop_flows_now(&drop_keys);
+        }
+        // Normalize the degradation baseline for the self-induced share
+        // change: k connections on the same bottleneck each get ~1/k of
+        // what one got, so the per-connection reference scales by
+        // old/new. Without this a tenant that just tripled its own
+        // connection count would read as degraded and burn a pointless
+        // migration; scaling (rather than re-measuring) keeps genuine
+        // degradation accumulated since placement visible to the
+        // planner.
+        t.baseline *= t.intensity as f64 / intensity as f64;
+        t.intensity = intensity;
+        let baseline = t.baseline;
+        self.stats.note_f64(baseline);
+    }
+
+    // --------------------------------------------------------- invariants
+
+    /// Check the service's safety invariants (test hook):
+    ///
+    /// * the CPU ledger matches the running tenants exactly and never
+    ///   exceeds any host's capacity;
+    /// * every running placement still validates against the machines;
+    /// * the wait queue respects its bound;
+    /// * flow bookkeeping matches the simulator's active-flow count.
+    ///
+    /// Panics on violation.
+    pub fn check_invariants(&self) {
+        let n = self.machines.len();
+        let mut cpu = vec![0.0f64; n];
+        let mut live_flows = 0usize;
+        let mut active = 0usize;
+        for t in self.tenants.iter().flatten() {
+            active += 1;
+            validate(&t.app, &self.machines, &t.placement).expect("running placement is valid");
+            for (task, &vm) in t.placement.assignment.iter().enumerate() {
+                cpu[vm as usize] += t.app.cpu[task];
+            }
+            for fl in &t.flows {
+                live_flows += fl.len();
+                if !fl.is_empty() {
+                    assert_eq!(fl.len(), t.intensity as usize, "intensity matches flow count");
+                }
+                for &k in fl {
+                    assert!(
+                        matches!(self.sim.status(k), choreo_flowsim::FlowStatus::Active),
+                        "tenant flow {k:?} not active"
+                    );
+                }
+            }
+        }
+        assert_eq!(active, self.active, "active-tenant counter in sync");
+        for (h, &used) in cpu.iter().enumerate() {
+            assert!(
+                (used - self.load.cpu_used[h]).abs() < 1e-6,
+                "cpu ledger drift on host {h}: {used} vs {}",
+                self.load.cpu_used[h]
+            );
+            assert!(
+                used <= self.machines.cpu[h] + 1e-6,
+                "host {h} over capacity: {used} > {}",
+                self.machines.cpu[h]
+            );
+        }
+        assert!(self.queue.len() <= self.cfg.queue_capacity, "queue within bound");
+        // The sim may carry extra (test-injected or background) flows,
+        // but never fewer than the tenants' bookkeeping says.
+        assert!(
+            live_flows <= self.sim.active_flows(),
+            "flow bookkeeping out of sync: {live_flows} tenant flows, {} in the sim",
+            self.sim.active_flows()
+        );
+    }
+}
+
+fn event_code(kind: &TenantEventKind) -> u64 {
+    match kind {
+        TenantEventKind::Arrive { .. } => 1,
+        TenantEventKind::SetIntensity { .. } => 2,
+        TenantEventKind::Depart => 3,
+    }
+}

@@ -20,7 +20,9 @@
 //! Modules: [`matrix`] (traffic matrices), [`records`] (flow records and
 //! sFlow-style sampling), [`app`] (application profiles), [`dist`]
 //! (distribution samplers built on `rand`), [`synth`] (workload generation),
-//! [`predict`] (hour-over-hour predictability analysis).
+//! [`predict`] (hour-over-hour predictability analysis), [`stream`]
+//! (seeded multi-tenant arrival/departure/load-change event streams for
+//! the online placement service).
 
 pub mod app;
 pub mod dist;
@@ -28,10 +30,12 @@ pub mod matrix;
 pub mod phased;
 pub mod predict;
 pub mod records;
+pub mod stream;
 pub mod synth;
 
 pub use app::AppProfile;
 pub use matrix::TrafficMatrix;
 pub use phased::{Phase, PhasedApp};
 pub use records::FlowRecord;
+pub use stream::{TenantEvent, TenantEventKind, TenantId, WorkloadStream, WorkloadStreamConfig};
 pub use synth::{AppPattern, WorkloadGen, WorkloadGenConfig};

@@ -11,6 +11,7 @@ pub use choreo_flowsim as flowsim;
 pub use choreo_lp as lp;
 pub use choreo_measure as measure;
 pub use choreo_netsim as netsim;
+pub use choreo_online as online;
 pub use choreo_place as place;
 pub use choreo_profile as profile;
 pub use choreo_topology as topology;
