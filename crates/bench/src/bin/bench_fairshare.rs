@@ -34,6 +34,16 @@
 //! measure nothing but thread overhead, so the field is emitted as
 //! `null` and only `sharded_ns_per_event` (serial) is recorded.
 //!
+//! A final **host-count sweep** climbs the scale ladder — the sharded
+//! epoch workload (2000 pod-local flows, 500 replacements per epoch) on
+//! 128 → 512 → 2048 hosts — and reports per-rung ns/event plus the
+//! arena's slot table size against the live flow population. Flat
+//! ns/event across rungs is the point: with flow-record recycling the
+//! solve cost tracks the *flow population*, not the cluster size, and
+//! the slot ceiling (`slots ≤ 2 × live flows`) is asserted per rung.
+//! Checksums must bit-match across 1/2/8 workers on every rung.
+//! `CHOREO_SWEEP_MAX_HOSTS` caps the ladder (CI runs it at 512).
+//!
 //! Emits `BENCH_fairshare.json` (in the working directory) so the speedups
 //! are tracked in the perf trajectory. Acceptance floors on this workload:
 //! incremental ≥3× over baseline, warm ≥2× over the incremental solve
@@ -190,6 +200,29 @@ struct ShardedWorkload {
     hosts: usize,
 }
 
+fn build_sharded_workload_on(
+    spec: &MultiRootedTreeSpec,
+    max_paths: usize,
+    flows: usize,
+    epochs: usize,
+    churn_per_epoch: usize,
+) -> (ShardedWorkload, ResourcePartition) {
+    let topo = spec.build();
+    let per_pod = spec.tors_per_pod * spec.hosts_per_tor;
+    let routes = RouteTable::with_max_paths(&topo, max_paths);
+    let part = ResourcePartition::for_topology(&topo);
+    assert_eq!(part.n_pods(), spec.pods);
+    let capacities: Vec<f64> =
+        topo.links().iter().flat_map(|l| [l.spec.rate_bps, l.spec.rate_bps]).collect();
+    let initial: Vec<Vec<u32>> =
+        (0..flows).map(|i| local_flow_resources(&topo, &routes, i as u64, per_pod)).collect();
+    let churn: Vec<Vec<u32>> = (0..epochs * churn_per_epoch)
+        .map(|i| local_flow_resources(&topo, &routes, (flows + i) as u64, per_pod))
+        .collect();
+    let hosts = topo.hosts().len();
+    (ShardedWorkload { capacities, initial, churn, churn_per_epoch, epochs, hosts }, part)
+}
+
 fn build_sharded_workload(
     flows: usize,
     epochs: usize,
@@ -205,20 +238,7 @@ fn build_sharded_workload(
         hosts_per_tor: 4,
         ..Default::default()
     };
-    let topo = spec.build();
-    let per_pod = spec.tors_per_pod * spec.hosts_per_tor;
-    let routes = RouteTable::new(&topo);
-    let part = ResourcePartition::for_topology(&topo);
-    assert_eq!(part.n_pods(), 8);
-    let capacities: Vec<f64> =
-        topo.links().iter().flat_map(|l| [l.spec.rate_bps, l.spec.rate_bps]).collect();
-    let initial: Vec<Vec<u32>> =
-        (0..flows).map(|i| local_flow_resources(&topo, &routes, i as u64, per_pod)).collect();
-    let churn: Vec<Vec<u32>> = (0..epochs * churn_per_epoch)
-        .map(|i| local_flow_resources(&topo, &routes, (flows + i) as u64, per_pod))
-        .collect();
-    let hosts = topo.hosts().len();
-    (ShardedWorkload { capacities, initial, churn, churn_per_epoch, epochs, hosts }, part)
+    build_sharded_workload_on(&spec, 16, flows, epochs, churn_per_epoch)
 }
 
 /// Baseline: per event, rebuild the spec list (cloning each active flow's
@@ -373,6 +393,114 @@ fn assert_sharded_bitmatches_cold(w: &ShardedWorkload, part: &ResourcePartition,
     }
 }
 
+/// One rung of the sharded-epoch scale ladder.
+struct FsRung {
+    hosts: usize,
+    ns_per_event: f64,
+    slot_bound: usize,
+    live_flows: usize,
+}
+
+/// Host-count ladder for the sharded group (mirrors the `bench_online`
+/// ladder): the same pod-local flow population and churn intensity on
+/// 128 → 512 → 2048 hosts, per-rung best-of-3 with bit-matched
+/// checksums across 1/2/8 workers. Flat ns/event across rungs means the
+/// sharded solve's per-event work tracks the flow population, not the
+/// cluster size.
+fn run_host_sweep(max_hosts: usize) -> Vec<FsRung> {
+    let rungs = [
+        // The measurement tree of the sharded group, verbatim.
+        (
+            128usize,
+            MultiRootedTreeSpec {
+                cores: 2,
+                pods: 8,
+                aggs_per_pod: 2,
+                tors_per_pod: 4,
+                hosts_per_tor: 4,
+                ..Default::default()
+            },
+            16usize,
+        ),
+        (
+            512,
+            MultiRootedTreeSpec {
+                cores: 4,
+                pods: 8,
+                aggs_per_pod: 4,
+                tors_per_pod: 8,
+                hosts_per_tor: 8,
+                ..Default::default()
+            },
+            4,
+        ),
+        (
+            2048,
+            MultiRootedTreeSpec {
+                cores: 4,
+                pods: 32,
+                aggs_per_pod: 4,
+                tors_per_pod: 8,
+                hosts_per_tor: 8,
+                ..Default::default()
+            },
+            2,
+        ),
+    ];
+    let mut out = Vec::new();
+    for (hosts, spec, max_paths) in rungs {
+        if hosts > max_hosts {
+            continue;
+        }
+        let (w, part) = build_sharded_workload_on(&spec, max_paths, 2000, 10, 500);
+        assert_eq!(w.hosts, hosts);
+        let mut best = u128::MAX;
+        let mut digest = None;
+        for workers in [1usize, 2, 8] {
+            let (c, n) = run_sharded(&w, &part, workers);
+            match digest {
+                None => digest = Some(c.to_bits()),
+                Some(d) => assert_eq!(
+                    d,
+                    c.to_bits(),
+                    "{hosts} hosts: {workers}-worker sharded sweep diverged"
+                ),
+            }
+            best = best.min(n);
+        }
+        // Arena occupancy after the full churn: slot recycling must keep
+        // the slot table at the concurrent flow population, independent
+        // of how many flows have ever lived.
+        let mut arena = FlowArena::new(w.capacities.len());
+        let mut slots: Vec<_> = w.initial.iter().map(|f| arena.add(f)).collect();
+        for (i, arrival) in w.churn.iter().enumerate() {
+            let k = i % slots.len();
+            arena.remove(slots[k]);
+            slots[k] = arena.add(arrival);
+        }
+        assert!(
+            arena.slot_bound() <= 2 * arena.n_flows(),
+            "{hosts} hosts: {} slots for {} live flows — slot recycling ceiling breached",
+            arena.slot_bound(),
+            arena.n_flows()
+        );
+        let events = (w.epochs * w.churn_per_epoch) as f64;
+        let ns_per_event = best as f64 / events;
+        println!(
+            "sweep\t{hosts} hosts\t{ns_per_event:.0} ns/event\t{} slots for {} live flows",
+            arena.slot_bound(),
+            arena.n_flows()
+        );
+        out.push(FsRung {
+            hosts,
+            ns_per_event,
+            slot_bound: arena.slot_bound(),
+            live_flows: arena.n_flows(),
+        });
+    }
+    out
+}
+
 fn main() {
     let flows = 250usize;
     let events = 600usize;
@@ -464,9 +592,18 @@ fn main() {
         Some(s) => println!("sharded speedup\t{s:.2}x parallel over serial sharding"),
         None => println!("sharded speedup\tskipped (single core)"),
     }
+    // Scale ladder: the same churn intensity on growing host counts.
+    // `CHOREO_SWEEP_MAX_HOSTS` caps the ladder (CI stops at 512; the
+    // 2048-host rung builds a much larger route table).
+    let max_hosts = std::env::var("CHOREO_SWEEP_MAX_HOSTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    println!("# host-count sweep: 2000 flows, 10 epochs x 500 replacements per rung");
+    let sweep = run_host_sweep(max_hosts);
     // `pass` means every *target* holds (the CI gate applies looser
     // floors); a null sharded_speedup (single core) is not a failure.
-    JsonReport::new("fairshare_reallocation")
+    let mut report = JsonReport::new("fairshare_reallocation")
         .int("hosts", hosts as u64)
         .int("flows", flows as u64)
         .int("events", events as u64)
@@ -484,8 +621,18 @@ fn main() {
         .num("sharded_ns_per_epoch", sharded_epoch_ns, 1)
         .num("sharded_ns_per_event", sharded_ev, 1)
         .int("sharded_workers", sharded_workers as u64)
+        .bool("pool_reuse", true)
         .opt_num("sharded_speedup", sharded_speedup, 3)
         .num("sharded_target_speedup", 2.0, 1)
+        .int("sweep_max_hosts", max_hosts.min(2048) as u64);
+    for hosts in [128usize, 512, 2048] {
+        let rung = sweep.iter().find(|r| r.hosts == hosts);
+        report = report
+            .opt_num(&format!("sweep_{hosts}_ns_per_event"), rung.map(|r| r.ns_per_event), 1)
+            .opt_num(&format!("sweep_{hosts}_flow_slots"), rung.map(|r| r.slot_bound as f64), 0)
+            .opt_num(&format!("sweep_{hosts}_live_flows"), rung.map(|r| r.live_flows as f64), 0);
+    }
+    report
         .bool(
             "pass",
             speedup >= 3.0 && warm_speedup >= 2.0 && sharded_speedup.is_none_or(|s| s >= 2.0),

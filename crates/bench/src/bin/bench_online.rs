@@ -19,6 +19,20 @@
 //! digest must be bit-identical to a fresh repeat and to a run with the
 //! sharded solve path fanned across 2 workers.
 //!
+//! # Host-count sweep (the scale ladder)
+//!
+//! After the 128-host measurement, the bench climbs a 128 → 512 → 2048
+//! host ladder under the **same** tenant stream (constant offered load,
+//! growing cluster) and emits, per rung: best-of-3 ns/event, the flow
+//! record table's final size and the peak concurrent flow count. Each
+//! rung runs with 1, 2 and 8 sharded workers and asserts the trajectory
+//! digests are bit-identical; every rung asserts the recycling memory
+//! ceiling (`flow_records ≤ 2 × peak concurrent flows`), and the
+//! 2048-host rung additionally asserts its per-event cost stays within
+//! 1.2× of the 128-host rung — the scaling curve, not one point, is the
+//! deliverable. `CHOREO_SWEEP_MAX_HOSTS` caps the ladder (CI runs
+//! 128/512; the 2048 rung is exercised locally).
+//!
 //! Emits `BENCH_online.json`.
 
 use std::sync::Arc;
@@ -98,6 +112,152 @@ struct Run {
     migrations: u64,
 }
 
+/// One rung of the host-count ladder. Pod width and uplink fan-out grow
+/// with the rung; the tenant stream does not (constant offered load on a
+/// growing cluster), so flat per-event cost across rungs means the
+/// engine's per-event work is O(concurrent flows), not O(hosts).
+struct RungSpec {
+    hosts: usize,
+    cores: usize,
+    pods: usize,
+    aggs_per_pod: usize,
+    tors_per_pod: usize,
+    hosts_per_tor: usize,
+    /// ECMP paths retained per host pair — tightened on the big rungs to
+    /// keep the all-pairs route table's memory in check.
+    max_paths: usize,
+}
+
+const RUNGS: [RungSpec; 3] = [
+    // The measurement tree above, verbatim.
+    RungSpec {
+        hosts: 128,
+        cores: 2,
+        pods: 8,
+        aggs_per_pod: 2,
+        tors_per_pod: 4,
+        hosts_per_tor: 4,
+        max_paths: 16,
+    },
+    RungSpec {
+        hosts: 512,
+        cores: 4,
+        pods: 8,
+        aggs_per_pod: 4,
+        tors_per_pod: 8,
+        hosts_per_tor: 8,
+        max_paths: 4,
+    },
+    RungSpec {
+        hosts: 2048,
+        cores: 4,
+        pods: 32,
+        aggs_per_pod: 4,
+        tors_per_pod: 8,
+        hosts_per_tor: 8,
+        max_paths: 2,
+    },
+];
+
+struct SweepRung {
+    hosts: usize,
+    ns_per_event: f64,
+    flow_records: usize,
+    peak_concurrent: usize,
+}
+
+/// One timed run on a prebuilt rung topology: total steady-state
+/// wall-clock over the post-warmup events, no per-arrival sampling.
+fn sweep_run(
+    topo: &Arc<Topology>,
+    routes: &Arc<RouteTable>,
+    events: &[TenantEvent],
+    workers: usize,
+    warmup: usize,
+) -> (f64, u64, usize, usize) {
+    let mut svc = OnlineScheduler::new(
+        Arc::clone(topo),
+        Arc::clone(routes),
+        service_config(PlacementPolicy::Greedy, workers),
+        42,
+    );
+    for ev in &events[..warmup] {
+        svc.step(ev);
+    }
+    let t0 = Instant::now();
+    for ev in &events[warmup..] {
+        svc.step(ev);
+    }
+    let ns_per_event = t0.elapsed().as_nanos() as f64 / (events.len() - warmup) as f64;
+    let trace = svc.stats().trace_hash();
+    let sim = svc.sim_mut();
+    (ns_per_event, trace, sim.flow_records(), sim.peak_active_flows())
+}
+
+/// Climb the ladder: per rung, identical-trajectory runs at 1, 2 and 8
+/// sharded workers (digest-asserted; best-of-3 timing) plus the
+/// recycling memory-ceiling assert.
+fn run_sweep(max_hosts: usize, warmup: usize, total: usize) -> Vec<SweepRung> {
+    let events: Vec<TenantEvent> = stream(7).take(total).collect();
+    let mut rungs = Vec::new();
+    for spec in RUNGS.iter().filter(|r| r.hosts <= max_hosts) {
+        let topo = Arc::new(
+            MultiRootedTreeSpec {
+                cores: spec.cores,
+                pods: spec.pods,
+                aggs_per_pod: spec.aggs_per_pod,
+                tors_per_pod: spec.tors_per_pod,
+                hosts_per_tor: spec.hosts_per_tor,
+                ..Default::default()
+            }
+            .build(),
+        );
+        assert_eq!(topo.hosts().len(), spec.hosts);
+        let routes = Arc::new(RouteTable::with_max_paths(&topo, spec.max_paths));
+        let mut best = f64::INFINITY;
+        let mut digest = None;
+        let (mut records, mut concurrent) = (0, 0);
+        for workers in [1usize, 2, 8] {
+            let (ns, trace, recs, conc) = sweep_run(&topo, &routes, &events, workers, warmup);
+            match digest {
+                None => digest = Some(trace),
+                Some(d) => {
+                    assert_eq!(d, trace, "{} hosts: {workers}-worker digest diverged", spec.hosts)
+                }
+            }
+            best = best.min(ns);
+            (records, concurrent) = (recs, conc);
+        }
+        assert!(
+            records <= 2 * concurrent.max(1),
+            "{} hosts: {records} flow records for {concurrent} peak concurrent flows — \
+             recycling ceiling breached",
+            spec.hosts
+        );
+        println!(
+            "sweep\t{} hosts\t{best:.0} ns/event\t{records} flow records\t\
+             {concurrent} peak concurrent flows",
+            spec.hosts
+        );
+        rungs.push(SweepRung {
+            hosts: spec.hosts,
+            ns_per_event: best,
+            flow_records: records,
+            peak_concurrent: concurrent,
+        });
+    }
+    // The scale-ladder acceptance bar: constant offered load must cost
+    // (nearly) the same per event on 16× the hosts.
+    if let (Some(first), Some(last)) = (rungs.first(), rungs.iter().find(|r| r.hosts == 2048)) {
+        let ratio = last.ns_per_event / first.ns_per_event;
+        assert!(
+            ratio <= 1.2,
+            "2048-host rung costs {ratio:.2}x the 128-host rung per event (ceiling 1.2x)"
+        );
+    }
+    rungs
+}
+
 /// Run `total` events (the first `warmup` untimed), timing the steady
 /// state and, for greedy runs, each arrival's placement latency.
 fn run(policy: PlacementPolicy, workers: usize, warmup: usize, total: usize) -> Run {
@@ -175,7 +335,22 @@ fn main() {
         greedy.trace_hash
     );
 
-    JsonReport::new("online_service")
+    // The scale ladder. CI caps it (CHOREO_SWEEP_MAX_HOSTS=512); the
+    // 2048-host rung — with its 1.2x per-event cost ceiling — runs on
+    // developer machines and perf runners.
+    let sweep_max_hosts: usize = std::env::var("CHOREO_SWEEP_MAX_HOSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let sweep_warmup = 1_000usize;
+    let sweep_total = 6_000usize;
+    println!(
+        "# host-count sweep: {sweep_total} events ({sweep_warmup} warm-up) per run, \
+         workers 1/2/8 per rung"
+    );
+    let sweep = run_sweep(sweep_max_hosts, sweep_warmup, sweep_total);
+
+    let mut report = JsonReport::new("online_service")
         .int("hosts", 128)
         .int("events", total as u64)
         .int("warmup_events", warmup as u64)
@@ -188,6 +363,25 @@ fn main() {
         .num("rate_gain", rate_gain, 3)
         .int("migrations", greedy.migrations)
         .bool("deterministic", true)
+        .int("sweep_events", sweep_total as u64)
+        .int("sweep_warmup_events", sweep_warmup as u64)
+        .int("sweep_max_hosts", sweep.last().map_or(0, |r| r.hosts) as u64);
+    for spec in &RUNGS {
+        let r = sweep.iter().find(|r| r.hosts == spec.hosts);
+        report = report
+            .opt_num(&format!("sweep_{}_ns_per_event", spec.hosts), r.map(|r| r.ns_per_event), 1)
+            .opt_num(
+                &format!("sweep_{}_flow_records", spec.hosts),
+                r.map(|r| r.flow_records as f64),
+                0,
+            )
+            .opt_num(
+                &format!("sweep_{}_peak_concurrent_flows", spec.hosts),
+                r.map(|r| r.peak_concurrent as f64),
+                0,
+            );
+    }
+    report
         .bool("pass", best.events_per_sec >= 10_000.0 && rate_gain >= 1.0)
         .write("BENCH_online.json");
 }

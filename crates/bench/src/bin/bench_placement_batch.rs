@@ -19,7 +19,10 @@
 //! scenarios — the pool sizes itself to the machine
 //! (`std::thread::available_parallelism`), each worker chains
 //! warm-started solves across its scenario sequence, and the honest
-//! worker count is recorded; on a single-core runner the pool-speedup
+//! worker count is recorded. One pool instance per side is reused across
+//! all best-of-3 rounds (the persistent worker threads spawn once, on
+//! the first sweep), so the timings measure steady-state dispatch, not
+//! thread spawn; on a single-core runner the pool-speedup
 //! comparison is skipped (`pool_speedup: null`) rather than reporting a
 //! meaningless ≈1× figure. Emits `BENCH_placement.json`; the acceptance
 //! target for the batched path is ≥3× (CI gates at a conservative 2×
@@ -159,22 +162,38 @@ fn main() {
         ctx.arena.remove(bg);
         out.iter().map(|r| r.to_bits()).fold(0u64, |acc, b| acc.wrapping_add(b))
     };
-    let t = Instant::now();
-    let serial = ScenarioPool::new(1).evaluate(&arena, &hypos, sweep);
-    let serial_ns = t.elapsed().as_nanos();
+    // One pool per side, reused across every round: the worker threads
+    // spawn on the first `evaluate` and all later rounds ride the warm
+    // pool (`pool_reuse` below), so the timed figure is steady-state
+    // dispatch cost, not thread spawn.
+    let serial_pool = ScenarioPool::new(1);
+    let pooled_pool = ScenarioPool::default();
     // The pool sizes itself to the machine; report the honest worker
     // count, and skip the speedup comparison entirely on a single-core
     // runner — a "parallel" run there measures nothing but noise.
-    let workers = ScenarioPool::default().workers();
-    let pool_speedup = if workers > 1 {
+    let workers = pooled_pool.workers();
+    let mut serial_best = u128::MAX;
+    let mut pool_best = u128::MAX;
+    let mut serial_digest = None;
+    for _ in 0..3 {
         let t = Instant::now();
-        let pooled = ScenarioPool::default().evaluate(&arena, &hypos, sweep);
-        let pool_ns = t.elapsed().as_nanos();
-        assert_eq!(serial, pooled, "scenario pool must be bit-identical to serial");
-        Some(serial_ns as f64 / pool_ns as f64)
-    } else {
-        None
-    };
+        let serial = serial_pool.evaluate(&arena, &hypos, sweep);
+        serial_best = serial_best.min(t.elapsed().as_nanos());
+        if let Some(prev) = serial_digest.replace(serial.clone()) {
+            assert_eq!(prev, serial, "serial sweep must be deterministic across rounds");
+        }
+        if workers > 1 {
+            let t = Instant::now();
+            let pooled = pooled_pool.evaluate(&arena, &hypos, sweep);
+            pool_best = pool_best.min(t.elapsed().as_nanos());
+            assert_eq!(
+                serial_digest.as_ref().unwrap(),
+                &pooled,
+                "scenario pool must be bit-identical to serial"
+            );
+        }
+    }
+    let pool_speedup = (workers > 1).then(|| serial_best as f64 / pool_best as f64);
 
     println!(
         "# placement candidate scoring: {n_cand} candidates, {n_flows} flows, {} hosts",
@@ -196,6 +215,7 @@ fn main() {
         .num("speedup", speedup, 3)
         .num("target_speedup", 3.0, 1)
         .int("pool_workers", workers as u64)
+        .bool("pool_reuse", true)
         .opt_num("pool_speedup", pool_speedup, 3)
         .bool("pass", speedup >= 3.0)
         .write("BENCH_placement.json");

@@ -1,7 +1,7 @@
 //! The flow-level simulation engine.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -14,8 +14,41 @@ use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 use crate::shard::{ResourcePartition, ShardedSolver};
 
 /// Handle to a flow in a [`FlowSim`].
+///
+/// The raw `u32` packs a **record index** (low `KEY_INDEX_BITS` bits)
+/// and a **generation stamp** (high bits). Retiring a flow and releasing
+/// its record ([`FlowSim::release_flow`]) bumps the record's generation,
+/// so any key minted before the release no longer matches: using it is a
+/// *checked* error (panic with a "stale FlowKey" message), never a silent
+/// read of whichever flow reused the record. Treat the inner value as
+/// opaque — only keys returned by the simulator are meaningful.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey(pub u32);
+
+/// Low bits of a [`FlowKey`] that address the flow record. 22 bits allow
+/// ~4M concurrently allocated records; the remaining 10 bits carry the
+/// generation stamp.
+const KEY_INDEX_BITS: u32 = 22;
+const KEY_INDEX_MASK: u32 = (1 << KEY_INDEX_BITS) - 1;
+/// Generations wrap after 1024 releases of one record; a key must be both
+/// stale *and* exactly 1024·k releases old to slip past the check, which
+/// is far outside any key-holding window the engine's callers have.
+const KEY_GEN_MASK: u32 = (1 << (32 - KEY_INDEX_BITS)) - 1;
+
+impl FlowKey {
+    #[inline]
+    fn pack(index: u32, generation: u32) -> FlowKey {
+        FlowKey((generation << KEY_INDEX_BITS) | index)
+    }
+    #[inline]
+    fn index(self) -> u32 {
+        self.0 & KEY_INDEX_MASK
+    }
+    #[inline]
+    fn generation(self) -> u32 {
+        self.0 >> KEY_INDEX_BITS
+    }
+}
 
 /// Handle to a hose (per-VM egress cap) resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,6 +99,27 @@ struct Flow {
     started_at: Nanos,
     /// Caller-assigned grouping tag (e.g. application id).
     tag: u64,
+    /// Generation stamp a [`FlowKey`] must match to address this record;
+    /// bumped on every release so stale keys are rejected.
+    generation: u32,
+}
+
+/// Tag of background ON–OFF flows; their records are reclaimed as soon as
+/// the toggle-off stop fires (no caller ever harvests their stats).
+const TAG_ONOFF: u64 = u64::MAX - 1;
+
+/// Per-tag completion bookkeeping, maintained incrementally on flow
+/// creation/retirement/release so [`FlowSim::tag_completion`] is an O(1)
+/// lookup instead of a scan over all-time flow records.
+#[derive(Debug, Default, Clone, Copy)]
+struct TagStat {
+    /// Flows with this tag still `Pending` or `Active`.
+    unfinished: u32,
+    /// Flows with this tag retired (`Done`) but not yet released.
+    done: u32,
+    /// Latest completion time observed among this tag's flows (monotone;
+    /// survives releases of the flows that set it).
+    latest: Nanos,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +177,22 @@ pub struct FlowSim {
     capacities: Vec<f64>,
     loopback: LinkSpec,
     flows: Vec<Flow>,
+    /// Released flow-record indices available for reuse; with retirement
+    /// release in steady state, `flows` stops growing once it covers the
+    /// peak number of concurrently allocated records.
+    free_flows: Vec<u32>,
+    /// All-time arrival counter seeding the deterministic ECMP path
+    /// choice. Record indices are reused, so they cannot seed the hash:
+    /// the counter keeps a churn trajectory's path choices identical
+    /// whether or not the caller releases retired records.
+    flow_seq: u64,
+    /// `Pending`/`Active` flows with a byte bound — the only flows
+    /// [`FlowSim::run_to_completion`] waits on.
+    unfinished_bounded: usize,
+    /// Per-tag completion bookkeeping (see [`TagStat`]).
+    tags: HashMap<u64, TagStat>,
+    /// High-water mark of concurrently active flows.
+    peak_active: usize,
     /// Active flows, indexed by arena slot.
     arena: FlowArena,
     /// Arena slot → flow index, for writing rates back after a solve.
@@ -179,6 +249,11 @@ impl FlowSim {
             capacities,
             loopback,
             flows: Vec::new(),
+            free_flows: Vec::new(),
+            flow_seq: 0,
+            unfinished_bounded: 0,
+            tags: HashMap::new(),
+            peak_active: 0,
             arena,
             slot_owner: Vec::new(),
             solver: MaxMinSolver::new(),
@@ -208,10 +283,31 @@ impl FlowSim {
     /// loop keeps using warm/cold solves. Hoses registered later land on
     /// the spine shard and their flows are reconciled as boundary flows.
     pub fn enable_sharded(&mut self, workers: usize) -> usize {
+        self.enable_sharded_with(ShardedSolver::new(workers))
+    }
+
+    /// Route reallocation through an existing [`ShardedSolver`] — e.g.
+    /// one detached from another simulation with
+    /// [`FlowSim::take_sharded_solver`] — so its spawned worker pool and
+    /// warm buffers survive across simulations. The solver is
+    /// [`reset`](ShardedSolver::reset) to this simulation's arena (full
+    /// re-split and re-solve on first use); otherwise behaves exactly
+    /// like [`FlowSim::enable_sharded`]. Returns the number of pods
+    /// found.
+    pub fn enable_sharded_with(&mut self, mut solver: ShardedSolver) -> usize {
         let part = ResourcePartition::for_topology(&self.topo);
         let pods = part.n_pods();
-        self.sharded = Some(ShardedPath { part, solver: ShardedSolver::new(workers) });
+        solver.reset();
+        self.sharded = Some(ShardedPath { part, solver });
         pods
+    }
+
+    /// Detach the sharded solver — with its worker pool — e.g. to hand
+    /// it to another simulation via [`FlowSim::enable_sharded_with`];
+    /// reallocation goes back to warm solves. `None` when sharding was
+    /// off.
+    pub fn take_sharded_solver(&mut self) -> Option<ShardedSolver> {
+        self.sharded.take().map(|sh| sh.solver)
     }
 
     /// Drop the sharded solve path; reallocation goes back to warm solves.
@@ -253,41 +349,68 @@ impl FlowSim {
         (self.topo.link_count() * 2 + idx) as u32
     }
 
-    fn resources_for(
+    /// Fill `buf` with the resource list of a flow from `src` to `dst`.
+    /// `seq` is the all-time arrival counter (record indices are recycled
+    /// and must not seed the ECMP hash).
+    fn fill_resources(
         &mut self,
+        buf: &mut Vec<u32>,
         src: NodeId,
         dst: NodeId,
         hose: Option<HoseId>,
-        key: u32,
-    ) -> Vec<u32> {
+        seq: u64,
+    ) {
+        buf.clear();
         if src == dst {
             // Co-located: loopback only; hose bypassed (hypervisor-local).
-            return vec![self.host_loopback_res(src)];
+            buf.push(self.host_loopback_res(src));
+            return;
         }
-        let hash = splitmix64(((key as u64) << 32) | self.rng.gen::<u32>() as u64);
+        let hash = splitmix64((seq << 32) | self.rng.gen::<u32>() as u64);
         let path = self.routes.path_for_flow(src, dst, hash);
-        let mut res: Vec<u32> = path.hops.iter().map(hop_resource).collect();
+        buf.extend(path.hops.iter().map(hop_resource));
         if let Some(h) = hose {
-            res.push(h.0);
+            buf.push(h.0);
         }
-        res
+    }
+
+    /// Resolve a key to its record index, panicking on a generation
+    /// mismatch (use-after-release, double release, or a forged key).
+    #[inline]
+    fn idx(&self, key: FlowKey) -> usize {
+        let i = key.index() as usize;
+        assert!(
+            i < self.flows.len() && self.flows[i].generation == key.generation(),
+            "stale FlowKey: the flow record was released (or the key is forged)"
+        );
+        i
+    }
+
+    /// Like [`FlowSim::idx`] but `None` for stale keys — the event heap
+    /// may legitimately hold keys whose flows were released after they
+    /// retired, and those events must become no-ops.
+    #[inline]
+    fn live_idx(&self, key: FlowKey) -> Option<usize> {
+        let i = key.index() as usize;
+        (i < self.flows.len() && self.flows[i].generation == key.generation()).then_some(i)
     }
 
     /// Put an activating flow into the arena.
-    fn arena_insert(&mut self, key: FlowKey) {
-        let f = &mut self.flows[key.0 as usize];
+    fn arena_insert(&mut self, index: usize) {
+        let f = &mut self.flows[index];
         let slot = self.arena.add(&f.resources);
         f.slot = slot.0;
         let s = slot.0 as usize;
         if self.slot_owner.len() <= s {
             self.slot_owner.resize(s + 1, NO_SLOT);
         }
-        self.slot_owner[s] = key.0;
+        self.slot_owner[s] = index as u32;
+        self.peak_active = self.peak_active.max(self.arena.n_flows());
     }
 
     /// Drop a deactivating flow from the arena.
-    fn arena_evict(&mut self, key: FlowKey) {
-        let f = &mut self.flows[key.0 as usize];
+    fn arena_evict(&mut self, index: usize) {
+        let f = &mut self.flows[index];
         if f.slot != NO_SLOT {
             self.arena.remove(FlowSlot(f.slot));
             self.slot_owner[f.slot as usize] = NO_SLOT;
@@ -295,9 +418,10 @@ impl FlowSim {
         }
     }
 
-    /// Construct a `Pending` flow record; the caller decides how it
-    /// enters the simulation (scheduled via the event heap, or activated
-    /// on the spot).
+    /// Construct a `Pending` flow record — reusing a released record when
+    /// one is free — and return its generation-stamped key. The caller
+    /// decides how the flow enters the simulation (scheduled via the
+    /// event heap, or activated on the spot).
     fn push_flow(
         &mut self,
         src: NodeId,
@@ -307,9 +431,35 @@ impl FlowSim {
         at: Nanos,
         tag: u64,
     ) -> FlowKey {
-        let key = FlowKey(self.flows.len() as u32);
-        let resources = self.resources_for(src, dst, hose, key.0);
-        self.flows.push(Flow {
+        self.flow_seq += 1;
+        let seq = self.flow_seq;
+        let index = match self.free_flows.pop() {
+            Some(i) => i as usize,
+            None => {
+                assert!(
+                    self.flows.len() < KEY_INDEX_MASK as usize,
+                    "flow record index space exhausted (release retired flows)"
+                );
+                self.flows.push(Flow {
+                    resources: Vec::new(),
+                    slot: NO_SLOT,
+                    remaining: None,
+                    delivered: 0.0,
+                    rate: 0.0,
+                    status: FlowStatus::Pending,
+                    started_at: 0,
+                    tag: 0,
+                    generation: 0,
+                });
+                self.flows.len() - 1
+            }
+        };
+        // Reuse the record's resource buffer in place (no per-flow Vec).
+        let mut resources = std::mem::take(&mut self.flows[index].resources);
+        self.fill_resources(&mut resources, src, dst, hose, seq);
+        let f = &mut self.flows[index];
+        let generation = f.generation;
+        *f = Flow {
             resources,
             slot: NO_SLOT,
             remaining: bytes.map(|b| b as f64),
@@ -318,8 +468,72 @@ impl FlowSim {
             status: FlowStatus::Pending,
             started_at: at,
             tag,
-        });
-        key
+            generation,
+        };
+        if bytes.is_some() {
+            self.unfinished_bounded += 1;
+        }
+        self.tags.entry(tag).or_default().unfinished += 1;
+        FlowKey::pack(index as u32, generation)
+    }
+
+    /// Transition a pending/active flow to `Done` at the current time:
+    /// rate zeroed, arena slot evicted, tag/completion bookkeeping
+    /// updated. No-op if the flow already retired.
+    fn retire(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        if !matches!(f.status, FlowStatus::Pending | FlowStatus::Active) {
+            return;
+        }
+        f.status = FlowStatus::Done(self.now);
+        f.rate = 0.0;
+        if f.remaining.is_some() {
+            self.unfinished_bounded -= 1;
+        }
+        let tag = f.tag;
+        self.dirty = true;
+        self.arena_evict(index);
+        let s = self.tags.get_mut(&tag).expect("tag stat tracks every unreleased flow");
+        s.unfinished -= 1;
+        s.done += 1;
+        s.latest = s.latest.max(self.now);
+    }
+
+    fn release_index(&mut self, index: usize) {
+        let f = &mut self.flows[index];
+        assert!(
+            matches!(f.status, FlowStatus::Done(_)),
+            "only a retired (Done) flow's record can be released"
+        );
+        f.generation = (f.generation + 1) & KEY_GEN_MASK;
+        let tag = f.tag;
+        let s = self.tags.get_mut(&tag).expect("tag stat tracks every unreleased flow");
+        s.done -= 1;
+        if s.done == 0 && s.unfinished == 0 {
+            self.tags.remove(&tag);
+        }
+        self.free_flows.push(index as u32);
+    }
+
+    /// Release a retired flow's record for reuse.
+    ///
+    /// Harvest whatever stats you need first
+    /// ([`FlowSim::delivered_bytes`], [`FlowSim::completion_time`], …):
+    /// after the release the key — and every copy of it — is **stale**,
+    /// and any use panics. Releasing a flow that is still pending or
+    /// active (stop it first) or releasing twice is also a panic. Callers
+    /// that never release simply keep the pre-recycling behavior of an
+    /// append-only record table, with an identical trajectory.
+    pub fn release_flow(&mut self, key: FlowKey) {
+        let i = self.idx(key);
+        self.release_index(i);
+    }
+
+    /// Release a batch of retired flows ([`FlowSim::release_flow`]).
+    pub fn release_flows(&mut self, keys: &[FlowKey]) {
+        for &k in keys {
+            self.release_flow(k);
+        }
     }
 
     /// Schedule a flow of `bytes` (`None` = unbounded) from `src` to `dst`
@@ -363,9 +577,10 @@ impl FlowSim {
         let key = self.push_flow(src, dst, bytes, hose, self.now, tag);
         // Same transition the `Ev::Start` dispatch performs, minus the
         // heap round trip.
-        self.flows[key.0 as usize].status = FlowStatus::Active;
+        let i = key.index() as usize;
+        self.flows[i].status = FlowStatus::Active;
         self.dirty = true;
-        self.arena_insert(key);
+        self.arena_insert(i);
         key
     }
 
@@ -376,13 +591,8 @@ impl FlowSim {
     /// delta solve over the whole departure instead of one per flow.
     pub fn stop_flows_now(&mut self, keys: &[FlowKey]) {
         for &key in keys {
-            let f = &mut self.flows[key.0 as usize];
-            if matches!(f.status, FlowStatus::Pending | FlowStatus::Active) {
-                f.status = FlowStatus::Done(self.now);
-                f.rate = 0.0;
-                self.dirty = true;
-                self.arena_evict(key);
-            }
+            let i = self.idx(key);
+            self.retire(i);
         }
     }
 
@@ -413,23 +623,23 @@ impl FlowSim {
 
     /// Status of a flow.
     pub fn status(&self, key: FlowKey) -> FlowStatus {
-        self.flows[key.0 as usize].status
+        self.flows[self.idx(key)].status
     }
 
     /// Cumulative bytes delivered by a flow.
     pub fn delivered_bytes(&self, key: FlowKey) -> u64 {
-        self.flows[key.0 as usize].delivered as u64
+        self.flows[self.idx(key)].delivered as u64
     }
 
     /// Current allocated rate of a flow (bits/s); 0 unless active.
     pub fn rate_bps(&mut self, key: FlowKey) -> f64 {
         self.reallocate_if_dirty();
-        self.flows[key.0 as usize].rate
+        self.flows[self.idx(key)].rate
     }
 
     /// Completion time of a finished flow.
     pub fn completion_time(&self, key: FlowKey) -> Option<Nanos> {
-        match self.flows[key.0 as usize].status {
+        match self.flows[self.idx(key)].status {
             FlowStatus::Done(t) => Some(t),
             _ => None,
         }
@@ -437,24 +647,20 @@ impl FlowSim {
 
     /// Latest completion time among flows tagged `tag`; `None` if any is
     /// still pending/active or no flow carries the tag.
+    ///
+    /// An O(1) lookup against incrementally maintained per-tag counters —
+    /// the pre-recycling implementation scanned every all-time flow
+    /// record, which made repeated queries quadratic over a simulation's
+    /// lifetime. Released flows no longer count toward the tag: once a
+    /// tag's every flow is released the tag reads as unknown (`None`),
+    /// but completion times observed before the release stay reflected
+    /// while any unreleased flow keeps the tag alive.
     pub fn tag_completion(&self, tag: u64) -> Option<Nanos> {
-        let mut latest = None;
-        let mut any = false;
-        for f in &self.flows {
-            if f.tag != tag {
-                continue;
-            }
-            any = true;
-            match f.status {
-                FlowStatus::Done(t) => latest = Some(latest.map_or(t, |l: Nanos| l.max(t))),
-                _ => return None,
-            }
+        let s = self.tags.get(&tag)?;
+        if s.unfinished > 0 {
+            return None;
         }
-        if any {
-            latest
-        } else {
-            None
-        }
+        Some(s.latest)
     }
 
     /// Fill `probe_scratch` with the resource list a probe flow from
@@ -541,7 +747,10 @@ impl FlowSim {
         let key = self.start_flow(src, dst, None, hose, start, u64::MAX);
         self.stop_flow_at(key, start + duration);
         self.run_until(start + duration);
-        let delivered = self.flows[key.0 as usize].delivered;
+        let delivered = self.flows[self.idx(key)].delivered;
+        // The stop event above fired during `run_until`, so the flow is
+        // retired and its one stat is harvested: reclaim the record.
+        self.release_flow(key);
         delivered * 8.0 / (duration as f64 / 1e9)
     }
 
@@ -553,6 +762,19 @@ impl FlowSim {
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
         self.arena.n_flows()
+    }
+
+    /// High-water mark of concurrently active flows.
+    pub fn peak_active_flows(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Number of flow records currently allocated (live + retired-but-
+    /// unreleased + free-listed). With retirement release this plateaus
+    /// at O(peak concurrent flows); without releases it equals all-time
+    /// arrivals — the pre-recycling behavior.
+    pub fn flow_records(&self) -> usize {
+        self.flows.len()
     }
 
     // ------------------------------------------------------------ dynamics
@@ -639,18 +861,19 @@ impl FlowSim {
     }
 
     fn finish_completed(&mut self) {
+        // `slot_owner` mirrors the arena's live slots (holes are exactly
+        // the arena's free slots), so this scan — like `integrate` and
+        // `next_completion` — is bounded by peak *concurrent* flows, not
+        // all-time arrivals.
         for slot in 0..self.slot_owner.len() {
             let owner = self.slot_owner[slot];
             if owner == NO_SLOT {
                 continue;
             }
-            let f = &mut self.flows[owner as usize];
+            let f = &self.flows[owner as usize];
             if let Some(rem) = f.remaining {
                 if rem <= DONE_EPS {
-                    f.status = FlowStatus::Done(self.now);
-                    f.rate = 0.0;
-                    self.dirty = true;
-                    self.arena_evict(FlowKey(owner));
+                    self.retire(owner as usize);
                 }
             }
         }
@@ -659,21 +882,29 @@ impl FlowSim {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Start(key) => {
-                let f = &mut self.flows[key.0 as usize];
-                if f.status == FlowStatus::Pending {
-                    f.status = FlowStatus::Active;
-                    f.started_at = self.now;
-                    self.dirty = true;
-                    self.arena_insert(key);
+                // Stale keys (flow released while the event was queued)
+                // dispatch as no-ops: a release requires the flow to be
+                // retired, and a retired flow ignored these events before
+                // recycling existed too.
+                if let Some(i) = self.live_idx(key) {
+                    let f = &mut self.flows[i];
+                    if f.status == FlowStatus::Pending {
+                        f.status = FlowStatus::Active;
+                        f.started_at = self.now;
+                        self.dirty = true;
+                        self.arena_insert(i);
+                    }
                 }
             }
             Ev::Stop(key) => {
-                let f = &mut self.flows[key.0 as usize];
-                if matches!(f.status, FlowStatus::Pending | FlowStatus::Active) {
-                    f.status = FlowStatus::Done(self.now);
-                    f.rate = 0.0;
-                    self.dirty = true;
-                    self.arena_evict(key);
+                if let Some(i) = self.live_idx(key) {
+                    self.retire(i);
+                    // Background ON–OFF flows are never harvested by any
+                    // caller; reclaim the record as soon as the toggle-off
+                    // stop lands.
+                    if self.flows[i].tag == TAG_ONOFF {
+                        self.release_index(i);
+                    }
                 }
             }
             Ev::Toggle(id) => {
@@ -685,7 +916,7 @@ impl FlowSim {
                     (s.src, s.dst, s.hose, s.current_mean(), turning_on, old)
                 };
                 if turning_on {
-                    let key = self.start_flow(src, dst, None, hose, self.now, u64::MAX - 1);
+                    let key = self.start_flow(src, dst, None, hose, self.now, TAG_ONOFF);
                     self.sources[id as usize].flow = Some(key);
                 } else if let Some(f) = old_flow {
                     self.stop_flow_at(f, self.now);
@@ -737,11 +968,9 @@ impl FlowSim {
     /// and no pending events), which indicates a modelling bug.
     pub fn run_to_completion(&mut self) -> Nanos {
         loop {
-            let unfinished = self.flows.iter().any(|f| {
-                f.remaining.is_some()
-                    && matches!(f.status, FlowStatus::Pending | FlowStatus::Active)
-            });
-            if !unfinished {
+            // Maintained at creation/retirement, so the check is O(1)
+            // instead of a scan over all-time flow records per step.
+            if self.unfinished_bounded == 0 {
                 return self.now;
             }
             self.reallocate_if_dirty();
@@ -998,6 +1227,110 @@ mod tests {
         // Stopping again is a no-op.
         s.stop_flows_now(&[f1, f2]);
         assert_eq!(s.active_flows(), 0);
+    }
+
+    #[test]
+    fn released_records_are_recycled() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f1 = s.start_flow_now(h[0], h[2], None, None, 1);
+        s.run_until(MILLIS);
+        s.stop_flows_now(&[f1]);
+        assert!(s.delivered_bytes(f1) > 0, "stats are harvestable before release");
+        assert!(s.tag_completion(1).is_some());
+        let records = s.flow_records();
+        s.release_flow(f1);
+        assert_eq!(s.tag_completion(1), None, "released flows leave their tag");
+        // The next flow reuses the released record: the table does not
+        // grow, and the stale key can never alias the new occupant.
+        let f2 = s.start_flow_now(h[1], h[3], None, None, 2);
+        assert_eq!(s.flow_records(), records);
+        assert_ne!(f1, f2);
+        assert_eq!(s.status(f2), FlowStatus::Active);
+    }
+
+    #[test]
+    fn steady_churn_keeps_record_table_bounded() {
+        let mut s = sim(4, GBIT);
+        let h = s.topology().hosts().to_vec();
+        for i in 0..1000u64 {
+            let f =
+                s.start_flow_now(h[(i % 4) as usize], h[4 + ((i + 1) % 4) as usize], None, None, i);
+            s.run_until((i + 1) * MILLIS);
+            s.stop_flows_now(&[f]);
+            s.release_flow(f);
+        }
+        assert!(s.flow_records() <= 2, "record table leaked: {}", s.flow_records());
+        assert!(s.peak_active_flows() <= 2, "peak = {}", s.peak_active_flows());
+    }
+
+    #[test]
+    fn onoff_records_are_reclaimed() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        s.add_onoff(h[1], h[3], None, 200 * MILLIS, 200 * MILLIS, 0);
+        s.run_until(20 * SECS);
+        // ~50 on-periods have come and gone; reclamation at the toggle-off
+        // stop keeps the record table at the concurrency bound.
+        assert!(s.flow_records() <= 2, "onoff records leaked: {}", s.flow_records());
+    }
+
+    #[test]
+    fn queued_events_for_released_flows_are_noops() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow(h[0], h[1], None, None, 0, 1);
+        s.stop_flow_at(f, SECS);
+        s.run_until(100 * MILLIS);
+        s.stop_flows_now(&[f]);
+        s.release_flow(f);
+        // The queued stop now holds a stale key; the record's next
+        // occupant must be untouchable through it.
+        let g = s.start_flow_now(h[0], h[1], None, None, 2);
+        s.run_until(2 * SECS);
+        assert_eq!(s.status(g), FlowStatus::Active, "stale stop must not kill the new flow");
+        assert!(s.delivered_bytes(g) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowKey")]
+    fn use_after_release_panics() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow_now(h[0], h[1], None, None, 1);
+        s.stop_flows_now(&[f]);
+        s.release_flow(f);
+        let _ = s.status(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowKey")]
+    fn double_release_panics() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow_now(h[0], h[1], None, None, 1);
+        s.stop_flows_now(&[f]);
+        s.release_flow(f);
+        s.release_flow(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowKey")]
+    fn wrong_generation_key_panics() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow_now(h[0], h[1], None, None, 1);
+        let forged = FlowKey(f.0.wrapping_add(1 << KEY_INDEX_BITS));
+        let _ = s.status(forged);
+    }
+
+    #[test]
+    #[should_panic(expected = "only a retired")]
+    fn releasing_an_active_flow_panics() {
+        let mut s = sim(1, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow_now(h[0], h[1], None, None, 1);
+        s.release_flow(f);
     }
 
     #[test]

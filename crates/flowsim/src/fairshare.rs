@@ -815,6 +815,26 @@ impl MaxMinSolver {
         old: &SolveLog,
         seed: &[u32],
     ) {
+        let remaining = self.walk_init(capacities, arena, rates, seed);
+        self.walk_rounds(arena, rates, old, remaining);
+    }
+
+    /// First half of [`MaxMinSolver::replay_walk`]: rebuild the cold-solve
+    /// state (rates/frozen/slack/users), seed the perturbation set, stamp
+    /// the new log header and consume the arena's dirty window. Returns
+    /// the number of unfrozen flows for [`MaxMinSolver::walk_rounds`].
+    ///
+    /// Split out so the sharded solve can run this `O(resources)` setup
+    /// — and then merge shard logs — while its worker pool is still
+    /// solving shards: everything here is independent of `old`, which
+    /// does not need to exist yet.
+    pub(crate) fn walk_init(
+        &mut self,
+        capacities: &[f64],
+        arena: &mut FlowArena,
+        rates: &mut Vec<f64>,
+        seed: &[u32],
+    ) -> usize {
         let nr = arena.n_resources();
         assert!(capacities.len() >= nr, "capacities shorter than resource space");
         // Cold-solve state init — the hybrid walk must evolve the exact
@@ -840,7 +860,7 @@ impl MaxMinSolver {
         if self.probe_mark.len() < nr {
             self.probe_mark.resize(nr, PROBE_NONE);
         }
-        let mut remaining = arena.n_flows();
+        let remaining = arena.n_flows();
 
         self.log.clear();
         self.log.generation = arena.generation();
@@ -869,7 +889,21 @@ impl MaxMinSolver {
             }
         }
         arena.clear_dirty();
+        remaining
+    }
 
+    /// Second half of [`MaxMinSolver::replay_walk`]: the hybrid
+    /// replayed/live round loop over `old`, freezing the `remaining`
+    /// flows [`MaxMinSolver::walk_init`] counted. `old` must describe a
+    /// solve of a subset of the arena's current flows whose deviations
+    /// are covered by the seed already planted by `walk_init`.
+    pub(crate) fn walk_rounds(
+        &mut self,
+        arena: &FlowArena,
+        rates: &mut [f64],
+        old: &SolveLog,
+        mut remaining: usize,
+    ) {
         let rounds = old.keys.len();
         let mut kcur = 0usize;
         let mut t0 = 0usize;

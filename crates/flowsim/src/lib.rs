@@ -92,6 +92,26 @@
 //! transfers → re-solve) rides the same chain, reusing the probe-era log
 //! it just rated candidates against.
 //!
+//! # Key lifetime & flow-record recycling
+//!
+//! [`FlowSim`] names flows by [`FlowKey`] — a packed record index plus a
+//! generation stamp. A key is live from [`FlowSim::start_flow`] until
+//! the flow's record is **released**: once a flow has retired
+//! (completed or stopped — [`FlowStatus::Done`]), the caller harvests
+//! whatever it still needs ([`FlowSim::delivered_bytes`],
+//! [`FlowSim::completion_time`], …) and calls [`FlowSim::release_flow`],
+//! which bumps the record's generation and pushes the slot onto a free
+//! list for the next arrival. From then on the key — and every copy of
+//! it — is *stale*, and any use panics instead of silently reading the
+//! successor flow's data. Callers that never release keep the old
+//! append-only behavior, with an identical event trajectory (ECMP path
+//! choice is seeded by a monotone flow sequence number, not the record
+//! index), but their record table grows with all-time arrivals; with
+//! release at retirement it plateaus at the peak concurrent flow count,
+//! which is what lets a long simulation hold thousands of times more
+//! flow history than memory would otherwise allow. The scheduler layers
+//! above (`choreo-online`) release at every departure point.
+//!
 //! # Sharded solves: partition → local solve → reconcile
 //!
 //! On pod-structured topologies the solve itself parallelizes
@@ -99,10 +119,16 @@
 //! of each subtree under the aggregation roots; uplinks and core links
 //! on a shared spine), [`ShardedArena`] splits the live flow set into
 //! per-pod sub-arenas plus the boundary flows that cross pods, a
-//! [`ShardedSolver`] fans the shard-local logged solves across worker
-//! threads, and a reconciliation pass merges the shard logs in global
-//! freeze order and replays them on the main solver — live rounds run
-//! only where a boundary flow makes a shard-local level disagree. The
+//! [`ShardedSolver`] fans the shard-local logged solves across a
+//! persistent [`SolvePool`] of worker threads (spawned on the first
+//! parallel solve and reused for the solver's whole life — including
+//! across simulators, via [`FlowSim::take_sharded_solver`] /
+//! [`FlowSim::enable_sharded_with`]), and a reconciliation pass merges
+//! the shard logs pairwise in completion order — overlapping the main
+//! solver's walk setup while shards still run — and replays them on the
+//! main solver; live rounds run only where a boundary flow makes a
+//! shard-local level disagree. ([`ScenarioPool`] reuses the same pool
+//! machinery for its scenario fan-outs.) The
 //! result is **bit-identical to a cold `solve_logged`** for any worker
 //! count and any partition, including the degenerate ones (single pod,
 //! all flows cross-pod, empty shards); see [`shard`] for the lifecycle
@@ -115,10 +141,12 @@
 
 pub mod engine;
 pub mod fairshare;
+pub mod pool;
 pub mod scenario;
 pub mod shard;
 
 pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId};
 pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
+pub use pool::SolvePool;
 pub use scenario::{ScenarioCtx, ScenarioPool};
 pub use shard::{ResourcePartition, ShardedArena, ShardedSolver};

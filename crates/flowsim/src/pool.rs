@@ -1,0 +1,338 @@
+//! A persistent worker pool for solver fan-out.
+//!
+//! [`ShardedSolver`](crate::ShardedSolver) and
+//! [`ScenarioPool`](crate::ScenarioPool) fan embarrassingly parallel
+//! solver work across threads. Spawning those threads per solve
+//! (`std::thread::scope`) costs a syscall + stack setup per worker per
+//! call — noise for a one-shot batch, but the dominant fixed cost when
+//! the online event loop re-solves on every churn event. [`SolvePool`]
+//! amortizes it: threads are spawned once, park on a condvar, and are
+//! fed type-erased jobs through a mutex-guarded queue. Once the queue's
+//! ring buffers are warm, a steady-state fan-out performs **no heap
+//! allocation and no thread spawn** — just futex wakes.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!  SolvePool::new(n) ──spawns──▶ n parked workers
+//!        │                            ▲    │
+//!        │ scope()                    │    │ pop job, run, report done
+//!        ▼                            │    ▼
+//!   PoolScope ──submit(job)──▶ [ job queue ] ─▶ [ done queue ]
+//!        │                                           │
+//!        ├── wait_done() ◀── completion order ───────┘
+//!        │
+//!        ▼ drop: drain (blocks until every job finished),
+//!          then propagate any worker panic
+//!        │
+//!  SolvePool::drop ──shutdown + join──▶ workers exit
+//! ```
+//!
+//! Jobs carry raw pointers into the submitter's buffers, so the scope's
+//! drain-on-drop is the safety linchpin: even if the submitting thread
+//! unwinds mid-collection, no job outlives the data it points at. A
+//! scope also holds the pool's scope lock, so concurrent fan-outs from
+//! clones of a [`ScenarioPool`](crate::ScenarioPool) serialize instead
+//! of interleaving their completions.
+//!
+//! Results are unaffected by pooling: jobs mutate only their own task
+//! structs, and callers merge by tag, not completion order — the
+//! bit-identity invariants of the sharded and scenario layers hold for
+//! any worker count, pooled or not.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// A queued unit of work: a monomorphized trampoline plus a raw pointer
+/// to its task struct.
+///
+/// # Safety
+///
+/// The submitter guarantees `data` points at a task that is exclusively
+/// owned by this job and safe to mutate from another thread (`Send`
+/// data), and that it stays valid until the job is reported done.
+/// [`PoolScope`] enforces the lifetime half: its drop blocks until every
+/// submitted job has finished.
+struct ErasedJob {
+    tag: u32,
+    run: unsafe fn(*mut ()),
+    data: *mut (),
+}
+
+// Safety: submitters only enqueue pointers to Send task structs (the
+// `PoolScope::submit` contract).
+unsafe impl Send for ErasedJob {}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<ErasedJob>,
+    /// Tags of finished jobs, in completion order.
+    done: VecDeque<u32>,
+    /// Jobs submitted but not yet finished (queued or running).
+    pending: usize,
+    shutdown: bool,
+    /// A job's trampoline panicked; surfaced when its scope drains.
+    panicked: bool,
+    /// All-time finished job count (pool-reuse diagnostics).
+    executed: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when the queue gains a job (or shutdown flips).
+    work: Condvar,
+    /// Signalled when a job finishes.
+    finished: Condvar,
+}
+
+impl Shared {
+    /// Lock the state; a poisoned lock is fine (job panics are caught
+    /// outside the lock, so `State` is always consistent).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Long-lived worker pool: parked threads fed type-erased jobs.
+///
+/// Owned by a [`ShardedSolver`](crate::ShardedSolver) (lazily, on the
+/// first multi-shard solve) or shared behind an `Arc` by
+/// [`ScenarioPool`](crate::ScenarioPool) clones. Dropping the pool shuts
+/// the workers down and joins them.
+pub struct SolvePool {
+    shared: Arc<Shared>,
+    /// Serializes scopes: one fan-out at a time owns the queues.
+    scope_lock: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl SolvePool {
+    /// Spawn a pool of `workers` parked threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> SolvePool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            finished: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("choreo-solve".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn solver pool worker")
+            })
+            .collect();
+        SolvePool { shared, scope_lock: Mutex::new(()), handles }
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// All-time finished job count — strictly increases across solves on
+    /// a reused pool (while [`SolvePool::workers`] stays constant), which
+    /// is how tests pin down that the pool, not fresh spawns, did the
+    /// work.
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.lock().executed
+    }
+
+    /// Open a fan-out scope. Blocks while another scope is live (clones
+    /// of a [`ScenarioPool`](crate::ScenarioPool) share one pool).
+    pub(crate) fn scope(&self) -> PoolScope<'_> {
+        let serial = self.scope_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        PoolScope { shared: &self.shared, _serial: serial, submitted: 0, collected: 0 }
+    }
+}
+
+impl fmt::Debug for SolvePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolvePool")
+            .field("workers", &self.workers())
+            .field("jobs_executed", &self.jobs_executed())
+            .finish()
+    }
+}
+
+impl Drop for SolvePool {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Safety: the submitter's PoolScope keeps `job.data` alive and
+        // exclusively this job's until we report done below.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.data) })).is_ok();
+        let mut st = shared.lock();
+        st.pending -= 1;
+        st.executed += 1;
+        if !ok {
+            st.panicked = true;
+        }
+        // The tag is reported even on panic so collectors never hang;
+        // the scope's drain surfaces the panic.
+        st.done.push_back(job.tag);
+        drop(st);
+        shared.finished.notify_all();
+    }
+}
+
+/// One fan-out: submit jobs, collect completions in completion order,
+/// and — on drop — drain whatever is still outstanding so no job
+/// outlives the buffers it points at.
+pub(crate) struct PoolScope<'p> {
+    shared: &'p Shared,
+    _serial: MutexGuard<'p, ()>,
+    submitted: usize,
+    collected: usize,
+}
+
+impl PoolScope<'_> {
+    /// Enqueue `run(data)` on a worker, tagged for collection.
+    ///
+    /// # Safety
+    ///
+    /// `data` must point at a task struct that is valid for the scope's
+    /// lifetime, exclusively owned by this job until its tag comes back
+    /// from [`PoolScope::wait_done`], and safe to mutate from another
+    /// thread (its pointees are `Send`).
+    pub(crate) unsafe fn submit(&mut self, tag: u32, run: unsafe fn(*mut ()), data: *mut ()) {
+        let mut st = self.shared.lock();
+        st.queue.push_back(ErasedJob { tag, run, data });
+        st.pending += 1;
+        drop(st);
+        self.shared.work.notify_one();
+        self.submitted += 1;
+    }
+
+    /// Block until the next job finishes and return its tag (completion
+    /// order, not submission order).
+    pub(crate) fn wait_done(&mut self) -> u32 {
+        assert!(self.collected < self.submitted, "no outstanding jobs to wait for");
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(tag) = st.done.pop_front() {
+                self.collected += 1;
+                return tag;
+            }
+            st = self.shared.finished.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for PoolScope<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        while st.pending > 0 {
+            st = self.shared.finished.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.done.clear();
+        let panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if panicked && !std::thread::panicking() {
+            panic!("solver pool worker panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn double(p: *mut ()) {
+        let v = &mut *(p.cast::<u64>());
+        *v *= 2;
+    }
+
+    fn run_batch(pool: &SolvePool, vals: &mut [u64]) {
+        let mut scope = pool.scope();
+        for (i, v) in vals.iter_mut().enumerate() {
+            // Safety: `vals` outlives the scope and each job owns one cell.
+            unsafe { scope.submit(i as u32, double, (v as *mut u64).cast()) };
+        }
+        let mut seen = vec![false; vals.len()];
+        for _ in 0..vals.len() {
+            let tag = scope.wait_done() as usize;
+            assert!(!seen[tag], "tag {tag} completed twice");
+            seen[tag] = true;
+        }
+    }
+
+    #[test]
+    fn jobs_run_and_tags_come_back_once_each() {
+        let pool = SolvePool::new(3);
+        let mut vals: Vec<u64> = (0..17).collect();
+        run_batch(&pool, &mut vals);
+        assert_eq!(vals, (0..17).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reused_across_scopes_without_respawning() {
+        let pool = SolvePool::new(2);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.jobs_executed(), 0);
+        let mut vals: Vec<u64> = (0..5).collect();
+        run_batch(&pool, &mut vals);
+        assert_eq!(pool.jobs_executed(), 5);
+        run_batch(&pool, &mut vals);
+        assert_eq!(pool.jobs_executed(), 10, "second scope reused the same workers");
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_idle_workers() {
+        let pool = SolvePool::new(4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn scope_drop_drains_uncollected_jobs() {
+        let pool = SolvePool::new(2);
+        let mut vals: Vec<u64> = (0..8).collect();
+        {
+            let mut scope = pool.scope();
+            for (i, v) in vals.iter_mut().enumerate() {
+                unsafe { scope.submit(i as u32, double, (v as *mut u64).cast()) };
+            }
+            // No wait_done: the drop must block until every job ran.
+        }
+        assert_eq!(vals, (0..8).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "solver pool worker panicked")]
+    fn worker_panics_surface_at_scope_drain() {
+        unsafe fn boom(_: *mut ()) {
+            panic!("job failed");
+        }
+        let pool = SolvePool::new(1);
+        let mut v = 0u64;
+        let mut scope = pool.scope();
+        unsafe { scope.submit(0, boom, (&mut v as *mut u64).cast()) };
+        let _ = scope.wait_done();
+        drop(scope); // drain sees the panic flag
+    }
+}

@@ -13,7 +13,10 @@
 //! solver freezes rounds with order-insensitive arithmetic. The workspace
 //! property suite pins this down for 1, 2 and 8 workers.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::fairshare::{FlowArena, MaxMinSolver};
+use crate::pool::SolvePool;
 
 /// Per-worker evaluation context: a private arena clone plus reusable
 /// solver and rate buffer.
@@ -74,9 +77,18 @@ impl ScenarioCtx {
 /// [`ScenarioPool::default`] sizes the pool to the machine
 /// ([`std::thread::available_parallelism`]); worker count never affects
 /// results, only wall-clock.
+///
+/// The worker threads are a persistent [`SolvePool`], spawned lazily on
+/// the first multi-worker [`ScenarioPool::evaluate`] and parked between
+/// calls — steady-state evaluation never spawns a thread. Clones share
+/// the pool (concurrent evaluates from clones serialize), so one warm
+/// pool can serve a whole benchmark or service loop.
 #[derive(Debug, Clone)]
 pub struct ScenarioPool {
     workers: usize,
+    /// Lazily spawned shared worker pool (`None` until the first
+    /// evaluate that actually fans out).
+    pool: Arc<OnceLock<SolvePool>>,
 }
 
 impl Default for ScenarioPool {
@@ -88,9 +100,10 @@ impl Default for ScenarioPool {
 
 impl ScenarioPool {
     /// Pool with a fixed worker count (clamped to ≥ 1). Worker count
-    /// affects wall-clock only, never results.
+    /// affects wall-clock only, never results. No threads are spawned
+    /// until the first [`ScenarioPool::evaluate`] that fans out.
     pub fn new(workers: usize) -> ScenarioPool {
-        ScenarioPool { workers: workers.max(1) }
+        ScenarioPool { workers: workers.max(1), pool: Arc::new(OnceLock::new()) }
     }
 
     /// Pool sized to the machine's available parallelism.
@@ -101,6 +114,15 @@ impl ScenarioPool {
     /// Configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// All-time jobs executed by the shared persistent pool (`0` before
+    /// the first multi-worker evaluate). Strictly increases across
+    /// evaluates on one (possibly cloned) pool while
+    /// [`ScenarioPool::workers`] stays constant — the diagnostic that
+    /// pins down pool reuse over fresh spawns.
+    pub fn jobs_executed(&self) -> u64 {
+        self.pool.get().map_or(0, SolvePool::jobs_executed)
     }
 
     /// Evaluate every scenario against a clone of `arena`, returning the
@@ -125,18 +147,59 @@ impl ScenarioPool {
         let chunk = scenarios.len().div_ceil(workers);
         let mut results: Vec<Option<R>> = Vec::with_capacity(scenarios.len());
         results.resize_with(scenarios.len(), || None);
-        std::thread::scope(|scope| {
-            for (s_chunk, r_chunk) in scenarios.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let eval = &eval;
-                scope.spawn(move || {
-                    let mut ctx = new_ctx(arena);
-                    for (s, slot) in s_chunk.iter().zip(r_chunk.iter_mut()) {
-                        *slot = Some(run_one(&mut ctx, eval, s));
-                    }
-                });
+        let pool = self.pool.get_or_init(|| SolvePool::new(self.workers));
+        let mut tasks: Vec<ChunkTask<'_, S, R, F>> = scenarios
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .map(|(scenarios, results)| ChunkTask { arena, eval: &eval, scenarios, results })
+            .collect();
+        {
+            let mut scope = pool.scope();
+            for (i, t) in tasks.iter_mut().enumerate() {
+                // Safety: each task points at a disjoint results chunk and
+                // at Sync shared state; `tasks` outlives the scope, whose
+                // drop drains every job even on unwind.
+                unsafe {
+                    scope.submit(
+                        i as u32,
+                        run_chunk::<S, R, F>,
+                        (t as *mut ChunkTask<S, R, F>).cast(),
+                    )
+                };
             }
-        });
+            for _ in 0..tasks.len() {
+                scope.wait_done();
+            }
+        }
         results.into_iter().map(|r| r.expect("every chunk was evaluated")).collect()
+    }
+}
+
+/// Raw-pointer job payload for one worker's scenario chunk.
+struct ChunkTask<'a, S, R, F> {
+    arena: &'a FlowArena,
+    eval: &'a F,
+    scenarios: &'a [S],
+    results: &'a mut [Option<R>],
+}
+
+/// Pool trampoline, monomorphized per scenario/result/closure type:
+/// evaluate one contiguous chunk with a private warm-chained context.
+///
+/// # Safety
+///
+/// `p` must point at a live [`ChunkTask`] of matching `S, R, F` that
+/// this job exclusively owns until it is reported done; `S: Sync`,
+/// `R: Send` and `F: Sync` (enforced by [`ScenarioPool::evaluate`])
+/// make the pointee safe to use from the worker thread.
+unsafe fn run_chunk<S, R, F>(p: *mut ())
+where
+    F: Fn(&mut ScenarioCtx, &S) -> R,
+{
+    let t = &mut *(p.cast::<ChunkTask<'_, S, R, F>>());
+    let mut ctx = new_ctx(t.arena);
+    for (s, slot) in t.scenarios.iter().zip(t.results.iter_mut()) {
+        *slot = Some(run_one(&mut ctx, t.eval, s));
     }
 }
 
@@ -270,6 +333,30 @@ mod tests {
         });
         assert_eq!(out.len(), 1);
         assert!(out[0] > 0.0);
+    }
+
+    #[test]
+    fn evaluate_reuses_one_persistent_pool_across_calls_and_clones() {
+        let (caps, arena) = base();
+        let scen = scenarios();
+        let pool = ScenarioPool::new(2);
+        assert_eq!(pool.jobs_executed(), 0, "no threads, no jobs before the first evaluate");
+        let score = |ctx: &mut ScenarioCtx, path: &Vec<u32>| {
+            let probe = ctx.arena.add(path);
+            ctx.solve(&caps);
+            let rate = ctx.rates[probe.0 as usize];
+            ctx.arena.remove(probe);
+            rate.to_bits()
+        };
+        let first = pool.evaluate(&arena, &scen, score);
+        let jobs = pool.jobs_executed();
+        assert!(jobs >= 2, "fan-out went through the pool (got {jobs})");
+        // A clone shares the same warm pool rather than spawning its own.
+        let clone = pool.clone();
+        let second = clone.evaluate(&arena, &scen, score);
+        assert_eq!(first, second);
+        assert!(pool.jobs_executed() > jobs, "clone reused the shared pool");
+        assert_eq!(pool.workers(), 2);
     }
 
     #[test]

@@ -20,19 +20,24 @@
 //!    resources and no flows, so their solves are embarrassingly
 //!    parallel: [`ShardedSolver`] re-solves just the pods the churn
 //!    touched (each warm-started off its own shard log — bit-identical
-//!    to a cold shard solve), fanned across worker threads
-//!    (`ScenarioPool`-style: chunked, deterministic merge by shard
-//!    index).
+//!    to a cold shard solve), dispatched as jobs to a persistent
+//!    [`SolvePool`] of parked workers (spawned once,
+//!    on the first multi-shard solve, and reused for every solve after).
 //! 3. **Reconcile.** Because shard resource sets are disjoint and freeze
-//!    keys strictly increase within a log, the k-way merge of the shard
-//!    logs by bottleneck key *is* the freeze-round log a cold solve of
-//!    all local flows together would record. The boundary flows are then
-//!    exactly "flows added since that log was recorded", which is the
-//!    warm-solve contract: the main solver replays the merged log
-//!    (validating each shard-local bottleneck in O(1) per round) and
-//!    runs live rounds only where a boundary flow's presence makes a
-//!    shard-local level disagree — the same walk, and therefore the same
-//!    bit-identity argument, as [`MaxMinSolver::solve_warm`].
+//!    keys strictly increase within a log, the merge of the shard logs
+//!    by bottleneck key *is* the freeze-round log a cold solve of all
+//!    local flows together would record — and since pairwise merges of
+//!    disjoint sorted sequences associate, the driver merges each shard
+//!    log **as its solve completes** (completion order) instead of
+//!    joining all shards first, overlapping late shards with the merge
+//!    of early ones and with the reconciliation walk's O(resources)
+//!    setup. The boundary flows are then exactly "flows added since
+//!    that log was recorded", which is the warm-solve contract: the
+//!    main solver replays the merged log (validating each shard-local
+//!    bottleneck in O(1) per round) and runs live rounds only where a
+//!    boundary flow's presence makes a shard-local level disagree — the
+//!    same walk, and therefore the same bit-identity argument, as
+//!    [`MaxMinSolver::solve_warm`].
 //!
 //! The reconciliation leaves the main solver's log valid for the full
 //! arena, so probes, batched what-ifs and later warm solves chain off a
@@ -57,6 +62,7 @@
 use choreo_topology::{PodPartition, Topology};
 
 use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, SolveLog};
+use crate::pool::SolvePool;
 
 /// Maps solver resource ids to shards: pods `0..n_pods` plus the spine.
 ///
@@ -346,6 +352,15 @@ impl ShardedArena {
     pub fn boundary_resources(&self) -> &[u32] {
         &self.boundary_res
     }
+
+    /// Drop the arena binding: the next [`ShardedArena::split`] performs
+    /// a full reclassification instead of replaying a dirty window
+    /// recorded against a different (or restarted) arena. This is what
+    /// lets one view — and the solver machinery warmed around it — serve
+    /// different arenas sequentially ([`ShardedSolver::reset`]).
+    pub fn invalidate(&mut self) {
+        self.valid_gen = None;
+    }
 }
 
 /// Per-shard solver context (scratch persists across solves).
@@ -355,27 +370,69 @@ struct ShardCtx {
     rates: Vec<f64>,
 }
 
-/// Sharded solve driver: splits, fans the shard-local solves across
-/// worker threads, merges the shard logs, and reconciles on the caller's
-/// main solver.
+/// Raw-pointer job payload for one shard's warm solve on the pool.
+///
+/// The pointers are derived from the owning vectors' base pointers, one
+/// disjoint element per task, and stay valid for the dispatch scope's
+/// lifetime: while jobs run, `solve_sharded` touches `view.subs` and
+/// `ctxs` only through those same base pointers (never through fresh
+/// references into the vectors, which would alias the workers' writes).
+#[derive(Debug)]
+struct ShardTask {
+    pod: u32,
+    sub: *mut FlowArena,
+    ctx: *mut ShardCtx,
+    caps: *const f64,
+    cap_len: usize,
+}
+
+/// Pool trampoline: warm-solve one shard in place.
+///
+/// # Safety
+///
+/// `p` must point at a live [`ShardTask`] whose `sub`/`ctx` this job
+/// exclusively owns until its tag is collected (the
+/// [`PoolScope`](crate::pool) contract `solve_sharded` upholds).
+unsafe fn run_shard(p: *mut ()) {
+    let t = &*(p.cast::<ShardTask>());
+    let caps = std::slice::from_raw_parts(t.caps, t.cap_len);
+    let ctx = &mut *t.ctx;
+    ctx.solver.solve_warm(caps, &mut *t.sub, &mut ctx.rates);
+}
+
+/// Sharded solve driver: splits, fans the shard-local solves across a
+/// persistent worker pool, merges each shard log as it completes, and
+/// reconciles on the caller's main solver.
 ///
 /// Reuse one instance: the split is incremental (only churned slots are
 /// reclassified), clean shards keep their previous solve's log instead
-/// of re-solving, and sub-arenas, per-shard solvers and the merged log
-/// all retain their buffers — a steady-state sharded re-solve performs
-/// no heap allocation per shard once warm (single-worker path; the
-/// multi-worker path additionally pays thread spawns). The flip side of
-/// the chaining is the warm-solve contract: between consecutive
-/// `solve_sharded` calls on one arena, no other consumer may close the
-/// arena's dirty window and the capacities of existing resources must
-/// not change (growing the space for new resources is fine).
+/// of re-solving, the worker pool is spawned once (lazily, on the first
+/// solve with ≥ 2 dirty shards) and parks between solves, and
+/// sub-arenas, per-shard solvers and the merged log all retain their
+/// buffers — a steady-state sharded re-solve performs no heap
+/// allocation and no thread spawn once warm, on the single- and
+/// multi-worker paths alike. The flip side of the chaining is the
+/// warm-solve contract: between consecutive `solve_sharded` calls on
+/// one arena, no other consumer may close the arena's dirty window and
+/// the capacities of existing resources must not change (growing the
+/// space for new resources is fine). To re-point a solver (and its warm
+/// pool) at a **different** arena, call [`ShardedSolver::reset`] first.
 #[derive(Debug, Default)]
 pub struct ShardedSolver {
     view: ShardedArena,
     ctxs: Vec<ShardCtx>,
     merged: SolveLog,
-    /// Per shard: (round, touched-start, freeze-start) merge cursors.
+    /// Ping-pong buffer for the completion-order pairwise merge.
+    merge_tmp: SolveLog,
+    /// Per shard: (round, touched-start, freeze-start) merge cursors
+    /// (serial k-way merge path).
     cursors: Vec<(u32, u32, u32)>,
+    /// Job payloads for the pooled path (retained capacity; the raw
+    /// pointers inside are dead between solves).
+    tasks: Vec<ShardTask>,
+    /// Lazily spawned persistent worker pool (`None` until the first
+    /// solve that actually fans out).
+    pool: Option<SolvePool>,
     workers: usize,
 }
 
@@ -405,6 +462,24 @@ impl ShardedSolver {
     /// The sharded view of the last solve (tests / diagnostics).
     pub fn view(&self) -> &ShardedArena {
         &self.view
+    }
+
+    /// All-time job count of the persistent worker pool (`0` before the
+    /// first solve that fanned out). Strictly increases across pooled
+    /// solves while [`ShardedSolver::workers`] stays constant — the
+    /// diagnostic that pins down pool reuse over fresh spawns.
+    pub fn pool_jobs_executed(&self) -> u64 {
+        self.pool.as_ref().map_or(0, SolvePool::jobs_executed)
+    }
+
+    /// Forget the current arena binding: the next solve fully re-splits
+    /// the view and re-solves every shard instead of replaying a dirty
+    /// window recorded against a different arena. Call this when
+    /// re-pointing one solver — with its warm worker pool — at another
+    /// simulation's arena (two simulations sharing one solver
+    /// sequentially); the pool and all retained buffers survive.
+    pub fn reset(&mut self) {
+        self.view.invalidate();
     }
 
     /// Sharded max-min solve of `arena` under `part`: incremental split,
@@ -446,8 +521,9 @@ impl ShardedSolver {
         // exclusively owns — bit-identical to a cold shard solve, so the
         // merged log is unaffected.
         let n_dirty = self.view.sub_dirty[..n_pods].iter().filter(|&&d| d).count();
-        let workers = self.workers.min(n_dirty);
-        if workers <= 1 {
+        if self.workers.min(n_dirty) <= 1 {
+            // Serial path: solve the dirty shards in place, k-way merge,
+            // then the full reconciliation walk.
             for (p, (sub, ctx)) in
                 self.view.subs[..n_pods].iter_mut().zip(&mut self.ctxs[..n_pods]).enumerate()
             {
@@ -455,29 +531,72 @@ impl ShardedSolver {
                     ctx.solver.solve_warm(capacities, sub, &mut ctx.rates);
                 }
             }
-        } else {
-            let sub_dirty = &self.view.sub_dirty;
-            let mut dirty: Vec<(&mut FlowArena, &mut ShardCtx)> = self.view.subs[..n_pods]
-                .iter_mut()
-                .zip(&mut self.ctxs[..n_pods])
-                .enumerate()
-                .filter(|(p, _)| sub_dirty[*p])
-                .map(|(_, pair)| pair)
-                .collect();
-            let chunk = n_dirty.div_ceil(workers);
-            std::thread::scope(|scope| {
-                for batch in dirty.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for (sub, ctx) in batch {
-                            ctx.solver.solve_warm(capacities, sub, &mut ctx.rates);
-                        }
-                    });
-                }
-            });
+            self.view.sub_dirty[..n_pods].fill(false);
+            self.merge_shard_logs(arena);
+            solver.replay_walk(capacities, arena, rates, &self.merged, &self.view.boundary_res);
+            return;
         }
+        // Pipelined path: dispatch the dirty shards to the persistent
+        // pool, run the reconciliation walk's O(resources) setup and the
+        // clean shards' merge on this thread while the workers solve,
+        // then fold each dirty shard's log in the moment it completes.
+        // Pairwise merges of disjoint sorted key sequences associate, so
+        // folding in completion order yields exactly the serial k-way
+        // merge — worker scheduling cannot change a bit of the result.
+        let workers = self.workers;
+        let pool = self.pool.get_or_insert_with(|| SolvePool::new(workers));
+        self.tasks.clear();
+        let subs = self.view.subs.as_mut_ptr();
+        let ctxs = self.ctxs.as_mut_ptr();
+        for p in 0..n_pods {
+            if self.view.sub_dirty[p] {
+                // Safety: distinct pods → disjoint elements; the vectors
+                // are not reallocated or referenced while jobs run.
+                self.tasks.push(ShardTask {
+                    pod: p as u32,
+                    sub: unsafe { subs.add(p) },
+                    ctx: unsafe { ctxs.add(p) },
+                    caps: capacities.as_ptr(),
+                    cap_len: capacities.len(),
+                });
+            }
+        }
+        let mut scope = pool.scope();
+        for t in &mut self.tasks {
+            // Safety: each task's pointers are valid, disjoint and Send;
+            // the scope's drain guard keeps them alive past any unwind.
+            unsafe { scope.submit(t.pod, run_shard, (t as *mut ShardTask).cast()) };
+        }
+        // Overlap 1: the walk setup only needs the boundary seed and the
+        // arena — neither is touched by the workers.
+        self.merged.clear();
+        self.merged.generation = arena.generation();
+        self.merged.n_resources = arena.n_resources() as u32;
+        self.merged.valid = true;
+        let remaining = solver.walk_init(capacities, arena, rates, &self.view.boundary_res);
+        // Overlap 2: fold in the clean shards' retained logs. Shard state
+        // is read through the same raw bases the jobs hold (a reference
+        // into the vectors here would alias the workers' writes).
+        for p in 0..n_pods {
+            if !self.view.sub_dirty[p] {
+                // Safety: a clean shard has no job mutating it.
+                let log = unsafe { &(*ctxs.add(p)).solver }.solve_log();
+                merge_pair(&mut self.merge_tmp, &self.merged, log, &self.view.sub_slots[p]);
+                std::mem::swap(&mut self.merged, &mut self.merge_tmp);
+            }
+        }
+        // Fold each dirty shard's log in completion order.
+        for _ in 0..self.tasks.len() {
+            let p = scope.wait_done() as usize;
+            // Safety: shard p's job is done (wait_done synchronizes), so
+            // its ctx is quiescent; other shards stay untouched.
+            let log = unsafe { &(*ctxs.add(p)).solver }.solve_log();
+            merge_pair(&mut self.merge_tmp, &self.merged, log, &self.view.sub_slots[p]);
+            std::mem::swap(&mut self.merged, &mut self.merge_tmp);
+        }
+        drop(scope); // all jobs collected: instant drain, panics surface
         self.view.sub_dirty[..n_pods].fill(false);
-        self.merge_shard_logs(arena);
-        solver.replay_walk(capacities, arena, rates, &self.merged, &self.view.boundary_res);
+        solver.walk_rounds(arena, rates, &self.merged, remaining);
     }
 
     /// K-way merge of the shard logs by bottleneck key into
@@ -524,6 +643,59 @@ impl ShardedSolver {
             m.touched_delta.extend_from_slice(&log.touched_delta[t0..t1]);
             m.round_end.push(m.touched_res.len() as u32);
             self.cursors[p] = ((k + 1) as u32, t1 as u32, f1 as u32);
+        }
+    }
+}
+
+// Safety: the raw pointers inside `tasks` are only live while a
+// `solve_sharded` call is on the stack — which holds `&mut self`, so the
+// solver cannot be moved or accessed from another thread meanwhile.
+// Between solves the pointers are dangling and never dereferenced; all
+// pointees (FlowArena, ShardCtx, f64) are Send + Sync data.
+unsafe impl Send for ShardedSolver {}
+unsafe impl Sync for ShardedSolver {}
+
+/// Two-pointer merge by bottleneck key of `a` (freeze slots already
+/// global) and shard log `b` (sub-arena freeze slots, remapped through
+/// `map`) into `dst`, which inherits `a`'s stamp.
+///
+/// Keys are disjoint across shards and strictly increase within each
+/// log, so pairwise merging associates: folding shard logs into a
+/// running merge in **any** order — in particular, job completion
+/// order — produces exactly the k-way merge of
+/// [`ShardedSolver::merge_shard_logs`].
+fn merge_pair(dst: &mut SolveLog, a: &SolveLog, b: &SolveLog, map: &[u32]) {
+    dst.clear();
+    dst.generation = a.generation;
+    dst.n_resources = a.n_resources;
+    dst.valid = a.valid;
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut at0, mut af0) = (0usize, 0usize);
+    let (mut bt0, mut bf0) = (0usize, 0usize);
+    while i < a.keys.len() || j < b.keys.len() {
+        let take_a = j >= b.keys.len() || (i < a.keys.len() && a.keys[i] < b.keys[j]);
+        if take_a {
+            let (t1, f1) = (a.round_end[i] as usize, a.freeze_end[i] as usize);
+            dst.keys.push(a.keys[i]);
+            dst.levels.push(a.levels[i]);
+            dst.freeze_slots.extend_from_slice(&a.freeze_slots[af0..f1]);
+            dst.freeze_end.push(dst.freeze_slots.len() as u32);
+            dst.touched_res.extend_from_slice(&a.touched_res[at0..t1]);
+            dst.touched_delta.extend_from_slice(&a.touched_delta[at0..t1]);
+            dst.round_end.push(dst.touched_res.len() as u32);
+            (at0, af0, i) = (t1, f1, i + 1);
+        } else {
+            let (t1, f1) = (b.round_end[j] as usize, b.freeze_end[j] as usize);
+            dst.keys.push(b.keys[j]);
+            dst.levels.push(b.levels[j]);
+            for &s in &b.freeze_slots[bf0..f1] {
+                dst.freeze_slots.push(map[s as usize]);
+            }
+            dst.freeze_end.push(dst.freeze_slots.len() as u32);
+            dst.touched_res.extend_from_slice(&b.touched_res[bt0..t1]);
+            dst.touched_delta.extend_from_slice(&b.touched_delta[bt0..t1]);
+            dst.round_end.push(dst.touched_res.len() as u32);
+            (bt0, bf0, j) = (t1, f1, j + 1);
         }
     }
 }
@@ -682,5 +854,54 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn partition_rejects_bad_shard_ids() {
         let _ = ResourcePartition::new(2, vec![0, 3]);
+    }
+
+    /// Bit-compare the driver's latest rates against a cold solve.
+    fn assert_matches_cold(caps: &[f64], arena: &FlowArena, rates: &[f64]) {
+        let mut cold = MaxMinSolver::new();
+        let mut cold_rates = Vec::new();
+        cold.solve(caps, arena, &mut cold_rates);
+        assert_eq!(rates.len(), cold_rates.len());
+        for (slot, (a, b)) in rates.iter().zip(&cold_rates).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {slot}: sharded {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_solves_and_survives_a_reset() {
+        let caps = [10.0, 8.0, 6.0, 12.0, 5.0, 9.0, 20.0, 4.0];
+        let part = part3();
+        let mut sharded = ShardedSolver::new(2);
+        let mut main = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        let mut arena = FlowArena::new(caps.len());
+        arena.add(&[0, 1]);
+        arena.add(&[2, 3]);
+        arena.add(&[4, 5]);
+        arena.add(&[1, 4]); // boundary
+        sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+        assert_matches_cold(&caps, &arena, &rates);
+        let jobs = sharded.pool_jobs_executed();
+        assert!(jobs >= 3, "first solve fanned the dirty shards to the pool (got {jobs})");
+        // Churn two pods: the warm pool, not fresh threads, re-solves them.
+        arena.add(&[0]);
+        arena.add(&[4]);
+        sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+        assert_matches_cold(&caps, &arena, &rates);
+        assert!(sharded.pool_jobs_executed() > jobs, "second solve reused the pool");
+        assert_eq!(sharded.workers(), 2);
+        // Re-point the same solver (pool and all) at a different arena.
+        let mut arena2 = FlowArena::new(caps.len());
+        arena2.add(&[0]);
+        arena2.add(&[2, 3]);
+        arena2.add(&[5]);
+        arena2.add(&[3, 6]); // boundary via spine
+        sharded.reset();
+        let mut main2 = MaxMinSolver::new();
+        let mut rates2 = Vec::new();
+        let jobs = sharded.pool_jobs_executed();
+        sharded.solve_sharded(&caps, &mut arena2, &part, &mut main2, &mut rates2);
+        assert_matches_cold(&caps, &arena2, &rates2);
+        assert!(sharded.pool_jobs_executed() > jobs, "reset kept the pool warm");
     }
 }

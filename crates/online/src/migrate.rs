@@ -177,6 +177,8 @@ impl OnlineScheduler {
         }
         let old_keys: Vec<_> = t.flows.iter().flatten().copied().collect();
         self.sim.stop_flows_now(&old_keys);
+        // Nothing reads the torn-down flows again; recycle their records.
+        self.sim.release_flows(&old_keys);
         self.load.apply(&t.app, &placement);
         let flows = self.start_transfer_flows(id, &placement, &t.transfers, t.intensity);
         let baseline = self.service_score(&flows);

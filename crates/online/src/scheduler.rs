@@ -368,6 +368,10 @@ impl OnlineScheduler {
         self.stats.record_departed_rate(score);
         let keys: Vec<FlowKey> = t.flows.iter().flatten().copied().collect();
         self.sim.stop_flows_now(&keys);
+        // The departure score above was the last read of these flows;
+        // release the records so steady-state memory tracks concurrent
+        // tenants, not all-time arrivals.
+        self.sim.release_flows(&keys);
         self.load.remove(&t.app, &t.placement);
         self.retry_queue();
     }
@@ -430,6 +434,7 @@ impl OnlineScheduler {
                 }
             }
             self.sim.stop_flows_now(&drop_keys);
+            self.sim.release_flows(&drop_keys);
         }
         // Normalize the degradation baseline for the self-induced share
         // change: k connections on the same bottleneck each get ~1/k of

@@ -185,6 +185,53 @@ fn steady_state_reallocation_allocates_nothing() {
     assert!(sh_checksum > 0.0, "sharded solves produced rates");
     assert_eq!(sharded_allocs, 0, "steady-state sharded re-solve must not allocate once warm");
 
+    // --------------------------------- pooled sharded re-solves (2 workers)
+    // The persistent pool hands shard jobs to long-lived worker threads
+    // over a futex-backed Mutex/Condvar pair; the job and completion
+    // queues are `VecDeque`s whose capacities survive across solves, and
+    // the per-shard solver scratch lives in the retained shard contexts.
+    // Once the first pooled solve has spawned the threads and sized the
+    // queues, a steady-state pooled re-solve must not allocate — on any
+    // thread (the counter is global, so worker-side allocations count).
+    // Single-flow churn dirties at most one pod and takes the serial
+    // path; the pool engages on bulk reshuffles (≥ 2 dirty pods per
+    // solve), so this section replays the churn in epochs of 16
+    // replacements per re-solve — the workload sharding exists for.
+    let mut pooled = ShardedSolver::new(2);
+    let mut pl_solver = MaxMinSolver::new();
+    let mut pl_rates = Vec::new();
+    for _pass in 0..2 {
+        for round in 0..3 {
+            for (epoch, block) in churn[n_flows as usize..].chunks(16).enumerate() {
+                for (j, arrival) in block.iter().enumerate() {
+                    let k = (epoch * 16 + j + round) % slots.len();
+                    arena.remove(slots[k]);
+                    slots[k] = arena.add(arrival);
+                }
+                pooled.solve_sharded(&caps, &mut arena, &part, &mut pl_solver, &mut pl_rates);
+            }
+        }
+    }
+    assert!(pooled.pool_jobs_executed() > 0, "bulk churn never engaged the worker pool");
+    let warm_jobs = pooled.pool_jobs_executed();
+    let before = alloc_count();
+    let mut pl_checksum = 0.0f64;
+    for round in 0..3 {
+        for (epoch, block) in churn[n_flows as usize..].chunks(16).enumerate() {
+            for (j, arrival) in block.iter().enumerate() {
+                let k = (epoch * 16 + j + round) % slots.len();
+                arena.remove(slots[k]);
+                slots[k] = arena.add(arrival);
+            }
+            pooled.solve_sharded(&caps, &mut arena, &part, &mut pl_solver, &mut pl_rates);
+            pl_checksum += pl_rates[slots[epoch % slots.len()].0 as usize];
+        }
+    }
+    let pooled_allocs = alloc_count() - before;
+    assert!(pl_checksum > 0.0, "pooled solves produced rates");
+    assert!(pooled.pool_jobs_executed() > warm_jobs, "measured pass bypassed the pool");
+    assert_eq!(pooled_allocs, 0, "steady-state pooled sharded re-solve must not allocate");
+
     // ------------------------------------------------- engine what-if path
     // The probe joins the arena, the persistent solver reallocates, and
     // the probe leaves: the full reallocate_if_dirty machinery, exercised
@@ -224,4 +271,36 @@ fn steady_state_reallocation_allocates_nothing() {
     let batch_allocs = alloc_count() - before;
     assert!(acc > 0.0);
     assert_eq!(batch_allocs, 0, "warm probe_rates (batched what-if) must not allocate");
+
+    // ----------------------------------------- flow-record recycling churn
+    // A sustained arrive → retire → release → re-arrive cycle through the
+    // engine: record slots (and their generation stamps) recycle through
+    // the free list, the per-tag completion counters come and go in a
+    // table sized during warm-up, and the event heap and arena churn in
+    // retained buffers. Steady state must allocate nothing — and the
+    // record table must not grow by even one entry.
+    let ms = SECS / 1000;
+    let mut t_now = sim.now();
+    let cycle = |sim: &mut FlowSim, t_now: &mut u64, i: u64| -> f64 {
+        *t_now += 5 * ms;
+        let key = sim.start_flow(h[0], h[4], Some(10_000), None, *t_now, 90 + (i % 4));
+        *t_now += 5 * ms;
+        sim.run_until(*t_now); // 10 kB at ≥ a fair share: long done by now
+        let delivered = sim.delivered_bytes(key) as f64;
+        sim.release_flow(key);
+        delivered
+    };
+    for i in 0..100 {
+        cycle(&mut sim, &mut t_now, i);
+    }
+    let records = sim.flow_records();
+    let before = alloc_count();
+    let mut acc = 0.0;
+    for i in 0..100 {
+        acc += cycle(&mut sim, &mut t_now, i);
+    }
+    let recycle_allocs = alloc_count() - before;
+    assert!(acc > 0.0);
+    assert_eq!(sim.flow_records(), records, "record table grew under release churn");
+    assert_eq!(recycle_allocs, 0, "steady-state recycling churn must not allocate");
 }

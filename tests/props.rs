@@ -1,8 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
+use std::sync::Arc;
+
 use choreo_repro::flowsim::{
-    hop_resource, max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch, ResourcePartition,
-    ScenarioPool, ShardedSolver,
+    hop_resource, max_min_rates, FlowArena, FlowKey, FlowSim, FlowSlot, FlowStatus, MaxMinSolver,
+    ProbeBatch, ResourcePartition, ScenarioPool, ShardedSolver,
 };
 use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
@@ -425,6 +427,118 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------- flow-record recycling
+
+/// FNV-1a fold of one 64-bit word into a running digest.
+fn fnv1a(digest: u64, word: u64) -> u64 {
+    (digest ^ word).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(16)))]
+    #[test]
+    fn recycling_trajectory_bitmatches_unbounded_records(
+        topo_kind in 0u8..4,
+        ops in prop::collection::vec((0u8..4, any::<u16>(), any::<u16>(), 1u64..32), 1..20),
+    ) {
+        // Two sims per sharded worker count (1, 2, 8) replay the same
+        // event program: one releases every completed flow's record as
+        // soon as it retires (recycling), the other never releases —
+        // the pre-recycling append-only record table. FNV-1a digests
+        // over every observable (allocated-rate bits after each op,
+        // delivered bytes and completion time of every flow when it is
+        // harvested) must be identical across the two sims and across
+        // all worker counts, while the recycling sim's record table
+        // must stay at the peak concurrent flow count instead of
+        // growing with flow history.
+        let topo = Arc::new(sharded_topology(topo_kind));
+        let routes = Arc::new(RouteTable::new(&topo));
+        let loopback = LinkSpec::new(10.0 * GBIT, MICROS);
+        let hosts = topo.hosts().to_vec();
+        let mut digests: Vec<u64> = Vec::new();
+        let mut started_total = 0usize;
+        for workers in [1usize, 2, 8] {
+            let mut recycle = FlowSim::new(topo.clone(), routes.clone(), loopback, 42);
+            let mut unbounded = FlowSim::new(topo.clone(), routes.clone(), loopback, 42);
+            recycle.enable_sharded(workers);
+            unbounded.enable_sharded(workers);
+            // Flows still tracked: (tag, key in recycle, key in unbounded).
+            let mut live: Vec<(u64, FlowKey, FlowKey)> = Vec::new();
+            let (mut dr, mut du) = (0xcbf29ce484222325u64, 0xcbf29ce484222325u64);
+            let mut started = 0usize;
+            for (opno, &(op, a, b, n)) in ops.iter().enumerate() {
+                let t = (opno as u64 + 1) * 200_000;
+                match op {
+                    // Stop a tracked flow (else fall through to a start).
+                    2 if !live.is_empty() => {
+                        let (_, kr, ku) = live[a as usize % live.len()];
+                        recycle.stop_flow_at(kr, recycle.now());
+                        unbounded.stop_flow_at(ku, unbounded.now());
+                    }
+                    _ => {
+                        let src = hosts[a as usize % hosts.len()];
+                        let dst = hosts[b as usize % hosts.len()];
+                        // op 1 starts an unbounded flow; others are
+                        // bounded so they retire mid-run.
+                        let bytes = (op != 1).then_some(n * 10_000);
+                        let tag = opno as u64;
+                        let kr = recycle.start_flow(src, dst, bytes, None, recycle.now(), tag);
+                        let ku = unbounded.start_flow(src, dst, bytes, None, unbounded.now(), tag);
+                        live.push((tag, kr, ku));
+                        started += 1;
+                    }
+                }
+                recycle.run_until(t);
+                unbounded.run_until(t);
+                // Digest the full observable state, then harvest + release
+                // retired flows — at the same instant in both sims.
+                live.retain(|&(tag, kr, ku)| {
+                    dr = fnv1a(dr, recycle.rate_bps(kr).to_bits());
+                    du = fnv1a(du, unbounded.rate_bps(ku).to_bits());
+                    let done_r = matches!(recycle.status(kr), FlowStatus::Done(_));
+                    let done_u = matches!(unbounded.status(ku), FlowStatus::Done(_));
+                    assert_eq!(done_r, done_u, "op {opno}: sims disagree on flow {tag} status");
+                    if done_r {
+                        dr = fnv1a(dr, recycle.delivered_bytes(kr));
+                        du = fnv1a(du, unbounded.delivered_bytes(ku));
+                        dr = fnv1a(dr, recycle.completion_time(kr).unwrap());
+                        du = fnv1a(du, unbounded.completion_time(ku).unwrap());
+                        recycle.release_flow(kr);
+                    }
+                    !done_r
+                });
+                prop_assert_eq!(dr, du, "op {}: trajectories diverged", opno);
+            }
+            // Drain every remaining bounded flow, then harvest the rest.
+            let end_r = recycle.run_to_completion();
+            let end_u = unbounded.run_to_completion();
+            prop_assert_eq!(end_r, end_u, "completion times diverged");
+            for &(_, kr, ku) in &live {
+                dr = fnv1a(dr, recycle.delivered_bytes(kr));
+                du = fnv1a(du, unbounded.delivered_bytes(ku));
+            }
+            prop_assert_eq!(dr, du, "final digests diverged");
+            digests.push(dr);
+            // The memory claim: the unbounded sim's record table grew
+            // with flow history; the recycling sim's stayed at the
+            // concurrent population (live + not-yet-released retirees).
+            prop_assert_eq!(unbounded.flow_records(), started);
+            prop_assert!(
+                recycle.flow_records() <= 2 * recycle.peak_active_flows().max(1),
+                "{} records for peak {} concurrent flows",
+                recycle.flow_records(),
+                recycle.peak_active_flows()
+            );
+            started_total = started;
+        }
+        prop_assert!(started_total > 0);
+        prop_assert!(
+            digests.iter().all(|&d| d == digests[0]),
+            "digest differs across worker counts: {:?}", digests
+        );
     }
 }
 

@@ -223,3 +223,71 @@ fn flowsim_falls_back_without_real_pod_structure() {
     assert_eq!(sharded.enable_sharded(2), 8, "eight singleton pods");
     assert_eq!(run(&mut plain), run(&mut sharded));
 }
+
+#[test]
+fn one_warm_pool_serves_two_sims_sequentially() {
+    // The persistent worker pool outlives the sim that spawned it: run
+    // sim A sharded, detach its solver (`take_sharded_solver` — workers
+    // *and* warm pool), hand it to sim B on a different topology
+    // (`enable_sharded_with` resets the solver, forcing a full re-split
+    // against B's arena), and B's trajectory must still bit-match an
+    // unsharded twin while the same worker threads keep executing jobs
+    // (`pool_jobs_executed` strictly grows across the hand-off).
+    let run = |s: &mut FlowSim| -> Vec<u64> {
+        let h = s.topology().hosts().to_vec();
+        let mut out = Vec::new();
+        let mut keys = Vec::new();
+        for i in 0..3 * h.len() {
+            let f = s.start_flow(
+                h[i % h.len()],
+                h[(i * 7 + 3) % h.len()],
+                Some(10_000_000 + 1_000_000 * i as u64),
+                None,
+                0,
+                i as u64,
+            );
+            keys.push(f);
+        }
+        for step in 1..=8u64 {
+            s.run_until(step * 10 * MILLIS);
+            for &f in &keys {
+                out.push(s.rate_bps(f).to_bits());
+            }
+        }
+        s.run_to_completion();
+        for &f in &keys {
+            out.push(s.completion_time(f).unwrap());
+        }
+        out
+    };
+    let (mut plain_a, mut sharded_a) = twin_sims(2);
+    assert_eq!(run(&mut plain_a), run(&mut sharded_a), "sim A diverged");
+    let solver = sharded_a.take_sharded_solver().expect("solver attached");
+    assert_eq!(sharded_a.sharded_pods(), None, "detach disables the sharded path");
+    let executed_a = solver.pool_jobs_executed();
+    assert!(executed_a > 0, "sim A never dispatched to the 2-worker pool");
+
+    // Sim B: a different pod count, so the inherited view is useless
+    // until the reset re-splits it.
+    let spec = MultiRootedTreeSpec {
+        cores: 2,
+        pods: 4,
+        aggs_per_pod: 2,
+        tors_per_pod: 2,
+        hosts_per_tor: 2,
+        ..Default::default()
+    };
+    let topo = Arc::new(spec.build());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let loopback = LinkSpec::new(4.2 * GBIT, 20 * MICROS);
+    let mut plain_b = FlowSim::new(topo.clone(), routes.clone(), loopback, 7);
+    let mut sharded_b = FlowSim::new(topo, routes, loopback, 7);
+    assert_eq!(sharded_b.enable_sharded_with(solver), 4, "four pods after the hand-off");
+    assert_eq!(run(&mut plain_b), run(&mut sharded_b), "sim B diverged on the inherited solver");
+    let solver = sharded_b.take_sharded_solver().expect("solver attached");
+    assert!(
+        solver.pool_jobs_executed() > executed_a,
+        "sim B never reused the inherited pool ({} jobs, sim A already ran {executed_a})",
+        solver.pool_jobs_executed()
+    );
+}
