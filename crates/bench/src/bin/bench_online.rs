@@ -39,7 +39,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use choreo_bench::{pctile, JsonReport};
-use choreo_online::{MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy};
+use choreo_online::{
+    MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
+};
 use choreo_profile::{
     TenantEvent, TenantEventKind, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig,
 };
@@ -99,7 +101,7 @@ fn service_config(policy: PlacementPolicy, workers: usize) -> OnlineConfig {
 fn build(policy: PlacementPolicy, workers: usize) -> OnlineScheduler {
     let topo = Arc::new(bench_tree());
     let routes = Arc::new(RouteTable::new(&topo));
-    OnlineScheduler::new(topo, routes, service_config(policy, workers), 42)
+    SchedulerBuilder::new(topo, routes).config(service_config(policy, workers)).seed(42).build()
 }
 
 struct Run {
@@ -175,12 +177,10 @@ fn sweep_run(
     workers: usize,
     warmup: usize,
 ) -> (f64, u64, usize, usize) {
-    let mut svc = OnlineScheduler::new(
-        Arc::clone(topo),
-        Arc::clone(routes),
-        service_config(PlacementPolicy::Greedy, workers),
-        42,
-    );
+    let mut svc = SchedulerBuilder::new(Arc::clone(topo), Arc::clone(routes))
+        .config(service_config(PlacementPolicy::Greedy, workers))
+        .seed(42)
+        .build();
     for ev in &events[..warmup] {
         svc.step(ev);
     }

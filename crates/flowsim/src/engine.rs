@@ -210,7 +210,7 @@ pub struct FlowSim {
     now: Nanos,
     dirty: bool,
     rng: StdRng,
-    /// Sharded solve path ([`FlowSim::enable_sharded`]); `None` = warm
+    /// Sharded solve path ([`FlowSim::set_solver_mode`]); `None` = warm
     /// solves only.
     sharded: Option<ShardedPath>,
 }
@@ -220,6 +220,47 @@ pub struct FlowSim {
 struct ShardedPath {
     part: ResourcePartition,
     solver: ShardedSolver,
+}
+
+/// How [`FlowSim`] re-solves the max-min allocation after churn
+/// ([`FlowSim::set_solver_mode`]).
+///
+/// The mode is a pure wall-clock knob: warm and sharded solves are
+/// bit-identical, so switching modes never changes a trajectory.
+// The variants differ hugely in size because `Sharded` can carry a
+// whole solver pool in the hand-off path; the enum only ever exists as
+// a transient argument/return value, never stored in bulk, so boxing
+// the pool would buy nothing but an extra indirection at every attach.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Default)]
+pub enum SolverMode {
+    /// Warm-started delta solves on the caller thread (the default).
+    #[default]
+    Warm,
+    /// Pod-sharded solves fanned across worker threads, reconciled on
+    /// the caller thread.
+    Sharded {
+        /// Worker threads (`0` = auto, one per core). Ignored when
+        /// `pool` is attached — the pool carries its own worker count.
+        workers: usize,
+        /// An existing solver to reuse — e.g. the one returned by a
+        /// previous [`FlowSim::set_solver_mode`] call on another
+        /// simulator — so its spawned worker pool and warm buffers
+        /// survive the hand-off. `None` builds a fresh solver.
+        pool: Option<ShardedSolver>,
+    },
+}
+
+impl SolverMode {
+    /// A sharded mode with a fresh solver over `workers` threads.
+    pub fn sharded(workers: usize) -> SolverMode {
+        SolverMode::Sharded { workers, pool: None }
+    }
+
+    /// True for [`SolverMode::Sharded`].
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, SolverMode::Sharded { .. })
+    }
 }
 
 /// Numerical slop (bytes) below which a flow counts as finished.
@@ -270,49 +311,78 @@ impl FlowSim {
         }
     }
 
-    /// Route reallocation through the sharded solve path: partition the
-    /// topology into pods ([`ResourcePartition::for_topology`]) and fan
-    /// shard-local solves across `workers` threads (`0` = auto, one per
-    /// core). Returns the number of pods found.
+    /// Select how reallocation solves run — the one switch that replaces
+    /// the old `enable_sharded` / `enable_sharded_with` /
+    /// `take_sharded_solver` / `disable_sharded` quartet.
     ///
-    /// Sharded and warm solves are **bit-identical**, so enabling this
-    /// never changes the simulation trajectory — only wall-clock. When
-    /// the topology has no real pod structure — fewer than two pods
-    /// owning intra-pod links ([`ResourcePartition::link_pods`]; a
-    /// dumbbell's singleton-host pods carry no local flows) — the event
-    /// loop keeps using warm/cold solves. Hoses registered later land on
-    /// the spine shard and their flows are reconciled as boundary flows.
+    /// Returns the **previous** mode, carrying the previously attached
+    /// [`ShardedSolver`] (with its spawned worker pool and warm buffers)
+    /// in [`SolverMode::Sharded::pool`] so it can be handed to another
+    /// simulator:
+    ///
+    /// ```ignore
+    /// let prev = sim_a.set_solver_mode(SolverMode::Warm); // detach
+    /// sim_b.set_solver_mode(prev);                        // re-attach
+    /// ```
+    ///
+    /// Switching to [`SolverMode::Sharded`] partitions the topology into
+    /// pods ([`ResourcePartition::for_topology`]) and fans shard-local
+    /// solves across the worker threads (`workers == 0` = auto, one per
+    /// core; an attached `pool` supersedes `workers` and is
+    /// [`reset`](ShardedSolver::reset) to this simulation's arena).
+    /// Sharded and warm solves are **bit-identical**, so the mode never
+    /// changes the simulation trajectory — only wall-clock. When the
+    /// topology has no real pod structure — fewer than two pods owning
+    /// intra-pod links ([`ResourcePartition::link_pods`]; a dumbbell's
+    /// singleton-host pods carry no local flows) — the event loop keeps
+    /// using warm/cold solves ([`FlowSim::sharded_pods`] reports the
+    /// partition found). Hoses registered later land on the spine shard
+    /// and their flows are reconciled as boundary flows.
+    pub fn set_solver_mode(&mut self, mode: SolverMode) -> SolverMode {
+        let prev = match self.sharded.take() {
+            Some(sh) => SolverMode::Sharded { workers: sh.solver.workers(), pool: Some(sh.solver) },
+            None => SolverMode::Warm,
+        };
+        if let SolverMode::Sharded { workers, pool } = mode {
+            let mut solver = pool.unwrap_or_else(|| ShardedSolver::new(workers));
+            solver.reset();
+            let part = ResourcePartition::for_topology(&self.topo);
+            self.sharded = Some(ShardedPath { part, solver });
+        }
+        prev
+    }
+
+    /// Deprecated shim for [`FlowSim::set_solver_mode`]. Returns the
+    /// number of pods found.
+    #[deprecated(note = "use set_solver_mode(SolverMode::Sharded { workers, pool: None })")]
     pub fn enable_sharded(&mut self, workers: usize) -> usize {
-        self.enable_sharded_with(ShardedSolver::new(workers))
+        self.set_solver_mode(SolverMode::Sharded { workers, pool: None });
+        self.sharded_pods().unwrap_or(0)
     }
 
-    /// Route reallocation through an existing [`ShardedSolver`] — e.g.
-    /// one detached from another simulation with
-    /// [`FlowSim::take_sharded_solver`] — so its spawned worker pool and
-    /// warm buffers survive across simulations. The solver is
-    /// [`reset`](ShardedSolver::reset) to this simulation's arena (full
-    /// re-split and re-solve on first use); otherwise behaves exactly
-    /// like [`FlowSim::enable_sharded`]. Returns the number of pods
-    /// found.
-    pub fn enable_sharded_with(&mut self, mut solver: ShardedSolver) -> usize {
-        let part = ResourcePartition::for_topology(&self.topo);
-        let pods = part.n_pods();
-        solver.reset();
-        self.sharded = Some(ShardedPath { part, solver });
-        pods
+    /// Deprecated shim for [`FlowSim::set_solver_mode`] with an attached
+    /// pool. Returns the number of pods found.
+    #[deprecated(note = "use set_solver_mode(SolverMode::Sharded { workers: 0, pool: Some(..) })")]
+    pub fn enable_sharded_with(&mut self, solver: ShardedSolver) -> usize {
+        self.set_solver_mode(SolverMode::Sharded { workers: 0, pool: Some(solver) });
+        self.sharded_pods().unwrap_or(0)
     }
 
-    /// Detach the sharded solver — with its worker pool — e.g. to hand
-    /// it to another simulation via [`FlowSim::enable_sharded_with`];
-    /// reallocation goes back to warm solves. `None` when sharding was
-    /// off.
+    /// Deprecated shim for [`FlowSim::set_solver_mode`]: the previous
+    /// mode returned by `set_solver_mode(SolverMode::Warm)` carries the
+    /// detached solver.
+    #[deprecated(note = "use set_solver_mode(SolverMode::Warm) and read the returned mode's pool")]
     pub fn take_sharded_solver(&mut self) -> Option<ShardedSolver> {
-        self.sharded.take().map(|sh| sh.solver)
+        match self.set_solver_mode(SolverMode::Warm) {
+            SolverMode::Sharded { pool, .. } => pool,
+            SolverMode::Warm => None,
+        }
     }
 
-    /// Drop the sharded solve path; reallocation goes back to warm solves.
+    /// Deprecated shim for [`FlowSim::set_solver_mode`].
+    #[deprecated(note = "use set_solver_mode(SolverMode::Warm)")]
     pub fn disable_sharded(&mut self) {
-        self.sharded = None;
+        self.set_solver_mode(SolverMode::Warm);
     }
 
     /// Pods of the active sharded path (`None` when sharding is off).
@@ -1018,6 +1088,22 @@ mod tests {
         ));
         let r = Arc::new(RouteTable::new(&t));
         FlowSim::new(t, r, LinkSpec::new(4.2 * GBIT, 20 * MICROS), 7)
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sharded_shims_still_route_through_the_mode_switch() {
+        // One PR of grace: the old quartet must keep working, expressed
+        // through set_solver_mode underneath.
+        let mut s = sim(4, GBIT);
+        let pods = s.enable_sharded(2);
+        assert_eq!(Some(pods), s.sharded_pods());
+        let solver = s.take_sharded_solver().expect("was sharded");
+        assert_eq!(s.sharded_pods(), None);
+        assert_eq!(s.enable_sharded_with(solver), pods);
+        s.disable_sharded();
+        assert_eq!(s.sharded_pods(), None);
+        assert!(s.take_sharded_solver().is_none(), "nothing attached");
     }
 
     #[test]

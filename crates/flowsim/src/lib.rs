@@ -122,8 +122,9 @@
 //! [`ShardedSolver`] fans the shard-local logged solves across a
 //! persistent [`SolvePool`] of worker threads (spawned on the first
 //! parallel solve and reused for the solver's whole life — including
-//! across simulators, via [`FlowSim::take_sharded_solver`] /
-//! [`FlowSim::enable_sharded_with`]), and a reconciliation pass merges
+//! across simulators: [`FlowSim::set_solver_mode`] returns the previous
+//! [`SolverMode`] with the detached solver in its `pool` field, ready to
+//! attach elsewhere), and a reconciliation pass merges
 //! the shard logs pairwise in completion order — overlapping the main
 //! solver's walk setup while shards still run — and replays them on the
 //! main solver; live rounds run only where a boundary flow makes a
@@ -132,9 +133,9 @@
 //! result is **bit-identical to a cold `solve_logged`** for any worker
 //! count and any partition, including the degenerate ones (single pod,
 //! all flows cross-pod, empty shards); see [`shard`] for the lifecycle
-//! and fallback rules. [`FlowSim::enable_sharded`] routes the event
-//! loop's reallocation through it when the topology has ≥ 2 pods,
-//! falling back to warm/cold solves otherwise.
+//! and fallback rules. `FlowSim::set_solver_mode(SolverMode::sharded(n))`
+//! routes the event loop's reallocation through it when the topology has
+//! ≥ 2 pods, falling back to warm/cold solves otherwise.
 //!
 //! Entry point: [`FlowSim`]. One-shot callers can still use
 //! [`max_min_rates`].
@@ -145,7 +146,7 @@ pub mod pool;
 pub mod scenario;
 pub mod shard;
 
-pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId};
+pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId, SolverMode};
 pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 pub use pool::SolvePool;
 pub use scenario::{ScenarioCtx, ScenarioPool};

@@ -57,7 +57,7 @@
 //! [`ShardedSolver::solve_sharded`] when its partition found at least
 //! two pods owning intra-pod links ([`ResourcePartition::link_pods`] —
 //! a dumbbell's singleton-host pods carry no local flows), falling back
-//! to warm/cold solves otherwise ([`crate::FlowSim::enable_sharded`]).
+//! to warm/cold solves otherwise ([`crate::FlowSim::set_solver_mode`]).
 
 use choreo_topology::{PodPartition, Topology};
 
@@ -123,7 +123,7 @@ impl ResourcePartition {
     /// carry pod-local network flows. A dumbbell partitions into 2·N
     /// singleton-host pods but `link_pods() == 0`: there is no local
     /// work to fan out, so routing layers (e.g.
-    /// [`crate::FlowSim::enable_sharded`]) should fall back to warm
+    /// [`crate::FlowSim::set_solver_mode`]) should fall back to warm
     /// solves below 2.
     pub fn link_pods(&self) -> usize {
         self.link_pods as usize

@@ -1,0 +1,366 @@
+//! Dependency-free prometheus-style metrics for the Choreo service.
+//!
+//! A long-running placement service needs to be observable without
+//! pulling a metrics framework into a registry-less build: this crate is
+//! the minimal shape of `prometheus_client` (the queueing-party exemplar
+//! in SNIPPETS.md) — a [`Registry`] of named metrics with three
+//! instrument kinds and the standard text exposition format:
+//!
+//! * [`Counter`] — a monotone `u64` (admissions, rejections, events);
+//! * [`Gauge`] — a settable `f64` (queue depth, SLO attainment);
+//! * [`Histogram`] — fixed upper-bound buckets with cumulative counts,
+//!   sum and count (placement latency).
+//!
+//! Every instrument is a cheap [`Arc`]-backed handle: the service loop
+//! keeps typed handles on its hot path and the registry keeps clones for
+//! rendering, so recording a sample is one or two atomic operations and
+//! never takes a lock. [`Registry::render`] produces the prometheus text
+//! format (`# HELP` / `# TYPE` / samples, histograms with `le` buckets
+//! and `+Inf`), suitable for a `/metrics` endpoint byte-for-byte.
+//!
+//! Metrics are **observational only**: nothing in the deterministic
+//! service trajectory reads them back, so wall-clock-derived samples
+//! (latency histograms) never perturb a simulated run's trace digest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not yet registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable floating-point gauge (stored as `f64` bits).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A detached gauge at `0.0`.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed bucket upper bounds (an implicit `+Inf` bucket
+/// catches the tail). Buckets store *per-bucket* counts; rendering emits
+/// the prometheus-style cumulative form.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending finite upper bounds.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `buckets[bounds.len()]` is the `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over the given ascending finite upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite and strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// `count` bounds growing geometrically from `start` by `factor`
+    /// (the usual latency-bucket shape).
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Histogram {
+        assert!(start > 0.0 && factor > 1.0 && count >= 1);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let i = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut old = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Bucket-resolution quantile estimate: the smallest bucket upper
+    /// bound covering fraction `q` of the observations (`+Inf` tail
+    /// reports the largest finite bound). `None` before any observation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(match self.inner.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => *self.inner.bounds.last().expect("non-empty bounds"),
+                });
+            }
+        }
+        Some(*self.inner.bounds.last().expect("non-empty bounds"))
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A set of named metrics rendered together. Registration order is
+/// exposition order; names must be unique.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn push(&self, name: &str, help: &str, instrument: Instrument) {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        assert!(entries.iter().all(|e| e.name != name), "metric {name:?} registered twice");
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty(),
+            "metric name {name:?} must be [a-zA-Z0-9_]+"
+        );
+        entries.push(Entry { name: name.into(), help: help.into(), instrument });
+    }
+
+    /// Register and return a new counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, help, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return a new gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, help, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return a new histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<f64>) -> Histogram {
+        let h = Histogram::new(bounds);
+        self.push(name, help, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Render every metric in the prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for e in entries.iter() {
+            out.push_str("# HELP ");
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(&e.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&e.name);
+            match &e.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(" counter\n");
+                    out.push_str(&format!("{} {}\n", e.name, c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(" gauge\n");
+                    out.push_str(&format!("{} {}\n", e.name, fmt_f64(g.get())));
+                }
+                Instrument::Histogram(h) => {
+                    out.push_str(" histogram\n");
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.inner.bounds.iter().enumerate() {
+                        cumulative += h.inner.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{}_bucket{{le=\"{}\"}} {}\n",
+                            e.name,
+                            fmt_f64(*bound),
+                            cumulative
+                        ));
+                    }
+                    cumulative += h.inner.buckets[h.inner.bounds.len()].load(Ordering::Relaxed);
+                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", e.name, cumulative));
+                    out.push_str(&format!("{}_sum {}\n", e.name, fmt_f64(h.sum())));
+                    out.push_str(&format!("{}_count {}\n", e.name, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus-friendly float formatting: integral values render without
+/// an exponent or trailing zeros.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "Requests served");
+        let g = r.gauge("queue_depth", "Tenants waiting");
+        c.inc();
+        c.inc_by(2);
+        g.set(4.5);
+        assert_eq!(c.get(), 3);
+        assert_eq!(g.get(), 4.5);
+        let text = r.render();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 3"));
+        assert!(text.contains("# HELP queue_depth Tenants waiting"));
+        assert!(text.contains("queue_depth 4.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("latency", "Latency", vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5060.5);
+        let text = r.render();
+        assert!(text.contains("latency_bucket{le=\"1\"} 1"));
+        assert!(text.contains("latency_bucket{le=\"10\"} 3"));
+        assert!(text.contains("latency_bucket{le=\"100\"} 4"));
+        assert!(text.contains("latency_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("latency_sum 5060.5"));
+        assert!(text.contains("latency_count 5"));
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_bounds() {
+        let h = Histogram::exponential(1.0, 2.0, 8); // 1, 2, 4, ..., 128
+        assert_eq!(h.quantile(0.5), None, "no observations yet");
+        for _ in 0..90 {
+            h.observe(1.5); // le=2 bucket
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // le=128 bucket
+        }
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.99), Some(128.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let r = Registry::new();
+        let _a = r.counter("x", "first");
+        let _b = r.counter("x", "second");
+    }
+
+    #[test]
+    fn handles_are_shared_with_the_registry() {
+        let r = Registry::new();
+        let c = r.counter("shared", "Shared handle");
+        let c2 = c.clone();
+        std::thread::spawn(move || c2.inc()).join().unwrap();
+        c.inc();
+        assert!(r.render().contains("shared 2"));
+    }
+}

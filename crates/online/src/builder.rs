@@ -1,0 +1,111 @@
+//! Construction of the online scheduler.
+//!
+//! [`SchedulerBuilder`] replaces the old positional
+//! `OnlineScheduler::new(topo, routes, cfg, seed)` constructor: the
+//! growing option set (metrics registry, solver mode, trace capacity)
+//! made positional arguments unreadable at call sites and impossible to
+//! extend without breaking every caller. Topology and routes are the
+//! only required inputs; everything else has the same defaults the old
+//! constructor hard-coded.
+
+use std::sync::Arc;
+
+use choreo_flowsim::SolverMode;
+use choreo_metrics::Registry;
+use choreo_topology::{RouteTable, Topology};
+
+use crate::config::OnlineConfig;
+use crate::metrics::ServiceMetrics;
+use crate::scheduler::OnlineScheduler;
+
+/// Builder for [`OnlineScheduler`].
+///
+/// ```
+/// use choreo_online::{OnlineConfig, SchedulerBuilder};
+/// use choreo_topology::{MultiRootedTreeSpec, RouteTable};
+/// use std::sync::Arc;
+///
+/// let topo = Arc::new(MultiRootedTreeSpec::default().build());
+/// let routes = Arc::new(RouteTable::new(&topo));
+/// let sched = SchedulerBuilder::new(topo, routes)
+///     .config(OnlineConfig::default())
+///     .seed(7)
+///     .build();
+/// assert_eq!(sched.active_tenants(), 0);
+/// ```
+pub struct SchedulerBuilder {
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) routes: Arc<RouteTable>,
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) seed: u64,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) solver_mode: Option<SolverMode>,
+    pub(crate) trace_capacity: usize,
+}
+
+impl SchedulerBuilder {
+    /// Builder over `topo` with one VM per host, default config, seed 0,
+    /// detached metrics and a solver mode derived from
+    /// [`OnlineConfig::workers`].
+    pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>) -> SchedulerBuilder {
+        SchedulerBuilder {
+            topo,
+            routes,
+            cfg: OnlineConfig::default(),
+            seed: 0,
+            metrics: ServiceMetrics::detached(),
+            solver_mode: None,
+            trace_capacity: 256,
+        }
+    }
+
+    /// Service configuration (policy, queue bound, migration cadence…).
+    pub fn config(mut self, cfg: OnlineConfig) -> SchedulerBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Seed for the simulator's ECMP draws and the random-placement
+    /// baseline.
+    pub fn seed(mut self, seed: u64) -> SchedulerBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Record service metrics into `registry` (exposed via its text
+    /// exposition). Without this the scheduler records into detached
+    /// handles.
+    pub fn metrics_registry(mut self, registry: &Registry) -> SchedulerBuilder {
+        self.metrics = ServiceMetrics::registered(registry);
+        self
+    }
+
+    /// Use an explicit pre-built instrument set (shared with another
+    /// component, or registered under different names).
+    pub fn metrics(mut self, metrics: ServiceMetrics) -> SchedulerBuilder {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Route reallocation through an explicit [`SolverMode`] — including
+    /// handing over a warmed-up [`choreo_flowsim::ShardedSolver`] pool
+    /// via [`SolverMode::Sharded`]. Defaults to
+    /// `SolverMode::sharded(cfg.workers)` when `cfg.workers > 0`, warm
+    /// solves otherwise.
+    pub fn solver_mode(mut self, mode: SolverMode) -> SchedulerBuilder {
+        self.solver_mode = Some(mode);
+        self
+    }
+
+    /// Decisions retained by the flight-recorder ring
+    /// ([`crate::ServiceStats::decisions`]); default 256.
+    pub fn trace_capacity(mut self, capacity: usize) -> SchedulerBuilder {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Build the scheduler.
+    pub fn build(self) -> OnlineScheduler {
+        OnlineScheduler::from_builder(self)
+    }
+}

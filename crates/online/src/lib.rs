@@ -33,24 +33,39 @@
 //!   with hysteresis and cooldowns (the decision rule is shared with
 //!   `core`'s [`choreo::migrate::improves_enough`]).
 //!
+//! Schedulers are constructed through the [`SchedulerBuilder`]
+//! (topology + routes, then chained config/seed/metrics/solver-mode
+//! setters). Every decision is observable twice over: the
+//! [`metrics`] instruments (a [`ServiceMetrics`] set, optionally
+//! registered in a [`choreo_metrics::Registry`] for prometheus text
+//! exposition) and the bounded per-decision [`TraceRing`] in
+//! [`ServiceStats`]. Both are observational only — nothing reads them
+//! back into placement.
+//!
 //! Whole service runs are **reproducible bit-for-bit**: the same event
 //! stream, seed and config give the same trajectory digest
 //! ([`ServiceStats::trace_hash`]) for any solver worker count, because
-//! warm and sharded solves are bit-identical. `bench_online` measures
-//! the service at 10k+ tenant events/sec on a 128-host topology and
-//! compares mean tenant service rates against the random-placement
-//! baseline (`BENCH_online.json`).
+//! warm and sharded solves are bit-identical. `crates/service` wraps
+//! this scheduler in a networked request loop and re-asserts the same
+//! digest equality through its simulated transport. `bench_online`
+//! measures the service at 10k+ tenant events/sec on a 128-host
+//! topology and compares mean tenant service rates against the
+//! random-placement baseline (`BENCH_online.json`).
 
+pub mod builder;
 pub mod config;
+pub mod metrics;
 pub mod migrate;
 pub mod rater;
 pub mod scheduler;
 pub mod stats;
 
+pub use builder::SchedulerBuilder;
 pub use config::{MigrationConfig, OnlineConfig, PlacementPolicy};
+pub use metrics::ServiceMetrics;
 pub use rater::LiveRater;
 pub use scheduler::OnlineScheduler;
-pub use stats::ServiceStats;
+pub use stats::{Decision, DecisionKind, ServiceStats, TraceRing};
 
 #[cfg(test)]
 mod tests {
@@ -68,7 +83,7 @@ mod tests {
             LinkSpec::new(2.0 * GBIT, 20 * MICROS),
         ));
         let routes = Arc::new(RouteTable::new(&topo));
-        OnlineScheduler::new(topo, routes, cfg, 7)
+        SchedulerBuilder::new(topo, routes).config(cfg).seed(7).build()
     }
 
     fn pair_app(name: &str, cpu: f64) -> choreo_profile::AppProfile {

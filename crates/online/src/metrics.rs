@@ -1,0 +1,126 @@
+//! Typed metric handles the scheduler and migration planner record into.
+//!
+//! [`ServiceMetrics`] is the bridge between the deterministic service
+//! loop and a [`choreo_metrics::Registry`]: the scheduler holds cheap
+//! atomic handles on its hot path and a metrics endpoint renders the
+//! registry. Metrics are write-only from the service's point of view —
+//! nothing in the trajectory reads them back — so wall-clock-derived
+//! samples (the placement-latency histogram) never perturb a run's
+//! trace digest, and a scheduler built without a registry
+//! ([`ServiceMetrics::detached`]) records into unexported handles at the
+//! same (negligible) cost.
+
+use choreo_metrics::{Counter, Gauge, Histogram, Registry};
+
+/// Placement-latency histogram bounds: 1 µs … ~0.5 s, ×2 per bucket.
+fn latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(20);
+    let mut b = 1e-6;
+    for _ in 0..20 {
+        bounds.push(b);
+        b *= 2.0;
+    }
+    bounds
+}
+
+/// The service's instrument set. Fields are the hooks the scheduler and
+/// migration planner record into; see [`ServiceMetrics::registered`] for
+/// the exported names.
+#[derive(Clone, Debug)]
+pub struct ServiceMetrics {
+    /// Tenant events consumed (`choreo_service_events_total`).
+    pub events: Counter,
+    /// Tenants admitted straight from arrival (`choreo_admitted_total`).
+    pub admitted: Counter,
+    /// Tenants parked in the wait queue (`choreo_queued_total`).
+    pub queued: Counter,
+    /// Queued tenants admitted by a departure retry
+    /// (`choreo_queue_admitted_total`).
+    pub queue_admitted: Counter,
+    /// Arrivals rejected with the queue full (`choreo_rejected_total`).
+    pub rejected: Counter,
+    /// Duplicate arrivals ignored (`choreo_duplicate_arrivals_total`).
+    pub duplicate_arrivals: Counter,
+    /// Departure events (`choreo_departures_total`).
+    pub departures: Counter,
+    /// Intensity changes applied (`choreo_intensity_changes_total`).
+    pub intensity_changes: Counter,
+    /// Migration-planner passes (`choreo_migration_passes_total`).
+    pub migration_passes: Counter,
+    /// Tenants moved by the planner (`choreo_migrations_total`).
+    pub migrations: Counter,
+    /// Tenants waiting for capacity right now (`choreo_queue_depth`).
+    pub queue_depth: Gauge,
+    /// Tenants admitted and running (`choreo_active_tenants`).
+    pub active_tenants: Gauge,
+    /// Wall-clock seconds per admission placement attempt
+    /// (`choreo_placement_latency_seconds`).
+    pub placement_latency: Histogram,
+    /// Fraction of running networked tenants at or above the SLO
+    /// fraction of their post-placement baseline score
+    /// (`choreo_slo_attainment`, refreshed by
+    /// [`crate::OnlineScheduler::slo_attainment`]).
+    pub slo_attainment: Gauge,
+}
+
+impl ServiceMetrics {
+    /// Handles not exported anywhere — the default for library and
+    /// bench use.
+    pub fn detached() -> ServiceMetrics {
+        ServiceMetrics {
+            events: Counter::new(),
+            admitted: Counter::new(),
+            queued: Counter::new(),
+            queue_admitted: Counter::new(),
+            rejected: Counter::new(),
+            duplicate_arrivals: Counter::new(),
+            departures: Counter::new(),
+            intensity_changes: Counter::new(),
+            migration_passes: Counter::new(),
+            migrations: Counter::new(),
+            queue_depth: Gauge::new(),
+            active_tenants: Gauge::new(),
+            placement_latency: Histogram::new(latency_bounds()),
+            slo_attainment: Gauge::new(),
+        }
+    }
+
+    /// Handles registered on `registry` under the `choreo_` name family,
+    /// ready for text exposition.
+    pub fn registered(registry: &Registry) -> ServiceMetrics {
+        ServiceMetrics {
+            events: registry.counter("choreo_service_events_total", "Tenant events consumed"),
+            admitted: registry
+                .counter("choreo_admitted_total", "Tenants admitted straight from arrival"),
+            queued: registry.counter("choreo_queued_total", "Tenants parked in the wait queue"),
+            queue_admitted: registry.counter(
+                "choreo_queue_admitted_total",
+                "Queued tenants admitted by a departure retry",
+            ),
+            rejected: registry
+                .counter("choreo_rejected_total", "Arrivals rejected with the queue full"),
+            duplicate_arrivals: registry.counter(
+                "choreo_duplicate_arrivals_total",
+                "Arrivals ignored because the tenant was already live",
+            ),
+            departures: registry.counter("choreo_departures_total", "Departure events"),
+            intensity_changes: registry
+                .counter("choreo_intensity_changes_total", "Intensity changes applied"),
+            migration_passes: registry
+                .counter("choreo_migration_passes_total", "Migration planner passes"),
+            migrations: registry
+                .counter("choreo_migrations_total", "Tenants moved by the migration planner"),
+            queue_depth: registry.gauge("choreo_queue_depth", "Tenants waiting for capacity"),
+            active_tenants: registry.gauge("choreo_active_tenants", "Tenants admitted and running"),
+            placement_latency: registry.histogram(
+                "choreo_placement_latency_seconds",
+                "Wall-clock seconds per admission placement attempt",
+                latency_bounds(),
+            ),
+            slo_attainment: registry.gauge(
+                "choreo_slo_attainment",
+                "Fraction of running networked tenants meeting their SLO",
+            ),
+        }
+    }
+}

@@ -35,6 +35,7 @@ use choreo_profile::TenantId;
 
 use crate::config::PlacementPolicy;
 use crate::scheduler::OnlineScheduler;
+use crate::stats::DecisionKind;
 
 /// A move the planner decided to execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,8 +51,10 @@ impl OnlineScheduler {
     /// cadence clock (or [`OnlineScheduler::force_migration_pass`]).
     pub(crate) fn migration_pass(&mut self) {
         self.stats.migration_passes += 1;
+        self.metrics.migration_passes.inc();
         self.stats.note(0x4d); // 'M'
         let now = self.sim.now();
+        self.stats.decide(now, TenantId::MAX, DecisionKind::MigrationPass, 0.0);
         let cooldown = self.cfg.migration.cooldown;
         let degraded_fraction = self.cfg.migration.degraded_fraction;
         let min_improvement = self.cfg.migration.min_improvement;
@@ -183,6 +186,7 @@ impl OnlineScheduler {
         let flows = self.start_transfer_flows(id, &placement, &t.transfers, t.intensity);
         let baseline = self.service_score(&flows);
         self.stats.migrations += 1;
+        self.metrics.migrations.inc();
         self.stats.note(0x56); // 'V' — a move
         self.stats.note(id);
         for &h in &placement.assignment {
@@ -190,6 +194,7 @@ impl OnlineScheduler {
         }
         self.stats.note_f64(baseline);
         let now = self.sim.now();
+        self.stats.decide(now, id, DecisionKind::Migrate, baseline);
         self.tenants[id as usize] = Some(crate::scheduler::Tenant {
             app: t.app,
             placement,

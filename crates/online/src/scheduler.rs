@@ -3,16 +3,18 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use choreo_flowsim::{FlowKey, FlowSim};
+use choreo_flowsim::{FlowKey, FlowSim, SolverMode};
 use choreo_place::greedy::GreedyPlacer;
 use choreo_place::problem::{validate, Machines, NetworkLoad, Placement};
 use choreo_place::RandomPlacer;
 use choreo_profile::{AppProfile, TenantEvent, TenantEventKind, TenantId};
 use choreo_topology::{Nanos, NodeId, RouteTable, Topology};
 
+use crate::builder::SchedulerBuilder;
 use crate::config::{OnlineConfig, PlacementPolicy};
+use crate::metrics::ServiceMetrics;
 use crate::rater::LiveRater;
-use crate::stats::ServiceStats;
+use crate::stats::{DecisionKind, ServiceStats};
 
 /// One admitted tenant's live state.
 #[derive(Debug)]
@@ -65,6 +67,7 @@ pub struct OnlineScheduler {
     pub(crate) cfg: OnlineConfig,
     random: RandomPlacer,
     pub(crate) stats: ServiceStats,
+    pub(crate) metrics: ServiceMetrics,
     next_migration_at: Nanos,
     active: usize,
     /// Scratch: candidate-host subset of the current placement attempt.
@@ -74,16 +77,27 @@ pub struct OnlineScheduler {
 impl OnlineScheduler {
     /// Service over `topo` with one VM per host. The seed drives the
     /// simulator's ECMP draws (and the random-placement baseline).
+    #[deprecated(note = "use `SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()`")]
     pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>, cfg: OnlineConfig, seed: u64) -> Self {
+        SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()
+    }
+
+    /// [`SchedulerBuilder::build`]'s target — all construction funnels
+    /// through here.
+    pub(crate) fn from_builder(b: SchedulerBuilder) -> Self {
+        let SchedulerBuilder { topo, routes, cfg, seed, metrics, solver_mode, trace_capacity } = b;
         assert!(cfg.candidate_hosts >= 2, "placement needs at least two candidate hosts");
         assert!(cfg.max_modeled_transfers >= 1, "model at least one transfer per tenant");
         if let Some(c) = cfg.migration.cadence {
             assert!(c > 0, "migration cadence must be positive");
         }
         let mut sim = FlowSim::new(topo.clone(), routes, cfg.loopback, seed);
-        if cfg.workers > 0 {
-            sim.enable_sharded(cfg.workers);
-        }
+        let mode = solver_mode.unwrap_or(if cfg.workers > 0 {
+            SolverMode::sharded(cfg.workers)
+        } else {
+            SolverMode::Warm
+        });
+        sim.set_solver_mode(mode);
         let hosts = topo.hosts().to_vec();
         let n = hosts.len();
         let random_seed = match cfg.policy {
@@ -100,7 +114,8 @@ impl OnlineScheduler {
             queue: VecDeque::new(),
             cfg,
             random: RandomPlacer::new(random_seed),
-            stats: ServiceStats::default(),
+            stats: ServiceStats::with_trace_capacity(trace_capacity),
+            metrics,
             next_migration_at,
             active: 0,
             cand: Vec::new(),
@@ -150,6 +165,39 @@ impl OnlineScheduler {
         &mut self.sim
     }
 
+    /// The typed metric handles this scheduler records into.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// SLO attainment snapshot: of the running tenants with at least one
+    /// networked transfer, how many currently score at least `fraction`
+    /// of their post-placement baseline? Refreshes the
+    /// `choreo_slo_attainment` gauge (1.0 when no tenant is networked)
+    /// and returns `(met, total)`. Read-only with respect to the
+    /// trajectory: scores come from the live allocation without touching
+    /// the digest.
+    pub fn slo_attainment(&mut self, fraction: f64) -> (u64, u64) {
+        assert!((0.0..=1.0).contains(&fraction), "SLO fraction must be in [0, 1]");
+        let snapshot: Vec<(Vec<Vec<FlowKey>>, f64)> = self
+            .tenants
+            .iter()
+            .flatten()
+            .filter(|t| t.flows.iter().any(|fl| !fl.is_empty()))
+            .map(|t| (t.flows.clone(), t.baseline))
+            .collect();
+        let total = snapshot.len() as u64;
+        let mut met = 0u64;
+        for (flows, baseline) in &snapshot {
+            if self.service_score(flows) >= fraction * baseline {
+                met += 1;
+            }
+        }
+        let attainment = if total == 0 { 1.0 } else { met as f64 / total as f64 };
+        self.metrics.slo_attainment.set(attainment);
+        (met, total)
+    }
+
     // ----------------------------------------------------------- the loop
 
     /// Advance simulated time to `at`, running any migration passes that
@@ -168,6 +216,7 @@ impl OnlineScheduler {
     pub fn step(&mut self, ev: &TenantEvent) {
         self.advance_to(ev.at);
         self.stats.events += 1;
+        self.metrics.events.inc();
         self.stats.note(ev.tenant << 8 | event_code(&ev.kind));
         match &ev.kind {
             TenantEventKind::Arrive { app } => self.arrive(ev.tenant, (**app).clone()),
@@ -176,6 +225,8 @@ impl OnlineScheduler {
             }
             TenantEventKind::Depart => self.depart(ev.tenant),
         }
+        self.metrics.queue_depth.set(self.queue.len() as f64);
+        self.metrics.active_tenants.set(self.active as f64);
     }
 
     /// Consume a whole stream.
@@ -205,22 +256,43 @@ impl OnlineScheduler {
 
     fn arrive(&mut self, id: TenantId, app: AppProfile) {
         self.stats.arrivals += 1;
+        // At-least-once delivery hardening: a transport that duplicates
+        // an Arrive frame must not overwrite a live tenant's state (that
+        // would leak its flows and corrupt the CPU ledger). The guard
+        // digests a distinct byte so fault-free trajectories are
+        // untouched while duplicated ones stay deterministic.
+        let live = self.tenants.get(id as usize).is_some_and(Option::is_some);
+        if live || self.queue.iter().any(|(t, _)| *t == id) {
+            self.stats.duplicate_arrivals += 1;
+            self.metrics.duplicate_arrivals.inc();
+            self.stats.note(0x58); // 'X'
+            let now = self.sim.now();
+            self.stats.decide(now, id, DecisionKind::Duplicate, 0.0);
+            return;
+        }
         if self.tenants.len() <= id as usize {
             self.tenants.resize_with(id as usize + 1, || None);
         }
         match self.try_place(&app, self.cfg.policy) {
             Some(placement) => {
-                self.admit(id, app, placement);
+                self.admit(id, app, placement, DecisionKind::Admit);
                 self.stats.admitted += 1;
+                self.metrics.admitted.inc();
             }
             None if self.queue.len() < self.cfg.queue_capacity => {
                 self.stats.queued += 1;
+                self.metrics.queued.inc();
                 self.stats.note(0x51); // 'Q'
+                let now = self.sim.now();
+                self.stats.decide(now, id, DecisionKind::Queue, self.queue.len() as f64);
                 self.queue.push_back((id, app));
             }
             None => {
                 self.stats.rejected += 1;
+                self.metrics.rejected.inc();
                 self.stats.note(0x52); // 'R'
+                let now = self.sim.now();
+                self.stats.decide(now, id, DecisionKind::Reject, 0.0);
             }
         }
     }
@@ -233,6 +305,15 @@ impl OnlineScheduler {
         app: &AppProfile,
         policy: PlacementPolicy,
     ) -> Option<Placement> {
+        // Wall-clock timing is observational only (the latency histogram
+        // never feeds the digest), so it cannot perturb determinism.
+        let t0 = std::time::Instant::now();
+        let placed = self.try_place_inner(app, policy);
+        self.metrics.placement_latency.observe(t0.elapsed().as_secs_f64());
+        placed
+    }
+
+    fn try_place_inner(&mut self, app: &AppProfile, policy: PlacementPolicy) -> Option<Placement> {
         let n = self.machines.len();
         let k = self.cfg.candidate_hosts.min(n);
         // The k hosts with the most free CPU, ties broken on host index:
@@ -274,7 +355,9 @@ impl OnlineScheduler {
 
     /// Register an admitted tenant: account its load, start its modeled
     /// transfers as live flows, and record its baseline service score.
-    fn admit(&mut self, id: TenantId, app: AppProfile, placement: Placement) {
+    /// `kind` tells the trace ring whether this was a fresh admission or
+    /// a queue retry.
+    fn admit(&mut self, id: TenantId, app: AppProfile, placement: Placement, kind: DecisionKind) {
         debug_assert!(validate(&app, &self.machines, &placement).is_ok());
         self.load.apply(&app, &placement);
         let transfers: Vec<(usize, usize)> = app
@@ -294,6 +377,7 @@ impl OnlineScheduler {
         }
         self.stats.note_f64(baseline);
         let now = self.sim.now();
+        self.stats.decide(now, id, kind, baseline);
         self.tenants[id as usize] = Some(Tenant {
             app,
             placement,
@@ -354,10 +438,13 @@ impl OnlineScheduler {
 
     fn depart(&mut self, id: TenantId) {
         self.stats.departures += 1;
+        self.metrics.departures.inc();
         if let Some(pos) = self.queue.iter().position(|(t, _)| *t == id) {
             // Left before capacity freed up.
             self.queue.remove(pos);
             self.stats.note(0x44); // 'D'
+            let now = self.sim.now();
+            self.stats.decide(now, id, DecisionKind::Depart, 0.0);
             return;
         }
         let Some(t) = self.tenants.get_mut(id as usize).and_then(Option::take) else {
@@ -366,6 +453,8 @@ impl OnlineScheduler {
         self.active -= 1;
         let score = self.service_score(&t.flows);
         self.stats.record_departed_rate(score);
+        let now = self.sim.now();
+        self.stats.decide(now, id, DecisionKind::Depart, score);
         let keys: Vec<FlowKey> = t.flows.iter().flatten().copied().collect();
         self.sim.stop_flows_now(&keys);
         // The departure score above was the last read of these flows;
@@ -386,8 +475,9 @@ impl OnlineScheduler {
             let (id, app) = self.queue[i].clone();
             if let Some(placement) = self.try_place(&app, self.cfg.policy) {
                 self.queue.remove(i);
-                self.admit(id, app, placement);
+                self.admit(id, app, placement, DecisionKind::QueueAdmit);
                 self.stats.queue_admitted += 1;
+                self.metrics.queue_admitted.inc();
             } else {
                 i += 1;
             }
@@ -402,6 +492,7 @@ impl OnlineScheduler {
             return;
         }
         self.stats.intensity_changes += 1;
+        self.metrics.intensity_changes.inc();
         self.stats.note(0x49); // 'I'
         self.stats.note(intensity as u64);
         if intensity > t.intensity {
@@ -448,6 +539,8 @@ impl OnlineScheduler {
         t.intensity = intensity;
         let baseline = t.baseline;
         self.stats.note_f64(baseline);
+        let now = self.sim.now();
+        self.stats.decide(now, id, DecisionKind::Intensity, intensity as f64);
     }
 
     // --------------------------------------------------------- invariants

@@ -1,4 +1,97 @@
-//! Service counters and the deterministic trajectory digest.
+//! Service counters, the deterministic trajectory digest, and the
+//! per-decision trace ring.
+
+use choreo_profile::TenantId;
+use choreo_topology::Nanos;
+
+/// What the service decided at one point of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Tenant admitted straight from its arrival.
+    Admit,
+    /// Tenant parked in the wait queue.
+    Queue,
+    /// Queued tenant admitted by a departure retry.
+    QueueAdmit,
+    /// Arrival rejected (queue full).
+    Reject,
+    /// Arrival ignored: the tenant id is already running or queued
+    /// (at-least-once delivery hardening).
+    Duplicate,
+    /// Tenant departed.
+    Depart,
+    /// Running tenant changed its intensity.
+    Intensity,
+    /// Migration planner moved the tenant.
+    Migrate,
+    /// A cluster-wide migration pass ran (tenant is `u64::MAX`).
+    MigrationPass,
+}
+
+/// One entry of the decision trace: when, who, what, and the decision's
+/// headline number (baseline score for placements, departure score for
+/// departures, new intensity for load changes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Simulated (or service-clock) time of the decision.
+    pub at: Nanos,
+    /// Tenant the decision concerns (`u64::MAX` for cluster-wide ones).
+    pub tenant: TenantId,
+    /// What was decided.
+    pub kind: DecisionKind,
+    /// Decision-specific value (see the struct docs).
+    pub value: f64,
+}
+
+/// A bounded ring of the most recent [`Decision`]s — the service's
+/// flight recorder. Contents are a pure function of the decision stream
+/// (no wall-clock anywhere), so two bit-identical runs carry identical
+/// rings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRing {
+    buf: Vec<Decision>,
+    capacity: usize,
+    /// All-time decisions pushed (`buf` keeps the last `capacity`).
+    total: u64,
+}
+
+impl TraceRing {
+    /// Ring keeping the last `capacity` decisions (at least 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing { buf: Vec::new(), capacity: capacity.max(1), total: 0 }
+    }
+
+    fn push(&mut self, d: Decision) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(d);
+        } else {
+            self.buf[(self.total % self.capacity as u64) as usize] = d;
+        }
+        self.total += 1;
+    }
+
+    /// All-time decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained decisions, oldest first.
+    pub fn recent(&self) -> Vec<Decision> {
+        if self.buf.len() < self.capacity {
+            return self.buf.clone();
+        }
+        let split = (self.total % self.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.buf[split..]);
+        out.extend_from_slice(&self.buf[..split]);
+        out
+    }
+}
 
 /// Counters of one service run plus a running FNV-1a digest of every
 /// decision the service makes (admissions with their placements, queue
@@ -29,8 +122,12 @@ pub struct ServiceStats {
     pub migrations: u64,
     /// Departed tenants with a recorded service rate.
     pub departed: u64,
+    /// Arrivals ignored because the tenant id was already running or
+    /// queued (duplicate delivery).
+    pub duplicate_arrivals: u64,
     rate_sum_bps: f64,
     hash: u64,
+    trace: TraceRing,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -38,6 +135,14 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Default for ServiceStats {
     fn default() -> Self {
+        ServiceStats::with_trace_capacity(256)
+    }
+}
+
+impl ServiceStats {
+    /// Fresh stats with a decision ring keeping the last `capacity`
+    /// decisions.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
         ServiceStats {
             events: 0,
             arrivals: 0,
@@ -50,13 +155,23 @@ impl Default for ServiceStats {
             migration_passes: 0,
             migrations: 0,
             departed: 0,
+            duplicate_arrivals: 0,
             rate_sum_bps: 0.0,
             hash: FNV_OFFSET,
+            trace: TraceRing::new(capacity),
         }
     }
-}
 
-impl ServiceStats {
+    /// Record one decision in the trace ring.
+    pub(crate) fn decide(&mut self, at: Nanos, tenant: TenantId, kind: DecisionKind, value: f64) {
+        self.trace.push(Decision { at, tenant, kind, value });
+    }
+
+    /// The decision flight recorder (most recent decisions, bounded).
+    pub fn decisions(&self) -> &TraceRing {
+        &self.trace
+    }
+
     /// Fold a word into the trajectory digest.
     pub(crate) fn note(&mut self, word: u64) {
         let mut h = self.hash;
@@ -117,6 +232,28 @@ mod tests {
         c.note(2);
         c.note(1);
         assert_ne!(a.trace_hash(), c.trace_hash());
+    }
+
+    #[test]
+    fn trace_ring_keeps_the_most_recent_decisions() {
+        let mut s = ServiceStats::with_trace_capacity(3);
+        for i in 0..5u64 {
+            s.decide(i, i, DecisionKind::Admit, i as f64);
+        }
+        let ring = s.decisions();
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.capacity(), 3);
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|d| d.at).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest first, last capacity kept"
+        );
+        // Before wrap-around the ring returns what it has.
+        let mut t = ServiceStats::with_trace_capacity(8);
+        t.decide(1, 0, DecisionKind::Queue, 0.0);
+        assert_eq!(t.decisions().recent().len(), 1);
     }
 
     #[test]

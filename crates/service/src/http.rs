@@ -1,0 +1,131 @@
+//! A tiny `GET /metrics` HTTP endpoint over the service registry.
+//!
+//! Just enough HTTP/1.0 for a prometheus scraper or `curl`: read the
+//! request line, answer `GET /metrics` with the registry's text
+//! exposition, answer everything else with 404, close the connection.
+//! No keep-alive, no chunking, no dependencies.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use choreo_metrics::Registry;
+
+/// A running metrics endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Serve `registry` at `http://addr/metrics` on a background
+    /// thread. Port 0 binds an ephemeral port; see
+    /// [`MetricsServer::local_addr`].
+    pub fn start<A: ToSocketAddrs>(addr: A, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = Self::serve_one(stream, &registry);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers until the blank line so the client isn't left
+        // with an unread request body buffer on close.
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+                break;
+            }
+        }
+        let mut stream = reader.into_inner();
+        let path = request_line.split_whitespace().nth(1).unwrap_or("");
+        let (status, body) = if request_line.starts_with("GET") && path == "/metrics" {
+            ("200 OK", registry.render())
+        } else {
+            ("404 Not Found", "only GET /metrics lives here\n".to_string())
+        };
+        write!(
+            stream,
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        stream.flush()
+    }
+
+    /// Stop serving (idempotent; also runs on drop).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut c = TcpStream::connect(addr).unwrap();
+        write!(c, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrapes_the_registry_text() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("demo_total", "a demo counter");
+        c.inc_by(3);
+        let server = MetricsServer::start(("127.0.0.1", 0), registry).unwrap();
+        let body = get(server.local_addr(), "/metrics");
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("# TYPE demo_total counter"), "{body}");
+        assert!(body.contains("demo_total 3"), "{body}");
+    }
+
+    #[test]
+    fn other_paths_are_404() {
+        let server = MetricsServer::start(("127.0.0.1", 0), Arc::new(Registry::new())).unwrap();
+        let body = get(server.local_addr(), "/");
+        assert!(body.starts_with("HTTP/1.0 404"), "{body}");
+    }
+}

@@ -1,0 +1,334 @@
+//! The service loop: requests in, placement decisions out.
+//!
+//! [`PlacementService`] owns an [`OnlineScheduler`] and an env, and maps
+//! each delivered [`ServiceRequest`] to exactly one [`ServiceResponse`]
+//! on the same connection, in order. The loop itself is a pure function
+//! of the event sequence — see [`crate::env`] for the determinism
+//! contract — so a [`SimEnv`](crate::SimEnv)-backed run is
+//! bit-reproducible while a [`NetEnv`](crate::NetEnv)-backed run serves
+//! real sockets with the identical dispatch code.
+
+use std::sync::Arc;
+
+use choreo_metrics::Registry;
+use choreo_online::{OnlineConfig, OnlineScheduler, SchedulerBuilder};
+use choreo_profile::{TenantEvent, TenantEventKind};
+use choreo_topology::{Nanos, RouteTable, Topology};
+use choreo_wire::{ServiceRequest, ServiceResponse, ServiceStatsReply};
+
+use crate::env::{NetEvent, ServiceEnv};
+
+/// Everything the service needs beyond a topology: scheduler knobs, the
+/// placement seed, and the SLO threshold the attainment gauge tracks.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Scheduler configuration (admission, queue, migration, solver).
+    pub online: OnlineConfig,
+    /// Seed for placement tie-breaking.
+    pub seed: u64,
+    /// A tenant "meets its SLO" while its current service score is at
+    /// least this fraction of its admission-time baseline.
+    pub slo_fraction: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { online: OnlineConfig::default(), seed: 0, slo_fraction: 0.5 }
+    }
+}
+
+/// The admission/placement front-end: one service loop, any
+/// [`ServiceEnv`] backend.
+pub struct PlacementService<E: ServiceEnv> {
+    scheduler: OnlineScheduler,
+    registry: Arc<Registry>,
+    slo_fraction: f64,
+    env: E,
+    stopped: bool,
+}
+
+impl<E: ServiceEnv> PlacementService<E> {
+    /// Build the service: a fresh metrics registry, a scheduler wired
+    /// into it, and the given env as the I/O world.
+    pub fn new(
+        topo: Arc<Topology>,
+        routes: Arc<RouteTable>,
+        cfg: ServiceConfig,
+        env: E,
+    ) -> PlacementService<E> {
+        let registry = Arc::new(Registry::new());
+        let scheduler = SchedulerBuilder::new(topo, routes)
+            .config(cfg.online)
+            .seed(cfg.seed)
+            .metrics_registry(&registry)
+            .build();
+        PlacementService {
+            scheduler,
+            registry,
+            slo_fraction: cfg.slo_fraction,
+            env,
+            stopped: false,
+        }
+    }
+
+    /// The metrics registry (shared with the HTTP exposition endpoint).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// The scheduler, for inspection (stats, invariants, placements).
+    pub fn scheduler(&self) -> &OnlineScheduler {
+        &self.scheduler
+    }
+
+    /// Mutable scheduler access (tests drive invariant checks).
+    pub fn scheduler_mut(&mut self) -> &mut OnlineScheduler {
+        &mut self.scheduler
+    }
+
+    /// The env, for inspection (a [`SimEnv`](crate::SimEnv) records
+    /// every response).
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// Tear the service apart, returning the env with its recorded
+    /// state.
+    pub fn into_env(self) -> E {
+        self.env
+    }
+
+    /// The deterministic trajectory digest so far.
+    pub fn trace_hash(&self) -> u64 {
+        self.scheduler.stats().trace_hash()
+    }
+
+    /// True once a [`ServiceRequest::Shutdown`] has been served.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stopped
+    }
+
+    /// Serve one event. Returns `false` when the env is exhausted or a
+    /// shutdown request has been served.
+    pub fn poll(&mut self) -> bool {
+        let Some((at, conn, event)) = self.env.next_event() else {
+            return false;
+        };
+        match event {
+            // Connection lifecycle is the env's business; the service
+            // holds no per-connection state.
+            NetEvent::Open | NetEvent::Closed => {}
+            NetEvent::Request(req) => {
+                let shutdown = matches!(req, ServiceRequest::Shutdown);
+                let resp = self.handle(at, req);
+                self.env.send(conn, &resp);
+                if shutdown {
+                    self.stopped = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Serve until the env runs dry or a shutdown request arrives.
+    pub fn run(&mut self) {
+        self.stopped = false;
+        while self.poll() {}
+    }
+
+    /// Map one request to its response, driving the scheduler.
+    fn handle(&mut self, at: Nanos, req: ServiceRequest) -> ServiceResponse {
+        match req {
+            ServiceRequest::Admit { tenant, app } => {
+                let before = {
+                    let s = self.scheduler.stats();
+                    (s.admitted, s.queued, s.rejected, s.duplicate_arrivals)
+                };
+                self.scheduler.step(&TenantEvent {
+                    at,
+                    tenant,
+                    kind: TenantEventKind::Arrive { app: Box::new(app) },
+                });
+                let s = self.scheduler.stats();
+                if s.admitted > before.0 {
+                    let hosts = self
+                        .scheduler
+                        .tenant_placement(tenant)
+                        .map(|p| p.assignment.clone())
+                        .unwrap_or_default();
+                    ServiceResponse::Admitted { hosts }
+                } else if s.queued > before.1 {
+                    ServiceResponse::Queued
+                } else if s.duplicate_arrivals > before.3 {
+                    ServiceResponse::Rejected { reason: format!("tenant {tenant} already known") }
+                } else if s.rejected > before.2 {
+                    ServiceResponse::Rejected { reason: "no capacity and wait queue full".into() }
+                } else {
+                    ServiceResponse::Error("arrival produced no decision".into())
+                }
+            }
+            ServiceRequest::SetIntensity { tenant, intensity } => {
+                self.scheduler.step(&TenantEvent {
+                    at,
+                    tenant,
+                    kind: TenantEventKind::SetIntensity { intensity },
+                });
+                ServiceResponse::Done
+            }
+            ServiceRequest::Depart { tenant } => {
+                self.scheduler.step(&TenantEvent { at, tenant, kind: TenantEventKind::Depart });
+                ServiceResponse::Done
+            }
+            ServiceRequest::Stats => ServiceResponse::Stats(self.stats_reply()),
+            ServiceRequest::Metrics => {
+                // Refresh the gauges that are snapshots, not counters.
+                self.scheduler.slo_attainment(self.slo_fraction);
+                ServiceResponse::MetricsText(self.registry.render())
+            }
+            ServiceRequest::ForceMigration { at } => {
+                self.scheduler.advance_to(at);
+                self.scheduler.force_migration_pass();
+                ServiceResponse::Done
+            }
+            ServiceRequest::Shutdown => ServiceResponse::Done,
+        }
+    }
+
+    fn stats_reply(&self) -> ServiceStatsReply {
+        let s = self.scheduler.stats();
+        ServiceStatsReply {
+            events: s.events,
+            admitted: s.admitted,
+            queued: s.queued,
+            queue_admitted: s.queue_admitted,
+            rejected: s.rejected,
+            duplicates: s.duplicate_arrivals,
+            departures: s.departures,
+            migrations: s.migrations,
+            active: self.scheduler.active_tenants() as u64,
+            queue_len: self.scheduler.queue_len() as u64,
+            decisions_total: s.decisions().total(),
+            trace_hash: s.trace_hash(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ConnId;
+    use crate::sim::SimEnv;
+    use choreo_profile::{AppProfile, TrafficMatrix};
+    use choreo_topology::MultiRootedTreeSpec;
+
+    fn small_topo() -> (Arc<Topology>, Arc<RouteTable>) {
+        let topo = Arc::new(
+            MultiRootedTreeSpec {
+                cores: 2,
+                pods: 2,
+                aggs_per_pod: 1,
+                tors_per_pod: 2,
+                hosts_per_tor: 2,
+                ..MultiRootedTreeSpec::default()
+            }
+            .build(),
+        );
+        let routes = Arc::new(RouteTable::new(&topo));
+        (topo, routes)
+    }
+
+    fn app(n: usize) -> AppProfile {
+        let mut m = TrafficMatrix::zeros(n);
+        for i in 0..n - 1 {
+            m.set(i, i + 1, 1_000_000);
+        }
+        AppProfile::new("svc-test", vec![1.0; n], m, 0)
+    }
+
+    fn sim_service(script: Vec<(Nanos, ConnId, ServiceRequest)>) -> PlacementService<SimEnv> {
+        let (topo, routes) = small_topo();
+        PlacementService::new(topo, routes, ServiceConfig::default(), SimEnv::new(script))
+    }
+
+    #[test]
+    fn admit_stats_depart_round_trip() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(3) }),
+            (20, 1, ServiceRequest::Stats),
+            (30, 1, ServiceRequest::Depart { tenant: 1 }),
+            (40, 1, ServiceRequest::Stats),
+        ]);
+        svc.run();
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        assert_eq!(rs.len(), 4);
+        let ServiceResponse::Admitted { hosts } = &rs[0] else { panic!("{:?}", rs[0]) };
+        assert_eq!(hosts.len(), 3);
+        let ServiceResponse::Stats(s) = &rs[1] else { panic!("{:?}", rs[1]) };
+        assert_eq!((s.admitted, s.active), (1, 1));
+        assert_eq!(rs[2], ServiceResponse::Done);
+        let ServiceResponse::Stats(s) = &rs[3] else { panic!("{:?}", rs[3]) };
+        assert_eq!((s.departures, s.active), (1, 0));
+    }
+
+    #[test]
+    fn duplicate_admission_is_rejected_politely() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 5, app: app(2) }),
+            (20, 1, ServiceRequest::Admit { tenant: 5, app: app(2) }),
+        ]);
+        svc.run();
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        assert!(matches!(rs[0], ServiceResponse::Admitted { .. }));
+        assert!(matches!(&rs[1], ServiceResponse::Rejected { reason } if reason.contains("5")));
+    }
+
+    #[test]
+    fn metrics_request_renders_the_registry() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(2) }),
+            (20, 1, ServiceRequest::Metrics),
+        ]);
+        svc.run();
+        let env = svc.into_env();
+        let ServiceResponse::MetricsText(text) = &env.responses(1)[1] else { panic!() };
+        assert!(text.contains("choreo_admitted_total 1"), "{text}");
+        assert!(text.contains("choreo_placement_latency_seconds_bucket"), "{text}");
+        assert!(text.contains("choreo_slo_attainment 1"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_stops_the_loop_with_a_response() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Shutdown),
+            (20, 1, ServiceRequest::Stats), // never served
+        ]);
+        svc.run();
+        assert!(svc.shutdown_requested());
+        let env = svc.into_env();
+        assert_eq!(env.responses(1), &[ServiceResponse::Done]);
+        assert!(env.remaining() > 0, "loop stopped before draining the script");
+    }
+
+    #[test]
+    fn sim_runs_are_bit_reproducible() {
+        let script: Vec<(Nanos, ConnId, ServiceRequest)> = (0..20)
+            .map(|i| {
+                (
+                    i * 100,
+                    1 + i % 3,
+                    ServiceRequest::Admit { tenant: i, app: app(2 + (i % 3) as usize) },
+                )
+            })
+            .chain((0..10).map(|i| (2_000 + i * 100, 1, ServiceRequest::Depart { tenant: i * 2 })))
+            .collect();
+        let run = || {
+            let mut svc = sim_service(script.clone());
+            svc.run();
+            svc.trace_hash()
+        };
+        assert_eq!(run(), run());
+    }
+}

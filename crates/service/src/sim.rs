@@ -1,0 +1,304 @@
+//! The simulated backend: a virtual clock and a scripted transport.
+//!
+//! [`SimEnv`] turns a script of `(at, conn, request)` triples into the
+//! event sequence the service loop consumes, with optional seeded fault
+//! injection layered on top. Everything is decided at construction time
+//! — the faults are applied to the script with a [`rand::rngs::StdRng`]
+//! in script order — so a given `(script, plan)` pair always yields the
+//! same delivered sequence, which is what makes whole service runs
+//! bit-reproducible.
+//!
+//! The env also frames each connection the way a real socket would:
+//! an [`NetEvent::Open`] before the connection's first delivered
+//! request and a [`NetEvent::Closed`] after its last (or at the
+//! injected disconnect point).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use choreo_topology::Nanos;
+use choreo_wire::{ServiceRequest, ServiceResponse};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::env::{ConnId, NetEvent, ServiceEnv};
+
+/// Seeded fault injection applied to a [`SimEnv`] script.
+///
+/// Probabilities are per scripted request, drawn in script order from a
+/// generator seeded with `seed` — two envs built from the same script
+/// and plan deliver byte-identical sequences.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability a request frame is silently dropped.
+    pub drop: f64,
+    /// Probability a delivered frame is delivered twice (the copy lands
+    /// one nanosecond after the original — at-least-once delivery).
+    pub duplicate: f64,
+    /// Probability a delivered frame is delayed.
+    pub delay: f64,
+    /// Upper bound on the injected delay, in virtual nanoseconds.
+    pub max_delay: Nanos,
+    /// Probability the connection drops right after a delivered frame;
+    /// the rest of its script is lost.
+    pub disconnect: f64,
+    /// Seed for the fault generator.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    /// No faults at all: the script is delivered verbatim.
+    fn default() -> FaultPlan {
+        FaultPlan { drop: 0.0, duplicate: 0.0, delay: 0.0, max_delay: 0, disconnect: 0.0, seed: 0 }
+    }
+}
+
+/// What the fault layer actually did to a script.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frames dropped (including frames lost to a disconnected conn).
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delivered late.
+    pub delayed: u64,
+    /// Connections torn down mid-script.
+    pub disconnects: u64,
+}
+
+/// The deterministic in-memory backend: virtual clock, scripted
+/// transport, per-connection response recording.
+pub struct SimEnv {
+    events: VecDeque<(Nanos, ConnId, NetEvent)>,
+    now: Nanos,
+    responses: BTreeMap<ConnId, Vec<ServiceResponse>>,
+    counts: FaultCounts,
+}
+
+impl SimEnv {
+    /// A fault-free env: the script is delivered exactly as written
+    /// (stable-sorted by time; equal-time entries keep script order).
+    pub fn new(script: Vec<(Nanos, ConnId, ServiceRequest)>) -> SimEnv {
+        SimEnv::with_faults(script, FaultPlan::default())
+    }
+
+    /// An env with seeded fault injection. The fault generator draws in
+    /// script order, so the delivered sequence is a pure function of
+    /// `(script, plan)`.
+    pub fn with_faults(
+        mut script: Vec<(Nanos, ConnId, ServiceRequest)>,
+        plan: FaultPlan,
+    ) -> SimEnv {
+        script.sort_by_key(|(at, _, _)| *at);
+        let mut rng = StdRng::seed_from_u64(plan.seed);
+        let mut counts = FaultCounts::default();
+        // Delivered request frames, in construction order.
+        let mut delivered: Vec<(Nanos, ConnId, ServiceRequest)> = Vec::with_capacity(script.len());
+        // conn -> virtual time its connection dropped.
+        let mut disconnected: BTreeMap<ConnId, Nanos> = BTreeMap::new();
+        for (at, conn, req) in script {
+            if disconnected.contains_key(&conn) {
+                counts.dropped += 1;
+                continue;
+            }
+            if plan.drop > 0.0 && rng.gen_bool(plan.drop) {
+                counts.dropped += 1;
+                continue;
+            }
+            let mut deliver_at = at;
+            if plan.delay > 0.0 && rng.gen_bool(plan.delay) {
+                deliver_at += rng.gen_range(1..=plan.max_delay.max(1));
+                counts.delayed += 1;
+            }
+            delivered.push((deliver_at, conn, req.clone()));
+            if plan.duplicate > 0.0 && rng.gen_bool(plan.duplicate) {
+                delivered.push((deliver_at + 1, conn, req));
+                counts.duplicated += 1;
+            }
+            if plan.disconnect > 0.0 && rng.gen_bool(plan.disconnect) {
+                disconnected.insert(conn, deliver_at + 1);
+                counts.disconnects += 1;
+            }
+        }
+
+        // Frame each connection with Open/Closed the way a socket
+        // backend would. Open lands at the conn's earliest delivery,
+        // Closed one nanosecond after its last (or at the disconnect).
+        let mut first: BTreeMap<ConnId, Nanos> = BTreeMap::new();
+        let mut last: BTreeMap<ConnId, Nanos> = BTreeMap::new();
+        for (at, conn, _) in &delivered {
+            let f = first.entry(*conn).or_insert(*at);
+            *f = (*f).min(*at);
+            let l = last.entry(*conn).or_insert(*at);
+            *l = (*l).max(*at);
+        }
+
+        // Total order: time, then class (Open < Request < Closed), then
+        // construction order. All three are deterministic.
+        let mut all: Vec<(Nanos, u8, usize, ConnId, NetEvent)> = Vec::new();
+        for (idx, (&conn, &at)) in first.iter().enumerate() {
+            all.push((at, 0, idx, conn, NetEvent::Open));
+        }
+        for (idx, (at, conn, req)) in delivered.into_iter().enumerate() {
+            all.push((at, 1, idx, conn, NetEvent::Request(req)));
+        }
+        for (idx, (&conn, &at)) in last.iter().enumerate() {
+            let closed_at = match disconnected.get(&conn) {
+                Some(&t) => t.max(at + 1),
+                None => at + 1,
+            };
+            all.push((closed_at, 2, idx, conn, NetEvent::Closed));
+        }
+        all.sort_by_key(|&(at, class, idx, _, _)| (at, class, idx));
+
+        SimEnv {
+            events: all.into_iter().map(|(at, _, _, conn, ev)| (at, conn, ev)).collect(),
+            now: 0,
+            responses: BTreeMap::new(),
+            counts,
+        }
+    }
+
+    /// What the fault layer did to the script.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Responses the service sent on `conn`, in send order.
+    pub fn responses(&self, conn: ConnId) -> &[ServiceResponse] {
+        self.responses.get(&conn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every `(conn, responses)` pair recorded so far.
+    pub fn all_responses(&self) -> impl Iterator<Item = (ConnId, &[ServiceResponse])> {
+        self.responses.iter().map(|(&c, v)| (c, v.as_slice()))
+    }
+
+    /// Events not yet delivered (0 once the loop has drained the env).
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl ServiceEnv for SimEnv {
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn next_event(&mut self) -> Option<(Nanos, ConnId, NetEvent)> {
+        let (at, conn, ev) = self.events.pop_front()?;
+        self.now = self.now.max(at);
+        Some((at, conn, ev))
+    }
+
+    fn send(&mut self, conn: ConnId, resp: &ServiceResponse) {
+        self.responses.entry(conn).or_default().push(resp.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn script() -> Vec<(Nanos, ConnId, ServiceRequest)> {
+        vec![
+            (10, 1, ServiceRequest::Stats),
+            (20, 2, ServiceRequest::Metrics),
+            (30, 1, ServiceRequest::Depart { tenant: 9 }),
+            (40, 2, ServiceRequest::Stats),
+        ]
+    }
+
+    fn drain(env: &mut SimEnv) -> Vec<(Nanos, ConnId, NetEvent)> {
+        std::iter::from_fn(|| env.next_event()).collect()
+    }
+
+    #[test]
+    fn fault_free_script_is_delivered_verbatim_with_framing() {
+        let mut env = SimEnv::new(script());
+        let got = drain(&mut env);
+        // 4 requests + Open/Closed per conn.
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0], (10, 1, NetEvent::Open));
+        assert_eq!(got[1], (10, 1, NetEvent::Request(ServiceRequest::Stats)));
+        assert_eq!(got[2], (20, 2, NetEvent::Open));
+        let closes: Vec<ConnId> =
+            got.iter().filter(|(_, _, e)| *e == NetEvent::Closed).map(|(_, c, _)| *c).collect();
+        assert_eq!(closes, vec![1, 2]);
+        assert_eq!(env.fault_counts(), FaultCounts::default());
+        assert_eq!(env.remaining(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_plan_is_bit_identical() {
+        let plan = FaultPlan {
+            drop: 0.3,
+            duplicate: 0.3,
+            delay: 0.3,
+            max_delay: 50,
+            disconnect: 0.1,
+            seed: 42,
+        };
+        let mut a = SimEnv::with_faults(script(), plan);
+        let mut b = SimEnv::with_faults(script(), plan);
+        assert_eq!(drain(&mut a), drain(&mut b));
+        assert_eq!(a.fault_counts(), b.fault_counts());
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ() {
+        let mk = |seed| {
+            let plan = FaultPlan {
+                drop: 0.5,
+                duplicate: 0.5,
+                delay: 0.5,
+                max_delay: 1_000,
+                disconnect: 0.0,
+                seed,
+            };
+            let mut env = SimEnv::with_faults(script(), plan);
+            drain(&mut env)
+        };
+        assert!((0..16).any(|s| mk(s) != mk(s + 100)), "fault plans respond to the seed");
+    }
+
+    #[test]
+    fn delivery_times_never_decrease() {
+        let plan = FaultPlan {
+            drop: 0.1,
+            duplicate: 0.4,
+            delay: 0.6,
+            max_delay: 500,
+            disconnect: 0.2,
+            seed: 7,
+        };
+        let mut env = SimEnv::with_faults(script(), plan);
+        let got = drain(&mut env);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn disconnect_drops_the_rest_of_the_conn_script() {
+        let plan = FaultPlan { disconnect: 1.0, seed: 1, ..FaultPlan::default() };
+        let mut env = SimEnv::with_faults(script(), plan);
+        let got = drain(&mut env);
+        // Each conn delivers exactly its first request, then closes.
+        let requests = got.iter().filter(|(_, _, e)| matches!(e, NetEvent::Request(_))).count();
+        assert_eq!(requests, 2);
+        assert_eq!(env.fault_counts().disconnects, 2);
+        assert_eq!(env.fault_counts().dropped, 2);
+    }
+
+    #[test]
+    fn responses_are_recorded_per_conn() {
+        let mut env = SimEnv::new(vec![]);
+        env.send(3, &ServiceResponse::Queued);
+        env.send(3, &ServiceResponse::Done);
+        env.send(5, &ServiceResponse::Done);
+        assert_eq!(env.responses(3), &[ServiceResponse::Queued, ServiceResponse::Done]);
+        assert_eq!(env.responses(5), &[ServiceResponse::Done]);
+        assert_eq!(env.responses(9), &[] as &[ServiceResponse]);
+        assert_eq!(env.all_responses().count(), 2);
+    }
+}

@@ -46,6 +46,13 @@ impl Agent {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             stream.set_nonblocking(false).ok();
+                            // Bounded reads: the serve loop wakes every
+                            // half second to re-check the stop flag, so
+                            // shutdown is prompt even with idle
+                            // connections parked on it.
+                            stream
+                                .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+                                .ok();
                             let state = state.clone();
                             let stop = stop.clone();
                             std::thread::spawn(move || {
@@ -74,9 +81,18 @@ impl Agent {
         stop: Arc<AtomicBool>,
     ) -> std::io::Result<()> {
         loop {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
             let msg = match ControlMsg::read_from(&mut stream) {
                 Ok(m) => m,
-                Err(_) => return Ok(()), // peer hung up
+                // A timeout with no bytes read is just an idle
+                // connection: loop to re-check the stop flag. (A timeout
+                // mid-frame desyncs the stream; `read_from`'s next parse
+                // fails and the connection drops, which is the right
+                // outcome for a peer that stalls inside a frame.)
+                Err(e) if crate::retry::is_timeout(&e) => continue,
+                Err(_) => return Ok(()), // peer hung up or went silent
             };
             let reply = Self::handle(msg, &state, &stop);
             match reply {

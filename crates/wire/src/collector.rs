@@ -14,11 +14,13 @@ use std::time::Instant;
 use choreo_netsim::{BurstRecord, TrainConfig, TrainReport};
 
 use crate::format::ControlMsg;
+use crate::retry::RetryPolicy;
 
 /// Collector over a set of agent control addresses (one per VM).
 pub struct Collector {
     agents: Vec<SocketAddr>,
     next_train_id: u64,
+    policy: RetryPolicy,
 }
 
 /// A measured pair: the raw train report plus timing metadata.
@@ -35,9 +37,17 @@ pub struct PairMeasurement {
 }
 
 impl Collector {
-    /// New collector over the given agents.
+    /// New collector over the given agents, with the default
+    /// [`RetryPolicy`] (1 s connects, 2 s reads, 3 attempts).
     pub fn new(agents: Vec<SocketAddr>) -> Collector {
-        Collector { agents, next_train_id: 1 }
+        Collector::with_policy(agents, RetryPolicy::default())
+    }
+
+    /// New collector with explicit connection bounds. Every control
+    /// round-trip errors instead of hanging when an agent is dead or
+    /// silent.
+    pub fn with_policy(agents: Vec<SocketAddr>, policy: RetryPolicy) -> Collector {
+        Collector { agents, next_train_id: 1, policy }
     }
 
     /// Number of VMs (agents).
@@ -46,7 +56,7 @@ impl Collector {
     }
 
     fn connect(&self, vm: usize) -> std::io::Result<TcpStream> {
-        TcpStream::connect(self.agents[vm])
+        self.policy.connect(self.agents[vm])
     }
 
     fn rpc(stream: &mut TcpStream, msg: ControlMsg) -> std::io::Result<ControlMsg> {
@@ -155,7 +165,7 @@ impl Collector {
     /// Ask every agent to shut down.
     pub fn shutdown_agents(&self) {
         for &addr in &self.agents {
-            if let Ok(mut c) = TcpStream::connect(addr) {
+            if let Ok(mut c) = self.policy.connect(addr) {
                 let _ = ControlMsg::Shutdown.write_to(&mut c);
             }
         }
@@ -198,6 +208,46 @@ mod tests {
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)]);
         collector.shutdown_agents();
+    }
+
+    #[test]
+    fn silent_agent_times_out_instead_of_hanging() {
+        // A listener that accepts and then says nothing: the RPC must
+        // come back as an error within the read timeout, not block.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let _conn = listener.accept(); // hold the socket open, silently
+            std::thread::sleep(std::time::Duration::from_secs(2));
+        });
+        let collector = Collector::with_policy(vec![addr], RetryPolicy::fast_fail());
+        let t0 = Instant::now();
+        let err = collector.ping_rtt(0).unwrap_err();
+        assert!(
+            crate::retry::is_timeout(&err),
+            "expected a read timeout, got {err:?} ({:?})",
+            err.kind()
+        );
+        assert!(t0.elapsed().as_millis() < 1_500, "bounded wait: {:?}", t0.elapsed());
+        sink.join().unwrap();
+    }
+
+    #[test]
+    fn dead_agent_errors_after_bounded_retries() {
+        // Bind-then-drop guarantees nothing listens on the port.
+        let addr = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: std::time::Duration::from_millis(5),
+            ..RetryPolicy::fast_fail()
+        };
+        let collector = Collector::with_policy(vec![addr], policy);
+        let t0 = Instant::now();
+        assert!(collector.ping_rtt(0).is_err(), "nothing listening");
+        assert!(t0.elapsed().as_secs() < 3, "retries are bounded: {:?}", t0.elapsed());
     }
 
     #[test]

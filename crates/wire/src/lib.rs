@@ -22,6 +22,12 @@
 //!   receivers, fires trains at peers, and serves reports.
 //! * [`collector`] — [`Collector`]: the tenant-side orchestrator that
 //!   measures a full mesh of agents pair by pair.
+//! * [`proto`] — the placement service's request/response protocol
+//!   ([`ServiceRequest`]/[`ServiceResponse`]), same framing, carried by
+//!   `choreo-service` over real sockets or its simulated transport.
+//! * [`retry`] — [`RetryPolicy`]: connect/read timeouts and bounded
+//!   retry with backoff on every blocking path, so a dead peer is an
+//!   error, never a hang.
 //!
 //! On loopback the measured "throughput" is meaningless (gigabytes per
 //! second); tests assert the plumbing — sequence accounting, loss
@@ -31,11 +37,15 @@
 pub mod agent;
 pub mod collector;
 pub mod format;
+pub mod proto;
 pub mod receiver;
+pub mod retry;
 pub mod sender;
 
 pub use agent::Agent;
 pub use collector::Collector;
 pub use format::{ControlMsg, ProbeHeader, PROBE_HEADER_BYTES};
+pub use proto::{ServiceRequest, ServiceResponse, ServiceStatsReply};
 pub use receiver::TrainReceiver;
+pub use retry::RetryPolicy;
 pub use sender::send_train;

@@ -1,0 +1,466 @@
+//! The placement service's request protocol.
+//!
+//! `choreo-service` serves tenants over the same length-prefixed framing
+//! the measurement control plane uses ([`crate::format::ControlMsg`]):
+//! every frame is a big-endian `u32` body length followed by a one-byte
+//! tag and the tag's fields. Frames are capped at 16 MiB — an
+//! [`AppProfile`] for a few thousand tasks fits with room to spare, and
+//! anything larger is a protocol error, not an allocation.
+//!
+//! The codec is transport-agnostic on purpose: the same
+//! [`ServiceRequest::read_from`] / [`ServiceResponse::write_to`] bytes
+//! flow over real TCP sockets (`NetEnv`) and through the in-memory
+//! simulated transport (`SimEnv`), which is what lets the service loop
+//! be tested bit-for-bit deterministically and deployed unchanged.
+//!
+//! Request → response pairing is strict: every request frame gets
+//! exactly one response frame on the same connection, in order. There is
+//! no pipelining requirement — a client may write several requests ahead
+//! — but responses never reorder.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use choreo_profile::{AppProfile, TenantId, TrafficMatrix};
+
+/// Frame cap shared with the control protocol.
+const MAX_FRAME: usize = 16 << 20;
+
+/// What a tenant (or operator) can ask the placement service to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRequest {
+    /// Admit a tenant with its profiled application.
+    Admit {
+        /// Caller-chosen tenant identifier (duplicate ids are refused).
+        tenant: TenantId,
+        /// The profiled application to place.
+        app: AppProfile,
+    },
+    /// Change a running tenant's per-transfer connection count.
+    SetIntensity {
+        /// Target tenant.
+        tenant: TenantId,
+        /// New connections per modeled transfer (≥ 1).
+        intensity: u32,
+    },
+    /// Tear a tenant down (running, queued or rejected — all legal).
+    Depart {
+        /// Target tenant.
+        tenant: TenantId,
+    },
+    /// Fetch the service counters and trajectory digest.
+    Stats,
+    /// Fetch the prometheus text exposition of every metric.
+    Metrics,
+    /// Advance the service clock to `at` and run a migration pass.
+    ForceMigration {
+        /// Simulated (service-clock) nanoseconds to advance to.
+        at: u64,
+    },
+    /// Stop serving after responding.
+    Shutdown,
+}
+
+/// One service decision's worth of reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResponse {
+    /// The tenant was admitted; task → global host index.
+    Admitted {
+        /// Placement: `hosts[task]` is the task's host.
+        hosts: Vec<u32>,
+    },
+    /// No capacity right now; parked in the FIFO wait queue.
+    Queued,
+    /// Not admitted and not queued.
+    Rejected {
+        /// Why (queue full, duplicate id, …).
+        reason: String,
+    },
+    /// The request was applied (departures, intensity, migration,
+    /// shutdown).
+    Done,
+    /// Service counters snapshot.
+    Stats(ServiceStatsReply),
+    /// Prometheus text exposition.
+    MetricsText(String),
+    /// The request failed.
+    Error(String),
+}
+
+/// Counter snapshot shipped by [`ServiceResponse::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStatsReply {
+    /// Tenant events consumed.
+    pub events: u64,
+    /// Tenants admitted straight from arrival.
+    pub admitted: u64,
+    /// Tenants parked in the wait queue.
+    pub queued: u64,
+    /// Queued tenants admitted by a departure retry.
+    pub queue_admitted: u64,
+    /// Arrivals rejected with the queue full.
+    pub rejected: u64,
+    /// Duplicate arrivals refused.
+    pub duplicates: u64,
+    /// Departure events.
+    pub departures: u64,
+    /// Tenants moved by the migration planner.
+    pub migrations: u64,
+    /// Tenants admitted and running right now.
+    pub active: u64,
+    /// Tenants waiting for capacity right now.
+    pub queue_len: u64,
+    /// All-time decisions recorded in the trace ring.
+    pub decisions_total: u64,
+    /// The deterministic trajectory digest.
+    pub trace_hash: u64,
+}
+
+fn put_string(body: &mut BytesMut, s: &str) {
+    body.put_u32(s.len() as u32);
+    body.put_slice(s.as_bytes());
+}
+
+fn get_string(data: &mut &[u8]) -> Result<String, String> {
+    if data.len() < 4 {
+        return Err("truncated string length".into());
+    }
+    let n = data.get_u32() as usize;
+    if data.len() < n {
+        return Err("truncated string body".into());
+    }
+    let s = String::from_utf8_lossy(&data[..n]).into_owned();
+    *data = &data[n..];
+    Ok(s)
+}
+
+fn put_app(body: &mut BytesMut, app: &AppProfile) {
+    put_string(body, &app.name);
+    body.put_u32(app.n_tasks() as u32);
+    for &c in &app.cpu {
+        body.put_u64(c.to_bits());
+    }
+    let n = app.matrix.n_tasks();
+    for i in 0..n {
+        for j in 0..n {
+            body.put_u64(app.matrix.bytes(i, j));
+        }
+    }
+    body.put_u64(app.start_time);
+}
+
+fn get_app(data: &mut &[u8]) -> Result<AppProfile, String> {
+    let name = get_string(data)?;
+    if data.len() < 4 {
+        return Err("truncated task count".into());
+    }
+    let n = data.get_u32() as usize;
+    // n floats + n² matrix entries + start time, 8 bytes each.
+    let need = n
+        .checked_mul(n)
+        .and_then(|nn| nn.checked_add(n + 1))
+        .and_then(|w| w.checked_mul(8))
+        .ok_or("task count overflows")?;
+    if data.len() < need {
+        return Err(format!("truncated profile: {n} tasks need {need} more bytes"));
+    }
+    let cpu: Vec<f64> = (0..n).map(|_| f64::from_bits(data.get_u64())).collect();
+    if !cpu.iter().all(|&c| c > 0.0 && c.is_finite()) {
+        return Err("profile CPU demands must be positive and finite".into());
+    }
+    let bytes: Vec<u64> = (0..n * n).map(|_| data.get_u64()).collect();
+    let start_time = data.get_u64();
+    Ok(AppProfile::new(name, cpu, TrafficMatrix::from_rows(n, bytes), start_time))
+}
+
+fn frame(body: BytesMut) -> Bytes {
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed.freeze()
+}
+
+fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+impl ServiceRequest {
+    /// Encode with the u32 length prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            ServiceRequest::Admit { tenant, app } => {
+                body.put_u8(0x10);
+                body.put_u64(*tenant);
+                put_app(&mut body, app);
+            }
+            ServiceRequest::SetIntensity { tenant, intensity } => {
+                body.put_u8(0x11);
+                body.put_u64(*tenant);
+                body.put_u32(*intensity);
+            }
+            ServiceRequest::Depart { tenant } => {
+                body.put_u8(0x12);
+                body.put_u64(*tenant);
+            }
+            ServiceRequest::Stats => body.put_u8(0x13),
+            ServiceRequest::Metrics => body.put_u8(0x14),
+            ServiceRequest::ForceMigration { at } => {
+                body.put_u8(0x15);
+                body.put_u64(*at);
+            }
+            ServiceRequest::Shutdown => body.put_u8(0x16),
+        }
+        frame(body)
+    }
+
+    /// Decode one request body (length prefix already stripped).
+    pub fn decode(mut data: &[u8]) -> Result<ServiceRequest, String> {
+        if data.is_empty() {
+            return Err("empty request frame".into());
+        }
+        let tag = data.get_u8();
+        let need = |data: &[u8], n: usize| {
+            if data.len() < n {
+                Err(format!("truncated request: tag {tag:#x}"))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            0x10 => {
+                need(data, 8)?;
+                let tenant = data.get_u64();
+                let app = get_app(&mut data)?;
+                Ok(ServiceRequest::Admit { tenant, app })
+            }
+            0x11 => {
+                need(data, 12)?;
+                let tenant = data.get_u64();
+                let intensity = data.get_u32();
+                if intensity == 0 {
+                    return Err("intensity must be at least 1".into());
+                }
+                Ok(ServiceRequest::SetIntensity { tenant, intensity })
+            }
+            0x12 => {
+                need(data, 8)?;
+                Ok(ServiceRequest::Depart { tenant: data.get_u64() })
+            }
+            0x13 => Ok(ServiceRequest::Stats),
+            0x14 => Ok(ServiceRequest::Metrics),
+            0x15 => {
+                need(data, 8)?;
+                Ok(ServiceRequest::ForceMigration { at: data.get_u64() })
+            }
+            0x16 => Ok(ServiceRequest::Shutdown),
+            other => Err(format!("unknown request tag {other:#x}")),
+        }
+    }
+
+    /// Write one framed request to a stream.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Read one framed request from a stream.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ServiceRequest> {
+        let body = read_frame(r)?;
+        ServiceRequest::decode(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl ServiceResponse {
+    /// Encode with the u32 length prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            ServiceResponse::Admitted { hosts } => {
+                body.put_u8(0x90);
+                body.put_u32(hosts.len() as u32);
+                for &h in hosts {
+                    body.put_u32(h);
+                }
+            }
+            ServiceResponse::Queued => body.put_u8(0x91),
+            ServiceResponse::Rejected { reason } => {
+                body.put_u8(0x92);
+                put_string(&mut body, reason);
+            }
+            ServiceResponse::Done => body.put_u8(0x93),
+            ServiceResponse::Stats(s) => {
+                body.put_u8(0x94);
+                for v in [
+                    s.events,
+                    s.admitted,
+                    s.queued,
+                    s.queue_admitted,
+                    s.rejected,
+                    s.duplicates,
+                    s.departures,
+                    s.migrations,
+                    s.active,
+                    s.queue_len,
+                    s.decisions_total,
+                    s.trace_hash,
+                ] {
+                    body.put_u64(v);
+                }
+            }
+            ServiceResponse::MetricsText(text) => {
+                body.put_u8(0x95);
+                put_string(&mut body, text);
+            }
+            ServiceResponse::Error(e) => {
+                body.put_u8(0xFF);
+                put_string(&mut body, e);
+            }
+        }
+        frame(body)
+    }
+
+    /// Decode one response body (length prefix already stripped).
+    pub fn decode(mut data: &[u8]) -> Result<ServiceResponse, String> {
+        if data.is_empty() {
+            return Err("empty response frame".into());
+        }
+        let tag = data.get_u8();
+        let need = |data: &[u8], n: usize| {
+            if data.len() < n {
+                Err(format!("truncated response: tag {tag:#x}"))
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            0x90 => {
+                need(data, 4)?;
+                let n = data.get_u32() as usize;
+                need(data, n * 4)?;
+                Ok(ServiceResponse::Admitted { hosts: (0..n).map(|_| data.get_u32()).collect() })
+            }
+            0x91 => Ok(ServiceResponse::Queued),
+            0x92 => Ok(ServiceResponse::Rejected { reason: get_string(&mut data)? }),
+            0x93 => Ok(ServiceResponse::Done),
+            0x94 => {
+                need(data, 12 * 8)?;
+                Ok(ServiceResponse::Stats(ServiceStatsReply {
+                    events: data.get_u64(),
+                    admitted: data.get_u64(),
+                    queued: data.get_u64(),
+                    queue_admitted: data.get_u64(),
+                    rejected: data.get_u64(),
+                    duplicates: data.get_u64(),
+                    departures: data.get_u64(),
+                    migrations: data.get_u64(),
+                    active: data.get_u64(),
+                    queue_len: data.get_u64(),
+                    decisions_total: data.get_u64(),
+                    trace_hash: data.get_u64(),
+                }))
+            }
+            0x95 => Ok(ServiceResponse::MetricsText(get_string(&mut data)?)),
+            0xFF => Ok(ServiceResponse::Error(get_string(&mut data)?)),
+            other => Err(format!("unknown response tag {other:#x}")),
+        }
+    }
+
+    /// Write one framed response to a stream.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Read one framed response from a stream.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ServiceResponse> {
+        let body = read_frame(r)?;
+        ServiceResponse::decode(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppProfile {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, 1_000_000_000);
+        m.set(1, 2, 250);
+        AppProfile::new("wordcount", vec![1.0, 2.5, 0.5], m, 42)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            ServiceRequest::Admit { tenant: 7, app: app() },
+            ServiceRequest::SetIntensity { tenant: 7, intensity: 3 },
+            ServiceRequest::Depart { tenant: 7 },
+            ServiceRequest::Stats,
+            ServiceRequest::Metrics,
+            ServiceRequest::ForceMigration { at: 123_456_789 },
+            ServiceRequest::Shutdown,
+        ];
+        for r in reqs {
+            let framed = r.encode();
+            assert_eq!(ServiceRequest::decode(&framed[4..]), Ok(r.clone()), "{r:?}");
+            let mut cursor = std::io::Cursor::new(framed.to_vec());
+            assert_eq!(ServiceRequest::read_from(&mut cursor).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            ServiceResponse::Admitted { hosts: vec![3, 1, 4] },
+            ServiceResponse::Queued,
+            ServiceResponse::Rejected { reason: "queue full".into() },
+            ServiceResponse::Done,
+            ServiceResponse::Stats(ServiceStatsReply {
+                events: 1,
+                admitted: 2,
+                queued: 3,
+                queue_admitted: 4,
+                rejected: 5,
+                duplicates: 6,
+                departures: 7,
+                migrations: 8,
+                active: 9,
+                queue_len: 10,
+                decisions_total: 11,
+                trace_hash: 0xdeadbeef,
+            }),
+            ServiceResponse::MetricsText("# HELP x y\nx 1\n".into()),
+            ServiceResponse::Error("boom".into()),
+        ];
+        for r in resps {
+            let framed = r.encode();
+            assert_eq!(ServiceResponse::decode(&framed[4..]), Ok(r.clone()), "{r:?}");
+            let mut cursor = std::io::Cursor::new(framed.to_vec());
+            assert_eq!(ServiceResponse::read_from(&mut cursor).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_errors() {
+        assert!(ServiceRequest::decode(&[]).is_err());
+        assert!(ServiceRequest::decode(&[0x42]).is_err(), "unknown tag");
+        let framed = ServiceRequest::Admit { tenant: 1, app: app() }.encode();
+        assert!(ServiceRequest::decode(&framed[4..framed.len() - 3]).is_err(), "truncated app");
+        // Zero intensity is a protocol error, not a service panic.
+        let mut body = BytesMut::new();
+        body.put_u8(0x11);
+        body.put_u64(1);
+        body.put_u32(0);
+        assert!(ServiceRequest::decode(&body).is_err());
+        assert!(ServiceResponse::decode(&[0x90, 0, 0]).is_err(), "truncated host count");
+    }
+}

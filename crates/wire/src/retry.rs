@@ -1,0 +1,76 @@
+//! Connection robustness: timeouts and bounded retry with backoff.
+//!
+//! The measurement plane talks to agents on rented cloud VMs, and rented
+//! VMs die, reboot and drop SYNs. Every blocking path in
+//! [`crate::Collector`] and [`crate::Agent`] is bounded by a
+//! [`RetryPolicy`]: connects use `TcpStream::connect_timeout`, reads
+//! carry a socket read timeout, and failed connects retry a bounded
+//! number of times with doubling backoff. A dead peer is an
+//! [`std::io::Error`] within a few seconds — never a hang.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Bounds on one logical connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout once connected (a silent peer errors with
+    /// `TimedOut`/`WouldBlock` instead of blocking forever).
+    pub read_timeout: Duration,
+    /// Connect attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Sleep before the second attempt; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for tests: tight timeouts, no retries.
+    pub fn fast_fail() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(250),
+            attempts: 1,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    /// Connect under this policy: per-attempt timeout, bounded retries
+    /// with doubling backoff, read timeout installed on the returned
+    /// stream.
+    pub fn connect(&self, addr: SocketAddr) -> std::io::Result<TcpStream> {
+        let mut delay = self.backoff;
+        let mut last = None;
+        for attempt in 0..self.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+}
+
+/// True when `e` is a read timeout (platforms disagree on the kind).
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}

@@ -10,9 +10,11 @@ pub use choreo_cloudlab as cloudlab;
 pub use choreo_flowsim as flowsim;
 pub use choreo_lp as lp;
 pub use choreo_measure as measure;
+pub use choreo_metrics as metrics;
 pub use choreo_netsim as netsim;
 pub use choreo_online as online;
 pub use choreo_place as place;
 pub use choreo_profile as profile;
+pub use choreo_service as service;
 pub use choreo_topology as topology;
 pub use choreo_wire as wire;

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use choreo_repro::online::{MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy};
+use choreo_repro::online::{
+    MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
+};
 use choreo_repro::profile::{TenantEvent, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig};
 use choreo_repro::topology::{MultiRootedTreeSpec, RouteTable, Topology, SECS};
 use proptest::prelude::*;
@@ -53,7 +55,7 @@ fn service(policy: PlacementPolicy, workers: usize, seed: u64) -> OnlineSchedule
         migration: MigrationConfig { cadence: Some(15 * SECS), ..Default::default() },
         ..Default::default()
     };
-    OnlineScheduler::new(topo, routes, cfg, seed)
+    SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()
 }
 
 /// Run a full service over `evs`, checking the safety invariants after

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use choreo_repro::flowsim::{
     hop_resource, max_min_rates, FlowArena, FlowKey, FlowSim, FlowSlot, FlowStatus, MaxMinSolver,
-    ProbeBatch, ResourcePartition, ScenarioPool, ShardedSolver,
+    ProbeBatch, ResourcePartition, ScenarioPool, ShardedSolver, SolverMode,
 };
 use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
@@ -463,8 +463,8 @@ proptest! {
         for workers in [1usize, 2, 8] {
             let mut recycle = FlowSim::new(topo.clone(), routes.clone(), loopback, 42);
             let mut unbounded = FlowSim::new(topo.clone(), routes.clone(), loopback, 42);
-            recycle.enable_sharded(workers);
-            unbounded.enable_sharded(workers);
+            recycle.set_solver_mode(SolverMode::sharded(workers));
+            unbounded.set_solver_mode(SolverMode::sharded(workers));
             // Flows still tracked: (tag, key in recycle, key in unbounded).
             let mut live: Vec<(u64, FlowKey, FlowKey)> = Vec::new();
             let (mut dr, mut du) = (0xcbf29ce484222325u64, 0xcbf29ce484222325u64);

@@ -5,12 +5,14 @@
 //! topologies (no parallelism to extract — `FlowSim` falls back),
 //! all-flows-cross-pod worst cases (the dumbbell, whose partition
 //! degenerates to singleton pods), empty shards, and the end-to-end
-//! engine wiring (`FlowSim::enable_sharded` must never change a
+//! engine wiring (`FlowSim::set_solver_mode` must never change a
 //! simulation's trajectory, only its wall-clock).
 
 use std::sync::Arc;
 
-use choreo_repro::flowsim::{FlowArena, FlowSim, MaxMinSolver, ResourcePartition, ShardedSolver};
+use choreo_repro::flowsim::{
+    FlowArena, FlowSim, MaxMinSolver, ResourcePartition, ShardedSolver, SolverMode,
+};
 use choreo_repro::topology::{
     dumbbell, two_rack, LinkSpec, MultiRootedTreeSpec, RouteTable, GBIT, MBIT, MICROS, MILLIS, SECS,
 };
@@ -139,8 +141,8 @@ fn twin_sims(sharded_workers: usize) -> (FlowSim, FlowSim) {
     let loopback = LinkSpec::new(4.2 * GBIT, 20 * MICROS);
     let plain = FlowSim::new(topo.clone(), routes.clone(), loopback, 42);
     let mut sharded = FlowSim::new(topo, routes, loopback, 42);
-    let pods = sharded.enable_sharded(sharded_workers);
-    assert_eq!(pods, 3);
+    let prev = sharded.set_solver_mode(SolverMode::sharded(sharded_workers));
+    assert!(!prev.is_sharded(), "a fresh sim starts warm");
     assert_eq!(sharded.sharded_pods(), Some(3));
     (plain, sharded)
 }
@@ -207,10 +209,12 @@ fn flowsim_falls_back_without_real_pod_structure() {
     let loopback = LinkSpec::new(4.2 * GBIT, 20 * MICROS);
     let mut plain = FlowSim::new(topo.clone(), routes.clone(), loopback, 7);
     let mut sharded = FlowSim::new(topo, routes, loopback, 7);
-    assert_eq!(sharded.enable_sharded(2), 1, "single pod found");
+    sharded.set_solver_mode(SolverMode::sharded(2));
+    assert_eq!(sharded.sharded_pods(), Some(1), "single pod found");
     assert_eq!(run(&mut plain), run(&mut sharded));
-    // Toggling the knob off mid-life is allowed too.
-    sharded.disable_sharded();
+    // Toggling the mode back to warm mid-life is allowed too.
+    let prev = sharded.set_solver_mode(SolverMode::Warm);
+    assert!(prev.is_sharded(), "the detached mode reports what ran before");
     assert_eq!(sharded.sharded_pods(), None);
 
     let topo = Arc::new(dumbbell(4, LinkSpec::new(GBIT, 5 * MICROS), LinkSpec::new(GBIT, MICROS)));
@@ -220,19 +224,22 @@ fn flowsim_falls_back_without_real_pod_structure() {
     let routes = Arc::new(RouteTable::new(&topo));
     let mut plain = FlowSim::new(topo.clone(), routes.clone(), loopback, 11);
     let mut sharded = FlowSim::new(topo, routes, loopback, 11);
-    assert_eq!(sharded.enable_sharded(2), 8, "eight singleton pods");
+    sharded.set_solver_mode(SolverMode::sharded(2));
+    assert_eq!(sharded.sharded_pods(), Some(8), "eight singleton pods");
     assert_eq!(run(&mut plain), run(&mut sharded));
 }
 
 #[test]
 fn one_warm_pool_serves_two_sims_sequentially() {
     // The persistent worker pool outlives the sim that spawned it: run
-    // sim A sharded, detach its solver (`take_sharded_solver` — workers
-    // *and* warm pool), hand it to sim B on a different topology
-    // (`enable_sharded_with` resets the solver, forcing a full re-split
-    // against B's arena), and B's trajectory must still bit-match an
-    // unsharded twin while the same worker threads keep executing jobs
-    // (`pool_jobs_executed` strictly grows across the hand-off).
+    // sim A sharded, detach its solver (`set_solver_mode(Warm)` returns
+    // the previous mode with the solver — workers *and* warm pool — in
+    // its `pool` field), hand it to sim B on a different topology
+    // (attaching via `SolverMode::Sharded { pool: Some(..) }` resets the
+    // solver, forcing a full re-split against B's arena), and B's
+    // trajectory must still bit-match an unsharded twin while the same
+    // worker threads keep executing jobs (`pool_jobs_executed` strictly
+    // grows across the hand-off).
     let run = |s: &mut FlowSim| -> Vec<u64> {
         let h = s.topology().hosts().to_vec();
         let mut out = Vec::new();
@@ -262,7 +269,11 @@ fn one_warm_pool_serves_two_sims_sequentially() {
     };
     let (mut plain_a, mut sharded_a) = twin_sims(2);
     assert_eq!(run(&mut plain_a), run(&mut sharded_a), "sim A diverged");
-    let solver = sharded_a.take_sharded_solver().expect("solver attached");
+    let SolverMode::Sharded { pool: Some(solver), .. } =
+        sharded_a.set_solver_mode(SolverMode::Warm)
+    else {
+        panic!("solver attached")
+    };
     assert_eq!(sharded_a.sharded_pods(), None, "detach disables the sharded path");
     let executed_a = solver.pool_jobs_executed();
     assert!(executed_a > 0, "sim A never dispatched to the 2-worker pool");
@@ -282,9 +293,15 @@ fn one_warm_pool_serves_two_sims_sequentially() {
     let loopback = LinkSpec::new(4.2 * GBIT, 20 * MICROS);
     let mut plain_b = FlowSim::new(topo.clone(), routes.clone(), loopback, 7);
     let mut sharded_b = FlowSim::new(topo, routes, loopback, 7);
-    assert_eq!(sharded_b.enable_sharded_with(solver), 4, "four pods after the hand-off");
+    let workers = solver.workers();
+    sharded_b.set_solver_mode(SolverMode::Sharded { workers, pool: Some(solver) });
+    assert_eq!(sharded_b.sharded_pods(), Some(4), "four pods after the hand-off");
     assert_eq!(run(&mut plain_b), run(&mut sharded_b), "sim B diverged on the inherited solver");
-    let solver = sharded_b.take_sharded_solver().expect("solver attached");
+    let SolverMode::Sharded { pool: Some(solver), .. } =
+        sharded_b.set_solver_mode(SolverMode::Warm)
+    else {
+        panic!("solver attached")
+    };
     assert!(
         solver.pool_jobs_executed() > executed_a,
         "sim B never reused the inherited pool ({} jobs, sim A already ran {executed_a})",
