@@ -34,6 +34,19 @@
 //! metrics, `sim` demonstrates the determinism contract from the
 //! command line.
 //!
+//! # Untrusted input
+//!
+//! Everything arriving on a [`NetEnv`] socket is unauthenticated, so
+//! the request path is bounded at every layer: frames are capped at
+//! 16 MiB in both directions ([`choreo_wire::frame`]), a peer that
+//! stalls mid-frame is dropped rather than left desynchronizing the
+//! stream, and tenant ids above
+//! [`ServiceConfig::max_tenant_id`](service::ServiceConfig::max_tenant_id)
+//! are refused before they reach the scheduler (whose dense id-indexed
+//! tenant table would otherwise turn one huge id into a huge
+//! allocation). Refusals are counted in
+//! `choreo_invalid_tenant_ids_total`.
+//!
 //! # Metrics quickstart
 //!
 //! ```

@@ -107,13 +107,16 @@ impl NetEnv {
             }
             let event = match ServiceRequest::read_from(&mut stream) {
                 Ok(req) => NetEvent::Request(req),
-                // An idle poll: re-check the stop flag. (A timeout
-                // mid-frame desyncs and the next parse drops the
-                // connection — the right outcome for a stalled peer.)
+                // An idle poll (zero bytes consumed): re-check the stop
+                // flag. A timeout *mid-frame* is not `is_timeout` — the
+                // frame layer reports the desynchronized stream as
+                // fatal `InvalidData`, so a peer that stalls inside a
+                // frame is dropped below instead of lingering misparsed.
                 Err(e) if is_timeout(&e) => continue,
                 Err(_) => {
-                    // Peer hung up (or sent garbage): report the close
-                    // and let the env forget the write half.
+                    // Peer hung up, stalled mid-frame, or sent garbage:
+                    // report the close and let the env forget the write
+                    // half.
                     let _ = tx.send((start.elapsed().as_nanos() as u64, conn, NetEvent::Closed));
                     return;
                 }
@@ -204,6 +207,21 @@ mod tests {
         let (_, c2, e2) = env.next_event().unwrap();
         assert_eq!((e1, e2), (NetEvent::Open, NetEvent::Open));
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn stalled_mid_frame_peer_is_dropped_not_misparsed() {
+        let mut env = NetEnv::bind(("127.0.0.1", 0)).unwrap();
+        let addr = env.local_addr();
+        let mut staller = TcpStream::connect(addr).unwrap();
+        assert!(matches!(env.next_event(), Some((_, _, NetEvent::Open))));
+        // Half a length prefix, then silence: once the read poll fires
+        // the reader must treat the stream as desynchronized and close
+        // the connection instead of waiting to misparse frame middles.
+        staller.write_all(&[0, 0]).unwrap();
+        staller.flush().unwrap();
+        let (_, _, ev) = env.next_event().unwrap();
+        assert_eq!(ev, NetEvent::Closed);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use choreo_metrics::Registry;
+use choreo_metrics::{Counter, Registry};
 use choreo_online::{OnlineConfig, OnlineScheduler, SchedulerBuilder};
 use choreo_profile::{TenantEvent, TenantEventKind};
 use choreo_topology::{Nanos, RouteTable, Topology};
@@ -29,11 +29,23 @@ pub struct ServiceConfig {
     /// A tenant "meets its SLO" while its current service score is at
     /// least this fraction of its admission-time baseline.
     pub slo_fraction: f64,
+    /// Largest tenant id the service accepts from the wire. The
+    /// scheduler keeps tenants in a dense id-indexed table, so an
+    /// unbounded wire-supplied id would let one unauthenticated `Admit`
+    /// force a huge allocation (or a capacity-overflow panic) — ids
+    /// above this bound are rejected before touching the scheduler.
+    /// The default (65 535) caps that table at a few MiB.
+    pub max_tenant_id: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
-        ServiceConfig { online: OnlineConfig::default(), seed: 0, slo_fraction: 0.5 }
+        ServiceConfig {
+            online: OnlineConfig::default(),
+            seed: 0,
+            slo_fraction: 0.5,
+            max_tenant_id: u16::MAX as u64,
+        }
     }
 }
 
@@ -43,6 +55,8 @@ pub struct PlacementService<E: ServiceEnv> {
     scheduler: OnlineScheduler,
     registry: Arc<Registry>,
     slo_fraction: f64,
+    max_tenant_id: u64,
+    invalid_tenant_ids: Counter,
     env: E,
     stopped: bool,
 }
@@ -62,10 +76,16 @@ impl<E: ServiceEnv> PlacementService<E> {
             .seed(cfg.seed)
             .metrics_registry(&registry)
             .build();
+        let invalid_tenant_ids = registry.counter(
+            "choreo_invalid_tenant_ids_total",
+            "Requests refused because their tenant id exceeds the service maximum",
+        );
         PlacementService {
             scheduler,
             registry,
             slo_fraction: cfg.slo_fraction,
+            max_tenant_id: cfg.max_tenant_id,
+            invalid_tenant_ids,
             env,
             stopped: false,
         }
@@ -139,6 +159,29 @@ impl<E: ServiceEnv> PlacementService<E> {
 
     /// Map one request to its response, driving the scheduler.
     fn handle(&mut self, at: Nanos, req: ServiceRequest) -> ServiceResponse {
+        // Wire-supplied tenant ids index the scheduler's dense tenant
+        // table: an unbounded id would turn one unauthenticated Admit
+        // into a multi-GiB resize or a capacity-overflow panic, so ids
+        // are bounded here, before the scheduler (or its trace digest)
+        // sees the event.
+        match &req {
+            ServiceRequest::Admit { tenant, .. }
+            | ServiceRequest::SetIntensity { tenant, .. }
+            | ServiceRequest::Depart { tenant }
+                if *tenant > self.max_tenant_id =>
+            {
+                self.invalid_tenant_ids.inc();
+                let reason = format!(
+                    "tenant id {tenant} exceeds the service maximum {}",
+                    self.max_tenant_id
+                );
+                return match req {
+                    ServiceRequest::Admit { .. } => ServiceResponse::Rejected { reason },
+                    _ => ServiceResponse::Error(reason),
+                };
+            }
+            _ => {}
+        }
         match req {
             ServiceRequest::Admit { tenant, app } => {
                 let before = {
@@ -283,6 +326,32 @@ mod tests {
         let rs = env.responses(1);
         assert!(matches!(rs[0], ServiceResponse::Admitted { .. }));
         assert!(matches!(&rs[1], ServiceResponse::Rejected { reason } if reason.contains("5")));
+    }
+
+    #[test]
+    fn wire_sized_tenant_ids_are_refused_before_the_scheduler() {
+        // A u64::MAX id would resize the scheduler's dense tenant table
+        // to astronomical length (panic or multi-GiB allocation); the
+        // service must bounce it without stepping the scheduler at all.
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: u64::MAX, app: app(2) }),
+            (20, 1, ServiceRequest::SetIntensity { tenant: u64::MAX, intensity: 2 }),
+            (30, 1, ServiceRequest::Depart { tenant: u64::MAX }),
+            (40, 1, ServiceRequest::Admit { tenant: 1, app: app(2) }),
+        ]);
+        svc.run();
+        assert_eq!(svc.scheduler().stats().events, 1, "out-of-range ids never reach the scheduler");
+        assert!(svc.registry().render().contains("choreo_invalid_tenant_ids_total 3"));
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        assert!(
+            matches!(&rs[0], ServiceResponse::Rejected { reason } if reason.contains("maximum")),
+            "{:?}",
+            rs[0]
+        );
+        assert!(matches!(&rs[1], ServiceResponse::Error(_)), "{:?}", rs[1]);
+        assert!(matches!(&rs[2], ServiceResponse::Error(_)), "{:?}", rs[2]);
+        assert!(matches!(&rs[3], ServiceResponse::Admitted { .. }), "{:?}", rs[3]);
     }
 
     #[test]

@@ -87,12 +87,13 @@ impl Agent {
             let msg = match ControlMsg::read_from(&mut stream) {
                 Ok(m) => m,
                 // A timeout with no bytes read is just an idle
-                // connection: loop to re-check the stop flag. (A timeout
-                // mid-frame desyncs the stream; `read_from`'s next parse
-                // fails and the connection drops, which is the right
-                // outcome for a peer that stalls inside a frame.)
+                // connection: loop to re-check the stop flag. (A
+                // timeout mid-frame is *not* `is_timeout` — the frame
+                // layer reports it as fatal `InvalidData`, so a peer
+                // that stalls inside a frame falls through to the next
+                // arm and the desynced connection drops.)
                 Err(e) if crate::retry::is_timeout(&e) => continue,
-                Err(_) => return Ok(()), // peer hung up or went silent
+                Err(_) => return Ok(()), // peer hung up, stalled mid-frame, or sent garbage
             };
             let reply = Self::handle(msg, &state, &stop);
             match reply {

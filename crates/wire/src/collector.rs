@@ -38,7 +38,8 @@ pub struct PairMeasurement {
 
 impl Collector {
     /// New collector over the given agents, with the default
-    /// [`RetryPolicy`] (1 s connects, 2 s reads, 3 attempts).
+    /// [`RetryPolicy`] (1 s connects, 2 s control reads, 3 attempts;
+    /// train-length RPCs scale their read timeout with the train).
     pub fn new(agents: Vec<SocketAddr>) -> Collector {
         Collector::with_policy(agents, RetryPolicy::default())
     }
@@ -107,7 +108,15 @@ impl Collector {
                 ))
             }
         };
+        // SendTrain's reply only arrives once the whole train has been
+        // pushed, and FetchReport queues behind the train landing — so
+        // these two round-trips get a timeout scaled from the train's
+        // size and gaps, not the quick-control default (which timed out
+        // legitimate large/slow measurements, e.g. a 30 MB Rackspace
+        // train below ~120 Mbit/s).
+        let train_timeout = self.policy.train_read_timeout(&config);
         let mut tx_ctl = self.connect(from)?;
+        tx_ctl.set_read_timeout(Some(train_timeout))?;
         let sent = match Self::rpc(
             &mut tx_ctl,
             ControlMsg::SendTrain {
@@ -124,6 +133,7 @@ impl Collector {
         };
         // Let the tail of the train land before fetching.
         std::thread::sleep(std::time::Duration::from_millis(50));
+        rx_ctl.set_read_timeout(Some(train_timeout))?;
         let bursts = match Self::rpc(&mut rx_ctl, ControlMsg::FetchReport { train_id })? {
             ControlMsg::Report { bursts } => bursts,
             other => return Err(bad(other)),

@@ -144,8 +144,18 @@ impl ControlMsg {
         }
     }
 
-    /// Encode with a u32 length prefix.
+    /// Encode with a u32 length prefix. Panics on a body over the
+    /// protocol's frame cap — structurally impossible for every variant
+    /// but [`ControlMsg::Report`], which stays under it for any sane
+    /// burst count; use [`ControlMsg::try_encode`] to handle the error.
     pub fn encode(&self) -> Bytes {
+        self.try_encode().expect("control frame over the protocol cap")
+    }
+
+    /// Encode with a u32 length prefix, erroring on a body over the
+    /// protocol's frame cap instead of letting the peer drop the
+    /// connection as oversized.
+    pub fn try_encode(&self) -> Result<Bytes, String> {
         let mut body = BytesMut::new();
         body.put_u8(self.tag());
         match self {
@@ -182,10 +192,7 @@ impl ControlMsg {
                 body.put_slice(s.as_bytes());
             }
         }
-        let mut framed = BytesMut::with_capacity(4 + body.len());
-        framed.put_u32(body.len() as u32);
-        framed.extend_from_slice(&body);
-        framed.freeze()
+        crate::frame::write_frame(body)
     }
 
     /// Decode one message body (the length prefix already stripped).
@@ -263,25 +270,22 @@ impl ControlMsg {
         }
     }
 
-    /// Write a framed message to a stream.
+    /// Write a framed message to a stream; oversized messages are a
+    /// sender-side error.
     pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.encode())?;
+        let framed = self
+            .try_encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_all(&framed)?;
         w.flush()
     }
 
-    /// Read one framed message from a stream.
+    /// Read one framed message from a stream. An idle read timeout (no
+    /// bytes consumed) surfaces as a retryable timeout error; a timeout
+    /// mid-frame, an oversized length and a malformed body are all
+    /// fatal [`std::io::ErrorKind::InvalidData`].
     pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ControlMsg> {
-        let mut len = [0u8; 4];
-        r.read_exact(&mut len)?;
-        let len = u32::from_be_bytes(len) as usize;
-        if len > 16 << 20 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "oversized control frame",
-            ));
-        }
-        let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
+        let body = crate::frame::read_frame(r, "control")?;
         ControlMsg::decode(&body)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }

@@ -22,6 +22,9 @@
 //!   receivers, fires trains at peers, and serves reports.
 //! * [`collector`] — [`Collector`]: the tenant-side orchestrator that
 //!   measures a full mesh of agents pair by pair.
+//! * [`frame`](mod@frame) — length-prefixed framing shared by both protocols:
+//!   the 16 MiB cap enforced on send *and* receive, and the idle-vs-
+//!   mid-frame read-timeout distinction serve loops rely on.
 //! * [`proto`] — the placement service's request/response protocol
 //!   ([`ServiceRequest`]/[`ServiceResponse`]), same framing, carried by
 //!   `choreo-service` over real sockets or its simulated transport.
@@ -37,6 +40,7 @@
 pub mod agent;
 pub mod collector;
 pub mod format;
+pub mod frame;
 pub mod proto;
 pub mod receiver;
 pub mod retry;
@@ -45,6 +49,7 @@ pub mod sender;
 pub use agent::Agent;
 pub use collector::Collector;
 pub use format::{ControlMsg, ProbeHeader, PROBE_HEADER_BYTES};
+pub use frame::MAX_FRAME;
 pub use proto::{ServiceRequest, ServiceResponse, ServiceStatsReply};
 pub use receiver::TrainReceiver;
 pub use retry::RetryPolicy;

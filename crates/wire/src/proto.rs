@@ -3,9 +3,12 @@
 //! `choreo-service` serves tenants over the same length-prefixed framing
 //! the measurement control plane uses ([`crate::format::ControlMsg`]):
 //! every frame is a big-endian `u32` body length followed by a one-byte
-//! tag and the tag's fields. Frames are capped at 16 MiB — an
-//! [`AppProfile`] for a few thousand tasks fits with room to spare, and
-//! anything larger is a protocol error, not an allocation.
+//! tag and the tag's fields. Frames are capped at 16 MiB in both
+//! directions (see [`crate::frame`]): a receiver rejects an oversized
+//! length before allocating, and a sender's `write_to`/`try_encode`
+//! refuses to emit a frame the peer would drop — an [`AppProfile`] of
+//! ~1450 tasks or more (its n² matrix dominates) is a loud sender-side
+//! error, not an opaque connection close.
 //!
 //! The codec is transport-agnostic on purpose: the same
 //! [`ServiceRequest::read_from`] / [`ServiceResponse::write_to`] bytes
@@ -21,8 +24,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use choreo_profile::{AppProfile, TenantId, TrafficMatrix};
 
-/// Frame cap shared with the control protocol.
-const MAX_FRAME: usize = 16 << 20;
+use crate::frame::{read_frame, write_frame};
 
 /// What a tenant (or operator) can ask the placement service to do.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,28 +173,19 @@ fn get_app(data: &mut &[u8]) -> Result<AppProfile, String> {
     Ok(AppProfile::new(name, cpu, TrafficMatrix::from_rows(n, bytes), start_time))
 }
 
-fn frame(body: BytesMut) -> Bytes {
-    let mut framed = BytesMut::with_capacity(4 + body.len());
-    framed.put_u32(body.len() as u32);
-    framed.extend_from_slice(&body);
-    framed.freeze()
-}
-
-fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_be_bytes(len) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
-}
-
 impl ServiceRequest {
-    /// Encode with the u32 length prefix.
+    /// Encode with the u32 length prefix. Panics when the encoded body
+    /// exceeds the 16 MiB frame cap (an [`AppProfile`] of roughly 1450
+    /// tasks or more — its n² matrix dominates); use
+    /// [`ServiceRequest::try_encode`] to handle that as an error.
     pub fn encode(&self) -> Bytes {
+        self.try_encode().expect("request frame over the protocol cap")
+    }
+
+    /// Encode with the u32 length prefix, erroring on a body over the
+    /// 16 MiB frame cap — the failure happens loudly on the sending
+    /// side instead of the peer dropping the connection as oversized.
+    pub fn try_encode(&self) -> Result<Bytes, String> {
         let mut body = BytesMut::new();
         match self {
             ServiceRequest::Admit { tenant, app } => {
@@ -217,7 +210,7 @@ impl ServiceRequest {
             }
             ServiceRequest::Shutdown => body.put_u8(0x16),
         }
-        frame(body)
+        write_frame(body)
     }
 
     /// Decode one request body (length prefix already stripped).
@@ -264,23 +257,37 @@ impl ServiceRequest {
         }
     }
 
-    /// Write one framed request to a stream.
+    /// Write one framed request to a stream; an oversized request is a
+    /// sender-side [`std::io::ErrorKind::InvalidData`] error.
     pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.encode())?;
+        let framed = self
+            .try_encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_all(&framed)?;
         w.flush()
     }
 
-    /// Read one framed request from a stream.
+    /// Read one framed request from a stream. Idle read timeouts (no
+    /// bytes consumed) are retryable; a timeout mid-frame is fatal —
+    /// see [`crate::frame`].
     pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ServiceRequest> {
-        let body = read_frame(r)?;
+        let body = read_frame(r, "request")?;
         ServiceRequest::decode(&body)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
 impl ServiceResponse {
-    /// Encode with the u32 length prefix.
+    /// Encode with the u32 length prefix. Panics when the encoded body
+    /// exceeds the 16 MiB frame cap; use [`ServiceResponse::try_encode`]
+    /// to handle that as an error.
     pub fn encode(&self) -> Bytes {
+        self.try_encode().expect("response frame over the protocol cap")
+    }
+
+    /// Encode with the u32 length prefix, erroring on a body over the
+    /// 16 MiB frame cap.
+    pub fn try_encode(&self) -> Result<Bytes, String> {
         let mut body = BytesMut::new();
         match self {
             ServiceResponse::Admitted { hosts } => {
@@ -324,7 +331,7 @@ impl ServiceResponse {
                 put_string(&mut body, e);
             }
         }
-        frame(body)
+        write_frame(body)
     }
 
     /// Decode one response body (length prefix already stripped).
@@ -373,15 +380,21 @@ impl ServiceResponse {
         }
     }
 
-    /// Write one framed response to a stream.
+    /// Write one framed response to a stream; an oversized response is
+    /// a sender-side [`std::io::ErrorKind::InvalidData`] error.
     pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.encode())?;
+        let framed = self
+            .try_encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_all(&framed)?;
         w.flush()
     }
 
-    /// Read one framed response from a stream.
+    /// Read one framed response from a stream. Idle read timeouts (no
+    /// bytes consumed) are retryable; a timeout mid-frame is fatal —
+    /// see [`crate::frame`].
     pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<ServiceResponse> {
-        let body = read_frame(r)?;
+        let body = read_frame(r, "response")?;
         ServiceResponse::decode(&body)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
@@ -462,5 +475,21 @@ mod tests {
         body.put_u32(0);
         assert!(ServiceRequest::decode(&body).is_err());
         assert!(ServiceResponse::decode(&[0x90, 0, 0]).is_err(), "truncated host count");
+    }
+
+    #[test]
+    fn oversized_profiles_fail_on_the_sending_side() {
+        // ~1500 tasks: the n² traffic matrix alone is ~18 MB, over the
+        // 16 MiB frame cap the receiver enforces.
+        let n = 1500;
+        let req = ServiceRequest::Admit {
+            tenant: 1,
+            app: AppProfile::new("huge", vec![1.0; n], TrafficMatrix::zeros(n), 0),
+        };
+        assert!(req.try_encode().unwrap_err().contains("protocol cap"));
+        let mut sink = Vec::new();
+        let err = req.write_to(&mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing hit the wire");
     }
 }

@@ -4,12 +4,17 @@
 //! VMs die, reboot and drop SYNs. Every blocking path in
 //! [`crate::Collector`] and [`crate::Agent`] is bounded by a
 //! [`RetryPolicy`]: connects use `TcpStream::connect_timeout`, reads
-//! carry a socket read timeout, and failed connects retry a bounded
-//! number of times with doubling backoff. A dead peer is an
-//! [`std::io::Error`] within a few seconds — never a hang.
+//! carry a socket read timeout (train-length RPCs scale theirs from
+//! the [`TrainConfig`] via [`RetryPolicy::train_read_timeout`], since
+//! the reply legitimately takes as long as the train itself), and
+//! failed connects retry a bounded number of times with doubling
+//! backoff. A dead peer is an [`std::io::Error`] within a bounded
+//! time — never a hang.
 
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use choreo_netsim::TrainConfig;
 
 /// Bounds on one logical connection attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,12 +22,20 @@ pub struct RetryPolicy {
     /// Per-attempt TCP connect timeout.
     pub connect_timeout: Duration,
     /// Socket read timeout once connected (a silent peer errors with
-    /// `TimedOut`/`WouldBlock` instead of blocking forever).
+    /// `TimedOut`/`WouldBlock` instead of blocking forever). Applies to
+    /// quick control round-trips; RPCs that wait on a whole packet
+    /// train use [`RetryPolicy::train_read_timeout`] instead.
     pub read_timeout: Duration,
     /// Connect attempts before giving up (at least 1).
     pub attempts: u32,
     /// Sleep before the second attempt; doubles per retry.
     pub backoff: Duration,
+    /// Assumed worst-case path bandwidth (bits/second) when scaling the
+    /// read timeout of train-length RPCs: the `SendTrain` reply only
+    /// arrives once the agent has pushed the whole train, so the wait
+    /// is bounded by `train bytes / this bandwidth` plus the gaps —
+    /// not by [`RetryPolicy::read_timeout`]. Lower is more forgiving.
+    pub min_train_bps: u64,
 }
 
 impl Default for RetryPolicy {
@@ -32,6 +45,7 @@ impl Default for RetryPolicy {
             read_timeout: Duration::from_secs(2),
             attempts: 3,
             backoff: Duration::from_millis(50),
+            min_train_bps: 10_000_000, // 10 Mbit/s: slower paths need a custom policy
         }
     }
 }
@@ -44,7 +58,22 @@ impl RetryPolicy {
             read_timeout: Duration::from_millis(250),
             attempts: 1,
             backoff: Duration::from_millis(1),
+            min_train_bps: RetryPolicy::default().min_train_bps,
         }
+    }
+
+    /// Read timeout for an RPC that blocks on a whole packet train
+    /// (`SendTrain`, and `FetchReport` right behind it): the base
+    /// [`RetryPolicy::read_timeout`] as slack, plus the inter-burst
+    /// gaps, plus the transfer time of the train's bytes at the
+    /// [`RetryPolicy::min_train_bps`] floor bandwidth. A default-policy
+    /// Rackspace train (10 × 2000 × 1500 B) gets ≈26 s instead of the
+    /// bare 2 s that timed out real measurements below ~120 Mbit/s.
+    pub fn train_read_timeout(&self, config: &TrainConfig) -> Duration {
+        let gaps = Duration::from_nanos(config.bursts as u64 * config.gap);
+        let transfer =
+            Duration::from_secs_f64(config.total_bytes() as f64 * 8.0 / self.min_train_bps as f64);
+        self.read_timeout + gaps + transfer
     }
 
     /// Connect under this policy: per-attempt timeout, bounded retries
@@ -72,5 +101,23 @@ impl RetryPolicy {
 
 /// True when `e` is a read timeout (platforms disagree on the kind).
 pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+    crate::frame::is_timeout(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_timeout_scales_with_the_train() {
+        let policy = RetryPolicy::default();
+        // The paper's Rackspace train is 30 MB; at the 10 Mbit/s floor
+        // that alone is 24 s — far over the 2 s control-RPC timeout.
+        let big = policy.train_read_timeout(&TrainConfig::rackspace());
+        assert!(big >= Duration::from_secs(24), "{big:?}");
+        // A small train stays within the same order as the base timeout.
+        let small = TrainConfig { packet_bytes: 256, burst_len: 25, bursts: 3, gap: 200_000 };
+        let t = policy.train_read_timeout(&small);
+        assert!(t >= policy.read_timeout && t < Duration::from_secs(3), "{t:?}");
+    }
 }
