@@ -33,6 +33,16 @@
 //! deliverable. `CHOREO_SWEEP_MAX_HOSTS` caps the ladder (CI runs
 //! 128/512; the 2048 rung is exercised locally).
 //!
+//! # Failure/recovery and saturation
+//!
+//! Two robustness scenarios close the bench. The **failover** scenario
+//! fails a quarter of the links at steady state, lets the drift
+//! detector and forced migration passes respond, recovers the links,
+//! and asserts the tenants end at ≥ half their pre-failure mean rate.
+//! The **saturation sweep** replays the same tenant shape at 1–8× the
+//! nominal arrival rate and locates the rejection knee (`sweep_load_*`
+//! keys); nominal load must be rejection-free.
+//!
 //! Emits `BENCH_online.json`.
 
 use std::sync::Arc;
@@ -40,10 +50,11 @@ use std::time::Instant;
 
 use choreo_bench::{pctile, JsonReport};
 use choreo_online::{
-    MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
+    DriftConfig, MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
 };
 use choreo_profile::{
-    TenantEvent, TenantEventKind, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig,
+    NetworkEvent, NetworkEventKind, TenantEvent, TenantEventKind, WorkloadGenConfig,
+    WorkloadStream, WorkloadStreamConfig,
 };
 use choreo_topology::{MultiRootedTreeSpec, RouteTable, Topology, SECS};
 
@@ -93,6 +104,12 @@ fn service_config(policy: PlacementPolicy, workers: usize) -> OnlineConfig {
             // The baseline must stay network-oblivious end to end.
             PlacementPolicy::Random(_) => MigrationConfig { cadence: None, ..Default::default() },
             PlacementPolicy::Greedy => MigrationConfig::default(),
+        },
+        // Drift re-measurement routes tenants into forced migration
+        // passes, so the baseline must have it off too.
+        drift: match policy {
+            PlacementPolicy::Random(_) => DriftConfig { cadence: None, ..Default::default() },
+            PlacementPolicy::Greedy => DriftConfig::default(),
         },
         ..Default::default()
     }
@@ -258,6 +275,118 @@ fn run_sweep(max_hosts: usize, warmup: usize, total: usize) -> Vec<SweepRung> {
     rungs
 }
 
+struct Failover {
+    prefail_bps: f64,
+    degraded_bps: f64,
+    recovered_bps: f64,
+    drift_detected: u64,
+    failure_migrations: u64,
+}
+
+/// The failure/recovery scenario: bring the 128-host service to steady
+/// state, fail every fourth link, let the drift detector and the forced
+/// migration passes fight back, recover the links, and let a few more
+/// re-measurement epochs settle. The deliverable is the acceptance bar
+/// that degraded tenants end up at ≥ half their pre-failure mean rate —
+/// drift-triggered re-placement working end to end, not just counted.
+fn run_failover() -> Failover {
+    let topo = Arc::new(bench_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let mut cfg = service_config(PlacementPolicy::Greedy, 0);
+    cfg.drift = DriftConfig { cadence: Some(5 * SECS), ..Default::default() };
+    let mut svc = SchedulerBuilder::new(Arc::clone(&topo), routes).config(cfg).seed(42).build();
+    for ev in stream(7).take(2_500) {
+        svc.step(&ev);
+    }
+    let t0 = svc.now();
+    let prefail = svc.mean_networked_score().expect("networked tenants running");
+    let failed: Vec<u32> = (0..topo.links().len() as u32).step_by(4).collect();
+    for &link in &failed {
+        svc.network_step(&NetworkEvent { at: t0 + SECS, link, kind: NetworkEventKind::LinkFail });
+    }
+    svc.advance_to(t0 + 16 * SECS); // three drift epochs under failure
+    let degraded = svc.mean_networked_score().expect("tenants still running");
+    for &link in &failed {
+        svc.network_step(&NetworkEvent {
+            at: t0 + 17 * SECS,
+            link,
+            kind: NetworkEventKind::LinkRecover,
+        });
+    }
+    svc.advance_to(t0 + 60 * SECS); // epochs after recovery: drift fires again
+    let recovered = svc.mean_networked_score().expect("tenants still running");
+    let s = svc.stats();
+    Failover {
+        prefail_bps: prefail,
+        degraded_bps: degraded,
+        recovered_bps: recovered,
+        drift_detected: s.drift_detected,
+        failure_migrations: s.failure_migrations,
+    }
+}
+
+struct SatPoint {
+    mult: u64,
+    rejected: u64,
+    queued: u64,
+    queue_depth: usize,
+    slo_misses: u64,
+}
+
+/// The offered-load saturation sweep: the same tenant shape at 1×, 2×,
+/// 4× and 8× the nominal arrival rate on a 32-host cluster with a short
+/// wait queue. The knee — the first load with rejections — must sit
+/// strictly above nominal: the service absorbs its design load without
+/// turning anyone away, and the sweep shows where that stops.
+fn run_saturation() -> (Vec<SatPoint>, u64) {
+    let topo = Arc::new(
+        MultiRootedTreeSpec {
+            cores: 2,
+            pods: 2,
+            aggs_per_pod: 2,
+            tors_per_pod: 4,
+            hosts_per_tor: 4,
+            ..Default::default()
+        }
+        .build(),
+    );
+    assert_eq!(topo.hosts().len(), 32);
+    let routes = Arc::new(RouteTable::new(&topo));
+    let mut points = Vec::new();
+    for mult in [1u64, 2, 4, 8] {
+        let cfg = WorkloadStreamConfig {
+            gen: WorkloadGenConfig {
+                tasks_min: 4,
+                tasks_max: 8,
+                mean_interarrival: 30 * SECS / mult,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut svc = SchedulerBuilder::new(Arc::clone(&topo), Arc::clone(&routes))
+            .config(OnlineConfig {
+                queue_capacity: 8,
+                ..service_config(PlacementPolicy::Greedy, 0)
+            })
+            .seed(42)
+            .build();
+        for ev in WorkloadStream::new(cfg, 13).take(2_000) {
+            svc.step(&ev);
+        }
+        let (met, total) = svc.slo_attainment(0.5);
+        let s = svc.stats();
+        points.push(SatPoint {
+            mult,
+            rejected: s.rejected,
+            queued: s.queued,
+            queue_depth: svc.queue_len(),
+            slo_misses: total - met,
+        });
+    }
+    let knee = points.iter().find(|p| p.rejected > 0).map_or(0, |p| p.mult);
+    (points, knee)
+}
+
 /// Run `total` events (the first `warmup` untimed), timing the steady
 /// state and, for greedy runs, each arrival's placement latency.
 fn run(policy: PlacementPolicy, workers: usize, warmup: usize, total: usize) -> Run {
@@ -350,6 +479,37 @@ fn main() {
     );
     let sweep = run_sweep(sweep_max_hosts, sweep_warmup, sweep_total);
 
+    // Failure and recovery: drift-triggered re-placement must carry the
+    // tenants back to at least half their pre-failure mean rate.
+    let fo = run_failover();
+    let recovery_ratio = fo.recovered_bps / fo.prefail_bps;
+    println!(
+        "failover\tprefail {:.1} Mbit/s\tdegraded {:.1} Mbit/s\trecovered {:.1} Mbit/s \
+         ({recovery_ratio:.2}x, {} drift detections, {} forced migrations)",
+        fo.prefail_bps / 1e6,
+        fo.degraded_bps / 1e6,
+        fo.recovered_bps / 1e6,
+        fo.drift_detected,
+        fo.failure_migrations
+    );
+    assert!(
+        recovery_ratio >= 0.5,
+        "tenants recovered only {recovery_ratio:.2}x of their pre-failure rate (need >= 0.5x)"
+    );
+
+    // Offered-load saturation: nominal load must be rejection-free and
+    // the knee must exist inside the sweep.
+    let (sat, knee) = run_saturation();
+    for p in &sat {
+        println!(
+            "saturation\t{}x load\t{} rejected\t{} queued\tqueue depth {}\t{} SLO misses",
+            p.mult, p.rejected, p.queued, p.queue_depth, p.slo_misses
+        );
+    }
+    println!("saturation\tknee at {knee}x nominal load");
+    assert_eq!(sat[0].rejected, 0, "nominal load must be rejection-free");
+    assert!(knee > 1, "the sweep must find a rejection knee above nominal load");
+
     let mut report = JsonReport::new("online_service")
         .int("hosts", 128)
         .int("events", total as u64)
@@ -381,7 +541,29 @@ fn main() {
                 0,
             );
     }
+    report = report
+        .num("failover_prefail_mbps", fo.prefail_bps / 1e6, 1)
+        .num("failover_degraded_mbps", fo.degraded_bps / 1e6, 1)
+        .num("failover_recovered_mbps", fo.recovered_bps / 1e6, 1)
+        .num("failover_recovery_ratio", recovery_ratio, 3)
+        .int("failover_drift_detected", fo.drift_detected)
+        .int("failover_failure_migrations", fo.failure_migrations)
+        .int("sweep_load_knee_multiplier", knee)
+        .int("sweep_load_nominal_rejected", sat[0].rejected);
+    for p in &sat {
+        report = report
+            .int(&format!("sweep_load_{}x_rejected", p.mult), p.rejected)
+            .int(&format!("sweep_load_{}x_queued", p.mult), p.queued)
+            .int(&format!("sweep_load_{}x_slo_misses", p.mult), p.slo_misses);
+    }
     report
-        .bool("pass", best.events_per_sec >= 10_000.0 && rate_gain >= 1.0)
+        .bool(
+            "pass",
+            best.events_per_sec >= 10_000.0
+                && rate_gain >= 1.0
+                && recovery_ratio >= 0.5
+                && sat[0].rejected == 0
+                && knee > 1,
+        )
         .write("BENCH_online.json");
 }

@@ -266,6 +266,12 @@ impl SolverMode {
 /// Numerical slop (bytes) below which a flow counts as finished.
 const DONE_EPS: f64 = 0.5;
 
+/// Residual rate of a failed link (bits/s): effectively zero for any
+/// workload, but positive so the max-min solver's "capacities are > 0"
+/// contract holds and flows pinned to a failed link converge to a
+/// measurably dead rate instead of a divide-by-zero.
+pub const FAILED_LINK_BPS: f64 = 1.0;
+
 impl FlowSim {
     /// Build a simulator. `loopback` is the capacity/delay model for
     /// co-located traffic (the paper's ≈4 Gbit/s same-host paths).
@@ -352,39 +358,6 @@ impl FlowSim {
         prev
     }
 
-    /// Deprecated shim for [`FlowSim::set_solver_mode`]. Returns the
-    /// number of pods found.
-    #[deprecated(note = "use set_solver_mode(SolverMode::Sharded { workers, pool: None })")]
-    pub fn enable_sharded(&mut self, workers: usize) -> usize {
-        self.set_solver_mode(SolverMode::Sharded { workers, pool: None });
-        self.sharded_pods().unwrap_or(0)
-    }
-
-    /// Deprecated shim for [`FlowSim::set_solver_mode`] with an attached
-    /// pool. Returns the number of pods found.
-    #[deprecated(note = "use set_solver_mode(SolverMode::Sharded { workers: 0, pool: Some(..) })")]
-    pub fn enable_sharded_with(&mut self, solver: ShardedSolver) -> usize {
-        self.set_solver_mode(SolverMode::Sharded { workers: 0, pool: Some(solver) });
-        self.sharded_pods().unwrap_or(0)
-    }
-
-    /// Deprecated shim for [`FlowSim::set_solver_mode`]: the previous
-    /// mode returned by `set_solver_mode(SolverMode::Warm)` carries the
-    /// detached solver.
-    #[deprecated(note = "use set_solver_mode(SolverMode::Warm) and read the returned mode's pool")]
-    pub fn take_sharded_solver(&mut self) -> Option<ShardedSolver> {
-        match self.set_solver_mode(SolverMode::Warm) {
-            SolverMode::Sharded { pool, .. } => pool,
-            SolverMode::Warm => None,
-        }
-    }
-
-    /// Deprecated shim for [`FlowSim::set_solver_mode`].
-    #[deprecated(note = "use set_solver_mode(SolverMode::Warm)")]
-    pub fn disable_sharded(&mut self) {
-        self.set_solver_mode(SolverMode::Warm);
-    }
-
     /// Pods of the active sharded path (`None` when sharding is off).
     pub fn sharded_pods(&self) -> Option<usize> {
         self.sharded.as_ref().map(|s| s.part.n_pods())
@@ -407,6 +380,79 @@ impl FlowSim {
         self.capacities.push(rate_bps);
         self.arena.grow_resources(self.capacities.len());
         HoseId(id.0)
+    }
+
+    // -------------------------------------------------- runtime capacity
+
+    /// Capacity currently configured for solver resource `resource`
+    /// (bits/s) — the runtime value, which [`FlowSim::set_capacity`] may
+    /// have moved off the topology's construction-time spec.
+    pub fn capacity(&self, resource: u32) -> f64 {
+        self.capacities[resource as usize]
+    }
+
+    /// Change one solver resource's capacity at runtime (bits/s, > 0).
+    ///
+    /// The resource is marked in the arena's dirty window
+    /// ([`FlowArena::touch_resource`]), so the next reallocation —
+    /// warm or sharded — re-solves **bit-identical** to a cold solve at
+    /// the new capacity: link failure is a cut to [`FAILED_LINK_BPS`],
+    /// recovery a restore, degradation a fractional cut. A no-op when
+    /// the capacity is already exactly `bits_per_sec`.
+    pub fn set_capacity(&mut self, resource: u32, bits_per_sec: f64) {
+        assert!(bits_per_sec > 0.0, "capacity must stay positive (failures use FAILED_LINK_BPS)");
+        let ri = resource as usize;
+        assert!(ri < self.capacities.len(), "set_capacity: bad resource {resource}");
+        if self.capacities[ri] == bits_per_sec {
+            return;
+        }
+        self.capacities[ri] = bits_per_sec;
+        self.arena.touch_resource(resource);
+        self.dirty = true;
+    }
+
+    /// Nominal (construction-time) rate of link `link`, bits/s.
+    pub fn link_nominal_bps(&self, link: u32) -> f64 {
+        self.topo.links()[link as usize].spec.rate_bps
+    }
+
+    /// Degrade both directions of link `link` to `fraction` of its
+    /// nominal rate (`0 < fraction ≤ 1`; `1` restores it).
+    pub fn degrade_link(&mut self, link: u32, fraction: f64) {
+        assert!(fraction > 0.0 && fraction <= 1.0, "degrade fraction out of (0, 1]");
+        let bps = self.link_nominal_bps(link) * fraction;
+        self.set_capacity(2 * link, bps);
+        self.set_capacity(2 * link + 1, bps);
+    }
+
+    /// Fail link `link`: both directions drop to [`FAILED_LINK_BPS`]
+    /// (effectively zero; the solver needs capacities to stay positive).
+    pub fn fail_link(&mut self, link: u32) {
+        self.set_capacity(2 * link, FAILED_LINK_BPS);
+        self.set_capacity(2 * link + 1, FAILED_LINK_BPS);
+    }
+
+    /// Restore link `link` to its nominal rate.
+    pub fn recover_link(&mut self, link: u32) {
+        let bps = self.link_nominal_bps(link);
+        self.set_capacity(2 * link, bps);
+        self.set_capacity(2 * link + 1, bps);
+    }
+
+    /// Fraction of the topology's nominal directed-link capacity
+    /// currently lost to failures/degradations (0 when healthy) — the
+    /// service's capacity-lost gauge.
+    pub fn capacity_lost_fraction(&self) -> f64 {
+        let mut nominal = 0.0;
+        let mut current = 0.0;
+        for (l, link) in self.topo.links().iter().enumerate() {
+            nominal += 2.0 * link.spec.rate_bps;
+            current += self.capacities[2 * l] + self.capacities[2 * l + 1];
+        }
+        if nominal <= 0.0 {
+            return 0.0;
+        }
+        ((nominal - current) / nominal).max(0.0)
     }
 
     fn push_event(&mut self, at: Nanos, ev: Ev) {
@@ -1091,22 +1137,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_sharded_shims_still_route_through_the_mode_switch() {
-        // One PR of grace: the old quartet must keep working, expressed
-        // through set_solver_mode underneath.
-        let mut s = sim(4, GBIT);
-        let pods = s.enable_sharded(2);
-        assert_eq!(Some(pods), s.sharded_pods());
-        let solver = s.take_sharded_solver().expect("was sharded");
-        assert_eq!(s.sharded_pods(), None);
-        assert_eq!(s.enable_sharded_with(solver), pods);
-        s.disable_sharded();
-        assert_eq!(s.sharded_pods(), None);
-        assert!(s.take_sharded_solver().is_none(), "nothing attached");
-    }
-
-    #[test]
     fn single_bounded_flow_completes_on_schedule() {
         let mut s = sim(1, GBIT);
         let (a, b) = (s.topology().hosts()[0], s.topology().hosts()[1]);
@@ -1417,6 +1447,57 @@ mod tests {
         let h = s.topology().hosts().to_vec();
         let f = s.start_flow_now(h[0], h[1], None, None, 1);
         s.release_flow(f);
+    }
+
+    #[test]
+    fn link_failure_degradation_and_recovery_move_live_rates() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let f = s.start_flow(h[0], h[2], None, None, 0, 1);
+        s.run_until(100 * MILLIS);
+        assert!((s.rate_bps(f) - 1e9).abs() < 1.0, "healthy shared link");
+        // The dumbbell's shared link is the last one; find it by nominal
+        // rate shape: every link here is 1 Gbit, so degrade the one the
+        // flow's probe path crosses — link ids are dense, just cut all of
+        // them to prove the plumbing reaches the solver.
+        let links = s.topology().link_count() as u32;
+        for l in 0..links {
+            s.degrade_link(l, 0.25);
+        }
+        s.run_until(200 * MILLIS);
+        assert!((s.rate_bps(f) - 0.25e9).abs() < 1.0, "degraded to a quarter");
+        for l in 0..links {
+            s.fail_link(l);
+        }
+        s.run_until(300 * MILLIS);
+        assert!(s.rate_bps(f) <= FAILED_LINK_BPS, "failed link strands the flow");
+        assert!(s.capacity_lost_fraction() > 0.99, "all link capacity gone");
+        for l in 0..links {
+            s.recover_link(l);
+        }
+        s.run_until(400 * MILLIS);
+        assert!((s.rate_bps(f) - 1e9).abs() < 1.0, "recovery restores the nominal rate");
+        assert_eq!(s.capacity_lost_fraction(), 0.0, "nothing lost after recovery");
+    }
+
+    #[test]
+    fn capacity_changes_keep_probes_and_trajectory_consistent() {
+        // A capacity change invalidates the probe log; the next probe
+        // must re-solve and see the new capacity, not the stale one.
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        let _bg = s.start_flow(h[1], h[3], None, None, 0, 9);
+        s.run_until(MILLIS);
+        let links = s.topology().link_count() as u32;
+        for l in 0..links {
+            s.degrade_link(l, 0.5);
+        }
+        let r = s.probe_rate(h[0], h[2], None);
+        assert!((r - 0.25e9).abs() < 1.0, "probe shares the degraded bottleneck: {r}");
+        // set_capacity with the current value is a no-op (no dirty solve).
+        let cap0 = s.capacity(0);
+        s.set_capacity(0, cap0);
+        assert!((s.probe_rate(h[0], h[2], None) - r).abs() < 1e-9);
     }
 
     #[test]

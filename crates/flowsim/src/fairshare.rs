@@ -115,6 +115,14 @@ pub struct FlowArena {
     dirty_slots: Vec<u32>,
     /// Per-slot membership flag for `dirty_slots`.
     dirty_slot_mark: Vec<bool>,
+    /// Resources whose **capacity** changed in the same window
+    /// ([`FlowArena::touch_resource`]) — a subset of `dirty` kept
+    /// separately so the sharded split can propagate capacity changes to
+    /// the owning shards without treating every flow-churned resource as
+    /// capacity-churned.
+    dirty_caps: Vec<u32>,
+    /// Per-resource membership flag for `dirty_caps`.
+    dirty_cap_mark: Vec<bool>,
 }
 
 impl FlowArena {
@@ -124,6 +132,7 @@ impl FlowArena {
             rev: vec![Vec::new(); n_resources],
             users_cnt: vec![0; n_resources],
             dirty_mark: vec![false; n_resources],
+            dirty_cap_mark: vec![false; n_resources],
             ..FlowArena::default()
         }
     }
@@ -139,6 +148,7 @@ impl FlowArena {
             self.rev.resize_with(n_resources, Vec::new);
             self.users_cnt.resize(n_resources, 0);
             self.dirty_mark.resize(n_resources, false);
+            self.dirty_cap_mark.resize(n_resources, false);
             self.generation = self.generation.wrapping_add(1);
         }
     }
@@ -289,6 +299,37 @@ impl FlowArena {
         }
     }
 
+    /// Record an **external** perturbation of resource `r` — a capacity
+    /// change — in the same dirty window flow churn uses.
+    ///
+    /// The solver rebuilds per-resource slack from the caller's
+    /// `capacities` slice on every solve, so a capacity change needs no
+    /// state transfer: seeding `r` as perturbed is enough for
+    /// [`MaxMinSolver::solve_warm`] (and the sharded reconciliation) to
+    /// re-validate every logged round `r` participates in and fall back
+    /// to live filling from the first round the new capacity actually
+    /// changes — bit-identical to a cold solve at the new capacity.
+    /// Bumps the generation, so probe logs recorded against the old
+    /// capacity stop matching ([`MaxMinSolver::log_matches`]) and are
+    /// re-recorded before the next what-if.
+    pub fn touch_resource(&mut self, r: u32) {
+        assert!((r as usize) < self.rev.len(), "touch: bad resource {r}");
+        self.mark_dirty(r);
+        if !self.dirty_cap_mark[r as usize] {
+            self.dirty_cap_mark[r as usize] = true;
+            self.dirty_caps.push(r);
+        }
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Resources announced through [`FlowArena::touch_resource`] since the
+    /// dirty window was last closed — the capacity-churn subset of
+    /// [`FlowArena::dirty_resources`], consumed by the sharded split to
+    /// mark the owning shards dirty.
+    pub fn dirty_capacities(&self) -> &[u32] {
+        &self.dirty_caps
+    }
+
     /// Dirty set size (tests / diagnostics).
     pub fn dirty_len(&self) -> usize {
         self.dirty.len()
@@ -328,6 +369,10 @@ impl FlowArena {
             self.dirty_slot_mark[f as usize] = false;
         }
         self.dirty_slots.clear();
+        for &r in &self.dirty_caps {
+            self.dirty_cap_mark[r as usize] = false;
+        }
+        self.dirty_caps.clear();
     }
 
     /// Hand slot `f`'s block (if any) to the free lists.
@@ -760,8 +805,13 @@ impl MaxMinSolver {
     /// freshly logged), so consecutive churn events chain warm and probes
     /// keep working. With no valid log to start from, this *is* a cold
     /// `solve_logged`. `capacities` must extend the slice used by the
-    /// previous solve (existing entries unchanged; growth for new
-    /// resources is fine).
+    /// previous solve: growth for new resources is always fine, and an
+    /// existing entry may change **only if** the resource was announced
+    /// through [`FlowArena::touch_resource`] since the previous solve —
+    /// the walk rebuilds slack from the current capacities and treats
+    /// touched resources as perturbed, so announced capacity changes
+    /// (link failure, degradation, recovery) re-solve bit-identical to a
+    /// cold solve at the new capacities.
     ///
     /// Takes the arena mutably because the call *consumes* the dirty
     /// window (see [`FlowArena::dirty_resources`]); for the same reason at
@@ -1756,6 +1806,54 @@ mod tests {
         // No-op churn (identical flow set): the whole log revalidates.
         solver.solve_warm(&caps, &mut arena, &mut rates);
         assert_warm_matches_cold(&rates, &arena, &caps);
+    }
+
+    #[test]
+    fn warm_solve_bitmatches_cold_after_capacity_changes() {
+        let mut caps = vec![10.0, 8.0, 6.0, 12.0, 5.0, 300.0];
+        let mut arena = FlowArena::new(caps.len());
+        let mut slots = Vec::new();
+        for f in [vec![0u32, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![0, 5]] {
+            slots.push(arena.add(&f));
+        }
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        // Degradation: fractional cut on one resource.
+        caps[1] = 2.0;
+        arena.touch_resource(1);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Failure: capacity to (nearly) nothing.
+        caps[3] = 1e-3;
+        arena.touch_resource(3);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // Recovery mixed with flow churn in the same dirty window.
+        caps[3] = 12.0;
+        arena.touch_resource(3);
+        arena.remove(slots[1]);
+        slots[1] = arena.add(&[1, 4]);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+        // A touch with no actual change still chains exactly.
+        arena.touch_resource(0);
+        solver.solve_warm(&caps, &mut arena, &mut rates);
+        assert_warm_matches_cold(&rates, &arena, &caps);
+    }
+
+    #[test]
+    fn touch_resource_invalidates_probe_log() {
+        let caps = [10.0];
+        let mut arena = FlowArena::new(1);
+        arena.add(&[0]);
+        let mut solver = MaxMinSolver::new();
+        let mut rates = Vec::new();
+        solver.solve_logged(&caps, &arena, &mut rates);
+        assert!(solver.log_matches(&arena));
+        arena.touch_resource(0);
+        assert!(!solver.log_matches(&arena), "stale capacities must not serve probes");
+        assert_eq!(arena.dirty_capacities(), &[0], "capacity touch recorded");
     }
 
     #[test]

@@ -137,6 +137,25 @@
 //! routes the event loop's reallocation through it when the topology has
 //! ≥ 2 pods, falling back to warm/cold solves otherwise.
 //!
+//! # Runtime network events: capacity as a first-class input
+//!
+//! Link capacities are no longer frozen at construction.
+//! [`FlowSim::set_capacity`] changes one solver resource at runtime, and
+//! the link-level helpers express the paper's drift/failure vocabulary:
+//! [`FlowSim::degrade_link`] (fractional cut), [`FlowSim::fail_link`]
+//! (cut to [`FAILED_LINK_BPS`], effectively zero but solver-legal) and
+//! [`FlowSim::recover_link`] (restore the construction-time spec). The
+//! lifecycle is *inject → dirty-window re-solve*: a capacity change marks
+//! its resource in the arena's existing dirty window
+//! ([`FlowArena::touch_resource`]), so the next reallocation — warm or
+//! sharded, any worker count — treats it as a perturbation and re-solves
+//! **bit-identical** to a cold solve at the new capacities. No special
+//! event type, no trajectory fork: capacity churn composes with flow
+//! churn in the same window, which is what keeps fault-laden runs
+//! deterministic across repeats and solver modes. The layers above
+//! (`choreo-online`'s network-event step, `choreo-service`'s
+//! `InjectNetworkEvent` request) drive exactly these entry points.
+//!
 //! Entry point: [`FlowSim`]. One-shot callers can still use
 //! [`max_min_rates`].
 
@@ -146,7 +165,7 @@ pub mod pool;
 pub mod scenario;
 pub mod shard;
 
-pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId, SolverMode};
+pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId, SolverMode, FAILED_LINK_BPS};
 pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 pub use pool::SolvePool;
 pub use scenario::{ScenarioCtx, ScenarioPool};

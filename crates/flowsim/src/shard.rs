@@ -262,6 +262,21 @@ impl ShardedArena {
             }
         }
         self.valid_gen = Some(arena.generation());
+        // Capacity changes ([`FlowArena::touch_resource`]) ride the same
+        // dirty window as flow churn but touch no slot: seed each one into
+        // its owning pod's sub-arena — the pod's warm re-solve then treats
+        // the resource as perturbed and re-solves bit-identical to a cold
+        // shard solve at the new capacity — and mark the pod dirty so the
+        // driver actually re-solves it. Spine-owned changes need no pod
+        // work: spine resources are crossed only by boundary flows, which
+        // the reconciliation runs live (and the seed below covers them).
+        for &r in arena.dirty_capacities() {
+            let p = part.shard_of(r) as usize;
+            if p < n_pods {
+                self.subs[p].touch_resource(r);
+                self.sub_dirty[p] = true;
+            }
+        }
         // The boundary seed is a function of the current boundary set;
         // rebuild it (O(boundary path lengths)).
         for &r in &self.boundary_res {
@@ -275,6 +290,17 @@ impl ShardedArena {
                     self.seed_mark[ri] = true;
                     self.boundary_res.push(r);
                 }
+            }
+        }
+        // Capacity-dirty resources join the reconciliation seed too — a
+        // safe over-approximation (the walk just checks their live shares
+        // explicitly) that keeps spine capacity changes covered even when
+        // no boundary flow currently crosses them.
+        for &r in arena.dirty_capacities() {
+            let ri = r as usize;
+            if !self.seed_mark[ri] {
+                self.seed_mark[ri] = true;
+                self.boundary_res.push(r);
             }
         }
     }
@@ -414,9 +440,10 @@ unsafe fn run_shard(p: *mut ()) {
 /// multi-worker paths alike. The flip side of the chaining is the
 /// warm-solve contract: between consecutive `solve_sharded` calls on
 /// one arena, no other consumer may close the arena's dirty window and
-/// the capacities of existing resources must not change (growing the
-/// space for new resources is fine). To re-point a solver (and its warm
-/// pool) at a **different** arena, call [`ShardedSolver::reset`] first.
+/// an existing resource's capacity may change only when announced
+/// through [`FlowArena::touch_resource`] (growing the space for new
+/// resources is always fine). To re-point a solver (and its warm pool)
+/// at a **different** arena, call [`ShardedSolver::reset`] first.
 #[derive(Debug, Default)]
 pub struct ShardedSolver {
     view: ShardedArena,
@@ -515,7 +542,8 @@ impl ShardedSolver {
         }
         // Re-solve only the shards the churn touched; a clean shard's
         // previous log is still exact (its sub-arena did not change, and
-        // capacities must not either — the warm-solve contract). Each
+        // any capacity change would have marked its pod dirty via the
+        // split's capacity propagation — the warm-solve contract). Each
         // shard re-solve is itself warm-started off the shard's previous
         // log via the sub-arena's own dirty window, which this driver
         // exclusively owns — bit-identical to a cold shard solve, so the
@@ -864,6 +892,45 @@ mod tests {
         assert_eq!(rates.len(), cold_rates.len());
         for (slot, (a, b)) in rates.iter().zip(&cold_rates).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "slot {slot}: sharded {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn capacity_changes_reconcile_bit_exactly_across_chained_solves() {
+        let part = part3();
+        for workers in [1usize, 2, 8] {
+            let mut caps = vec![10.0, 8.0, 6.0, 12.0, 5.0, 9.0, 20.0, 4.0];
+            let mut arena = FlowArena::new(caps.len());
+            // Local flows in every pod plus boundary flows.
+            arena.add(&[0, 1]);
+            arena.add(&[2, 3]);
+            arena.add(&[4, 5]);
+            arena.add(&[1, 2]);
+            arena.add(&[0, 6, 4]);
+            let mut sharded = ShardedSolver::new(workers);
+            let mut main = MaxMinSolver::new();
+            let mut rates = Vec::new();
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+            assert_matches_cold(&caps, &arena, &rates);
+            // Pod-owned degradation: only pod 0 should need a re-solve,
+            // and the chained result must still bit-match a cold solve.
+            caps[1] = 2.0;
+            arena.touch_resource(1);
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+            assert_matches_cold(&caps, &arena, &rates);
+            // Spine failure: capacity to (nearly) nothing.
+            caps[6] = 1e-3;
+            arena.touch_resource(6);
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+            assert_matches_cold(&caps, &arena, &rates);
+            // Recovery plus flow churn in the same dirty window.
+            caps[6] = 20.0;
+            arena.touch_resource(6);
+            caps[1] = 8.0;
+            arena.touch_resource(1);
+            arena.add(&[2]);
+            sharded.solve_sharded(&caps, &mut arena, &part, &mut main, &mut rates);
+            assert_matches_cold(&caps, &arena, &rates);
         }
     }
 

@@ -133,4 +133,44 @@ mod tests {
     fn percentile_empty_rejected() {
         percentile(&mut [], 0.5);
     }
+
+    #[test]
+    fn empty_and_single_sample_series_yield_no_errors() {
+        let empty = StabilitySeries::new(10 * SECS, vec![]);
+        assert!(empty.relative_errors(10 * SECS).is_empty());
+        // One sample has no predecessor at any lag.
+        let one = StabilitySeries::new(10 * SECS, vec![1e9]);
+        assert!(one.relative_errors(10 * SECS).is_empty());
+        assert!(one.relative_errors(1).is_empty());
+    }
+
+    #[test]
+    fn all_zero_samples_yield_no_errors_and_no_nans() {
+        // λ_c = 0 would divide by zero; the cur > 0 filter must drop
+        // those points instead of emitting NaN.
+        let zeros = StabilitySeries::new(SECS, vec![0.0; 16]);
+        assert!(zeros.relative_errors(SECS).is_empty());
+        // Mixed zeros: only positive currents are scored, and a zero
+        // predecessor gives a finite 100% error, never NaN or inf.
+        let mixed = StabilitySeries::new(SECS, vec![0.0, 2.0, 0.0, 4.0]);
+        let errs = mixed.relative_errors(SECS);
+        assert_eq!(errs, vec![1.0, 1.0]);
+        assert!(errs.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn tau_beyond_the_series_yields_no_errors() {
+        // Lag 180 against 3 samples: nothing to predict from. The error
+        // set is empty rather than panicking or wrapping — callers (the
+        // drift detector) gate on relative_errors directly.
+        let s = StabilitySeries::new(10 * SECS, vec![1.0, 2.0, 3.0]);
+        assert!(s.relative_errors(1800 * SECS).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than lag")]
+    fn mean_error_beyond_the_series_panics_loudly() {
+        // mean_error's contract stays a loud panic, not a quiet NaN.
+        StabilitySeries::new(10 * SECS, vec![1.0, 2.0]).mean_error(1800 * SECS);
+    }
 }

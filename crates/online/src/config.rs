@@ -50,6 +50,38 @@ impl Default for MigrationConfig {
     }
 }
 
+/// Knobs of the re-measurement cadence and drift detector.
+///
+/// The paper measures every path each epoch and leans on the §4.1
+/// stability result (≤ 6 % relative error for 95 % of paths over a
+/// 30-minute horizon) to measure *infrequently*. The online service
+/// inverts that: it re-measures each running tenant's service score on a
+/// cadence, keeps the per-epoch scores in a
+/// [`choreo_measure::stability::StabilitySeries`], and treats a
+/// last-epoch relative error **above** the paper's envelope as network
+/// drift — something moved underneath the tenant (congestion, a
+/// degraded or recovered link), so the tenant is routed into the
+/// migration planner ahead of its normal cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Re-measure every running networked tenant on this simulated-time
+    /// cadence (`None` disables drift detection).
+    pub cadence: Option<Nanos>,
+    /// A tenant counts as drifted when its last-epoch relative error
+    /// `|cur − prev| / cur` exceeds this. Default `0.06` — the paper's
+    /// §4.1 stability envelope: larger epoch-over-epoch error than the
+    /// measured cloud baseline means the network changed, not noise.
+    pub threshold: f64,
+    /// Epoch scores retained per tenant (the drift series window).
+    pub window: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { cadence: Some(30 * SECS), threshold: 0.06, window: 8 }
+    }
+}
+
 /// Configuration of an [`crate::OnlineScheduler`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct OnlineConfig {
@@ -79,6 +111,8 @@ pub struct OnlineConfig {
     pub workers: usize,
     /// Background migration planner knobs.
     pub migration: MigrationConfig,
+    /// Re-measurement cadence and drift detector knobs.
+    pub drift: DriftConfig,
 }
 
 impl Default for OnlineConfig {
@@ -92,6 +126,7 @@ impl Default for OnlineConfig {
             policy: PlacementPolicy::Greedy,
             workers: 0,
             migration: MigrationConfig::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -107,5 +142,6 @@ mod tests {
         assert!(c.candidate_hosts >= 2 && c.queue_capacity > 0);
         assert!(c.migration.degraded_fraction < 1.0);
         assert!(c.migration.min_improvement > 0.0);
+        assert!(c.drift.threshold > 0.0 && c.drift.window >= 2);
     }
 }

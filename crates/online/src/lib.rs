@@ -42,15 +42,43 @@
 //! [`ServiceStats`]. Both are observational only — nothing reads them
 //! back into placement.
 //!
+//! # Network drift and failures
+//!
+//! The network under the service is not frozen
+//! ([`choreo_profile::netstream`]): link failures, degradations and
+//! maintenance drains arrive as [`choreo_profile::NetworkEvent`]s,
+//! `(at)`-merged with the tenant stream (tenants win ties), and flow
+//! through [`OnlineScheduler::network_step`] into the simulator's
+//! runtime-capacity path ([`choreo_flowsim::FlowSim::set_capacity`]).
+//! The adaptation loop closes in three stages:
+//!
+//! 1. **inject** — the event cuts or restores capacity in the arena's
+//!    dirty window; the next reallocation re-solves bit-identical to a
+//!    cold solve at the new capacities, for any worker count;
+//! 2. **detect** — a re-measurement cadence ([`DriftConfig`]) refreshes
+//!    every running tenant's service score into a
+//!    [`choreo_measure::stability::StabilitySeries`]; an
+//!    epoch-over-epoch relative error above the paper's §4.1 stability
+//!    envelope (6 %) is *drift* — the network moved under the tenant.
+//!    Link failures additionally scan for stranded tenants on the spot;
+//! 3. **migrate** — drifted and failure-stranded tenants are forced
+//!    into the migration planner ahead of its cadence (cooldown and
+//!    degradation arming bypassed; the hysteresis bar still gates every
+//!    move). Admission degrades gracefully through the same queue, and
+//!    rejections during a failure epoch are counted separately
+//!    (`choreo_failure_rejected_total`).
+//!
 //! Whole service runs are **reproducible bit-for-bit**: the same event
 //! stream, seed and config give the same trajectory digest
 //! ([`ServiceStats::trace_hash`]) for any solver worker count, because
-//! warm and sharded solves are bit-identical. `crates/service` wraps
-//! this scheduler in a networked request loop and re-asserts the same
-//! digest equality through its simulated transport. `bench_online`
-//! measures the service at 10k+ tenant events/sec on a 128-host
-//! topology and compares mean tenant service rates against the
-//! random-placement baseline (`BENCH_online.json`).
+//! warm and sharded solves are bit-identical — and network events are
+//! digested like any other decision, so fault-laden runs replay
+//! exactly. `crates/service` wraps this scheduler in a networked
+//! request loop and re-asserts the same digest equality through its
+//! simulated transport. `bench_online` measures the service at 10k+
+//! tenant events/sec on a 128-host topology and compares mean tenant
+//! service rates against the random-placement baseline
+//! (`BENCH_online.json`).
 
 pub mod builder;
 pub mod config;
@@ -61,7 +89,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use builder::SchedulerBuilder;
-pub use config::{MigrationConfig, OnlineConfig, PlacementPolicy};
+pub use config::{DriftConfig, MigrationConfig, OnlineConfig, PlacementPolicy};
 pub use metrics::ServiceMetrics;
 pub use rater::LiveRater;
 pub use scheduler::OnlineScheduler;
@@ -242,6 +270,101 @@ mod tests {
         assert_eq!(s.stats().migrations, 1, "no flapping");
         s.sim_mut().stop_flows_now(&keys);
         s.step(&TenantEvent { at: 2 * SECS, tenant: 0, kind: TenantEventKind::Depart });
+        s.check_invariants();
+    }
+
+    #[test]
+    fn forced_pass_bypasses_cooldown_and_counts_failure_migrations() {
+        // Same setup as the planner test, but the cooldown is armed so
+        // the cadence scan must skip the victim; only the forced route
+        // (drift/failure) may move it.
+        let cfg = OnlineConfig {
+            cores_per_host: 1.0,
+            migration: MigrationConfig {
+                cadence: None,
+                cooldown: 100 * SECS,
+                degraded_fraction: 0.8,
+                min_improvement: 0.10,
+                budget: 4,
+            },
+            drift: DriftConfig { cadence: None, ..DriftConfig::default() },
+            ..OnlineConfig::default()
+        };
+        let mut s = service(cfg);
+        s.step(&arrive(0, 0, pair_app("victim", 1.0)));
+        let before = s.tenant_placement(0).expect("admitted").clone();
+        let (a, b) = (before.assignment[0] as usize, before.assignment[1] as usize);
+        let hosts = s.sim_mut().topology().hosts().to_vec();
+        for _ in 0..7 {
+            s.sim_mut().start_flow_now(hosts[a], hosts[b], None, None, u64::MAX);
+        }
+        s.sim_mut().run_until(SECS);
+        s.force_migration_pass();
+        assert_eq!(s.stats().migrations, 0, "cooldown holds the cadence scan back");
+        s.migration_pass_forced(&[0]);
+        assert_eq!(s.stats().migrations, 1, "forced tenant moved");
+        assert_eq!(s.stats().failure_migrations, 1, "counted as a forced migration");
+        assert!(
+            s.stats()
+                .decisions()
+                .recent()
+                .iter()
+                .any(|d| d.kind == DecisionKind::ForcedMigration && d.tenant == 0),
+            "trace explains the forced move"
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn failures_and_recoveries_drive_drift_detection() {
+        use choreo_profile::{NetworkEvent, NetworkEventKind};
+        // One networked tenant; measurement every second; fail every
+        // link, then recover — both capacity swings must read as drift.
+        let cfg = OnlineConfig {
+            cores_per_host: 1.0,
+            migration: MigrationConfig { cadence: None, ..MigrationConfig::default() },
+            drift: DriftConfig { cadence: Some(SECS), threshold: 0.06, window: 4 },
+            ..OnlineConfig::default()
+        };
+        let mut s = service(cfg);
+        s.step(&arrive(0, 0, pair_app("a", 1.0)));
+        let n_links = s.sim_mut().topology().links().len() as u32;
+        // t = 1 s: first epoch score (healthy). t = 1.5 s: every link
+        // degrades to 40 % of nominal — a uniform cut, so the forced
+        // planner has nowhere better and the drift series survives.
+        for l in 0..n_links {
+            s.network_step(&NetworkEvent {
+                at: SECS + SECS / 2,
+                link: l,
+                kind: NetworkEventKind::LinkDegrade { fraction: 0.4 },
+            });
+        }
+        assert_eq!(s.stats().network_events, n_links as u64);
+        let lost = s.sim_mut().capacity_lost_fraction();
+        assert!((lost - 0.6).abs() < 0.05, "≈60 % of capacity gone: {lost}");
+        // t = 2 s: epoch sees the collapse → drift.
+        s.advance_to(2 * SECS + SECS / 4);
+        let after_cut = s.stats().drift_detected;
+        assert!(after_cut >= 1, "degradation reads as drift");
+        assert!(
+            s.stats()
+                .decisions()
+                .recent()
+                .iter()
+                .any(|d| d.kind == DecisionKind::DriftDetected && d.tenant == 0),
+            "trace explains the drift verdict"
+        );
+        for l in 0..n_links {
+            s.network_step(&NetworkEvent {
+                at: 2 * SECS + SECS / 2,
+                link: l,
+                kind: NetworkEventKind::LinkRecover,
+            });
+        }
+        assert_eq!(s.sim_mut().capacity_lost_fraction(), 0.0, "capacity restored");
+        // t = 3 s: epoch sees the recovery jump → drift again.
+        s.advance_to(3 * SECS + SECS / 4);
+        assert!(s.stats().drift_detected > after_cut, "recovery reads as drift");
         s.check_invariants();
     }
 }

@@ -61,6 +61,22 @@ pub struct ServiceMetrics {
     /// (`choreo_slo_attainment`, refreshed by
     /// [`crate::OnlineScheduler::slo_attainment`]).
     pub slo_attainment: Gauge,
+    /// Network events applied — failures, degradations, drains,
+    /// recoveries (`choreo_link_events_total`).
+    pub link_events: Counter,
+    /// Drift detections by the re-measurement pass
+    /// (`choreo_drift_detected_total`).
+    pub drift_detected: Counter,
+    /// Tenants moved by a forced, drift/failure-triggered pass
+    /// (`choreo_failure_migrations_total`).
+    pub failure_migrations: Counter,
+    /// Arrivals rejected while links were down
+    /// (`choreo_failure_rejected_total`).
+    pub failure_rejections: Counter,
+    /// Fraction of the cluster's nominal directed link capacity
+    /// currently lost to failures, degradations and drains
+    /// (`choreo_capacity_lost_fraction`).
+    pub capacity_lost: Gauge,
 }
 
 impl ServiceMetrics {
@@ -82,6 +98,11 @@ impl ServiceMetrics {
             active_tenants: Gauge::new(),
             placement_latency: Histogram::new(latency_bounds()),
             slo_attainment: Gauge::new(),
+            link_events: Counter::new(),
+            drift_detected: Counter::new(),
+            failure_migrations: Counter::new(),
+            failure_rejections: Counter::new(),
+            capacity_lost: Gauge::new(),
         }
     }
 
@@ -120,6 +141,26 @@ impl ServiceMetrics {
             slo_attainment: registry.gauge(
                 "choreo_slo_attainment",
                 "Fraction of running networked tenants meeting their SLO",
+            ),
+            link_events: registry.counter(
+                "choreo_link_events_total",
+                "Network events applied (failures, degradations, drains, recoveries)",
+            ),
+            drift_detected: registry.counter(
+                "choreo_drift_detected_total",
+                "Drift detections by the re-measurement pass",
+            ),
+            failure_migrations: registry.counter(
+                "choreo_failure_migrations_total",
+                "Tenants moved by a forced, drift/failure-triggered pass",
+            ),
+            failure_rejections: registry.counter(
+                "choreo_failure_rejected_total",
+                "Arrivals rejected while links were down",
+            ),
+            capacity_lost: registry.gauge(
+                "choreo_capacity_lost_fraction",
+                "Fraction of nominal link capacity lost to failures and drains",
             ),
         }
     }

@@ -44,29 +44,49 @@ struct PlannedMove {
     gain: f64,
     tenant: TenantId,
     placement: Placement,
+    /// The tenant was forced into this pass (drift or link failure)
+    /// rather than picked up by the cadence scan.
+    forced: bool,
 }
 
 impl OnlineScheduler {
     /// One cluster-wide planning pass; called from the event loop on the
     /// cadence clock (or [`OnlineScheduler::force_migration_pass`]).
     pub(crate) fn migration_pass(&mut self) {
+        self.migration_pass_inner(&[]);
+    }
+
+    /// A pass with `forced` tenants scanned ahead of the normal rules:
+    /// drift detections and link failures route tenants here, bypassing
+    /// the cooldown and the degraded-fraction arm (the network already
+    /// gave the evidence). The move itself still has to clear the
+    /// hysteresis bar — forcing a tenant in never forces it to move.
+    pub(crate) fn migration_pass_forced(&mut self, forced: &[TenantId]) {
+        self.migration_pass_inner(forced);
+    }
+
+    fn migration_pass_inner(&mut self, forced: &[TenantId]) {
         self.stats.migration_passes += 1;
         self.metrics.migration_passes.inc();
         self.stats.note(0x4d); // 'M'
         let now = self.sim.now();
-        self.stats.decide(now, TenantId::MAX, DecisionKind::MigrationPass, 0.0);
+        self.stats.decide(now, TenantId::MAX, DecisionKind::MigrationPass, forced.len() as f64);
         let cooldown = self.cfg.migration.cooldown;
         let degraded_fraction = self.cfg.migration.degraded_fraction;
         let min_improvement = self.cfg.migration.min_improvement;
+        let is_forced = |id: TenantId| forced.binary_search(&id).is_ok();
+        debug_assert!(forced.windows(2).all(|w| w[0] < w[1]), "forced ids sorted, unique");
 
         // Phase 1: scan for degraded tenants, in id order, carrying each
         // one's current score into phase 2 (probes and placement
         // searches are side-effect-free, so the score cannot drift
-        // between the phases).
+        // between the phases). Forced tenants skip the cooldown and the
+        // degradation arm.
         let mut degraded: Vec<(TenantId, f64)> = Vec::new();
         for id in 0..self.tenants.len() {
             let Some(t) = self.tenants[id].as_ref() else { continue };
-            if now.saturating_sub(t.last_move_at) < cooldown {
+            let forced_in = is_forced(id as TenantId);
+            if !forced_in && now.saturating_sub(t.last_move_at) < cooldown {
                 continue;
             }
             if t.flows.iter().all(|fl| fl.is_empty()) {
@@ -75,7 +95,7 @@ impl OnlineScheduler {
             let flows = t.flows.clone();
             let baseline = t.baseline;
             let current = self.service_score(&flows);
-            if current < degraded_fraction * baseline {
+            if forced_in || current < degraded_fraction * baseline {
                 degraded.push((id as TenantId, current));
             }
         }
@@ -103,6 +123,7 @@ impl OnlineScheduler {
                     gain: predicted / current,
                     tenant: id,
                     placement: candidate,
+                    forced: is_forced(id),
                 });
             }
         }
@@ -114,7 +135,7 @@ impl OnlineScheduler {
             b.gain.partial_cmp(&a.gain).expect("finite gains").then(a.tenant.cmp(&b.tenant))
         });
         for m in moves.into_iter().take(self.cfg.migration.budget) {
-            self.execute_move(m.tenant, m.placement);
+            self.execute_move(m.tenant, m.placement, m.forced);
         }
     }
 
@@ -158,8 +179,9 @@ impl OnlineScheduler {
     /// new one (same modeled transfers, same intensity), refreshing its
     /// baseline and cooldown. Skips the move if the new placement no
     /// longer fits the CPU ledger (an earlier move this pass took the
-    /// room).
-    fn execute_move(&mut self, id: TenantId, placement: Placement) {
+    /// room). `forced` marks drift/failure-triggered moves for the
+    /// trace and the `choreo_failure_migrations_total` counter.
+    fn execute_move(&mut self, id: TenantId, placement: Placement, forced: bool) {
         let t = self.tenants[id as usize].take().expect("planned moves target running tenants");
         self.load.remove(&t.app, &t.placement);
         let fits = {
@@ -194,7 +216,14 @@ impl OnlineScheduler {
         }
         self.stats.note_f64(baseline);
         let now = self.sim.now();
-        self.stats.decide(now, id, DecisionKind::Migrate, baseline);
+        if forced {
+            self.stats.failure_migrations += 1;
+            self.metrics.failure_migrations.inc();
+            self.stats.note(0x46); // 'F' — the move was forced
+            self.stats.decide(now, id, DecisionKind::ForcedMigration, baseline);
+        } else {
+            self.stats.decide(now, id, DecisionKind::Migrate, baseline);
+        }
         self.tenants[id as usize] = Some(crate::scheduler::Tenant {
             app: t.app,
             placement,
@@ -203,6 +232,7 @@ impl OnlineScheduler {
             flows,
             baseline,
             last_move_at: now,
+            epoch_scores: Vec::new(),
         });
     }
 }

@@ -1,14 +1,17 @@
 //! The always-on placement service.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use choreo_flowsim::{FlowKey, FlowSim, SolverMode};
+use choreo_measure::stability::StabilitySeries;
 use choreo_place::greedy::GreedyPlacer;
 use choreo_place::problem::{validate, Machines, NetworkLoad, Placement};
 use choreo_place::RandomPlacer;
-use choreo_profile::{AppProfile, TenantEvent, TenantEventKind, TenantId};
-use choreo_topology::{Nanos, NodeId, RouteTable, Topology};
+use choreo_profile::{
+    AppProfile, NetworkEvent, NetworkEventKind, ServiceEvent, TenantEvent, TenantEventKind,
+    TenantId,
+};
+use choreo_topology::{Nanos, NodeId};
 
 use crate::builder::SchedulerBuilder;
 use crate::config::{OnlineConfig, PlacementPolicy};
@@ -35,6 +38,12 @@ pub(crate) struct Tenant {
     pub(crate) baseline: f64,
     /// When the tenant was last placed or moved (cooldown anchor).
     pub(crate) last_move_at: Nanos,
+    /// Per-epoch service scores from the re-measurement pass (bounded
+    /// by [`crate::DriftConfig::window`]) — the drift detector's
+    /// [`StabilitySeries`] input. Reset on every (re)placement and
+    /// intensity change: drift means the *network* moved under an
+    /// unchanged tenant.
+    pub(crate) epoch_scores: Vec<f64>,
 }
 
 /// The online multi-tenant placement service.
@@ -69,19 +78,19 @@ pub struct OnlineScheduler {
     pub(crate) stats: ServiceStats,
     pub(crate) metrics: ServiceMetrics,
     next_migration_at: Nanos,
+    next_measure_at: Nanos,
+    /// Links currently failed (`true` while a `LinkFail` is open) —
+    /// distinguishes failure recoveries from drain/degrade ends and
+    /// tells admission whether a rejection happened with capacity
+    /// genuinely gone.
+    failed_links: Vec<bool>,
+    links_down: usize,
     active: usize,
     /// Scratch: candidate-host subset of the current placement attempt.
     cand: Vec<u32>,
 }
 
 impl OnlineScheduler {
-    /// Service over `topo` with one VM per host. The seed drives the
-    /// simulator's ECMP draws (and the random-placement baseline).
-    #[deprecated(note = "use `SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()`")]
-    pub fn new(topo: Arc<Topology>, routes: Arc<RouteTable>, cfg: OnlineConfig, seed: u64) -> Self {
-        SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()
-    }
-
     /// [`SchedulerBuilder::build`]'s target — all construction funnels
     /// through here.
     pub(crate) fn from_builder(b: SchedulerBuilder) -> Self {
@@ -90,6 +99,11 @@ impl OnlineScheduler {
         assert!(cfg.max_modeled_transfers >= 1, "model at least one transfer per tenant");
         if let Some(c) = cfg.migration.cadence {
             assert!(c > 0, "migration cadence must be positive");
+        }
+        if let Some(c) = cfg.drift.cadence {
+            assert!(c > 0, "drift cadence must be positive");
+            assert!(cfg.drift.window >= 2, "drift needs at least two epochs");
+            assert!(cfg.drift.threshold > 0.0, "drift threshold must be positive");
         }
         let mut sim = FlowSim::new(topo.clone(), routes, cfg.loopback, seed);
         let mode = solver_mode.unwrap_or(if cfg.workers > 0 {
@@ -105,6 +119,8 @@ impl OnlineScheduler {
             PlacementPolicy::Greedy => seed,
         };
         let next_migration_at = cfg.migration.cadence.unwrap_or(Nanos::MAX);
+        let next_measure_at = cfg.drift.cadence.unwrap_or(Nanos::MAX);
+        let n_links = topo.links().len();
         OnlineScheduler {
             sim,
             hosts,
@@ -117,6 +133,9 @@ impl OnlineScheduler {
             stats: ServiceStats::with_trace_capacity(trace_capacity),
             metrics,
             next_migration_at,
+            next_measure_at,
+            failed_links: vec![false; n_links],
+            links_down: 0,
             active: 0,
             cand: Vec::new(),
         }
@@ -198,16 +217,51 @@ impl OnlineScheduler {
         (met, total)
     }
 
+    /// Mean current service score over the running tenants with at
+    /// least one networked transfer (`None` when no tenant is
+    /// networked). Like [`OnlineScheduler::slo_attainment`] this reads
+    /// the live allocation without touching the digest — the bench's
+    /// failure/recovery probe.
+    pub fn mean_networked_score(&mut self) -> Option<f64> {
+        let snapshot: Vec<Vec<Vec<FlowKey>>> = self
+            .tenants
+            .iter()
+            .flatten()
+            .filter(|t| t.flows.iter().any(|fl| !fl.is_empty()))
+            .map(|t| t.flows.clone())
+            .collect();
+        if snapshot.is_empty() {
+            return None;
+        }
+        let sum: f64 = snapshot.iter().map(|flows| self.service_score(flows)).sum();
+        Some(sum / snapshot.len() as f64)
+    }
+
     // ----------------------------------------------------------- the loop
 
-    /// Advance simulated time to `at`, running any migration passes that
-    /// come due on the way. [`OnlineScheduler::step`] does this itself;
-    /// callers that want to time the dispatch alone (the latency
-    /// percentiles in `bench_online`) advance first so the timed step is
-    /// pure event handling.
+    /// Advance simulated time to `at`, running any re-measurement and
+    /// migration passes that come due on the way (measurement first at
+    /// ties, so fresh drift verdicts feed the same instant's planner
+    /// pass). [`OnlineScheduler::step`] does this itself; callers that
+    /// want to time the dispatch alone (the latency percentiles in
+    /// `bench_online`) advance first so the timed step is pure event
+    /// handling.
     pub fn advance_to(&mut self, at: Nanos) {
         let at = at.max(self.sim.now());
-        self.run_due_migration_passes(at);
+        loop {
+            let next = self.next_measure_at.min(self.next_migration_at);
+            if next > at {
+                break;
+            }
+            self.sim.run_until(next);
+            if self.next_measure_at <= self.next_migration_at {
+                self.measurement_pass();
+                self.next_measure_at = next + self.cfg.drift.cadence.expect("cadence set");
+            } else {
+                self.migration_pass();
+                self.next_migration_at = next + self.cfg.migration.cadence.expect("cadence set");
+            }
+        }
         self.sim.run_until(at);
     }
 
@@ -229,6 +283,14 @@ impl OnlineScheduler {
         self.metrics.active_tenants.set(self.active as f64);
     }
 
+    /// Consume one event of a merged tenant + network stream.
+    pub fn service_step(&mut self, ev: &ServiceEvent) {
+        match ev {
+            ServiceEvent::Tenant(t) => self.step(t),
+            ServiceEvent::Network(n) => self.network_step(n),
+        }
+    }
+
     /// Consume a whole stream.
     pub fn run<I: IntoIterator<Item = TenantEvent>>(&mut self, events: I) {
         for ev in events {
@@ -236,13 +298,127 @@ impl OnlineScheduler {
         }
     }
 
-    fn run_due_migration_passes(&mut self, upto: Nanos) {
-        let Some(cadence) = self.cfg.migration.cadence else { return };
-        while self.next_migration_at <= upto {
-            let t = self.next_migration_at;
-            self.sim.run_until(t);
-            self.migration_pass();
-            self.next_migration_at = t + cadence;
+    /// Consume one network event: advance simulated time, apply the
+    /// capacity change to the live simulator (one dirty-window
+    /// perturbation — the next reallocation re-solves bit-identical to
+    /// cold at the new capacities), and, on a failure, route every
+    /// tenant the failure degraded into a forced migration pass ahead
+    /// of the cadence. Fully digested: fault-laden runs stay
+    /// bit-reproducible across repeats and solver worker counts.
+    pub fn network_step(&mut self, ev: &NetworkEvent) {
+        self.advance_to(ev.at);
+        self.stats.network_events += 1;
+        self.metrics.link_events.inc();
+        self.stats.note(0x4e); // 'N'
+        self.stats.note((ev.link as u64) << 8 | network_event_code(&ev.kind));
+        let fraction = match ev.kind {
+            NetworkEventKind::LinkDegrade { fraction } => {
+                self.sim.degrade_link(ev.link, fraction);
+                fraction
+            }
+            NetworkEventKind::DrainStart { fraction } => {
+                self.sim.degrade_link(ev.link, fraction);
+                fraction
+            }
+            NetworkEventKind::LinkFail => {
+                self.sim.fail_link(ev.link);
+                let was = std::mem::replace(&mut self.failed_links[ev.link as usize], true);
+                if !was {
+                    self.links_down += 1;
+                }
+                0.0
+            }
+            NetworkEventKind::LinkRecover | NetworkEventKind::DrainEnd => {
+                self.sim.recover_link(ev.link);
+                let was = std::mem::replace(&mut self.failed_links[ev.link as usize], false);
+                if was {
+                    self.links_down -= 1;
+                }
+                1.0
+            }
+        };
+        self.stats.note_f64(fraction);
+        let now = self.sim.now();
+        self.stats.decide(now, TenantId::MAX, DecisionKind::NetworkEvent, fraction);
+        self.metrics.capacity_lost.set(self.sim.capacity_lost_fraction());
+        if matches!(ev.kind, NetworkEventKind::LinkFail) {
+            // Failure-stranded tenants must not wait out the cadence:
+            // force everyone the failure actually degraded into a pass
+            // now. The planner's hysteresis still gates each move, so a
+            // tenant with no better place to go stays put.
+            let forced = self.degraded_tenant_ids();
+            if !forced.is_empty() {
+                self.migration_pass_forced(&forced);
+            }
+        }
+    }
+
+    /// Running networked tenants currently scoring below the planner's
+    /// degraded fraction of their baseline, in id order.
+    fn degraded_tenant_ids(&mut self) -> Vec<TenantId> {
+        let frac = self.cfg.migration.degraded_fraction;
+        let mut out = Vec::new();
+        for id in 0..self.tenants.len() {
+            let Some(t) = self.tenants[id].as_ref() else { continue };
+            if t.flows.iter().all(|fl| fl.is_empty()) {
+                continue;
+            }
+            let flows = t.flows.clone();
+            let baseline = t.baseline;
+            if self.service_score(&flows) < frac * baseline {
+                out.push(id as TenantId);
+            }
+        }
+        out
+    }
+
+    /// One re-measurement epoch: refresh every running networked
+    /// tenant's service score into its [`StabilitySeries`] and compare
+    /// against the previous epoch. A relative error above the drift
+    /// threshold (the paper's §4.1 stability envelope — more change
+    /// than a healthy cloud path shows) marks the tenant drifted; all
+    /// drifted tenants are routed into a forced migration pass
+    /// immediately, ahead of the planner's own cadence.
+    fn measurement_pass(&mut self) {
+        self.stats.measurement_passes += 1;
+        self.stats.note(0x50); // 'P'
+        let interval = self.cfg.drift.cadence.expect("measurement runs only with a cadence");
+        let threshold = self.cfg.drift.threshold;
+        let window = self.cfg.drift.window;
+        let now = self.sim.now();
+        let mut drifted: Vec<(TenantId, f64)> = Vec::new();
+        for id in 0..self.tenants.len() {
+            let Some(t) = self.tenants[id].as_ref() else { continue };
+            if t.flows.iter().all(|fl| fl.is_empty()) {
+                continue; // co-located: no network under it to drift
+            }
+            let flows = t.flows.clone();
+            let score = self.service_score(&flows);
+            self.stats.note_f64(score);
+            let t = self.tenants[id].as_mut().expect("still running");
+            t.epoch_scores.push(score);
+            if t.epoch_scores.len() > window {
+                t.epoch_scores.remove(0);
+            }
+            if t.epoch_scores.len() >= 2 {
+                let series = StabilitySeries::new(interval, t.epoch_scores.clone());
+                if let Some(&err) = series.relative_errors(interval).last() {
+                    if err > threshold {
+                        drifted.push((id as TenantId, err));
+                    }
+                }
+            }
+        }
+        for &(id, err) in &drifted {
+            self.stats.drift_detected += 1;
+            self.metrics.drift_detected.inc();
+            self.stats.note(0x64); // 'd'
+            self.stats.note(id);
+            self.stats.decide(now, id, DecisionKind::DriftDetected, err);
+        }
+        if !drifted.is_empty() {
+            let forced: Vec<TenantId> = drifted.iter().map(|&(id, _)| id).collect();
+            self.migration_pass_forced(&forced);
         }
     }
 
@@ -290,9 +466,19 @@ impl OnlineScheduler {
             None => {
                 self.stats.rejected += 1;
                 self.metrics.rejected.inc();
-                self.stats.note(0x52); // 'R'
-                let now = self.sim.now();
-                self.stats.decide(now, id, DecisionKind::Reject, 0.0);
+                // Count *why* capacity was gone: a rejection during a
+                // failure epoch is the network's fault, not sizing's.
+                if self.links_down > 0 {
+                    self.stats.failure_rejections += 1;
+                    self.metrics.failure_rejections.inc();
+                    self.stats.note(0x72); // 'r'
+                    let now = self.sim.now();
+                    self.stats.decide(now, id, DecisionKind::FailureReject, 0.0);
+                } else {
+                    self.stats.note(0x52); // 'R'
+                    let now = self.sim.now();
+                    self.stats.decide(now, id, DecisionKind::Reject, 0.0);
+                }
             }
         }
     }
@@ -386,6 +572,7 @@ impl OnlineScheduler {
             flows,
             baseline,
             last_move_at: now,
+            epoch_scores: Vec::new(),
         });
         self.active += 1;
     }
@@ -537,6 +724,10 @@ impl OnlineScheduler {
         // planner.
         t.baseline *= t.intensity as f64 / intensity as f64;
         t.intensity = intensity;
+        // The per-connection score just changed by the tenant's own
+        // hand; a fresh drift series keeps self-induced sharing from
+        // reading as network drift.
+        t.epoch_scores.clear();
         let baseline = t.baseline;
         self.stats.note_f64(baseline);
         let now = self.sim.now();
@@ -607,5 +798,15 @@ fn event_code(kind: &TenantEventKind) -> u64 {
         TenantEventKind::Arrive { .. } => 1,
         TenantEventKind::SetIntensity { .. } => 2,
         TenantEventKind::Depart => 3,
+    }
+}
+
+fn network_event_code(kind: &NetworkEventKind) -> u64 {
+    match kind {
+        NetworkEventKind::LinkDegrade { .. } => 1,
+        NetworkEventKind::LinkFail => 2,
+        NetworkEventKind::LinkRecover => 3,
+        NetworkEventKind::DrainStart { .. } => 4,
+        NetworkEventKind::DrainEnd => 5,
     }
 }

@@ -26,6 +26,20 @@ pub enum DecisionKind {
     Migrate,
     /// A cluster-wide migration pass ran (tenant is `u64::MAX`).
     MigrationPass,
+    /// A link failed, degraded, drained or recovered (tenant is
+    /// `u64::MAX`; value is the remaining capacity fraction on that
+    /// link — 0 for failures, 1 for recoveries).
+    NetworkEvent,
+    /// The re-measurement pass found the tenant's epoch-over-epoch
+    /// score moved more than the drift threshold (value is the
+    /// relative error).
+    DriftDetected,
+    /// The tenant was moved by a pass it was *forced* into — drift or
+    /// link failure routed it to the planner ahead of the cadence.
+    ForcedMigration,
+    /// Arrival rejected while the cluster had failed links: capacity
+    /// was genuinely gone, not merely queued away.
+    FailureReject,
 }
 
 /// One entry of the decision trace: when, who, what, and the decision's
@@ -125,6 +139,18 @@ pub struct ServiceStats {
     /// Arrivals ignored because the tenant id was already running or
     /// queued (duplicate delivery).
     pub duplicate_arrivals: u64,
+    /// Network events consumed (failures, degradations, drains,
+    /// recoveries).
+    pub network_events: u64,
+    /// Re-measurement passes executed.
+    pub measurement_passes: u64,
+    /// Drift detections: a tenant's epoch-over-epoch score moved more
+    /// than the configured threshold.
+    pub drift_detected: u64,
+    /// Tenants moved by a forced (drift- or failure-triggered) pass.
+    pub failure_migrations: u64,
+    /// Arrivals rejected while links were down (capacity truly gone).
+    pub failure_rejections: u64,
     rate_sum_bps: f64,
     hash: u64,
     trace: TraceRing,
@@ -156,6 +182,11 @@ impl ServiceStats {
             migrations: 0,
             departed: 0,
             duplicate_arrivals: 0,
+            network_events: 0,
+            measurement_passes: 0,
+            drift_detected: 0,
+            failure_migrations: 0,
+            failure_rejections: 0,
             rate_sum_bps: 0.0,
             hash: FNV_OFFSET,
             trace: TraceRing::new(capacity),

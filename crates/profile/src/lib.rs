@@ -22,11 +22,14 @@
 //! (distribution samplers built on `rand`), [`synth`] (workload generation),
 //! [`predict`] (hour-over-hour predictability analysis), [`stream`]
 //! (seeded multi-tenant arrival/departure/load-change event streams for
-//! the online placement service).
+//! the online placement service), [`netstream`] (seeded link
+//! failure/degradation/drain event streams merged with the tenant
+//! stream so fault-laden service runs stay bit-reproducible).
 
 pub mod app;
 pub mod dist;
 pub mod matrix;
+pub mod netstream;
 pub mod phased;
 pub mod predict;
 pub mod records;
@@ -35,6 +38,10 @@ pub mod synth;
 
 pub use app::AppProfile;
 pub use matrix::TrafficMatrix;
+pub use netstream::{
+    merge_events, NetworkEvent, NetworkEventKind, NetworkEventStream, NetworkEventStreamConfig,
+    ServiceEvent,
+};
 pub use phased::{Phase, PhasedApp};
 pub use records::FlowRecord;
 pub use stream::{TenantEvent, TenantEventKind, TenantId, WorkloadStream, WorkloadStreamConfig};

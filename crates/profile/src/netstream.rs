@@ -1,0 +1,394 @@
+//! Seeded network-event streams: link failures, degradations and drains.
+//!
+//! Choreo's motivating measurement (§4.1, fig. 7) is that cloud network
+//! performance *changes* — across hours and across days — and a placement
+//! that was right at admission can be wrong an epoch later. This module
+//! turns that observation into a first-class, reproducible input: a
+//! [`NetworkEventStream`] is a seeded, time-ordered iterator of
+//! [`NetworkEvent`]s (full link failures, fractional degradations and
+//! scheduled maintenance drains, each paired with its recovery) that the
+//! online service merges with its tenant stream and replays into
+//! `FlowSim::set_capacity`-style entry points.
+//!
+//! Incidents follow an **exponential inter-incident clock** (memoryless,
+//! like measured failure processes) and repairs a **log-normal holding
+//! time** (heavy-tailed — most repairs are quick, some drag), both drawn
+//! from [`crate::dist`]. A link never holds two incidents at once: an
+//! incident drawn for a busy link is skipped, deterministically, so the
+//! stream stays well-formed (every `LinkFail`/`LinkDegrade`/`DrainStart`
+//! is closed by exactly one `LinkRecover`/`DrainEnd`).
+//!
+//! # Determinism contract for merged streams
+//!
+//! The stream is bit-reproducible from `(config, seed)`. When merged
+//! with a tenant stream ([`merge_events`]), ordering is total: events
+//! are taken in `at` order, **tenant events win ties** (a tenant must
+//! exist before the network can strand it, and the rule must not depend
+//! on heap or iterator internals), and within each stream the original
+//! order is preserved. The merged sequence — and therefore the whole
+//! service trajectory, including the solver's, at any worker count — is
+//! a pure function of the two seeds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use choreo_topology::{Nanos, SECS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{exponential, log_normal};
+use crate::stream::TenantEvent;
+
+/// What happened to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkEventKind {
+    /// The link's capacity dropped to `fraction` of nominal (0 < f < 1).
+    LinkDegrade {
+        /// Remaining fraction of nominal capacity.
+        fraction: f64,
+    },
+    /// The link went down (capacity effectively zero).
+    LinkFail,
+    /// The link's incident ended; capacity is back to nominal.
+    LinkRecover,
+    /// Operator maintenance drain began: capacity cut to `fraction` of
+    /// nominal while traffic is shifted away.
+    DrainStart {
+        /// Remaining fraction of nominal capacity during the drain.
+        fraction: f64,
+    },
+    /// The maintenance drain ended; capacity is back to nominal.
+    DrainEnd,
+}
+
+/// One event of the network stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkEvent {
+    /// When the event happens.
+    pub at: Nanos,
+    /// Which (undirected) topology link it concerns.
+    pub link: u32,
+    /// What happened.
+    pub kind: NetworkEventKind,
+}
+
+/// Configuration of a [`NetworkEventStream`].
+#[derive(Debug, Clone)]
+pub struct NetworkEventStreamConfig {
+    /// Number of links incidents are drawn over (`0..n_links`).
+    pub n_links: u32,
+    /// Mean of the exponential inter-incident clock (across all links).
+    pub mean_time_between_incidents: Nanos,
+    /// Log-normal µ of incident durations, in ln(nanoseconds).
+    pub repair_mu: f64,
+    /// Log-normal σ of incident durations.
+    pub repair_sigma: f64,
+    /// Probability an incident is a full failure (vs degradation/drain).
+    pub fail_prob: f64,
+    /// Probability an incident is a maintenance drain.
+    pub drain_prob: f64,
+    /// Degradations keep a uniform fraction in this range (lo, hi).
+    pub degrade_range: (f64, f64),
+    /// Drains cut capacity to this fraction of nominal.
+    pub drain_fraction: f64,
+}
+
+impl Default for NetworkEventStreamConfig {
+    fn default() -> Self {
+        NetworkEventStreamConfig {
+            n_links: 1,
+            mean_time_between_incidents: 60 * SECS,
+            // Median repair ≈ 20 s, heavy-tailed.
+            repair_mu: (20.0 * 1e9f64).ln(),
+            repair_sigma: 0.6,
+            fail_prob: 0.4,
+            drain_prob: 0.2,
+            degrade_range: (0.25, 0.75),
+            drain_fraction: 0.5,
+        }
+    }
+}
+
+/// A scheduled recovery waiting in the heap, ordered by `(at, seq)` so
+/// simultaneous recoveries pop FIFO and the stream is total-ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingEnd {
+    at: Nanos,
+    seq: u64,
+    link: u32,
+    drain: bool,
+}
+
+impl PartialOrd for PendingEnd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingEnd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic, time-ordered stream of network incidents and
+/// recoveries. Implements [`Iterator`] and is infinite — cap it with
+/// `take` or by event time. Equal `(config, seed)` yield identical
+/// streams.
+pub struct NetworkEventStream {
+    cfg: NetworkEventStreamConfig,
+    rng: StdRng,
+    /// The next incident time, pre-drawn so it merges against the heap.
+    next_incident: Nanos,
+    pending: BinaryHeap<Reverse<PendingEnd>>,
+    seq: u64,
+    /// Links currently holding an incident (no overlapping incidents).
+    busy: Vec<bool>,
+}
+
+impl NetworkEventStream {
+    /// New stream; equal seeds yield identical event sequences.
+    pub fn new(cfg: NetworkEventStreamConfig, seed: u64) -> Self {
+        assert!(cfg.n_links >= 1, "need at least one link");
+        assert!(
+            cfg.fail_prob >= 0.0 && cfg.drain_prob >= 0.0 && cfg.fail_prob + cfg.drain_prob <= 1.0,
+            "fail/drain probabilities must sum to at most 1"
+        );
+        let (lo, hi) = cfg.degrade_range;
+        assert!(0.0 < lo && lo <= hi && hi < 1.0, "degrade range must sit inside (0, 1)");
+        assert!(0.0 < cfg.drain_fraction && cfg.drain_fraction < 1.0, "drain fraction in (0, 1)");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6E65_7473); // "nets"
+        let first =
+            exponential(&mut rng, cfg.mean_time_between_incidents as f64).min(1e15) as Nanos;
+        let busy = vec![false; cfg.n_links as usize];
+        NetworkEventStream {
+            cfg,
+            rng,
+            next_incident: first,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            busy,
+        }
+    }
+
+    fn draw_next_incident(&mut self) {
+        let dt = exponential(&mut self.rng, self.cfg.mean_time_between_incidents as f64).min(1e15)
+            as Nanos;
+        self.next_incident = self.next_incident.saturating_add(dt.max(1));
+    }
+
+    fn draw_duration(&mut self) -> Nanos {
+        log_normal(&mut self.rng, self.cfg.repair_mu, self.cfg.repair_sigma).clamp(1e6, 1e14)
+            as Nanos
+    }
+}
+
+impl Iterator for NetworkEventStream {
+    type Item = NetworkEvent;
+
+    fn next(&mut self) -> Option<NetworkEvent> {
+        loop {
+            // Recoveries win ties against new incidents: a link must be
+            // free again before it can hold the next incident, and the
+            // rule must not depend on heap internals.
+            if let Some(&Reverse(p)) = self.pending.peek() {
+                if p.at <= self.next_incident {
+                    self.pending.pop();
+                    self.busy[p.link as usize] = false;
+                    let kind = if p.drain {
+                        NetworkEventKind::DrainEnd
+                    } else {
+                        NetworkEventKind::LinkRecover
+                    };
+                    return Some(NetworkEvent { at: p.at, link: p.link, kind });
+                }
+            }
+            let at = self.next_incident;
+            self.draw_next_incident();
+            let link = self.rng.gen_range(0..self.cfg.n_links);
+            // Drawing the duration unconditionally keeps the RNG
+            // trajectory independent of which links happen to be busy.
+            let duration = self.draw_duration();
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            if self.busy[link as usize] {
+                // Link already holds an incident: skip this draw. Time
+                // strictly advanced, so the loop terminates.
+                continue;
+            }
+            let (start, drain) = if u < self.cfg.fail_prob {
+                (NetworkEventKind::LinkFail, false)
+            } else if u < self.cfg.fail_prob + self.cfg.drain_prob {
+                (NetworkEventKind::DrainStart { fraction: self.cfg.drain_fraction }, true)
+            } else {
+                let (lo, hi) = self.cfg.degrade_range;
+                let f = lo + (hi - lo) * self.rng.gen_range(0.0..1.0);
+                (NetworkEventKind::LinkDegrade { fraction: f }, false)
+            };
+            self.busy[link as usize] = true;
+            self.seq += 1;
+            self.pending.push(Reverse(PendingEnd {
+                at: at.saturating_add(duration),
+                seq: self.seq,
+                link,
+                drain,
+            }));
+            return Some(NetworkEvent { at, link, kind: start });
+        }
+    }
+}
+
+/// One event of a merged tenant + network service stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceEvent {
+    /// A tenant arrived, changed intensity, or departed.
+    Tenant(TenantEvent),
+    /// A link failed, degraded, drained, or recovered.
+    Network(NetworkEvent),
+}
+
+impl ServiceEvent {
+    /// When the event happens.
+    pub fn at(&self) -> Nanos {
+        match self {
+            ServiceEvent::Tenant(e) => e.at,
+            ServiceEvent::Network(e) => e.at,
+        }
+    }
+}
+
+/// Stable `(at)`-merge of a tenant stream and a network stream, both
+/// already time-ordered. **Tenant events win ties** and each stream's
+/// internal order is preserved, so the result is a total order that is
+/// a pure function of the two input sequences — the determinism
+/// contract the service's trace hash relies on.
+pub fn merge_events(tenants: Vec<TenantEvent>, network: Vec<NetworkEvent>) -> Vec<ServiceEvent> {
+    let mut out = Vec::with_capacity(tenants.len() + network.len());
+    let mut t = tenants.into_iter().peekable();
+    let mut n = network.into_iter().peekable();
+    loop {
+        match (t.peek(), n.peek()) {
+            (Some(te), Some(ne)) => {
+                if te.at <= ne.at {
+                    out.push(ServiceEvent::Tenant(t.next().expect("peeked")));
+                } else {
+                    out.push(ServiceEvent::Network(n.next().expect("peeked")));
+                }
+            }
+            (Some(_), None) => out.push(ServiceEvent::Tenant(t.next().expect("peeked"))),
+            (None, Some(_)) => out.push(ServiceEvent::Network(n.next().expect("peeked"))),
+            (None, None) => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{WorkloadStream, WorkloadStreamConfig};
+    use crate::synth::WorkloadGenConfig;
+
+    fn cfg() -> NetworkEventStreamConfig {
+        NetworkEventStreamConfig {
+            n_links: 8,
+            mean_time_between_incidents: 10 * SECS,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_deterministic() {
+        let a: Vec<NetworkEvent> = NetworkEventStream::new(cfg(), 7).take(400).collect();
+        let b: Vec<NetworkEvent> = NetworkEventStream::new(cfg(), 7).take(400).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        for w in a.windows(2) {
+            assert!(w[0].at <= w[1].at, "events in time order");
+        }
+        let c: Vec<NetworkEvent> = NetworkEventStream::new(cfg(), 8).take(400).collect();
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn incidents_are_well_formed_and_never_overlap() {
+        let events: Vec<NetworkEvent> = NetworkEventStream::new(cfg(), 3).take(600).collect();
+        let mut open: Vec<Option<bool>> = vec![None; 8]; // Some(drain?) while down
+        let mut starts = 0usize;
+        let mut fails = 0usize;
+        let mut degrades = 0usize;
+        let mut drains = 0usize;
+        for e in &events {
+            let slot = &mut open[e.link as usize];
+            match e.kind {
+                NetworkEventKind::LinkFail => {
+                    assert!(slot.is_none(), "no overlapping incidents");
+                    *slot = Some(false);
+                    starts += 1;
+                    fails += 1;
+                }
+                NetworkEventKind::LinkDegrade { fraction } => {
+                    assert!(slot.is_none(), "no overlapping incidents");
+                    assert!((0.25..0.75).contains(&fraction), "fraction {fraction}");
+                    *slot = Some(false);
+                    starts += 1;
+                    degrades += 1;
+                }
+                NetworkEventKind::DrainStart { fraction } => {
+                    assert!(slot.is_none(), "no overlapping incidents");
+                    assert_eq!(fraction, 0.5);
+                    *slot = Some(true);
+                    starts += 1;
+                    drains += 1;
+                }
+                NetworkEventKind::LinkRecover => {
+                    assert_eq!(*slot, Some(false), "recover closes a fail/degrade");
+                    *slot = None;
+                }
+                NetworkEventKind::DrainEnd => {
+                    assert_eq!(*slot, Some(true), "drain end closes a drain");
+                    *slot = None;
+                }
+            }
+        }
+        assert!(starts > 100, "long streams see real churn: {starts}");
+        assert!(fails > 0 && degrades > 0 && drains > 0, "{fails}/{degrades}/{drains}");
+    }
+
+    #[test]
+    fn merge_is_time_ordered_tenants_win_ties_and_orders_preserved() {
+        let tcfg = WorkloadStreamConfig {
+            gen: WorkloadGenConfig { mean_interarrival: 5 * SECS, ..Default::default() },
+            ..Default::default()
+        };
+        let tenants: Vec<TenantEvent> = WorkloadStream::new(tcfg, 7).take(200).collect();
+        let network: Vec<NetworkEvent> = NetworkEventStream::new(cfg(), 7).take(200).collect();
+        let merged = merge_events(tenants.clone(), network.clone());
+        assert_eq!(merged.len(), 400);
+        for w in merged.windows(2) {
+            assert!(w[0].at() <= w[1].at(), "merged stream in time order");
+            if w[0].at() == w[1].at() {
+                // Tenants win ties: never a network event before a
+                // tenant event at the same instant.
+                assert!(
+                    !(matches!(w[0], ServiceEvent::Network(_))
+                        && matches!(w[1], ServiceEvent::Tenant(_))),
+                    "tenant events win ties"
+                );
+            }
+        }
+        let t_back: Vec<&TenantEvent> = merged
+            .iter()
+            .filter_map(|e| match e {
+                ServiceEvent::Tenant(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let n_back: Vec<&NetworkEvent> = merged
+            .iter()
+            .filter_map(|e| match e {
+                ServiceEvent::Network(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert!(t_back.iter().zip(&tenants).all(|(a, b)| **a == *b), "tenant order preserved");
+        assert!(n_back.iter().zip(&network).all(|(a, b)| **a == *b), "network order preserved");
+    }
+}

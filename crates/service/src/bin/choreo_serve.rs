@@ -152,6 +152,17 @@ fn smoke(flags: &Flags) -> Result<(), String> {
         }
         other => return Err(format!("stats: unexpected reply {other:?}")),
     }
+    // One injected link-failure/recovery round-trip: the service must
+    // apply both events and count them.
+    use choreo_profile::NetworkEventKind;
+    for (at, kind) in
+        [(1_000_000, NetworkEventKind::LinkFail), (2_000_000, NetworkEventKind::LinkRecover)]
+    {
+        match rpc(&mut c, &ServiceRequest::InjectNetworkEvent { at, link: 0, kind })? {
+            ServiceResponse::Done => println!("injected {kind:?} on link 0"),
+            other => return Err(format!("inject: unexpected reply {other:?}")),
+        }
+    }
     // The in-band exposition must show the admission too.
     let text = match rpc(&mut c, &ServiceRequest::Metrics)? {
         ServiceResponse::MetricsText(t) => t,
@@ -174,17 +185,30 @@ fn check_exposition(what: &str, text: &str) -> Result<(), String> {
         "choreo_queue_depth",
         "choreo_placement_latency_seconds_bucket",
         "choreo_slo_attainment",
+        "choreo_drift_detected_total",
+        "choreo_failure_migrations_total",
+        "choreo_capacity_lost_fraction",
     ] {
         if !text.contains(needle) {
             return Err(format!("{what}: missing {needle} in exposition"));
         }
     }
-    let admitted = text
-        .lines()
-        .find_map(|l| l.strip_prefix("choreo_admitted_total "))
-        .ok_or_else(|| format!("{what}: no choreo_admitted_total sample"))?;
-    if admitted.trim().parse::<f64>().map(|v| v < 1.0).unwrap_or(true) {
-        return Err(format!("{what}: choreo_admitted_total = {admitted}, expected >= 1"));
+    let sample = |name: &str| {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .ok_or_else(|| format!("{what}: no {name} sample"))
+    };
+    if sample("choreo_admitted_total")? < 1.0 {
+        return Err(format!("{what}: choreo_admitted_total < 1"));
+    }
+    // The failure/recovery round-trip injected exactly two link events,
+    // and recovery restored every bit of capacity.
+    if sample("choreo_link_events_total")? < 2.0 {
+        return Err(format!("{what}: choreo_link_events_total < 2 after the injected round-trip"));
+    }
+    if sample("choreo_capacity_lost_fraction")? != 0.0 {
+        return Err(format!("{what}: capacity still lost after recovery"));
     }
     Ok(())
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use choreo_metrics::{Counter, Registry};
 use choreo_online::{OnlineConfig, OnlineScheduler, SchedulerBuilder};
-use choreo_profile::{TenantEvent, TenantEventKind};
+use choreo_profile::{NetworkEvent, TenantEvent, TenantEventKind};
 use choreo_topology::{Nanos, RouteTable, Topology};
 use choreo_wire::{ServiceRequest, ServiceResponse, ServiceStatsReply};
 
@@ -234,6 +234,18 @@ impl<E: ServiceEnv> PlacementService<E> {
                 self.scheduler.force_migration_pass();
                 ServiceResponse::Done
             }
+            ServiceRequest::InjectNetworkEvent { at, link, kind } => {
+                // Wire-supplied link ids index the capacity table; bound
+                // them here so a hostile frame cannot panic the service.
+                let n_links = self.scheduler.sim_mut().topology().links().len() as u32;
+                if link >= n_links {
+                    return ServiceResponse::Error(format!(
+                        "link {link} out of range (topology has {n_links} links)"
+                    ));
+                }
+                self.scheduler.network_step(&NetworkEvent { at, link, kind });
+                ServiceResponse::Done
+            }
             ServiceRequest::Shutdown => ServiceResponse::Done,
         }
     }
@@ -366,6 +378,59 @@ mod tests {
         assert!(text.contains("choreo_admitted_total 1"), "{text}");
         assert!(text.contains("choreo_placement_latency_seconds_bucket"), "{text}");
         assert!(text.contains("choreo_slo_attainment 1"), "{text}");
+    }
+
+    #[test]
+    fn injected_network_events_flow_through_to_metrics() {
+        use choreo_profile::NetworkEventKind;
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(2) }),
+            (
+                20,
+                1,
+                ServiceRequest::InjectNetworkEvent {
+                    at: 20,
+                    link: 0,
+                    kind: NetworkEventKind::LinkFail,
+                },
+            ),
+            (
+                30,
+                1,
+                ServiceRequest::InjectNetworkEvent {
+                    at: 30,
+                    link: 0,
+                    kind: NetworkEventKind::LinkRecover,
+                },
+            ),
+            (
+                40,
+                1,
+                ServiceRequest::InjectNetworkEvent {
+                    at: 40,
+                    link: 9_999,
+                    kind: NetworkEventKind::LinkFail,
+                },
+            ),
+            (50, 1, ServiceRequest::Metrics),
+        ]);
+        svc.run();
+        assert_eq!(svc.scheduler().stats().network_events, 2);
+        svc.scheduler_mut().check_invariants();
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        assert_eq!(rs[1], ServiceResponse::Done);
+        assert_eq!(rs[2], ServiceResponse::Done);
+        assert!(
+            matches!(&rs[3], ServiceResponse::Error(e) if e.contains("out of range")),
+            "{:?}",
+            rs[3]
+        );
+        let ServiceResponse::MetricsText(text) = &rs[4] else { panic!("{:?}", rs[4]) };
+        assert!(text.contains("choreo_link_events_total 2"), "{text}");
+        assert!(text.contains("choreo_capacity_lost_fraction 0"), "{text}");
+        assert!(text.contains("choreo_drift_detected_total"), "{text}");
+        assert!(text.contains("choreo_failure_migrations_total"), "{text}");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! — but responses never reorder.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use choreo_profile::{AppProfile, TenantId, TrafficMatrix};
+use choreo_profile::{AppProfile, NetworkEventKind, TenantId, TrafficMatrix};
 
 use crate::frame::{read_frame, write_frame};
 
@@ -56,6 +56,17 @@ pub enum ServiceRequest {
     ForceMigration {
         /// Simulated (service-clock) nanoseconds to advance to.
         at: u64,
+    },
+    /// Operator injection of a network event (link failure, fractional
+    /// degradation, maintenance drain, recovery) at service-clock time
+    /// `at` — the wire face of the scheduler's runtime-capacity path.
+    InjectNetworkEvent {
+        /// Simulated (service-clock) nanoseconds the event happens at.
+        at: u64,
+        /// Topology link the event concerns.
+        link: u32,
+        /// What happens to the link.
+        kind: NetworkEventKind,
     },
     /// Stop serving after responding.
     Shutdown,
@@ -209,6 +220,20 @@ impl ServiceRequest {
                 body.put_u64(*at);
             }
             ServiceRequest::Shutdown => body.put_u8(0x16),
+            ServiceRequest::InjectNetworkEvent { at, link, kind } => {
+                body.put_u8(0x17);
+                body.put_u64(*at);
+                body.put_u32(*link);
+                let (code, fraction) = match kind {
+                    NetworkEventKind::LinkDegrade { fraction } => (1u8, *fraction),
+                    NetworkEventKind::LinkFail => (2, 0.0),
+                    NetworkEventKind::LinkRecover => (3, 1.0),
+                    NetworkEventKind::DrainStart { fraction } => (4, *fraction),
+                    NetworkEventKind::DrainEnd => (5, 1.0),
+                };
+                body.put_u8(code);
+                body.put_u64(fraction.to_bits());
+            }
         }
         write_frame(body)
     }
@@ -253,6 +278,28 @@ impl ServiceRequest {
                 Ok(ServiceRequest::ForceMigration { at: data.get_u64() })
             }
             0x16 => Ok(ServiceRequest::Shutdown),
+            0x17 => {
+                need(data, 8 + 4 + 1 + 8)?;
+                let at = data.get_u64();
+                let link = data.get_u32();
+                let code = data.get_u8();
+                let fraction = f64::from_bits(data.get_u64());
+                let fraction_ok = fraction > 0.0 && fraction < 1.0;
+                let kind = match code {
+                    1 if fraction_ok => NetworkEventKind::LinkDegrade { fraction },
+                    2 => NetworkEventKind::LinkFail,
+                    3 => NetworkEventKind::LinkRecover,
+                    4 if fraction_ok => NetworkEventKind::DrainStart { fraction },
+                    5 => NetworkEventKind::DrainEnd,
+                    1 | 4 => {
+                        return Err(format!(
+                            "network-event fraction must be in (0, 1), got {fraction}"
+                        ))
+                    }
+                    other => return Err(format!("unknown network-event kind {other}")),
+                };
+                Ok(ServiceRequest::InjectNetworkEvent { at, link, kind })
+            }
             other => Err(format!("unknown request tag {other:#x}")),
         }
     }
@@ -420,6 +467,23 @@ mod tests {
             ServiceRequest::Stats,
             ServiceRequest::Metrics,
             ServiceRequest::ForceMigration { at: 123_456_789 },
+            ServiceRequest::InjectNetworkEvent {
+                at: 5,
+                link: 3,
+                kind: NetworkEventKind::LinkDegrade { fraction: 0.25 },
+            },
+            ServiceRequest::InjectNetworkEvent { at: 6, link: 3, kind: NetworkEventKind::LinkFail },
+            ServiceRequest::InjectNetworkEvent {
+                at: 7,
+                link: 3,
+                kind: NetworkEventKind::LinkRecover,
+            },
+            ServiceRequest::InjectNetworkEvent {
+                at: 8,
+                link: 0,
+                kind: NetworkEventKind::DrainStart { fraction: 0.5 },
+            },
+            ServiceRequest::InjectNetworkEvent { at: 9, link: 0, kind: NetworkEventKind::DrainEnd },
             ServiceRequest::Shutdown,
         ];
         for r in reqs {
@@ -475,6 +539,24 @@ mod tests {
         body.put_u32(0);
         assert!(ServiceRequest::decode(&body).is_err());
         assert!(ServiceResponse::decode(&[0x90, 0, 0]).is_err(), "truncated host count");
+        // A degrade with a fraction outside (0, 1) is a protocol error.
+        for bad in [0.0, 1.0, -0.5, f64::NAN] {
+            let mut body = BytesMut::new();
+            body.put_u8(0x17);
+            body.put_u64(1);
+            body.put_u32(0);
+            body.put_u8(1);
+            body.put_u64(bad.to_bits());
+            assert!(ServiceRequest::decode(&body).is_err(), "fraction {bad}");
+        }
+        // Unknown network-event kind likewise.
+        let mut body = BytesMut::new();
+        body.put_u8(0x17);
+        body.put_u64(1);
+        body.put_u32(0);
+        body.put_u8(9);
+        body.put_u64(0.5f64.to_bits());
+        assert!(ServiceRequest::decode(&body).is_err());
     }
 
     #[test]

@@ -6,9 +6,12 @@
 use std::sync::Arc;
 
 use choreo_repro::online::{
-    MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
+    DriftConfig, MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
 };
-use choreo_repro::profile::{TenantEvent, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig};
+use choreo_repro::profile::{
+    merge_events, NetworkEvent, NetworkEventStream, NetworkEventStreamConfig, ServiceEvent,
+    TenantEvent, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig,
+};
 use choreo_repro::topology::{MultiRootedTreeSpec, RouteTable, Topology, SECS};
 use proptest::prelude::*;
 
@@ -93,6 +96,72 @@ proptest! {
         for workers in [1usize, 2, 8] {
             let w = run_checked(PlacementPolicy::Greedy, workers, sim_seed, &evs);
             prop_assert_eq!(a, w, "worker count {} changed the trajectory", workers);
+        }
+    }
+}
+
+/// A fault-laden service stream: the tenant events of [`events`] merged
+/// with a seeded [`NetworkEventStream`] over the test tree's links,
+/// cut at the tenant stream's horizon.
+fn fault_events(stream_seed: u64, net_seed: u64, n: usize) -> Vec<ServiceEvent> {
+    let tenants = events(stream_seed, n);
+    let horizon = tenants.last().map_or(0, |e| e.at);
+    let cfg = NetworkEventStreamConfig {
+        n_links: test_tree().link_count() as u32,
+        mean_time_between_incidents: 20 * SECS,
+        ..Default::default()
+    };
+    let network: Vec<NetworkEvent> =
+        NetworkEventStream::new(cfg, net_seed).take_while(|e| e.at <= horizon).collect();
+    merge_events(tenants, network)
+}
+
+/// Run a full service over a merged tenant + network stream with drift
+/// re-measurement on, checking the safety invariants after every event,
+/// and return the trajectory digest plus headline counters.
+fn run_checked_faults(workers: usize, seed: u64, evs: &[ServiceEvent]) -> (u64, u64, u64, u64) {
+    let topo = Arc::new(test_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let cfg = OnlineConfig {
+        workers,
+        candidate_hosts: 8,
+        queue_capacity: 4,
+        migration: MigrationConfig { cadence: Some(15 * SECS), ..Default::default() },
+        drift: DriftConfig { cadence: Some(10 * SECS), ..Default::default() },
+        ..Default::default()
+    };
+    let mut svc = SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build();
+    for ev in evs {
+        svc.service_step(ev);
+        svc.check_invariants();
+    }
+    let s = svc.stats();
+    (s.trace_hash(), s.network_events, s.drift_detected, s.failure_migrations + s.migrations)
+}
+
+proptest! {
+    // The chaos suite: CI re-runs it at PROPTEST_CASES=256.
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(6)))]
+    #[test]
+    fn fault_laden_runs_are_deterministic_and_safe(
+        stream_seed in 0u64..1000,
+        net_seed in 0u64..1000,
+    ) {
+        let evs = fault_events(stream_seed, net_seed, 200);
+        // The stream must actually carry faults, or the property is
+        // vacuous.
+        prop_assert!(evs.iter().any(|e| matches!(e, ServiceEvent::Network(_))));
+        // Invariants hold after every tenant AND network event, and the
+        // whole fault-laden trajectory replays bit-identically.
+        let a = run_checked_faults(0, 7, &evs);
+        let b = run_checked_faults(0, 7, &evs);
+        prop_assert_eq!(a, b, "same streams + seed must replay bit-identically");
+        prop_assert!(a.1 > 0, "network events must have been consumed");
+        // Worker count remains a wall-clock knob under faults too: the
+        // capacity dirty window re-solves bit-identical at any fan-out.
+        for workers in [1usize, 2, 8] {
+            let w = run_checked_faults(workers, 7, &evs);
+            prop_assert_eq!(a, w, "worker count {} changed the fault-laden trajectory", workers);
         }
     }
 }

@@ -196,10 +196,12 @@ proptest! {
     ) {
         // One warm-chaining solver rides a mutating arena through adds,
         // removes, replace-style churn (remove-then-re-add recycles the
-        // slot), resource-space growth and interleaved probes; after every
+        // slot), resource-space growth, capacity retuning (the network
+        // moved under the flows) and interleaved probes; after every
         // step its output must bit-match a from-scratch cold solve of the
         // same arena. Start with part of the resource space hidden so
         // grow_resources is exercised mid-chain.
+        let mut caps = caps;
         let mut nr = caps.len().div_ceil(2);
         let mut arena = FlowArena::new(nr);
         let mut warm = MaxMinSolver::new();
@@ -234,6 +236,14 @@ proptest! {
                 2 => {
                     nr = (nr + 1).min(caps.len());
                     arena.grow_resources(nr);
+                }
+                // Retune a visible resource's capacity: the dirty
+                // capacity window must carry the change into the next
+                // warm solve (a missed mark would leave stale rates).
+                3 => {
+                    let r = path[0] % nr;
+                    caps[r] = 1.0 + (path.iter().sum::<usize>() as f64 * 37.0) % 999.0;
+                    arena.touch_resource(r as u32);
                 }
                 // Add a flow.
                 _ => {
@@ -309,7 +319,8 @@ proptest! {
     ) {
         // Three independent sharded stacks (1, 2 and 8 workers) chase the
         // same churn through adds, removes, replace-recycled-slot churn,
-        // resource-space growth (late hoses land on the spine) and
+        // resource-space growth (late hoses land on the spine), capacity
+        // retuning (link degradations and recoveries) and
         // interleaved probes; after every event each stack's rates must
         // bit-match a cold solve of the same flow set, on every topology —
         // including the dumbbell, whose partition degenerates to
@@ -386,6 +397,17 @@ proptest! {
                     }
                     caps.push(2.5e8 + 1e6 * (a % 64) as f64);
                     hoses.push(id as u32);
+                }
+                4 => {
+                    // Retune a live resource's capacity (a link degraded
+                    // or recovered mid-run): every replica marks it in
+                    // its dirty window, and the sharded solves must
+                    // re-agree with cold at the new capacity.
+                    let r = a as usize % caps.len();
+                    caps[r] = 1e8 + 1e6 * (b % 512) as f64;
+                    for arena in &mut arenas {
+                        arena.touch_resource(r as u32);
+                    }
                 }
                 _ => {
                     let path = path_of(a, b, h, &hoses, op == 3 && !hoses.is_empty());
