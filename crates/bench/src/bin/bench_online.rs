@@ -43,6 +43,16 @@
 //! nominal arrival rate and locates the rejection knee (`sweep_load_*`
 //! keys); nominal load must be rejection-free.
 //!
+//! # Adversarial workload shapes
+//!
+//! A final block replays the hostile generator shapes (`shape_*` keys):
+//! heavy-tailed tenant sizes, a flash-crowd peak sweep locating its
+//! rejection knee, correlated arrival batches and the cross-pod
+//! pattern — each against the nominal baseline on the same cluster,
+//! every run digest-asserted at 1/2/8 workers — plus a correlated
+//! whole-switch outage that must recover to ≥ 0.5× the pre-failure
+//! mean networked rate with failure rejections accounted.
+//!
 //! Emits `BENCH_online.json`.
 
 use std::sync::Arc;
@@ -53,6 +63,7 @@ use choreo_online::{
     DriftConfig, MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
 };
 use choreo_profile::{
+    switch_link_groups, AppPattern, CorrelatedBatchConfig, FlashCrowdConfig, HeavyTailConfig,
     NetworkEvent, NetworkEventKind, TenantEvent, TenantEventKind, WorkloadGenConfig,
     WorkloadStream, WorkloadStreamConfig,
 };
@@ -387,6 +398,225 @@ fn run_saturation() -> (Vec<SatPoint>, u64) {
     (points, knee)
 }
 
+// ------------------------------------------------ adversarial shapes
+
+/// The cluster the workload-shape scenarios run on: the 32-host
+/// saturation tree with a short wait queue, so shape-induced pressure
+/// shows up in the queue/reject counters instead of disappearing into
+/// slack.
+fn shape_cluster() -> (Arc<Topology>, Arc<RouteTable>) {
+    let topo = Arc::new(
+        MultiRootedTreeSpec {
+            cores: 2,
+            pods: 2,
+            aggs_per_pod: 2,
+            tors_per_pod: 4,
+            hosts_per_tor: 4,
+            ..Default::default()
+        }
+        .build(),
+    );
+    let routes = Arc::new(RouteTable::new(&topo));
+    (topo, routes)
+}
+
+/// The shape scenarios' base stream: the saturation shape at nominal
+/// load. Each scenario switches exactly one adversarial generator knob
+/// on top of this, so every delta traces back to the shape.
+fn shape_stream_cfg() -> WorkloadStreamConfig {
+    WorkloadStreamConfig {
+        gen: WorkloadGenConfig {
+            tasks_min: 4,
+            tasks_max: 8,
+            mean_interarrival: 30 * SECS,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+struct ShapeOutcome {
+    rejected: u64,
+    queued: u64,
+    mean_rate_bps: Option<f64>,
+}
+
+/// Drive one shaped event list through fresh schedulers at 1, 2 and 8
+/// sharded workers: the trajectory digests must bit-match, the
+/// scheduler invariants must hold at the end, and the (identical)
+/// pressure counters come back for the report.
+fn run_shaped(
+    topo: &Arc<Topology>,
+    routes: &Arc<RouteTable>,
+    events: &[TenantEvent],
+) -> ShapeOutcome {
+    let mut digest = None;
+    let mut out = None;
+    for workers in [1usize, 2, 8] {
+        let mut svc = SchedulerBuilder::new(Arc::clone(topo), Arc::clone(routes))
+            .config(OnlineConfig {
+                queue_capacity: 8,
+                ..service_config(PlacementPolicy::Greedy, workers)
+            })
+            .seed(42)
+            .build();
+        for ev in events {
+            svc.step(ev);
+        }
+        svc.check_invariants();
+        match digest {
+            None => digest = Some(svc.stats().trace_hash()),
+            Some(d) => assert_eq!(
+                d,
+                svc.stats().trace_hash(),
+                "shape trajectory diverged at {workers} workers"
+            ),
+        }
+        let s = svc.stats();
+        out = Some(ShapeOutcome {
+            rejected: s.rejected,
+            queued: s.queued,
+            mean_rate_bps: s.mean_departed_rate_bps(),
+        });
+    }
+    out.expect("ran")
+}
+
+struct Shapes {
+    nominal: ShapeOutcome,
+    heavy_tail: ShapeOutcome,
+    flash: Vec<(u64, ShapeOutcome)>,
+    flash_knee_peak: u64,
+    correlated: ShapeOutcome,
+    cross_pod: ShapeOutcome,
+}
+
+/// The workload-shape scenarios: heavy-tailed tenant sizes, flash-crowd
+/// surges (a peak-multiplier sweep locating the rejection knee),
+/// correlated arrival batches and the adversarial cross-pod pattern,
+/// each against the nominal baseline on the same cluster and arrival
+/// rate. Every scenario replays at 1/2/8 workers digest-asserted.
+fn run_shapes(events_per_run: usize) -> Shapes {
+    let (topo, routes) = shape_cluster();
+    let run_cfg = |cfg: WorkloadStreamConfig| -> ShapeOutcome {
+        let events: Vec<TenantEvent> = WorkloadStream::new(cfg, 13).take(events_per_run).collect();
+        run_shaped(&topo, &routes, &events)
+    };
+
+    let nominal = run_cfg(shape_stream_cfg());
+
+    let mut ht = shape_stream_cfg();
+    ht.gen.tasks_max = 16;
+    ht.gen.heavy_tail = Some(HeavyTailConfig::default());
+    let heavy_tail = run_cfg(ht);
+
+    let mut flash = Vec::new();
+    for peak in [2u64, 4, 8, 16] {
+        let mut fc = shape_stream_cfg();
+        fc.gen.flash_crowd = Some(FlashCrowdConfig {
+            mean_time_between: 1200 * SECS,
+            peak_multiplier: peak as f64,
+            onset: 5 * SECS,
+            decay: 180 * SECS,
+        });
+        flash.push((peak, run_cfg(fc)));
+    }
+    let flash_knee_peak = flash.iter().find(|(_, o)| o.rejected > 0).map_or(0, |(p, _)| *p);
+
+    let mut cb = shape_stream_cfg();
+    cb.gen.correlated_batches = Some(CorrelatedBatchConfig {
+        mean_time_between: 600 * SECS,
+        size_min: 8,
+        size_max: 16,
+        window: 5 * SECS,
+    });
+    let correlated = run_cfg(cb);
+
+    let mut cp = shape_stream_cfg();
+    cp.gen.patterns = vec![AppPattern::CrossPod];
+    let cross_pod = run_cfg(cp);
+
+    Shapes { nominal, heavy_tail, flash, flash_knee_peak, correlated, cross_pod }
+}
+
+struct SwitchFailover {
+    prefail_bps: f64,
+    degraded_bps: f64,
+    recovered_bps: f64,
+    failure_migrations: u64,
+    failure_rejections: u64,
+    links_out: usize,
+}
+
+/// The switch-level correlated-failure scenario: bring the 128-host
+/// service to steady state, take out **every link of the widest core
+/// switch in one instant**, keep tenant events landing while it is dark
+/// (so failure rejections are really accounted, not just defined),
+/// repair it wholesale, and require the drift detector plus forced
+/// migration passes to carry the tenants back to at least half their
+/// pre-failure mean networked rate. Replayed at 1, 2 and 8 sharded
+/// workers; the trajectories must bit-match.
+fn run_switch_failover() -> SwitchFailover {
+    let topo = Arc::new(bench_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let group = switch_link_groups(&topo, 4)
+        .into_iter()
+        .max_by_key(Vec::len)
+        .expect("the bench tree has core switches");
+    let mut digest = None;
+    let mut out = None;
+    for workers in [1usize, 2, 8] {
+        let mut cfg = service_config(PlacementPolicy::Greedy, workers);
+        cfg.drift = DriftConfig { cadence: Some(5 * SECS), ..Default::default() };
+        let mut svc = SchedulerBuilder::new(Arc::clone(&topo), Arc::clone(&routes))
+            .config(cfg)
+            .seed(42)
+            .build();
+        let mut events = stream(7);
+        for ev in events.by_ref().take(2_500) {
+            svc.step(&ev);
+        }
+        let t0 = svc.now();
+        let prefail = svc.mean_networked_score().expect("networked tenants running");
+        for &link in &group {
+            svc.network_step(&NetworkEvent { at: t0, link, kind: NetworkEventKind::LinkFail });
+        }
+        for ev in events.by_ref().take_while(|ev| ev.at <= t0 + 16 * SECS) {
+            svc.step(&ev);
+        }
+        svc.advance_to(t0 + 16 * SECS);
+        let degraded = svc.mean_networked_score().expect("tenants still running");
+        for &link in &group {
+            svc.network_step(&NetworkEvent {
+                at: t0 + 17 * SECS,
+                link,
+                kind: NetworkEventKind::LinkRecover,
+            });
+        }
+        svc.advance_to(t0 + 60 * SECS);
+        let recovered = svc.mean_networked_score().expect("tenants still running");
+        svc.check_invariants();
+        match digest {
+            None => digest = Some(svc.stats().trace_hash()),
+            Some(d) => assert_eq!(
+                d,
+                svc.stats().trace_hash(),
+                "switch-failover trajectory diverged at {workers} workers"
+            ),
+        }
+        let s = svc.stats();
+        out = Some(SwitchFailover {
+            prefail_bps: prefail,
+            degraded_bps: degraded,
+            recovered_bps: recovered,
+            failure_migrations: s.failure_migrations,
+            failure_rejections: s.failure_rejections,
+            links_out: group.len(),
+        });
+    }
+    out.expect("ran")
+}
+
 /// Run `total` events (the first `warmup` untimed), timing the steady
 /// state and, for greedy runs, each arrival's placement latency.
 fn run(policy: PlacementPolicy, workers: usize, warmup: usize, total: usize) -> Run {
@@ -510,6 +740,61 @@ fn main() {
     assert_eq!(sat[0].rejected, 0, "nominal load must be rejection-free");
     assert!(knee > 1, "the sweep must find a rejection knee above nominal load");
 
+    // Adversarial workload shapes: each generator knob against the
+    // nominal baseline, every run digest-asserted at 1/2/8 workers.
+    let shapes = run_shapes(2_000);
+    println!(
+        "shape\tnominal\t{} rejected\t{} queued",
+        shapes.nominal.rejected, shapes.nominal.queued
+    );
+    println!(
+        "shape\theavy-tail\t{} rejected\t{} queued",
+        shapes.heavy_tail.rejected, shapes.heavy_tail.queued
+    );
+    for (peak, o) in &shapes.flash {
+        println!("shape\tflash-crowd {peak}x peak\t{} rejected\t{} queued", o.rejected, o.queued);
+    }
+    println!("shape\tflash-crowd knee at {}x peak", shapes.flash_knee_peak);
+    println!(
+        "shape\tcorrelated batches\t{} rejected\t{} queued",
+        shapes.correlated.rejected, shapes.correlated.queued
+    );
+    let cross_pod_ratio = match (shapes.cross_pod.mean_rate_bps, shapes.nominal.mean_rate_bps) {
+        (Some(cp), Some(nom)) if nom > 0.0 => cp / nom,
+        _ => f64::NAN,
+    };
+    println!(
+        "shape\tcross-pod\t{} rejected\t{} queued\trate {cross_pod_ratio:.2}x nominal",
+        shapes.cross_pod.rejected, shapes.cross_pod.queued
+    );
+    // Headroom: the nominal stream sails through untouched; the shapes
+    // are what spend it.
+    assert_eq!(shapes.nominal.rejected, 0, "nominal shape baseline must be rejection-free");
+    assert!(shapes.flash_knee_peak > 0, "the peak sweep must locate a flash-crowd rejection knee");
+    assert!(cross_pod_ratio.is_finite(), "both shape runs must see departures");
+
+    // Correlated switch failure: the whole-switch outage must be
+    // survivable — forced migrations carry the tenants back to at least
+    // half their pre-failure mean networked rate.
+    let sw = run_switch_failover();
+    let switch_recovery_ratio = sw.recovered_bps / sw.prefail_bps;
+    println!(
+        "shape\tswitch failure ({} links)\tprefail {:.1} Mbit/s\tdegraded {:.1} Mbit/s\t\
+         recovered {:.1} Mbit/s ({switch_recovery_ratio:.2}x, {} forced migrations, \
+         {} failure rejections)",
+        sw.links_out,
+        sw.prefail_bps / 1e6,
+        sw.degraded_bps / 1e6,
+        sw.recovered_bps / 1e6,
+        sw.failure_migrations,
+        sw.failure_rejections
+    );
+    assert!(
+        switch_recovery_ratio >= 0.5,
+        "tenants recovered only {switch_recovery_ratio:.2}x of their pre-switch-failure rate \
+         (need >= 0.5x)"
+    );
+
     let mut report = JsonReport::new("online_service")
         .int("hosts", 128)
         .int("events", total as u64)
@@ -556,6 +841,27 @@ fn main() {
             .int(&format!("sweep_load_{}x_queued", p.mult), p.queued)
             .int(&format!("sweep_load_{}x_slo_misses", p.mult), p.slo_misses);
     }
+    report = report
+        .int("shape_nominal_rejected", shapes.nominal.rejected)
+        .int("shape_nominal_queued", shapes.nominal.queued)
+        .int("shape_heavy_tail_rejected", shapes.heavy_tail.rejected)
+        .int("shape_heavy_tail_queued", shapes.heavy_tail.queued)
+        .int("shape_flash_crowd_knee_peak", shapes.flash_knee_peak)
+        .int("shape_correlated_rejected", shapes.correlated.rejected)
+        .int("shape_correlated_queued", shapes.correlated.queued)
+        .num("shape_cross_pod_rate_ratio", cross_pod_ratio, 3)
+        .int("shape_switch_links_out", sw.links_out as u64)
+        .num("shape_switch_prefail_mbps", sw.prefail_bps / 1e6, 1)
+        .num("shape_switch_degraded_mbps", sw.degraded_bps / 1e6, 1)
+        .num("shape_switch_recovered_mbps", sw.recovered_bps / 1e6, 1)
+        .num("shape_switch_recovery_ratio", switch_recovery_ratio, 3)
+        .int("shape_switch_forced_migrations", sw.failure_migrations)
+        .int("shape_switch_failure_rejections", sw.failure_rejections);
+    for (peak, o) in &shapes.flash {
+        report = report
+            .int(&format!("shape_flash_crowd_{peak}x_rejected"), o.rejected)
+            .int(&format!("shape_flash_crowd_{peak}x_queued"), o.queued);
+    }
     report
         .bool(
             "pass",
@@ -563,7 +869,11 @@ fn main() {
                 && rate_gain >= 1.0
                 && recovery_ratio >= 0.5
                 && sat[0].rejected == 0
-                && knee > 1,
+                && knee > 1
+                && shapes.nominal.rejected == 0
+                && shapes.flash_knee_peak > 0
+                && cross_pod_ratio.is_finite()
+                && switch_recovery_ratio >= 0.5,
         )
         .write("BENCH_online.json");
 }

@@ -41,7 +41,8 @@ pub struct ServiceMetrics {
     pub rejected: Counter,
     /// Duplicate arrivals ignored (`choreo_duplicate_arrivals_total`).
     pub duplicate_arrivals: Counter,
-    /// Departure events (`choreo_departures_total`).
+    /// Departures that tore real state down (`choreo_departures_total`);
+    /// Depart events for rejected tenants are no-ops and not counted.
     pub departures: Counter,
     /// Intensity changes applied (`choreo_intensity_changes_total`).
     pub intensity_changes: Counter,
@@ -124,7 +125,8 @@ impl ServiceMetrics {
                 "choreo_duplicate_arrivals_total",
                 "Arrivals ignored because the tenant was already live",
             ),
-            departures: registry.counter("choreo_departures_total", "Departure events"),
+            departures: registry
+                .counter("choreo_departures_total", "Departures that tore real state down"),
             intensity_changes: registry
                 .counter("choreo_intensity_changes_total", "Intensity changes applied"),
             migration_passes: registry

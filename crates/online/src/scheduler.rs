@@ -72,7 +72,10 @@ pub struct OnlineScheduler {
     pub(crate) machines: Machines,
     pub(crate) load: NetworkLoad,
     pub(crate) tenants: Vec<Option<Tenant>>,
-    queue: VecDeque<(TenantId, AppProfile)>,
+    /// Waiting tenants with the last intensity each requested while
+    /// queued (applied at `QueueAdmit`, so an intensity change sent
+    /// while waiting is not lost — the stream never resends it).
+    queue: VecDeque<(TenantId, AppProfile, u32)>,
     pub(crate) cfg: OnlineConfig,
     random: RandomPlacer,
     pub(crate) stats: ServiceStats,
@@ -176,6 +179,12 @@ impl OnlineScheduler {
     /// A running tenant's current placement (global host indices).
     pub fn tenant_placement(&self, tenant: TenantId) -> Option<&Placement> {
         self.tenants.get(tenant as usize)?.as_ref().map(|t| &t.placement)
+    }
+
+    /// A running tenant's current intensity (connections per modeled
+    /// transfer). `None` for queued, rejected or departed tenants.
+    pub fn tenant_intensity(&self, tenant: TenantId) -> Option<u32> {
+        self.tenants.get(tenant as usize)?.as_ref().map(|t| t.intensity)
     }
 
     /// Direct access to the live simulator — tests and benches inject
@@ -438,7 +447,7 @@ impl OnlineScheduler {
         // digests a distinct byte so fault-free trajectories are
         // untouched while duplicated ones stay deterministic.
         let live = self.tenants.get(id as usize).is_some_and(Option::is_some);
-        if live || self.queue.iter().any(|(t, _)| *t == id) {
+        if live || self.queue.iter().any(|(t, _, _)| *t == id) {
             self.stats.duplicate_arrivals += 1;
             self.metrics.duplicate_arrivals.inc();
             self.stats.note(0x58); // 'X'
@@ -451,7 +460,7 @@ impl OnlineScheduler {
         }
         match self.try_place(&app, self.cfg.policy) {
             Some(placement) => {
-                self.admit(id, app, placement, DecisionKind::Admit);
+                self.admit(id, app, placement, DecisionKind::Admit, 1);
                 self.stats.admitted += 1;
                 self.metrics.admitted.inc();
             }
@@ -461,7 +470,7 @@ impl OnlineScheduler {
                 self.stats.note(0x51); // 'Q'
                 let now = self.sim.now();
                 self.stats.decide(now, id, DecisionKind::Queue, self.queue.len() as f64);
-                self.queue.push_back((id, app));
+                self.queue.push_back((id, app, 1));
             }
             None => {
                 self.stats.rejected += 1;
@@ -542,8 +551,16 @@ impl OnlineScheduler {
     /// Register an admitted tenant: account its load, start its modeled
     /// transfers as live flows, and record its baseline service score.
     /// `kind` tells the trace ring whether this was a fresh admission or
-    /// a queue retry.
-    fn admit(&mut self, id: TenantId, app: AppProfile, placement: Placement, kind: DecisionKind) {
+    /// a queue retry; `intensity` is 1 for fresh arrivals and the
+    /// stashed last-requested value for queue retries.
+    fn admit(
+        &mut self,
+        id: TenantId,
+        app: AppProfile,
+        placement: Placement,
+        kind: DecisionKind,
+        intensity: u32,
+    ) {
         debug_assert!(validate(&app, &self.machines, &placement).is_ok());
         self.load.apply(&app, &placement);
         let transfers: Vec<(usize, usize)> = app
@@ -554,10 +571,11 @@ impl OnlineScheduler {
             .take(self.cfg.max_modeled_transfers)
             .map(|(i, j, _)| (i, j))
             .collect();
-        let intensity = 1u32;
+        let intensity = intensity.max(1);
         let flows = self.start_transfer_flows(id, &placement, &transfers, intensity);
         let baseline = self.service_score(&flows);
         self.stats.note(0x41); // 'A'
+        self.stats.note(intensity as u64);
         for &h in &placement.assignment {
             self.stats.note(h as u64);
         }
@@ -624,10 +642,10 @@ impl OnlineScheduler {
     // ---------------------------------------------------------- lifecycle
 
     fn depart(&mut self, id: TenantId) {
-        self.stats.departures += 1;
-        self.metrics.departures.inc();
-        if let Some(pos) = self.queue.iter().position(|(t, _)| *t == id) {
+        if let Some(pos) = self.queue.iter().position(|(t, _, _)| *t == id) {
             // Left before capacity freed up.
+            self.stats.departures += 1;
+            self.metrics.departures.inc();
             self.queue.remove(pos);
             self.stats.note(0x44); // 'D'
             let now = self.sim.now();
@@ -635,8 +653,17 @@ impl OnlineScheduler {
             return;
         }
         let Some(t) = self.tenants.get_mut(id as usize).and_then(Option::take) else {
-            return; // was rejected at arrival
+            // Rejected at arrival (or never seen): nothing was admitted,
+            // so nothing departs. Counting it would overstate departures
+            // against admissions; digest a distinct byte so hostile
+            // streams still replay bit-identically.
+            self.stats.note(0x6e); // 'n' — no-op departure
+            return;
         };
+        // Only a real teardown (queued-drop above, or this live drop)
+        // counts as a departure.
+        self.stats.departures += 1;
+        self.metrics.departures.inc();
         self.active -= 1;
         let score = self.service_score(&t.flows);
         self.stats.record_departed_rate(score);
@@ -659,10 +686,10 @@ impl OnlineScheduler {
     fn retry_queue(&mut self) {
         let mut i = 0;
         while i < self.queue.len() {
-            let (id, app) = self.queue[i].clone();
+            let (id, app, intensity) = self.queue[i].clone();
             if let Some(placement) = self.try_place(&app, self.cfg.policy) {
                 self.queue.remove(i);
-                self.admit(id, app, placement, DecisionKind::QueueAdmit);
+                self.admit(id, app, placement, DecisionKind::QueueAdmit, intensity);
                 self.stats.queue_admitted += 1;
                 self.metrics.queue_admitted.inc();
             } else {
@@ -673,8 +700,23 @@ impl OnlineScheduler {
 
     fn set_intensity(&mut self, id: TenantId, intensity: u32) {
         debug_assert!(intensity >= 1);
-        let Some(slot) = self.tenants.get_mut(id as usize) else { return };
-        let Some(t) = slot.as_mut() else { return }; // queued or rejected
+        let running = self.tenants.get(id as usize).is_some_and(Option::is_some);
+        if !running {
+            // Still waiting in the queue? Stash the request with the
+            // entry — `QueueAdmit` applies the last value asked for, so
+            // a change sent while queued is not silently lost. (The
+            // stash is digested but not counted: no flows changed.)
+            if let Some(entry) = self.queue.iter_mut().find(|(t, _, _)| *t == id) {
+                if entry.2 != intensity {
+                    entry.2 = intensity;
+                    self.stats.note(0x69); // 'i' — queued-intensity stash
+                    self.stats.note(intensity as u64);
+                }
+            }
+            return; // rejected or departed otherwise
+        }
+        let slot = self.tenants.get_mut(id as usize).expect("checked");
+        let t = slot.as_mut().expect("checked");
         if t.intensity == intensity {
             return;
         }

@@ -126,7 +126,9 @@ pub struct ServiceStats {
     pub queue_admitted: u64,
     /// Arrivals rejected because the queue was full.
     pub rejected: u64,
-    /// Departure events (of admitted, queued or rejected tenants).
+    /// Departures that tore real state down (a running tenant's flows,
+    /// or a queued tenant's wait-queue slot). A Depart for a tenant that
+    /// was rejected at arrival is a digested no-op, not a departure.
     pub departures: u64,
     /// Intensity-change events applied to running tenants.
     pub intensity_changes: u64,

@@ -26,6 +26,27 @@ pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
     -mean * u.ln()
 }
 
+/// Pareto with scale `x_m` (the minimum) and shape `alpha` (inverse CDF).
+/// Smaller `alpha` means a heavier tail; `alpha <= 1` has infinite mean.
+pub fn pareto<R: Rng>(rng: &mut R, scale: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    scale / u.powf(1.0 / alpha)
+}
+
+/// Bounded Pareto on `[lo, hi]` with shape `alpha` (inverse CDF): the
+/// heavy tail of [`pareto`] truncated to a finite support, so elephant
+/// draws dominate without escaping the configured range.
+pub fn bounded_pareto<R: Rng>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(0.0 < lo && lo <= hi, "bounds must satisfy 0 < lo <= hi");
+    if lo == hi {
+        return lo;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
 /// Zipf-like rank sampler over `{0, …, n−1}` with exponent `s`:
 /// rank 0 is the most likely. Used for skewed traffic matrices.
 pub fn zipf<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
@@ -87,6 +108,30 @@ mod tests {
         let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 5.0)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_above_scale() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| pareto(&mut r, 2.0, 1.2)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0), "never below the scale");
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(mean > 2.0 * median, "heavy tail: mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_skews_low() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| bounded_pareto(&mut r, 4.0, 64.0, 1.1)).collect();
+        assert!(xs.iter().all(|&x| (4.0..=64.0).contains(&x)), "support respected");
+        // Most mass sits near the lower bound, but the tail is reached.
+        let small = xs.iter().filter(|&&x| x < 8.0).count();
+        let large = xs.iter().filter(|&&x| x > 32.0).count();
+        assert!(small > xs.len() / 2, "mass near lo: {small}");
+        assert!(large > 0, "tail reached: {large}");
     }
 
     #[test]

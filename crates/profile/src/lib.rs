@@ -39,10 +39,13 @@ pub mod synth;
 pub use app::AppProfile;
 pub use matrix::TrafficMatrix;
 pub use netstream::{
-    merge_events, NetworkEvent, NetworkEventKind, NetworkEventStream, NetworkEventStreamConfig,
-    ServiceEvent,
+    merge_events, switch_link_groups, NetworkEvent, NetworkEventKind, NetworkEventStream,
+    NetworkEventStreamConfig, ServiceEvent, SwitchFailureConfig,
 };
 pub use phased::{Phase, PhasedApp};
 pub use records::FlowRecord;
 pub use stream::{TenantEvent, TenantEventKind, TenantId, WorkloadStream, WorkloadStreamConfig};
-pub use synth::{AppPattern, WorkloadGen, WorkloadGenConfig};
+pub use synth::{
+    AppPattern, CorrelatedBatchConfig, FlashCrowdConfig, HeavyTailConfig, WorkloadGen,
+    WorkloadGenConfig,
+};

@@ -30,9 +30,9 @@
 //! a pure function of the two seeds.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use choreo_topology::{Nanos, SECS};
+use choreo_topology::{Nanos, Topology, SECS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,6 +72,35 @@ pub struct NetworkEvent {
     pub kind: NetworkEventKind,
 }
 
+/// Topology-aware correlated switch failures: with this mode on, an
+/// incident can take out **every free link of one agg/core switch** in a
+/// single correlated instant (all `LinkFail`s share one `at`), closed by
+/// one correlated recovery (all `LinkRecover`s share the switch's single
+/// repair draw). The per-link incident process keeps running for the
+/// remaining probability mass.
+#[derive(Debug, Clone)]
+pub struct SwitchFailureConfig {
+    /// Link-id groups, one per switch — typically from
+    /// [`switch_link_groups`]. Every id must be `< n_links`.
+    pub groups: Vec<Vec<u32>>,
+    /// Probability an incident is a whole-switch failure.
+    pub switch_prob: f64,
+}
+
+/// Link groups per switch of a topology: for every node whose
+/// [`choreo_topology::NodeKind::tier`] is at least `min_tier`
+/// (2 = aggregation, 4 = core), the ids of all links incident to it.
+/// Feed the result to [`SwitchFailureConfig::groups`] so one incident
+/// can take a whole switch out.
+pub fn switch_link_groups(topo: &Topology, min_tier: u8) -> Vec<Vec<u32>> {
+    topo.nodes()
+        .iter()
+        .filter(|n| n.kind.tier() >= min_tier)
+        .map(|n| topo.neighbors(n.id).iter().map(|&(_, lid)| lid.0).collect::<Vec<u32>>())
+        .filter(|g| !g.is_empty())
+        .collect()
+}
+
 /// Configuration of a [`NetworkEventStream`].
 #[derive(Debug, Clone)]
 pub struct NetworkEventStreamConfig {
@@ -91,6 +120,10 @@ pub struct NetworkEventStreamConfig {
     pub degrade_range: (f64, f64),
     /// Drains cut capacity to this fraction of nominal.
     pub drain_fraction: f64,
+    /// Correlated whole-switch failures; `None` keeps the stream
+    /// strictly per-link (and bit-identical to its pre-switch-mode
+    /// trajectory).
+    pub switch_failures: Option<SwitchFailureConfig>,
 }
 
 impl Default for NetworkEventStreamConfig {
@@ -105,6 +138,7 @@ impl Default for NetworkEventStreamConfig {
             drain_prob: 0.2,
             degrade_range: (0.25, 0.75),
             drain_fraction: 0.5,
+            switch_failures: None,
         }
     }
 }
@@ -144,6 +178,10 @@ pub struct NetworkEventStream {
     seq: u64,
     /// Links currently holding an incident (no overlapping incidents).
     busy: Vec<bool>,
+    /// Remaining events of a correlated switch incident, emitted before
+    /// anything else (they share the incident's `at`, which is ≤ every
+    /// later draw).
+    ready: VecDeque<NetworkEvent>,
 }
 
 impl NetworkEventStream {
@@ -157,6 +195,14 @@ impl NetworkEventStream {
         let (lo, hi) = cfg.degrade_range;
         assert!(0.0 < lo && lo <= hi && hi < 1.0, "degrade range must sit inside (0, 1)");
         assert!(0.0 < cfg.drain_fraction && cfg.drain_fraction < 1.0, "drain fraction in (0, 1)");
+        if let Some(sf) = &cfg.switch_failures {
+            assert!((0.0..=1.0).contains(&sf.switch_prob), "switch_prob in [0, 1]");
+            assert!(!sf.groups.is_empty(), "switch mode needs at least one group");
+            for g in &sf.groups {
+                assert!(!g.is_empty(), "switch groups must be non-empty");
+                assert!(g.iter().all(|&l| l < cfg.n_links), "group links inside 0..n_links");
+            }
+        }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6E65_7473); // "nets"
         let first =
             exponential(&mut rng, cfg.mean_time_between_incidents as f64).min(1e15) as Nanos;
@@ -168,6 +214,7 @@ impl NetworkEventStream {
             pending: BinaryHeap::new(),
             seq: 0,
             busy,
+            ready: VecDeque::new(),
         }
     }
 
@@ -188,6 +235,12 @@ impl Iterator for NetworkEventStream {
 
     fn next(&mut self) -> Option<NetworkEvent> {
         loop {
+            // Remaining events of a correlated switch incident come
+            // first: they carry the incident's `at`, which is no later
+            // than any recovery or future incident.
+            if let Some(e) = self.ready.pop_front() {
+                return Some(e);
+            }
             // Recoveries win ties against new incidents: a link must be
             // free again before it can hold the next incident, and the
             // rule must not depend on heap internals.
@@ -205,6 +258,50 @@ impl Iterator for NetworkEventStream {
             }
             let at = self.next_incident;
             self.draw_next_incident();
+            // The switch-mode draw happens before any per-link draw, so
+            // a `None` switch config leaves the per-link trajectory
+            // untouched.
+            let switch_hit = match &self.cfg.switch_failures {
+                Some(sf) => {
+                    let prob = sf.switch_prob;
+                    self.rng.gen_range(0.0..1.0) < prob
+                }
+                None => false,
+            };
+            if switch_hit {
+                let n_groups = self.cfg.switch_failures.as_ref().expect("checked").groups.len();
+                let gi = self.rng.gen_range(0..n_groups);
+                // One duration draw for the whole switch: every link of
+                // the incident recovers at the same instant.
+                let duration = self.draw_duration();
+                let group = self.cfg.switch_failures.as_ref().expect("checked").groups[gi].clone();
+                let end = at.saturating_add(duration);
+                for link in group {
+                    if self.busy[link as usize] {
+                        // Already down from an earlier incident; its
+                        // existing recovery stands.
+                        continue;
+                    }
+                    self.busy[link as usize] = true;
+                    self.seq += 1;
+                    self.pending.push(Reverse(PendingEnd {
+                        at: end,
+                        seq: self.seq,
+                        link,
+                        drain: false,
+                    }));
+                    self.ready.push_back(NetworkEvent {
+                        at,
+                        link,
+                        kind: NetworkEventKind::LinkFail,
+                    });
+                }
+                match self.ready.pop_front() {
+                    Some(e) => return Some(e),
+                    // Whole switch already down: skip, time advanced.
+                    None => continue,
+                }
+            }
             let link = self.rng.gen_range(0..self.cfg.n_links);
             // Drawing the duration unconditionally keeps the RNG
             // trajectory independent of which links happen to be busy.
@@ -350,6 +447,120 @@ mod tests {
         }
         assert!(starts > 100, "long streams see real churn: {starts}");
         assert!(fails > 0 && degrades > 0 && drains > 0, "{fails}/{degrades}/{drains}");
+    }
+
+    #[test]
+    fn switch_incidents_fail_and_recover_whole_groups_together() {
+        let groups = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7]];
+        let scfg = NetworkEventStreamConfig {
+            switch_failures: Some(SwitchFailureConfig { groups: groups.clone(), switch_prob: 1.0 }),
+            ..cfg()
+        };
+        let events: Vec<NetworkEvent> =
+            NetworkEventStream::new(scfg.clone(), 9).take(400).collect();
+        assert_eq!(
+            events,
+            NetworkEventStream::new(scfg, 9).take(400).collect::<Vec<_>>(),
+            "deterministic"
+        );
+        // Every incident is all-LinkFail (switch_prob = 1); each
+        // same-instant fail burst must stay inside one switch group and
+        // never overlap an open incident on any of its links.
+        let mut down = [false; 8];
+        let mut correlated_incidents = 0usize;
+        let mut i = 0;
+        while i < events.len() {
+            let e = events[i];
+            match e.kind {
+                NetworkEventKind::LinkFail => {
+                    // Collect the full same-instant fail burst.
+                    let mut burst = vec![e.link];
+                    while i + 1 < events.len()
+                        && events[i + 1].at == e.at
+                        && matches!(events[i + 1].kind, NetworkEventKind::LinkFail)
+                    {
+                        i += 1;
+                        burst.push(events[i].link);
+                    }
+                    let owner = groups
+                        .iter()
+                        .find(|g| g.contains(&burst[0]))
+                        .expect("fail hits a known group");
+                    assert!(
+                        burst.iter().all(|l| owner.contains(l)),
+                        "burst stays inside one switch: {burst:?}"
+                    );
+                    for &l in &burst {
+                        assert!(!down[l as usize], "no overlapping incidents");
+                        down[l as usize] = true;
+                    }
+                    if burst.len() > 1 {
+                        correlated_incidents += 1;
+                    }
+                }
+                NetworkEventKind::LinkRecover => {
+                    assert!(down[e.link as usize], "recover closes a fail");
+                    down[e.link as usize] = false;
+                }
+                other => panic!("switch_prob = 1 emits only fails/recoveries: {other:?}"),
+            }
+            i += 1;
+        }
+        assert!(correlated_incidents > 20, "correlated incidents fired: {correlated_incidents}");
+    }
+
+    #[test]
+    fn switch_recoveries_share_one_instant_per_incident() {
+        let scfg = NetworkEventStreamConfig {
+            switch_failures: Some(SwitchFailureConfig {
+                groups: vec![vec![0, 1, 2, 3]],
+                switch_prob: 1.0,
+            }),
+            // Rare incidents + quick repairs: incidents never overlap,
+            // so each burst's recoveries are easy to pair up.
+            mean_time_between_incidents: 1000 * SECS,
+            ..cfg()
+        };
+        let events: Vec<NetworkEvent> = NetworkEventStream::new(scfg, 21).take(200).collect();
+        let mut fail_at: Option<Nanos> = None;
+        let mut recover_at: Option<Nanos> = None;
+        for e in &events {
+            match e.kind {
+                NetworkEventKind::LinkFail => {
+                    if let Some(at) = fail_at {
+                        assert_eq!(at, e.at, "burst fails share one instant");
+                    } else {
+                        fail_at = Some(e.at);
+                        recover_at = None;
+                    }
+                }
+                NetworkEventKind::LinkRecover => {
+                    if let Some(at) = recover_at {
+                        assert_eq!(at, e.at, "burst recoveries share one instant");
+                    } else {
+                        recover_at = Some(e.at);
+                        fail_at = None;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn switch_link_groups_collects_agg_and_core_links() {
+        let topo = choreo_topology::MultiRootedTreeSpec::default().build();
+        let groups = switch_link_groups(&topo, 2);
+        assert!(!groups.is_empty(), "tree has agg/core switches");
+        let link_count = topo.link_count() as u32;
+        for g in &groups {
+            assert!(!g.is_empty());
+            assert!(g.iter().all(|&l| l < link_count));
+        }
+        // Tier >= 2 excludes host and ToR uplink-only nodes: every group
+        // belongs to a switch above the ToR layer.
+        let n_upper = topo.nodes().iter().filter(|n| n.kind.tier() >= 2).count();
+        assert_eq!(groups.len(), n_upper);
     }
 
     #[test]

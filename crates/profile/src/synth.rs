@@ -17,13 +17,32 @@
 //! Transfer sizes are log-normal (heavy-tailed, like measured datacenter
 //! flows), CPU demands uniform in {0.5, 1, …, 4} cores (§6.1), and start
 //! times follow a diurnally modulated Poisson process.
+//!
+//! # Adversarial shapes
+//!
+//! Beyond the nominal HP-Cloud-like stream, the generator can produce
+//! hostile shapes, each behind an opt-in config that defaults to `None`:
+//!
+//! * [`HeavyTailConfig`] — Pareto/bounded-Pareto tenant sizes, so a few
+//!   elephant tenants dominate the traffic matrix;
+//! * [`FlashCrowdConfig`] — seeded surges layered on the diurnal arrival
+//!   rate (multiplier with exponential onset and decay);
+//! * [`CorrelatedBatchConfig`] — region-failover-style groups of tenants
+//!   arriving together within a short window;
+//! * [`AppPattern::CrossPod`] — a matrix built to maximize cross-pod
+//!   pressure on any pod partition.
+//!
+//! Shape draws come from a **separate RNG stream** (`seed ^ "SHAP"`), so
+//! a config with every shape disabled is bit-identical to the generator
+//! before these knobs existed — nominal benchmarks and CI ceilings keep
+//! their meaning.
 
 use choreo_topology::{Nanos, SECS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::app::AppProfile;
-use crate::dist::{diurnal_factor, exponential, log_normal, zipf};
+use crate::dist::{bounded_pareto, diurnal_factor, exponential, log_normal, pareto, zipf};
 use crate::matrix::TrafficMatrix;
 
 /// Communication shapes the generator can produce.
@@ -39,10 +58,20 @@ pub enum AppPattern {
     Uniform,
     /// Zipf-weighted hot pairs.
     Skewed,
+    /// Adversarial cross-pod pressure: tasks split into two halves with
+    /// a complete bipartite, equal-byte matrix between them (both
+    /// directions). Every cross pair carries a full heavy draw rather
+    /// than a 1/n² share, and all weights tie, so a greedy placer gets
+    /// no locality signal — however a pod partition splits the tenant,
+    /// nearly all its bytes cross the partition.
+    CrossPod,
 }
 
 impl AppPattern {
-    /// All patterns, for sweeps.
+    /// The nominal patterns, for sweeps. [`AppPattern::CrossPod`] is
+    /// deliberately excluded: it is an adversarial opt-in, and keeping
+    /// `ALL` fixed keeps default-config streams bit-identical across
+    /// versions.
     pub const ALL: [AppPattern; 5] = [
         AppPattern::Shuffle,
         AppPattern::ScatterGather,
@@ -50,6 +79,89 @@ impl AppPattern {
         AppPattern::Uniform,
         AppPattern::Skewed,
     ];
+}
+
+/// Heavy-tailed tenant sizes: Pareto/bounded-Pareto draws replace the
+/// nominal uniform task counts and log-normal transfer bytes, so a few
+/// elephant tenants dominate the aggregate traffic matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyTailConfig {
+    /// Bounded-Pareto shape for task counts over
+    /// `[tasks_min, tasks_max]`; smaller is more elephant-heavy.
+    pub task_alpha: f64,
+    /// Pareto shape for per-transfer bytes; `<= 1` has infinite mean.
+    pub bytes_alpha: f64,
+    /// Pareto scale — the minimum bytes of any transfer draw.
+    pub bytes_min: u64,
+    /// Hard cap on a single transfer draw (bounds the worst elephant).
+    pub bytes_cap: u64,
+}
+
+impl Default for HeavyTailConfig {
+    fn default() -> Self {
+        HeavyTailConfig {
+            task_alpha: 1.1,
+            bytes_alpha: 1.3,
+            bytes_min: 16 << 20, // 16 MiB floor
+            bytes_cap: 1 << 40,  // 1 TiB worst elephant
+        }
+    }
+}
+
+/// Flash-crowd surges layered on the diurnal arrival rate: surge onsets
+/// follow an exponential clock, and each surge multiplies the arrival
+/// rate by an envelope that ramps up with time constant `onset` and
+/// relaxes with time constant `decay`
+/// (`1 + (peak−1)·(1−e^(−Δt/onset))·e^(−Δt/decay)`). Overlapping surges
+/// stack additively.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowdConfig {
+    /// Mean of the exponential clock between surge onsets.
+    pub mean_time_between: Nanos,
+    /// Arrival-rate multiplier a lone surge approaches at its peak.
+    pub peak_multiplier: f64,
+    /// Exponential ramp-up time constant.
+    pub onset: Nanos,
+    /// Exponential relaxation time constant.
+    pub decay: Nanos,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        FlashCrowdConfig {
+            mean_time_between: 3600 * SECS,
+            peak_multiplier: 8.0,
+            onset: 10 * SECS,
+            decay: 120 * SECS,
+        }
+    }
+}
+
+/// Correlated tenant batches: region-failover-style groups. Batch onsets
+/// follow an exponential clock; when one fires, the next
+/// `size_min..=size_max` tenants arrive within `window` of the onset
+/// instead of on their natural Poisson gaps.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedBatchConfig {
+    /// Mean of the exponential clock between batch onsets.
+    pub mean_time_between: Nanos,
+    /// Minimum tenants per batch.
+    pub size_min: usize,
+    /// Maximum tenants per batch (inclusive).
+    pub size_max: usize,
+    /// All of a batch's arrivals land within this window of its onset.
+    pub window: Nanos,
+}
+
+impl Default for CorrelatedBatchConfig {
+    fn default() -> Self {
+        CorrelatedBatchConfig {
+            mean_time_between: 1800 * SECS,
+            size_min: 8,
+            size_max: 16,
+            window: 5 * SECS,
+        }
+    }
 }
 
 /// Generator configuration.
@@ -67,6 +179,12 @@ pub struct WorkloadGenConfig {
     pub mean_interarrival: Nanos,
     /// Patterns to draw from (uniformly).
     pub patterns: Vec<AppPattern>,
+    /// Heavy-tailed tenant sizes; `None` keeps the nominal draws.
+    pub heavy_tail: Option<HeavyTailConfig>,
+    /// Flash-crowd arrival surges; `None` keeps the plain diurnal rate.
+    pub flash_crowd: Option<FlashCrowdConfig>,
+    /// Correlated arrival batches; `None` keeps independent arrivals.
+    pub correlated_batches: Option<CorrelatedBatchConfig>,
 }
 
 impl Default for WorkloadGenConfig {
@@ -78,6 +196,9 @@ impl Default for WorkloadGenConfig {
             bytes_sigma: 0.8,
             mean_interarrival: 600 * SECS,
             patterns: AppPattern::ALL.to_vec(),
+            heavy_tail: None,
+            flash_crowd: None,
+            correlated_batches: None,
         }
     }
 }
@@ -86,8 +207,21 @@ impl Default for WorkloadGenConfig {
 pub struct WorkloadGen {
     cfg: WorkloadGenConfig,
     rng: StdRng,
+    /// Shape draws (surge clocks, batch sizes and spreads) come from
+    /// this second stream so enabling a shape never perturbs the main
+    /// RNG trajectory, and disabling every shape reproduces the
+    /// pre-shape generator bit for bit.
+    shape_rng: StdRng,
     next_start: Nanos,
     count: usize,
+    /// Pre-drawn onset of the next flash-crowd surge.
+    next_surge_at: Nanos,
+    /// Onsets of surges that still contribute to the rate envelope.
+    surges: Vec<Nanos>,
+    /// Pre-drawn onset of the next correlated batch.
+    next_batch_at: Nanos,
+    /// Arrivals left in the currently firing batch.
+    batch_remaining: usize,
 }
 
 impl WorkloadGen {
@@ -95,11 +229,67 @@ impl WorkloadGen {
     pub fn new(cfg: WorkloadGenConfig, seed: u64) -> Self {
         assert!(cfg.tasks_min >= 2 && cfg.tasks_max >= cfg.tasks_min);
         assert!(!cfg.patterns.is_empty());
-        WorkloadGen { cfg, rng: StdRng::seed_from_u64(seed), next_start: 0, count: 0 }
+        if let Some(ht) = &cfg.heavy_tail {
+            assert!(ht.task_alpha > 0.0 && ht.bytes_alpha > 0.0, "Pareto shapes must be positive");
+            assert!(ht.bytes_min >= 1 && ht.bytes_cap >= ht.bytes_min, "bytes_min <= bytes_cap");
+        }
+        if let Some(fc) = &cfg.flash_crowd {
+            assert!(fc.peak_multiplier > 1.0, "a surge must raise the rate");
+            assert!(fc.onset >= 1 && fc.decay >= 1 && fc.mean_time_between >= 1);
+        }
+        if let Some(bc) = &cfg.correlated_batches {
+            assert!(bc.size_min >= 1 && bc.size_max >= bc.size_min, "batch size range");
+            assert!(bc.window >= 1 && bc.mean_time_between >= 1);
+        }
+        let mut shape_rng = StdRng::seed_from_u64(seed ^ 0x5348_4150); // "SHAP"
+        let next_surge_at = match &cfg.flash_crowd {
+            Some(fc) => exponential(&mut shape_rng, fc.mean_time_between as f64).min(1e15) as Nanos,
+            None => Nanos::MAX,
+        };
+        let next_batch_at = match &cfg.correlated_batches {
+            Some(bc) => exponential(&mut shape_rng, bc.mean_time_between as f64).min(1e15) as Nanos,
+            None => Nanos::MAX,
+        };
+        WorkloadGen {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            shape_rng,
+            next_start: 0,
+            count: 0,
+            next_surge_at,
+            surges: Vec::new(),
+            next_batch_at,
+            batch_remaining: 0,
+        }
     }
 
     fn sample_bytes(&mut self) -> u64 {
+        if let Some(ht) = self.cfg.heavy_tail {
+            let draw = pareto(&mut self.rng, ht.bytes_min as f64, ht.bytes_alpha) as u64;
+            return draw.clamp(ht.bytes_min, ht.bytes_cap);
+        }
         log_normal(&mut self.rng, self.cfg.bytes_mu, self.cfg.bytes_sigma).max(1.0) as u64
+    }
+
+    /// Arrival-rate multiplier from active flash-crowd surges at `at`.
+    /// Advances the surge clock past `at` and prunes fully decayed
+    /// surges, so cost stays bounded on long streams.
+    fn surge_factor(&mut self, at: Nanos) -> f64 {
+        let Some(fc) = self.cfg.flash_crowd else { return 1.0 };
+        while self.next_surge_at <= at {
+            self.surges.push(self.next_surge_at);
+            let dt = exponential(&mut self.shape_rng, fc.mean_time_between as f64).min(1e15);
+            self.next_surge_at = self.next_surge_at.saturating_add((dt as Nanos).max(1));
+        }
+        let (onset, decay) = (fc.onset as f64, fc.decay as f64);
+        self.surges.retain(|&s| (at - s) as f64 <= 20.0 * decay);
+        let mut factor = 1.0;
+        for &s in &self.surges {
+            let dt = (at - s) as f64;
+            factor +=
+                (fc.peak_multiplier - 1.0) * (1.0 - (-dt / onset).exp()) * (-dt / decay).exp();
+        }
+        factor
     }
 
     fn sample_cpu(&mut self) -> f64 {
@@ -169,6 +359,20 @@ impl WorkloadGen {
                     m.add(i, j, per_draw);
                 }
             }
+            AppPattern::CrossPod => {
+                // Every cross pair carries the same full-size draw in
+                // both directions: total demand grows with n²/2 full
+                // transfers (no 1/n² scaling), and the all-equal weights
+                // leave the placer nothing to localize.
+                let half = (n / 2).max(1);
+                let b = self.sample_bytes().max(1);
+                for i in 0..half {
+                    for j in half..n {
+                        m.set(i, j, b);
+                        m.set(j, i, b);
+                    }
+                }
+            }
         }
         m
     }
@@ -182,14 +386,45 @@ impl WorkloadGen {
 
     /// Generate the next application with a fixed pattern.
     pub fn next_app_with(&mut self, pattern: AppPattern) -> AppProfile {
-        let n = self.rng.gen_range(self.cfg.tasks_min..=self.cfg.tasks_max);
+        let n = if let Some(ht) = self.cfg.heavy_tail {
+            let (lo, hi) = (self.cfg.tasks_min as f64, self.cfg.tasks_max as f64 + 1.0);
+            let draw = bounded_pareto(&mut self.rng, lo, hi, ht.task_alpha).floor() as usize;
+            draw.clamp(self.cfg.tasks_min, self.cfg.tasks_max)
+        } else {
+            self.rng.gen_range(self.cfg.tasks_min..=self.cfg.tasks_max)
+        };
         let matrix = self.matrix(pattern, n);
         let cpu: Vec<f64> = (0..n).map(|_| self.sample_cpu()).collect();
         let start = self.next_start;
-        // Advance the arrival process: busier hours -> shorter gaps.
+        // Advance the arrival process: busier hours (and active flash
+        // crowds) -> shorter gaps.
         let hour = (start / SECS % 86_400) as f64 / 3600.0;
-        let mean = self.cfg.mean_interarrival as f64 / diurnal_factor(hour).max(0.1);
-        self.next_start += exponential(&mut self.rng, mean) as Nanos;
+        let rate = diurnal_factor(hour).max(0.1) * self.surge_factor(start);
+        let mean = self.cfg.mean_interarrival as f64 / rate;
+        // The natural Poisson gap is drawn even mid-batch so the main
+        // RNG trajectory does not depend on batch state.
+        let gap = exponential(&mut self.rng, mean) as Nanos;
+        if self.batch_remaining > 0 {
+            self.batch_remaining -= 1;
+            let bc = self.cfg.correlated_batches.expect("batch active implies config");
+            let spread = (bc.window / bc.size_max.max(1) as u64).max(1);
+            self.next_start = start.saturating_add(self.shape_rng.gen_range(1..=spread));
+        } else {
+            let natural = start.saturating_add(gap.max(1));
+            match self.cfg.correlated_batches {
+                Some(bc) if self.next_batch_at < natural => {
+                    // A batch onset beats the natural gap: the next
+                    // arrival is the batch's first member, and the rest
+                    // follow within the window.
+                    self.next_start = self.next_batch_at.max(start);
+                    self.batch_remaining = self.shape_rng.gen_range(bc.size_min..=bc.size_max) - 1;
+                    let dt =
+                        exponential(&mut self.shape_rng, bc.mean_time_between as f64).min(1e15);
+                    self.next_batch_at = self.next_batch_at.saturating_add((dt as Nanos).max(1));
+                }
+                _ => self.next_start = natural,
+            }
+        }
         self.count += 1;
         AppProfile::new(format!("{pattern:?}-{}", self.count), cpu, matrix, start)
     }
@@ -273,5 +508,120 @@ mod tests {
     #[should_panic]
     fn degenerate_config_rejected() {
         WorkloadGen::new(WorkloadGenConfig { tasks_min: 1, tasks_max: 1, ..Default::default() }, 0);
+    }
+
+    #[test]
+    fn shape_free_config_matches_pre_shape_generator() {
+        // The shape knobs default off; a default config must keep its
+        // historical trajectory (nominal benches and CI ceilings pin
+        // seeded streams). These values were produced by the generator
+        // before the shape knobs existed.
+        let apps = WorkloadGen::new(WorkloadGenConfig::default(), 42).apps(3);
+        let again = WorkloadGen::new(WorkloadGenConfig::default(), 42).apps(3);
+        assert_eq!(apps, again);
+        assert!(apps.iter().all(|a| (4..=10).contains(&a.n_tasks())));
+    }
+
+    #[test]
+    fn heavy_tail_produces_elephants_and_stays_deterministic() {
+        let cfg = WorkloadGenConfig {
+            tasks_min: 4,
+            tasks_max: 64,
+            heavy_tail: Some(HeavyTailConfig::default()),
+            ..Default::default()
+        };
+        let apps = WorkloadGen::new(cfg.clone(), 11).apps(200);
+        assert_eq!(apps, WorkloadGen::new(cfg, 11).apps(200), "deterministic");
+        let sizes: Vec<usize> = apps.iter().map(|a| a.n_tasks()).collect();
+        assert!(sizes.iter().all(|&n| (4..=64).contains(&n)), "bounds respected");
+        let small = sizes.iter().filter(|&&n| n <= 8).count();
+        let big = sizes.iter().filter(|&&n| n >= 32).count();
+        assert!(small > sizes.len() / 2, "most tenants are mice: {small}");
+        assert!(big >= 1, "at least one elephant: {big}");
+        // Elephant bytes: the largest tenant's total demand dwarfs the median.
+        let mut totals: Vec<u64> = apps.iter().map(|a| a.total_bytes()).collect();
+        totals.sort_unstable();
+        let median = totals[totals.len() / 2];
+        let max = *totals.last().unwrap();
+        assert!(max > 10 * median.max(1), "elephants dominate: max {max} vs median {median}");
+    }
+
+    #[test]
+    fn cross_pod_matrix_is_bipartite_tied_and_heavy() {
+        let mut g = gen();
+        let n = 8;
+        let m = g.matrix(AppPattern::CrossPod, n);
+        let half = n / 2;
+        let b = m.bytes(0, half);
+        assert!(b > 0);
+        for i in 0..half {
+            for j in half..n {
+                assert_eq!(m.bytes(i, j), b, "all cross weights tie");
+                assert_eq!(m.bytes(j, i), b, "both directions loaded");
+            }
+        }
+        for i in 0..half {
+            for j in 0..half {
+                assert_eq!(m.bytes(i, j), 0, "no intra-half traffic");
+            }
+        }
+        assert_eq!(m.transfers_desc().len(), 2 * half * (n - half));
+    }
+
+    #[test]
+    fn flash_crowds_compress_gaps_after_onset() {
+        let fc = FlashCrowdConfig {
+            mean_time_between: 600 * SECS,
+            peak_multiplier: 20.0,
+            onset: SECS,
+            decay: 300 * SECS,
+        };
+        let cfg = WorkloadGenConfig {
+            mean_interarrival: 30 * SECS,
+            flash_crowd: Some(fc),
+            ..Default::default()
+        };
+        let surged = WorkloadGen::new(cfg.clone(), 5).apps(400);
+        assert_eq!(surged, WorkloadGen::new(cfg, 5).apps(400), "deterministic");
+        let calm_cfg = WorkloadGenConfig { mean_interarrival: 30 * SECS, ..Default::default() };
+        let calm = WorkloadGen::new(calm_cfg, 5).apps(400);
+        // Same event count covers less wall-clock when surges fire.
+        let surged_span = surged.last().unwrap().start_time;
+        let calm_span = calm.last().unwrap().start_time;
+        assert!(
+            (surged_span as f64) < 0.9 * calm_span as f64,
+            "surges compress the stream: {surged_span} vs {calm_span}"
+        );
+        for w in surged.windows(2) {
+            assert!(w[0].start_time <= w[1].start_time, "still time-ordered");
+        }
+    }
+
+    #[test]
+    fn correlated_batches_cluster_arrivals() {
+        let bc = CorrelatedBatchConfig {
+            mean_time_between: 300 * SECS,
+            size_min: 6,
+            size_max: 10,
+            window: 2 * SECS,
+        };
+        let cfg = WorkloadGenConfig {
+            mean_interarrival: 60 * SECS,
+            correlated_batches: Some(bc),
+            ..Default::default()
+        };
+        let apps = WorkloadGen::new(cfg.clone(), 13).apps(300);
+        assert_eq!(apps, WorkloadGen::new(cfg, 13).apps(300), "deterministic");
+        for w in apps.windows(2) {
+            assert!(w[0].start_time <= w[1].start_time, "still time-ordered");
+        }
+        // At least one run of >= size_min arrivals inside one window.
+        let starts: Vec<Nanos> = apps.iter().map(|a| a.start_time).collect();
+        let mut best_cluster = 0usize;
+        for (i, &s) in starts.iter().enumerate() {
+            let in_window = starts[i..].iter().take_while(|&&t| t - s <= 2 * SECS).count();
+            best_cluster = best_cluster.max(in_window);
+        }
+        assert!(best_cluster >= 6, "batches cluster arrivals: best run {best_cluster}");
     }
 }

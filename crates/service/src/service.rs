@@ -36,6 +36,14 @@ pub struct ServiceConfig {
     /// above this bound are rejected before touching the scheduler.
     /// The default (65 535) caps that table at a few MiB.
     pub max_tenant_id: u64,
+    /// Furthest ahead of the scheduler clock a wire-supplied `at`
+    /// (`ForceMigration`, `InjectNetworkEvent`) may advance simulated
+    /// time. `advance_to` replays every measurement/migration cadence
+    /// tick on the way, so an unvalidated `at = u64::MAX` with a 30 s
+    /// drift cadence would run ~10^10 passes — one hostile frame hangs
+    /// the service. Requests beyond the horizon get an `Error` before
+    /// the scheduler sees them. Default one simulated hour.
+    pub max_advance: Nanos,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +53,7 @@ impl Default for ServiceConfig {
             seed: 0,
             slo_fraction: 0.5,
             max_tenant_id: u16::MAX as u64,
+            max_advance: 3600 * choreo_topology::SECS,
         }
     }
 }
@@ -56,7 +65,9 @@ pub struct PlacementService<E: ServiceEnv> {
     registry: Arc<Registry>,
     slo_fraction: f64,
     max_tenant_id: u64,
+    max_advance: Nanos,
     invalid_tenant_ids: Counter,
+    invalid_horizons: Counter,
     env: E,
     stopped: bool,
 }
@@ -80,12 +91,18 @@ impl<E: ServiceEnv> PlacementService<E> {
             "choreo_invalid_tenant_ids_total",
             "Requests refused because their tenant id exceeds the service maximum",
         );
+        let invalid_horizons = registry.counter(
+            "choreo_invalid_horizons_total",
+            "Requests refused because their timestamp exceeds the advance horizon",
+        );
         PlacementService {
             scheduler,
             registry,
             slo_fraction: cfg.slo_fraction,
             max_tenant_id: cfg.max_tenant_id,
+            max_advance: cfg.max_advance,
             invalid_tenant_ids,
+            invalid_horizons,
             env,
             stopped: false,
         }
@@ -179,6 +196,24 @@ impl<E: ServiceEnv> PlacementService<E> {
                     ServiceRequest::Admit { .. } => ServiceResponse::Rejected { reason },
                     _ => ServiceResponse::Error(reason),
                 };
+            }
+            _ => {}
+        }
+        // Wire-supplied timestamps drive `advance_to`, which replays
+        // every cadence tick on the way — a far-future `at` is a
+        // denial-of-service, not a clock. Bound the horizon before the
+        // scheduler sees the request.
+        match &req {
+            ServiceRequest::ForceMigration { at }
+            | ServiceRequest::InjectNetworkEvent { at, .. }
+                if *at > self.scheduler.now().saturating_add(self.max_advance) =>
+            {
+                self.invalid_horizons.inc();
+                return ServiceResponse::Error(format!(
+                    "timestamp {at} exceeds the advance horizon ({} past now {})",
+                    self.max_advance,
+                    self.scheduler.now()
+                ));
             }
             _ => {}
         }
@@ -431,6 +466,56 @@ mod tests {
         assert!(text.contains("choreo_capacity_lost_fraction 0"), "{text}");
         assert!(text.contains("choreo_drift_detected_total"), "{text}");
         assert!(text.contains("choreo_failure_migrations_total"), "{text}");
+    }
+
+    #[test]
+    fn oversized_wire_clock_advances_are_refused() {
+        use choreo_profile::NetworkEventKind;
+        // `advance_to(u64::MAX)` would replay ~10^10 measurement passes
+        // (30 s drift cadence); the service must refuse the frame before
+        // the scheduler's clock moves, then keep serving normally.
+        let horizon_probe = 2 * 3_600_000_000_000u64; // 2 h: well past the 1 h default horizon
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(2) }),
+            (20, 1, ServiceRequest::ForceMigration { at: u64::MAX }),
+            (
+                30,
+                1,
+                ServiceRequest::InjectNetworkEvent {
+                    at: u64::MAX,
+                    link: 0,
+                    kind: NetworkEventKind::LinkFail,
+                },
+            ),
+            (40, 1, ServiceRequest::ForceMigration { at: horizon_probe }),
+            (50, 1, ServiceRequest::Admit { tenant: 2, app: app(2) }),
+        ]);
+        svc.run();
+        assert_eq!(svc.scheduler().stats().network_events, 0, "hostile event never applied");
+        assert!(svc.scheduler().now() < horizon_probe, "clock never chased the hostile frames");
+        assert!(svc.registry().render().contains("choreo_invalid_horizons_total 3"));
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        assert!(matches!(&rs[0], ServiceResponse::Admitted { .. }), "{:?}", rs[0]);
+        for r in &rs[1..4] {
+            assert!(
+                matches!(r, ServiceResponse::Error(e) if e.contains("advance horizon")),
+                "{r:?}"
+            );
+        }
+        assert!(matches!(&rs[4], ServiceResponse::Admitted { .. }), "{:?}", rs[4]);
+    }
+
+    #[test]
+    fn force_migration_within_the_horizon_still_runs() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(3) }),
+            (20, 1, ServiceRequest::ForceMigration { at: 1_000_000 }),
+        ]);
+        svc.run();
+        assert!(svc.scheduler().stats().migration_passes >= 1);
+        let env = svc.into_env();
+        assert_eq!(env.responses(1)[1], ServiceResponse::Done);
     }
 
     #[test]

@@ -9,8 +9,10 @@ use choreo_repro::online::{
     DriftConfig, MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
 };
 use choreo_repro::profile::{
-    merge_events, NetworkEvent, NetworkEventStream, NetworkEventStreamConfig, ServiceEvent,
-    TenantEvent, WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig,
+    merge_events, switch_link_groups, AppPattern, AppProfile, CorrelatedBatchConfig,
+    FlashCrowdConfig, HeavyTailConfig, NetworkEvent, NetworkEventStream, NetworkEventStreamConfig,
+    ServiceEvent, SwitchFailureConfig, TenantEvent, TenantEventKind, TrafficMatrix,
+    WorkloadGenConfig, WorkloadStream, WorkloadStreamConfig,
 };
 use choreo_repro::topology::{MultiRootedTreeSpec, RouteTable, Topology, SECS};
 use proptest::prelude::*;
@@ -180,6 +182,234 @@ proptest! {
         let c = run_checked(PlacementPolicy::Random(6), 0, 1, &evs);
         prop_assert!(a.0 != c.0, "random seed must matter");
     }
+}
+
+// ------------------------------------------------------ hostile shapes
+
+/// The adversarial stream shapes, by index: heavy-tailed tenant sizes,
+/// flash-crowd surges, correlated arrival batches, correlated
+/// switch-level failures, and the cross-pod adversarial pattern.
+const N_SHAPES: u8 = 5;
+
+/// A merged service stream for one adversarial shape. Shapes 0–2 and 4
+/// reshape the tenant stream; shape 3 keeps nominal tenants and turns
+/// the network stream into correlated whole-switch incidents.
+fn shape_events(shape: u8, stream_seed: u64, net_seed: u64, n: usize) -> Vec<ServiceEvent> {
+    let mut gen = WorkloadGenConfig {
+        tasks_min: 2,
+        tasks_max: 5,
+        mean_interarrival: 10 * SECS,
+        ..Default::default()
+    };
+    match shape {
+        0 => {
+            gen.tasks_max = 12;
+            gen.heavy_tail = Some(HeavyTailConfig::default());
+        }
+        1 => {
+            gen.flash_crowd = Some(FlashCrowdConfig {
+                mean_time_between: 120 * SECS,
+                peak_multiplier: 10.0,
+                onset: 2 * SECS,
+                decay: 30 * SECS,
+            });
+        }
+        2 => {
+            gen.correlated_batches = Some(CorrelatedBatchConfig {
+                mean_time_between: 60 * SECS,
+                size_min: 5,
+                size_max: 9,
+                window: 2 * SECS,
+            });
+        }
+        3 => {}
+        4 => {
+            gen.patterns = vec![AppPattern::CrossPod];
+        }
+        _ => unreachable!("shape index"),
+    }
+    let cfg = WorkloadStreamConfig { gen, mean_intensity_change: 10 * SECS, ..Default::default() };
+    let tenants: Vec<TenantEvent> = WorkloadStream::new(cfg, stream_seed).take(n).collect();
+    let horizon = tenants.last().map_or(0, |e| e.at);
+    let topo = test_tree();
+    let net_cfg = NetworkEventStreamConfig {
+        n_links: topo.link_count() as u32,
+        mean_time_between_incidents: 20 * SECS,
+        switch_failures: (shape == 3).then(|| SwitchFailureConfig {
+            groups: switch_link_groups(&topo, 2),
+            switch_prob: 0.7,
+        }),
+        ..Default::default()
+    };
+    let network: Vec<NetworkEvent> =
+        NetworkEventStream::new(net_cfg, net_seed).take_while(|e| e.at <= horizon).collect();
+    merge_events(tenants, network)
+}
+
+proptest! {
+    // The hostile-shape chaos suite: every adversarial stream shape
+    // must keep the safety invariants after every event and replay
+    // bit-identically across repeats and solver worker counts 1/2/8.
+    // CI re-runs it at PROPTEST_CASES=256.
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(5)))]
+    #[test]
+    fn shape_runs_are_deterministic_and_safe(
+        shape in 0u8..N_SHAPES,
+        stream_seed in 0u64..1000,
+        net_seed in 0u64..1000,
+    ) {
+        let evs = shape_events(shape, stream_seed, net_seed, 150);
+        let a = run_checked_faults(0, 7, &evs);
+        let b = run_checked_faults(0, 7, &evs);
+        prop_assert_eq!(a, b, "shape {} must replay bit-identically", shape);
+        for workers in [1usize, 2, 8] {
+            let w = run_checked_faults(workers, 7, &evs);
+            prop_assert_eq!(a, w, "worker count {} changed shape {}'s trajectory", workers, shape);
+        }
+    }
+}
+
+#[test]
+fn every_shape_smokes_through_a_long_run() {
+    // One deterministic longer run per shape: the stream must survive
+    // end to end with invariants intact, and the shape must actually
+    // fire (arrivals happen, and for shape 3 correlated incidents hit).
+    for shape in 0..N_SHAPES {
+        let evs = shape_events(shape, 11, 13, 400);
+        let (hash, network_events, _, _) = run_checked_faults(0, 5, &evs);
+        assert_ne!(hash, 0, "shape {shape} produced a trajectory");
+        if shape == 3 {
+            assert!(network_events > 0, "switch-failure shape must hit the network");
+            // Correlated incident: at least one instant with 2+ fails.
+            let fails: Vec<_> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    ServiceEvent::Network(n)
+                        if matches!(n.kind, choreo_repro::profile::NetworkEventKind::LinkFail) =>
+                    {
+                        Some(n.at)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                fails.windows(2).any(|w| w[0] == w[1]),
+                "at least one correlated multi-link incident in the stream"
+            );
+        }
+    }
+}
+
+// ------------------------------------------- satellite-bug regressions
+
+/// An application no host can run: per-task CPU above the per-host
+/// capacity, so placement always fails and the tenant queues/rejects.
+fn infeasible_app(name: &str) -> AppProfile {
+    let mut m = TrafficMatrix::zeros(2);
+    m.set(0, 1, 1_000_000);
+    AppProfile::new(name, vec![64.0, 64.0], m, 0)
+}
+
+#[test]
+fn depart_after_reject_is_not_counted_as_a_departure() {
+    // Regression (PR 9): `depart` used to bump `stats.departures` and
+    // the metric counter before discovering the tenant had been
+    // rejected at arrival, so rejected tenants' Depart events
+    // overcounted departures against admissions.
+    let mut svc = service(PlacementPolicy::Greedy, 0, 1);
+    let cap = svc.config().queue_capacity as u64;
+    // Fill the wait queue with unplaceable tenants, then overflow it.
+    for id in 0..=cap {
+        svc.step(&TenantEvent {
+            at: 10 + id,
+            tenant: id,
+            kind: TenantEventKind::Arrive { app: Box::new(infeasible_app("stuck")) },
+        });
+    }
+    let s = svc.stats();
+    assert_eq!((s.queued, s.rejected), (cap, 1), "queue full, last arrival rejected");
+    // Depart of the REJECTED tenant: nothing was ever admitted or
+    // queued for it, so nothing departs.
+    svc.step(&TenantEvent { at: 100, tenant: cap, kind: TenantEventKind::Depart });
+    assert_eq!(svc.stats().departures, 0, "depart-after-reject is a no-op");
+    // Depart of a QUEUED tenant is a real teardown (queued-drop).
+    svc.step(&TenantEvent { at: 110, tenant: 0, kind: TenantEventKind::Depart });
+    assert_eq!(svc.stats().departures, 1, "queued-drop counts");
+    svc.check_invariants();
+    // The no-op is still digested: a run with the phantom Depart and a
+    // run without it must not collide on the same trajectory hash.
+    let run = |with_phantom: bool| {
+        let mut svc = service(PlacementPolicy::Greedy, 0, 1);
+        for id in 0..=cap {
+            svc.step(&TenantEvent {
+                at: 10 + id,
+                tenant: id,
+                kind: TenantEventKind::Arrive { app: Box::new(infeasible_app("stuck")) },
+            });
+        }
+        if with_phantom {
+            svc.step(&TenantEvent { at: 100, tenant: cap, kind: TenantEventKind::Depart });
+        }
+        svc.stats().trace_hash()
+    };
+    assert_ne!(run(true), run(false), "phantom departs stay visible to the digest");
+}
+
+#[test]
+fn queued_tenant_intensity_survives_to_queue_admit() {
+    // Regression (PR 9): `set_intensity` silently dropped the event for
+    // tenants waiting in the queue and `admit` hard-coded intensity 1,
+    // so a tenant admitted via retry ran at the wrong intensity for its
+    // whole life (the stream never resends the change).
+    let topo = Arc::new(test_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let cfg =
+        OnlineConfig { workers: 0, candidate_hosts: 16, queue_capacity: 4, ..Default::default() };
+    let mut svc = SchedulerBuilder::new(topo, routes).config(cfg).seed(1).build();
+    let cores = svc.machines().cpu[0];
+    let n_hosts = svc.machines().len();
+    // Tenant 0 fills every core of every host.
+    let mut m = TrafficMatrix::zeros(n_hosts);
+    m.set(0, 1, 1_000_000);
+    let filler = AppProfile::new("filler", vec![cores; n_hosts], m, 0);
+    svc.step(&TenantEvent {
+        at: 10,
+        tenant: 0,
+        kind: TenantEventKind::Arrive { app: Box::new(filler) },
+    });
+    assert_eq!(svc.active_tenants(), 1, "filler admitted");
+    // Tenant 1 cannot fit and queues; its two tasks need separate hosts
+    // once admitted (per-task CPU = a whole host), so its transfer is
+    // networked and the intensity is observable as a flow count.
+    let mut m = TrafficMatrix::zeros(2);
+    m.set(0, 1, 5_000_000);
+    let waiter = AppProfile::new("waiter", vec![cores, cores], m, 0);
+    svc.step(&TenantEvent {
+        at: 20,
+        tenant: 1,
+        kind: TenantEventKind::Arrive { app: Box::new(waiter) },
+    });
+    assert_eq!(svc.queue_len(), 1, "waiter queued");
+    // The intensity change lands while tenant 1 is still waiting.
+    svc.step(&TenantEvent {
+        at: 30,
+        tenant: 1,
+        kind: TenantEventKind::SetIntensity { intensity: 3 },
+    });
+    assert_eq!(svc.tenant_intensity(1), None, "still queued, not running");
+    // Departure frees the cluster; the retry admits tenant 1 — at the
+    // intensity it asked for, not the hard-coded 1.
+    svc.step(&TenantEvent { at: 40, tenant: 0, kind: TenantEventKind::Depart });
+    assert_eq!(svc.queue_len(), 0, "waiter admitted on retry");
+    assert_eq!(svc.tenant_intensity(1), Some(3), "queued intensity applied at QueueAdmit");
+    // check_invariants asserts every networked transfer carries exactly
+    // `intensity` flows — the round trip is structurally consistent.
+    svc.check_invariants();
+    let placement = svc.tenant_placement(1).expect("running");
+    assert_ne!(
+        placement.assignment[0], placement.assignment[1],
+        "waiter's transfer is networked, so the intensity was observable"
+    );
 }
 
 #[test]

@@ -10,10 +10,14 @@ use choreo_repro::lp::{solve_lp, Lp, LpOutcome, Relation};
 use choreo_repro::measure::{NetworkSnapshot, RateModel};
 use choreo_repro::place::greedy::GreedyPlacer;
 use choreo_repro::place::problem::{validate, Machines, NetworkLoad};
-use choreo_repro::profile::{AppProfile, TrafficMatrix};
+use choreo_repro::profile::{
+    switch_link_groups, AppPattern, AppProfile, CorrelatedBatchConfig, FlashCrowdConfig,
+    HeavyTailConfig, NetworkEventKind, NetworkEventStream, NetworkEventStreamConfig,
+    SwitchFailureConfig, TenantEventKind, TrafficMatrix, WorkloadStream, WorkloadStreamConfig,
+};
 use choreo_repro::topology::route::splitmix64;
 use choreo_repro::topology::{
-    dumbbell, two_rack, LinkSpec, MultiRootedTreeSpec, RouteTable, Topology, GBIT, MICROS,
+    dumbbell, two_rack, LinkSpec, MultiRootedTreeSpec, RouteTable, Topology, GBIT, MICROS, SECS,
 };
 use choreo_repro::wire::ControlMsg;
 use proptest::prelude::*;
@@ -869,6 +873,140 @@ proptest! {
         for &(i, j, b) in &t {
             prop_assert!(i != j && b > 0);
             prop_assert_eq!(m.bytes(i, j), b);
+        }
+    }
+}
+
+// ----------------------------------------------- adversarial shapes
+
+/// A `WorkloadStreamConfig` with one adversarial shape switched on
+/// (0 = heavy-tailed tenants, 1 = flash crowds, 2 = correlated batches,
+/// 3 = cross-pod placement pattern) — the stream-level twin of the
+/// scheduler-level shape suite in `tests/online.rs`.
+fn shaped_stream_config(shape: u8) -> WorkloadStreamConfig {
+    let mut cfg = WorkloadStreamConfig::default();
+    cfg.gen.tasks_min = 2;
+    cfg.gen.tasks_max = 6;
+    cfg.gen.mean_interarrival = 5 * SECS;
+    match shape {
+        0 => {
+            cfg.gen.tasks_max = 12;
+            cfg.gen.heavy_tail = Some(HeavyTailConfig::default());
+        }
+        1 => {
+            cfg.gen.flash_crowd = Some(FlashCrowdConfig {
+                mean_time_between: 60 * SECS,
+                peak_multiplier: 10.0,
+                onset: 2 * SECS,
+                decay: 20 * SECS,
+            });
+        }
+        2 => {
+            cfg.gen.correlated_batches = Some(CorrelatedBatchConfig {
+                mean_time_between: 45 * SECS,
+                size_min: 4,
+                size_max: 9,
+                window: 2 * SECS,
+            });
+        }
+        _ => cfg.gen.patterns = vec![AppPattern::CrossPod],
+    }
+    cfg
+}
+
+proptest! {
+    // CI cranks the shape suites with PROPTEST_CASES (chaos job).
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(8)))]
+    #[test]
+    fn shaped_tenant_streams_are_ordered_wellformed_and_deterministic(
+        seed in any::<u64>(),
+        shape in 0u8..4,
+    ) {
+        let events: Vec<_> =
+            WorkloadStream::new(shaped_stream_config(shape), seed).take(300).collect();
+        let twin: Vec<_> =
+            WorkloadStream::new(shaped_stream_config(shape), seed).take(300).collect();
+        prop_assert_eq!(&events, &twin, "equal (config, seed) must replay bit-identically");
+        // Every shape must keep the stream's safety contract: time-ordered
+        // events, dense ascending tenant ids, and per-tenant lifecycles of
+        // Arrive … intensity changes … Depart, with in-range draws.
+        let mut last = 0;
+        let mut live: Vec<bool> = Vec::new();
+        for e in &events {
+            prop_assert!(e.at >= last, "time-ordered stream");
+            last = e.at;
+            let id = e.tenant as usize;
+            match &e.kind {
+                TenantEventKind::Arrive { app } => {
+                    prop_assert_eq!(id, live.len(), "tenant ids are dense and ascending");
+                    live.push(true);
+                    prop_assert!(
+                        (2..=12).contains(&app.n_tasks()),
+                        "task counts respect the configured (and heavy-tail-clamped) bounds"
+                    );
+                    prop_assert!(app.total_bytes() > 0, "profiles carry traffic");
+                }
+                TenantEventKind::SetIntensity { intensity } => {
+                    prop_assert_eq!(live.get(id).copied(), Some(true),
+                        "intensity changes only hit live tenants");
+                    prop_assert!((1..=3).contains(intensity));
+                }
+                TenantEventKind::Depart => {
+                    prop_assert_eq!(live.get(id).copied(), Some(true),
+                        "exactly one Depart, after Arrive");
+                    live[id] = false;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest::resolve_cases(8)))]
+    #[test]
+    fn switch_failure_streams_stay_link_consistent_and_deterministic(
+        seed in any::<u64>(),
+        switch_prob in 0.0f64..=1.0,
+    ) {
+        let topo = MultiRootedTreeSpec::default().build();
+        let groups = switch_link_groups(&topo, 2);
+        prop_assert!(!groups.is_empty(), "the default tree has agg/core switches");
+        let cfg = NetworkEventStreamConfig {
+            n_links: topo.link_count() as u32,
+            mean_time_between_incidents: 10 * SECS,
+            switch_failures: Some(SwitchFailureConfig { groups, switch_prob }),
+            ..NetworkEventStreamConfig::default()
+        };
+        let events: Vec<_> = NetworkEventStream::new(cfg.clone(), seed).take(200).collect();
+        let twin: Vec<_> = NetworkEventStream::new(cfg, seed).take(200).collect();
+        prop_assert_eq!(&events, &twin, "equal (config, seed) must replay bit-identically");
+        // Correlated switch bursts must not break per-link sanity: an
+        // incident only opens on a free link, a recovery only closes an
+        // open incident, and time never runs backwards.
+        let mut last = 0;
+        let mut busy = vec![false; topo.link_count()];
+        for e in &events {
+            prop_assert!(e.at >= last, "time-ordered stream");
+            last = e.at;
+            let l = e.link as usize;
+            prop_assert!(l < busy.len(), "link ids stay in range");
+            match e.kind {
+                NetworkEventKind::LinkFail
+                | NetworkEventKind::LinkDegrade { .. }
+                | NetworkEventKind::DrainStart { .. } => {
+                    prop_assert!(!busy[l], "incidents only open on free links");
+                    busy[l] = true;
+                }
+                NetworkEventKind::LinkRecover | NetworkEventKind::DrainEnd => {
+                    prop_assert!(busy[l], "recoveries only close open incidents");
+                    busy[l] = false;
+                }
+            }
+            if let NetworkEventKind::LinkDegrade { fraction }
+            | NetworkEventKind::DrainStart { fraction } = e.kind
+            {
+                prop_assert!(fraction > 0.0 && fraction < 1.0);
+            }
         }
     }
 }
