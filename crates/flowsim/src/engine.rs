@@ -7,8 +7,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use choreo_metrics::span;
 use choreo_topology::route::splitmix64;
-use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, RouteTable, Topology};
+use choreo_topology::{LinkDir, LinkSpec, Nanos, NodeId, PodPartition, RouteTable, Topology};
 
 use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 use crate::shard::{ResourcePartition, ShardedSolver};
@@ -213,6 +214,8 @@ pub struct FlowSim {
     /// Sharded solve path ([`FlowSim::set_solver_mode`]); `None` = warm
     /// solves only.
     sharded: Option<ShardedPath>,
+    /// Cumulative solver-phase tallies ([`FlowSim::solve_stats`]).
+    stats: SolveStats,
 }
 
 /// The sharded reallocation route: a pod partition of the topology plus
@@ -261,6 +264,42 @@ impl SolverMode {
     pub fn is_sharded(&self) -> bool {
         matches!(self, SolverMode::Sharded { .. })
     }
+}
+
+/// Cumulative solver-phase tallies of one [`FlowSim`]
+/// ([`FlowSim::solve_stats`]): how many solves ran on each path, the
+/// replayed-vs-live round mix, dirty-window sizes and probe volume.
+/// Strictly observational — nothing in the engine reads these back — and
+/// maintained unconditionally (plain integer adds on already-computed
+/// values), so the counts are exact whether or not a
+/// [`span`] recorder is installed. Benches use the
+/// snapshot to attribute µs/event to solver phases.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Reallocations that ran a full cold solve (no log to replay).
+    pub cold_solves: u64,
+    /// Reallocations that warm-started off the previous solve's log.
+    pub warm_solves: u64,
+    /// Reallocations routed through the pod-sharded driver.
+    pub sharded_solves: u64,
+    /// Freeze rounds run with the full cold-solve arithmetic, summed
+    /// over all reallocations (every round of a cold solve; only the
+    /// perturbed rounds of a warm or sharded one).
+    pub live_rounds: u64,
+    /// Freeze rounds replayed verbatim from a previous log.
+    pub replayed_rounds: u64,
+    /// Dirty-window sizes (resources perturbed since the previous
+    /// solve), summed over all reallocations.
+    pub dirty_resources: u64,
+    /// Dirty shards re-solved by sharded reallocations (their fan-out
+    /// widths), summed.
+    pub shard_fanout: u64,
+    /// [`FlowSim::probe_rates`] batches evaluated.
+    pub probe_batches: u64,
+    /// What-if candidates rated (batched and single-probe).
+    pub probes: u64,
+    /// Logged rounds walked by probe replays, summed over candidates.
+    pub probe_replay_rounds: u64,
 }
 
 /// Numerical slop (bytes) below which a flow counts as finished.
@@ -314,6 +353,7 @@ impl FlowSim {
             dirty: false,
             rng: StdRng::seed_from_u64(seed),
             sharded: None,
+            stats: SolveStats::default(),
         }
     }
 
@@ -453,6 +493,33 @@ impl FlowSim {
             return 0.0;
         }
         ((nominal - current) / nominal).max(0.0)
+    }
+
+    /// Per-pod breakdown of [`FlowSim::capacity_lost_fraction`]: fills
+    /// `out` with `pods.n_pods() + 1` entries — one lost-capacity
+    /// fraction per pod (links fully inside that pod's subtree), plus a
+    /// trailing entry for the shared spine (core links and pod uplinks,
+    /// the links [`PodPartition::pod_of_link`] maps to `None`). Each
+    /// entry is lost/nominal *within that bucket*, 0 for a bucket with
+    /// no links. Observational only — the service's per-pod gauges read
+    /// this; nothing in the trajectory does.
+    pub fn pod_capacity_lost_fractions(&self, pods: &PodPartition, out: &mut Vec<f64>) {
+        let n = pods.n_pods() + 1;
+        let mut nominal = vec![0.0; n];
+        let mut current = vec![0.0; n];
+        for (l, link) in self.topo.links().iter().enumerate() {
+            let bucket = pods.pod_of_link(link).map_or(n - 1, |p| p as usize);
+            nominal[bucket] += 2.0 * link.spec.rate_bps;
+            current[bucket] += self.capacities[2 * l] + self.capacities[2 * l + 1];
+        }
+        out.clear();
+        out.extend((0..n).map(|b| {
+            if nominal[b] <= 0.0 {
+                0.0
+            } else {
+                ((nominal[b] - current[b]) / nominal[b]).max(0.0)
+            }
+        }));
     }
 
     fn push_event(&mut self, at: Nanos, ev: Ev) {
@@ -828,6 +895,8 @@ impl FlowSim {
         let probe_scratch = std::mem::take(&mut self.probe_scratch);
         let rate = self.solver.probe(&self.capacities, &self.arena, &probe_scratch);
         self.probe_scratch = probe_scratch;
+        self.stats.probes += 1;
+        self.stats.probe_replay_rounds += self.solver.last_probe_replay_rounds();
         rate
     }
 
@@ -845,7 +914,19 @@ impl FlowSim {
             self.fill_probe_path(src, dst, hose);
             batch.push(&self.probe_scratch);
         }
+        let timer = span::start("probe_batch");
         self.solver.probe_batch(&self.capacities, &self.arena, &batch, out);
+        drop(timer);
+        self.stats.probe_batches += 1;
+        self.stats.probes += batch.len() as u64;
+        self.stats.probe_replay_rounds += self.solver.last_probe_replay_rounds();
+        if span::enabled() {
+            span::value("probe_batch_size", batch.len() as f64);
+            if !batch.is_empty() {
+                let depth = self.solver.last_probe_replay_rounds() as f64 / batch.len() as f64;
+                span::value("probe_replay_depth", depth);
+            }
+        }
         self.probe_batch = batch;
     }
 
@@ -893,6 +974,14 @@ impl FlowSim {
         self.flows.len()
     }
 
+    /// Cumulative solver-phase tallies since construction: solve counts
+    /// per path (cold / warm / sharded), the replayed-vs-live round mix,
+    /// dirty-window sizes and probe volume. Purely observational — see
+    /// [`SolveStats`].
+    pub fn solve_stats(&self) -> SolveStats {
+        self.stats
+    }
+
     // ------------------------------------------------------------ dynamics
 
     /// Recompute the max-min allocation if the active flow set changed.
@@ -918,15 +1007,45 @@ impl FlowSim {
         // reconciliation); otherwise warm-start off the previous solve's
         // log. Both are bit-identical to a cold solve and both leave the
         // log hot, so the routes interchange freely event to event.
+        // Everything below the solve dispatch is observational: the span
+        // timers/values and `SolveStats` adds read already-computed
+        // state and feed nothing back, so instrumented and bare runs
+        // follow bit-identical trajectories.
+        let dirty_window = self.arena.dirty_len() as u64;
         match &mut self.sharded {
-            Some(sh) if sh.part.link_pods() >= 2 => sh.solver.solve_sharded(
-                &self.capacities,
-                &mut self.arena,
-                &sh.part,
-                &mut self.solver,
-                &mut self.rates_scratch,
-            ),
-            _ => self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch),
+            Some(sh) if sh.part.link_pods() >= 2 => {
+                let timer = span::start("solve_sharded");
+                sh.solver.solve_sharded(
+                    &self.capacities,
+                    &mut self.arena,
+                    &sh.part,
+                    &mut self.solver,
+                    &mut self.rates_scratch,
+                );
+                drop(timer);
+                self.stats.sharded_solves += 1;
+                self.stats.shard_fanout += sh.solver.last_dirty_shards() as u64;
+                span::value("shard_fanout", sh.solver.last_dirty_shards() as f64);
+            }
+            _ => {
+                let cold = self.solver.will_solve_cold(&self.arena);
+                let timer = span::start(if cold { "solve_cold" } else { "solve_warm" });
+                self.solver.solve_warm(&self.capacities, &mut self.arena, &mut self.rates_scratch);
+                drop(timer);
+                if cold {
+                    self.stats.cold_solves += 1;
+                } else {
+                    self.stats.warm_solves += 1;
+                }
+            }
+        }
+        self.stats.dirty_resources += dirty_window;
+        self.stats.live_rounds += self.solver.last_live_rounds();
+        self.stats.replayed_rounds += self.solver.last_replayed_rounds();
+        if span::enabled() {
+            span::value("solve_dirty_window", dirty_window as f64);
+            span::value("solve_live_rounds", self.solver.last_live_rounds() as f64);
+            span::value("solve_replayed_rounds", self.solver.last_replayed_rounds() as f64);
         }
         for (slot, &owner) in self.slot_owner.iter().enumerate() {
             if owner != NO_SLOT {
@@ -1189,6 +1308,36 @@ mod tests {
         let f = s.start_flow(a, a, None, Some(hose), 0, 1);
         s.run_until(MILLIS);
         assert!((s.rate_bps(f) - 4.2e9).abs() < 1.0, "loopback bypasses hose");
+    }
+
+    #[test]
+    fn solve_stats_attribute_the_solver_phases() {
+        let mut s = sim(2, GBIT);
+        let h = s.topology().hosts().to_vec();
+        assert_eq!(s.solve_stats(), SolveStats::default());
+        let f1 = s.start_flow(h[0], h[2], Some(62_500_000), None, 0, 1);
+        s.run_until(MILLIS);
+        let st = s.solve_stats();
+        // The very first reallocation has no log to replay.
+        assert_eq!(st.cold_solves, 1, "{st:?}");
+        assert_eq!(st.warm_solves, 0, "{st:?}");
+        assert!(st.live_rounds >= 1, "{st:?}");
+        assert_eq!(st.replayed_rounds, 0, "cold solves replay nothing: {st:?}");
+        assert!(st.dirty_resources >= 1, "the start dirtied its path: {st:?}");
+        // Churn after the first solve warm-starts and replays some rounds.
+        let _f2 = s.start_flow(h[1], h[3], Some(125_000_000), None, 0, 2);
+        s.run_until(2 * MILLIS);
+        let st = s.solve_stats();
+        assert_eq!(st.cold_solves, 1, "{st:?}");
+        assert!(st.warm_solves >= 1, "{st:?}");
+        // Probes ride the logged solve and report their replay volume.
+        let mut out = Vec::new();
+        s.probe_rates(&[(h[0], h[2], None), (h[1], h[3], None)], &mut out);
+        let st = s.solve_stats();
+        assert_eq!(st.probe_batches, 1, "{st:?}");
+        assert_eq!(st.probes, 2, "{st:?}");
+        assert!(st.probe_replay_rounds >= 1, "{st:?}");
+        let _ = f1;
     }
 
     #[test]

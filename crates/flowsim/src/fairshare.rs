@@ -638,6 +638,17 @@ pub struct MaxMinSolver {
     /// Warm-solve scratch: copy of the arena's dirty window, taken before
     /// the walk closes it (the walk borrows the arena mutably).
     seed_buf: Vec<u32>,
+    /// Observability: freeze rounds the last solve ran with the full
+    /// cold-solve arithmetic (every round of a cold solve; the perturbed
+    /// rounds of a warm one). Never read by the solve itself.
+    last_live_rounds: u64,
+    /// Observability: freeze rounds the last solve replayed verbatim
+    /// from the previous log (zero for a cold solve).
+    last_replayed_rounds: u64,
+    /// Observability: logged rounds walked by the last
+    /// [`MaxMinSolver::probe`] / [`MaxMinSolver::probe_batch`], summed
+    /// over the batch's candidates.
+    last_probe_replay_rounds: u64,
 }
 
 /// `probe_mark` sentinel: resource not crossed by the current candidate.
@@ -905,6 +916,8 @@ impl MaxMinSolver {
             self.delta.resize(nr, 0);
         }
         self.touched.clear();
+        self.last_live_rounds = 0;
+        self.last_replayed_rounds = 0;
         self.perturbed.clear();
         self.perturbed.resize(nr, false);
         if self.probe_mark.len() < nr {
@@ -1033,6 +1046,7 @@ impl MaxMinSolver {
                     }
                     debug_assert!(froze > 0, "live bottleneck had users but froze nothing");
                     remaining -= froze;
+                    self.last_live_rounds += 1;
                     self.log.keys.push(ShareKey::new(level, b as u32, 0).0);
                     self.log.levels.push(level);
                     self.log.freeze_end.push(self.log.freeze_slots.len() as u32);
@@ -1122,6 +1136,7 @@ impl MaxMinSolver {
                             break;
                         }
                     }
+                    self.last_replayed_rounds += (kcur - k_start) as u64;
                     // Bulk-copy the run's log segment, shifting the
                     // per-round end offsets onto the new log's bases.
                     let nt_base = self.log.touched_res.len() as u32;
@@ -1147,6 +1162,34 @@ impl MaxMinSolver {
     /// The freeze-round log of the last logged/warm solve (sharded merge).
     pub(crate) fn solve_log(&self) -> &SolveLog {
         &self.log
+    }
+
+    /// Would [`MaxMinSolver::solve_warm`] on `arena` fall back to a cold
+    /// solve? True with no valid log to replay (or one recorded against a
+    /// larger resource space). Observability only — the answer never
+    /// changes what the solve computes, just how much of it runs live.
+    pub fn will_solve_cold(&self, arena: &FlowArena) -> bool {
+        !self.log.valid || self.log.n_resources as usize > arena.n_resources()
+    }
+
+    /// Freeze rounds the last solve ran with the full cold-solve
+    /// arithmetic (all of them for a cold solve; only the perturbed ones
+    /// for a warm or sharded-reconciliation solve). Diagnostics only.
+    pub fn last_live_rounds(&self) -> u64 {
+        self.last_live_rounds
+    }
+
+    /// Freeze rounds the last solve replayed verbatim from the previous
+    /// log (zero for a cold solve). Diagnostics only.
+    pub fn last_replayed_rounds(&self) -> u64 {
+        self.last_replayed_rounds
+    }
+
+    /// Logged rounds walked by the last [`MaxMinSolver::probe`] or
+    /// [`MaxMinSolver::probe_batch`], summed over the batch's candidates
+    /// — the replay depth behind each what-if answer. Diagnostics only.
+    pub fn last_probe_replay_rounds(&self) -> u64 {
+        self.last_probe_replay_rounds
     }
 
     /// Refresh perturbed resource `r2`'s entry in the warm heap after its
@@ -1175,6 +1218,8 @@ impl MaxMinSolver {
     ) {
         let nr = arena.n_resources();
         assert!(capacities.len() >= nr, "capacities shorter than resource space");
+        self.last_live_rounds = 0;
+        self.last_replayed_rounds = 0;
         if LOG {
             self.log.clear();
             self.log.generation = arena.generation();
@@ -1244,6 +1289,7 @@ impl MaxMinSolver {
             if key.version() != self.version[b] {
                 continue; // stale entry
             }
+            self.last_live_rounds += 1;
             let level = key.share();
             // Freeze every unfrozen flow crossing the bottleneck at
             // `level`, accumulating per-resource counts so the slack
@@ -1330,6 +1376,7 @@ impl MaxMinSolver {
             "probe without a current logged solve (call solve_logged first)"
         );
         assert!(capacities.len() >= self.log.n_resources as usize, "capacities too short");
+        self.last_probe_replay_rounds = 0;
         self.replay(capacities, arena, resources)
     }
 
@@ -1349,6 +1396,7 @@ impl MaxMinSolver {
             "probe_batch without a current logged solve (call solve_logged first)"
         );
         assert!(capacities.len() >= self.log.n_resources as usize, "capacities too short");
+        self.last_probe_replay_rounds = 0;
         out.clear();
         out.reserve(batch.len());
         for i in 0..batch.len() {
@@ -1406,6 +1454,7 @@ impl MaxMinSolver {
         let mut rate = None;
         let mut t0 = 0usize;
         for k in 0..self.log.keys.len() {
+            self.last_probe_replay_rounds += 1;
             // The candidate's best (share, resource) key, with one extra
             // user on each of its resources.
             let mut cmin = ShareKey(u128::MAX);

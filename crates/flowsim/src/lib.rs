@@ -165,7 +165,9 @@ pub mod pool;
 pub mod scenario;
 pub mod shard;
 
-pub use engine::{hop_resource, FlowKey, FlowSim, FlowStatus, HoseId, SolverMode, FAILED_LINK_BPS};
+pub use engine::{
+    hop_resource, FlowKey, FlowSim, FlowStatus, HoseId, SolveStats, SolverMode, FAILED_LINK_BPS,
+};
 pub use fairshare::{max_min_rates, FlowArena, FlowSlot, MaxMinSolver, ProbeBatch};
 pub use pool::SolvePool;
 pub use scenario::{ScenarioCtx, ScenarioPool};

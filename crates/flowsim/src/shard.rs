@@ -59,6 +59,7 @@
 //! a dumbbell's singleton-host pods carry no local flows), falling back
 //! to warm/cold solves otherwise ([`crate::FlowSim::set_solver_mode`]).
 
+use choreo_metrics::span;
 use choreo_topology::{PodPartition, Topology};
 
 use crate::fairshare::{FlowArena, FlowSlot, MaxMinSolver, SolveLog};
@@ -461,6 +462,9 @@ pub struct ShardedSolver {
     /// solve that actually fans out).
     pool: Option<SolvePool>,
     workers: usize,
+    /// Observability: dirty shards the last solve re-solved (its fan-out
+    /// width). Never read by the solve itself.
+    last_dirty_shards: u32,
 }
 
 impl ShardedSolver {
@@ -497,6 +501,13 @@ impl ShardedSolver {
     /// diagnostic that pins down pool reuse over fresh spawns.
     pub fn pool_jobs_executed(&self) -> u64 {
         self.pool.as_ref().map_or(0, SolvePool::jobs_executed)
+    }
+
+    /// Dirty shards the last [`ShardedSolver::solve_sharded`] re-solved —
+    /// the solve's fan-out width (clean shards reuse their retained
+    /// logs). Diagnostics only.
+    pub fn last_dirty_shards(&self) -> u32 {
+        self.last_dirty_shards
     }
 
     /// Forget the current arena binding: the next solve fully re-splits
@@ -549,6 +560,7 @@ impl ShardedSolver {
         // exclusively owns — bit-identical to a cold shard solve, so the
         // merged log is unaffected.
         let n_dirty = self.view.sub_dirty[..n_pods].iter().filter(|&&d| d).count();
+        self.last_dirty_shards = n_dirty as u32;
         if self.workers.min(n_dirty) <= 1 {
             // Serial path: solve the dirty shards in place, k-way merge,
             // then the full reconciliation walk.
@@ -613,7 +625,10 @@ impl ShardedSolver {
                 std::mem::swap(&mut self.merged, &mut self.merge_tmp);
             }
         }
-        // Fold each dirty shard's log in completion order.
+        // Fold each dirty shard's log in completion order. The span times
+        // the whole collect-and-fold loop: queue wait on the pool plus the
+        // overlapped pairwise merges.
+        let pool_wait = span::start("pool_wait");
         for _ in 0..self.tasks.len() {
             let p = scope.wait_done() as usize;
             // Safety: shard p's job is done (wait_done synchronizes), so
@@ -622,6 +637,7 @@ impl ShardedSolver {
             merge_pair(&mut self.merge_tmp, &self.merged, log, &self.view.sub_slots[p]);
             std::mem::swap(&mut self.merged, &mut self.merge_tmp);
         }
+        drop(pool_wait);
         drop(scope); // all jobs collected: instant drain, panics surface
         self.view.sub_dirty[..n_pods].fill(false);
         solver.walk_rounds(arena, rates, &self.merged, remaining);

@@ -1,0 +1,328 @@
+//! Labeled metric families: one named metric, many label-addressed series.
+//!
+//! A [`Family`] maps a typed label set `L` to per-series instruments
+//! (counters, gauges or histograms), rendered together under one
+//! `# TYPE` header in the prometheus text format. Labels are *typed*:
+//! implement [`LabelSet`] once per label schema and the compiler keeps
+//! every `get` call consistent with the exposition (same names, same
+//! arity), instead of stringly-typed maps drifting apart.
+//!
+//! # Bounded cardinality
+//!
+//! A labeled family on a service hot path is a cardinality bomb waiting
+//! for a hostile tenant id. Every family therefore carries a hard
+//! `max_series` bound fixed at construction: once the map is full, every
+//! new label set folds into a single reserved overflow series whose
+//! label values all render as `"other"`. Readers can still see that
+//! overflow happened (the `other` series appears, and keeps counting)
+//! without the registry growing without bound.
+//!
+//! # Determinism contract
+//!
+//! Families are observational only, like every instrument in this crate:
+//! the service trajectory never reads them back, and rendering sorts
+//! series by label values so the exposition is stable regardless of map
+//! iteration order. Recording into a series is the same one-or-two
+//! atomic ops as the unlabeled instruments after an uncontended
+//! mutex-guarded map lookup.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{escape_label, fmt_f64, Counter, Gauge, Histogram};
+
+/// A typed label schema: fixed names, per-instance values.
+///
+/// `label_values` must return exactly `label_names().len()` strings, in
+/// the same order.
+pub trait LabelSet: Clone + Eq + Hash + Send + Sync + 'static {
+    /// The label names, in exposition order.
+    fn label_names() -> &'static [&'static str];
+    /// This label set's values, parallel to [`LabelSet::label_names`].
+    fn label_values(&self) -> Vec<String>;
+}
+
+/// The instrument kinds a [`Family`] can hold. Sealed in practice: the
+/// three implementations below are the three prometheus sample shapes.
+pub trait FamilyMetric: Clone + Send + Sync + 'static {
+    /// The `# TYPE` keyword for this instrument kind.
+    #[doc(hidden)]
+    fn type_name() -> &'static str;
+    /// Append this series' sample line(s); `labels` is the pre-rendered
+    /// `k="v",...` list without braces (empty for no labels).
+    #[doc(hidden)]
+    fn render_series(&self, name: &str, labels: &str, out: &mut String);
+}
+
+impl FamilyMetric for Counter {
+    fn type_name() -> &'static str {
+        "counter"
+    }
+
+    fn render_series(&self, name: &str, labels: &str, out: &mut String) {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {}\n", self.get()));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {}\n", self.get()));
+        }
+    }
+}
+
+impl FamilyMetric for Gauge {
+    fn type_name() -> &'static str {
+        "gauge"
+    }
+
+    fn render_series(&self, name: &str, labels: &str, out: &mut String) {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {}\n", fmt_f64(self.get())));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {}\n", fmt_f64(self.get())));
+        }
+    }
+}
+
+impl FamilyMetric for Histogram {
+    fn type_name() -> &'static str {
+        "histogram"
+    }
+
+    fn render_series(&self, name: &str, labels: &str, out: &mut String) {
+        self.render_samples(name, labels, out);
+    }
+}
+
+struct FamilyInner<L, M> {
+    series: Mutex<HashMap<L, M>>,
+    make: Box<dyn Fn() -> M + Send + Sync>,
+    max_series: usize,
+    /// The reserved overflow series every label set beyond `max_series`
+    /// folds into; rendered with every label value `"other"` once used.
+    other: M,
+    other_used: AtomicBool,
+}
+
+/// A bounded-cardinality family of label-addressed series. Cheap to
+/// clone (an [`Arc`] handle); see the [module docs](self) for the
+/// cardinality and determinism contracts.
+pub struct Family<L: LabelSet, M: FamilyMetric> {
+    inner: Arc<FamilyInner<L, M>>,
+}
+
+impl<L: LabelSet, M: FamilyMetric> Clone for Family<L, M> {
+    fn clone(&self) -> Self {
+        Family { inner: self.inner.clone() }
+    }
+}
+
+impl<L: LabelSet, M: FamilyMetric> std::fmt::Debug for Family<L, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Family")
+            .field("labels", &L::label_names())
+            .field("series", &self.series_count())
+            .field("max_series", &self.inner.max_series)
+            .finish()
+    }
+}
+
+impl<L: LabelSet, M: FamilyMetric> Family<L, M> {
+    /// A detached family (not registered anywhere) holding at most
+    /// `max_series` distinct label sets; `make` builds each new series
+    /// (this is where histogram bounds come from).
+    pub fn new(max_series: usize, make: impl Fn() -> M + Send + Sync + 'static) -> Family<L, M> {
+        assert!(max_series >= 1, "a family needs room for at least one series");
+        let other = make();
+        Family {
+            inner: Arc::new(FamilyInner {
+                series: Mutex::new(HashMap::new()),
+                make: Box::new(make),
+                max_series,
+                other,
+                other_used: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The series for `labels`, created on first use. Once `max_series`
+    /// distinct label sets exist, further new label sets all return the
+    /// shared `other` overflow series.
+    pub fn get(&self, labels: &L) -> M {
+        debug_assert_eq!(
+            labels.label_values().len(),
+            L::label_names().len(),
+            "label values must be parallel to label names"
+        );
+        let mut series = self.inner.series.lock().expect("family poisoned");
+        if let Some(m) = series.get(labels) {
+            return m.clone();
+        }
+        if series.len() >= self.inner.max_series {
+            self.inner.other_used.store(true, Ordering::Relaxed);
+            return self.inner.other.clone();
+        }
+        let m = (self.inner.make)();
+        series.insert(labels.clone(), m.clone());
+        m
+    }
+
+    /// Distinct label sets currently held (the overflow series not
+    /// included).
+    pub fn series_count(&self) -> usize {
+        self.inner.series.lock().expect("family poisoned").len()
+    }
+
+    /// True once at least one label set has folded into the overflow
+    /// series.
+    pub fn overflowed(&self) -> bool {
+        self.inner.other_used.load(Ordering::Relaxed)
+    }
+}
+
+/// Type-erased rendering hook the [`Registry`](crate::Registry) stores.
+pub(crate) trait RenderableFamily: Send {
+    fn type_name(&self) -> &'static str;
+    fn render(&self, name: &str, out: &mut String);
+}
+
+impl<L: LabelSet, M: FamilyMetric> RenderableFamily for Family<L, M> {
+    fn type_name(&self) -> &'static str {
+        M::type_name()
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let mut rows: Vec<(Vec<String>, M)> = {
+            let series = self.inner.series.lock().expect("family poisoned");
+            series.iter().map(|(l, m)| (l.label_values(), m.clone())).collect()
+        };
+        if self.inner.other_used.load(Ordering::Relaxed) {
+            let values = L::label_names().iter().map(|_| "other".to_string()).collect();
+            rows.push((values, self.inner.other.clone()));
+        }
+        // Sorting by label values pins the exposition order: the map's
+        // iteration order must never show through to scrapes.
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        for (values, m) in &rows {
+            let labels = L::label_names()
+                .iter()
+                .zip(values)
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            m.render_series(name, &labels, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Reason(&'static str);
+
+    impl LabelSet for Reason {
+        fn label_names() -> &'static [&'static str] {
+            &["reason"]
+        }
+
+        fn label_values(&self) -> Vec<String> {
+            vec![self.0.to_string()]
+        }
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct HostPort(&'static str, u16);
+
+    impl LabelSet for HostPort {
+        fn label_names() -> &'static [&'static str] {
+            &["host", "port"]
+        }
+
+        fn label_values(&self) -> Vec<String> {
+            vec![self.0.to_string(), self.1.to_string()]
+        }
+    }
+
+    #[test]
+    fn counter_family_renders_sorted_series() {
+        let r = Registry::new();
+        let f = r.counter_family::<Reason>("admissions_total", "Admissions by reason", 8);
+        f.get(&Reason("queued")).inc();
+        f.get(&Reason("admitted")).inc_by(3);
+        f.get(&Reason("admitted")).inc();
+        let text = r.render();
+        assert!(text.contains("# TYPE admissions_total counter"), "{text}");
+        let admitted = text.find("admissions_total{reason=\"admitted\"} 4").unwrap();
+        let queued = text.find("admissions_total{reason=\"queued\"} 1").unwrap();
+        assert!(admitted < queued, "series sort by label values:\n{text}");
+    }
+
+    #[test]
+    fn overflow_folds_into_the_other_series() {
+        let f: Family<Reason, Counter> = Family::new(2, Counter::new);
+        f.get(&Reason("a")).inc();
+        f.get(&Reason("b")).inc();
+        assert!(!f.overflowed());
+        f.get(&Reason("c")).inc();
+        f.get(&Reason("d")).inc_by(2);
+        assert!(f.overflowed());
+        assert_eq!(f.series_count(), 2, "the bound holds");
+        // The overflow series keeps counting, and existing series still
+        // resolve to their own instruments.
+        assert_eq!(f.get(&Reason("e")).get(), 3);
+        assert_eq!(f.get(&Reason("a")).get(), 1);
+        let mut out = String::new();
+        RenderableFamily::render(&f, "x", &mut out);
+        assert!(out.contains("x{reason=\"other\"} 3"), "{out}");
+    }
+
+    #[test]
+    fn multi_label_gauge_and_histogram_families_render() {
+        let r = Registry::new();
+        let g = r.gauge_family::<HostPort>("up", "Target liveness", 4);
+        g.get(&HostPort("a", 1)).set(1.0);
+        g.get(&HostPort("b", 2)).set(0.5);
+        let h = r.histogram_family::<Reason>("lat", "Latency by reason", vec![1.0, 10.0], 4);
+        h.get(&Reason("fast")).observe(0.5);
+        h.get(&Reason("fast")).observe(50.0);
+        let text = r.render();
+        assert!(text.contains("up{host=\"a\",port=\"1\"} 1"), "{text}");
+        assert!(text.contains("up{host=\"b\",port=\"2\"} 0.5"), "{text}");
+        assert!(text.contains("lat_bucket{reason=\"fast\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{reason=\"fast\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_sum{reason=\"fast\"} 50.5"), "{text}");
+        assert!(text.contains("lat_count{reason=\"fast\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        struct Raw(String);
+        impl LabelSet for Raw {
+            fn label_names() -> &'static [&'static str] {
+                &["raw"]
+            }
+
+            fn label_values(&self) -> Vec<String> {
+                vec![self.0.clone()]
+            }
+        }
+        let f: Family<Raw, Counter> = Family::new(4, Counter::new);
+        f.get(&Raw("a\\b\"c\nd".into())).inc();
+        let mut out = String::new();
+        RenderableFamily::render(&f, "m", &mut out);
+        assert_eq!(out, "m{raw=\"a\\\\b\\\"c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn family_handles_are_shared_across_threads() {
+        let f: Family<Reason, Counter> = Family::new(4, Counter::new);
+        let f2 = f.clone();
+        std::thread::spawn(move || f2.get(&Reason("x")).inc()).join().unwrap();
+        f.get(&Reason("x")).inc();
+        assert_eq!(f.get(&Reason("x")).get(), 2);
+    }
+}

@@ -18,12 +18,26 @@
 //! format (`# HELP` / `# TYPE` / samples, histograms with `le` buckets
 //! and `+Inf`), suitable for a `/metrics` endpoint byte-for-byte.
 //!
+//! Labeled series and phase timing live in the companion modules:
+//! [`family`] adds bounded-cardinality label sets ([`Family`] /
+//! [`LabelSet`]), [`span`] adds the hot-path stopwatch API (no-op until
+//! a recorder is installed), and [`parse`] re-parses the exposition for
+//! conformance testing.
+//!
 //! Metrics are **observational only**: nothing in the deterministic
 //! service trajectory reads them back, so wall-clock-derived samples
-//! (latency histograms) never perturb a simulated run's trace digest.
+//! (latency histograms, spans) never perturb a simulated run's trace
+//! digest.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+pub mod family;
+pub mod parse;
+pub mod span;
+
+pub use family::{Family, LabelSet};
+use family::{FamilyMetric, RenderableFamily};
 
 /// A monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
@@ -160,8 +174,11 @@ impl Histogram {
     }
 
     /// Bucket-resolution quantile estimate: the smallest bucket upper
-    /// bound covering fraction `q` of the observations (`+Inf` tail
-    /// reports the largest finite bound). `None` before any observation.
+    /// bound covering fraction `q` of the observations. A quantile that
+    /// resolves into the `+Inf` tail bucket reports [`f64::INFINITY`] —
+    /// the histogram genuinely cannot bound it, and reporting the
+    /// largest finite bound instead would silently flatter the tail.
+    /// `None` before any observation.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q));
         let total = self.count();
@@ -175,11 +192,35 @@ impl Histogram {
             if seen >= target {
                 return Some(match self.inner.bounds.get(i) {
                     Some(&bound) => bound,
-                    None => *self.inner.bounds.last().expect("non-empty bounds"),
+                    None => f64::INFINITY,
                 });
             }
         }
-        Some(*self.inner.bounds.last().expect("non-empty bounds"))
+        Some(f64::INFINITY)
+    }
+
+    /// Append this histogram's cumulative prometheus sample lines.
+    /// `labels` is the pre-rendered `k="v",...` list without braces
+    /// (empty for an unlabeled histogram); `le` composes after it.
+    pub(crate) fn render_samples(&self, name: &str, labels: &str, out: &mut String) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, bound) in self.inner.bounds.iter().enumerate() {
+            cumulative += self.inner.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}\n",
+                fmt_f64(*bound)
+            ));
+        }
+        cumulative += self.inner.buckets[self.inner.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}\n"));
+        if labels.is_empty() {
+            out.push_str(&format!("{name}_sum {}\n", fmt_f64(self.sum())));
+            out.push_str(&format!("{name}_count {}\n", self.count()));
+        } else {
+            out.push_str(&format!("{name}_sum{{{labels}}} {}\n", fmt_f64(self.sum())));
+            out.push_str(&format!("{name}_count{{{labels}}} {}\n", self.count()));
+        }
     }
 }
 
@@ -187,6 +228,7 @@ enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Family(Box<dyn RenderableFamily>),
 }
 
 struct Entry {
@@ -239,6 +281,46 @@ impl Registry {
         h
     }
 
+    /// Register and return a labeled counter family holding at most
+    /// `max_series` distinct label sets (overflow folds into an `other`
+    /// series — see [`family`]).
+    pub fn counter_family<L: LabelSet>(
+        &self,
+        name: &str,
+        help: &str,
+        max_series: usize,
+    ) -> Family<L, Counter> {
+        let f = Family::new(max_series, Counter::new);
+        self.push(name, help, Instrument::Family(Box::new(f.clone())));
+        f
+    }
+
+    /// Register and return a labeled gauge family.
+    pub fn gauge_family<L: LabelSet>(
+        &self,
+        name: &str,
+        help: &str,
+        max_series: usize,
+    ) -> Family<L, Gauge> {
+        let f = Family::new(max_series, Gauge::new);
+        self.push(name, help, Instrument::Family(Box::new(f.clone())));
+        f
+    }
+
+    /// Register and return a labeled histogram family; every series
+    /// shares `bounds`.
+    pub fn histogram_family<L: LabelSet>(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: Vec<f64>,
+        max_series: usize,
+    ) -> Family<L, Histogram> {
+        let f = Family::new(max_series, move || Histogram::new(bounds.clone()));
+        self.push(name, help, Instrument::Family(Box::new(f.clone())));
+        f
+    }
+
     /// Render every metric in the prometheus text exposition format.
     pub fn render(&self) -> String {
         let entries = self.entries.lock().expect("registry poisoned");
@@ -247,35 +329,28 @@ impl Registry {
             out.push_str("# HELP ");
             out.push_str(&e.name);
             out.push(' ');
-            out.push_str(&e.help);
+            out.push_str(&escape_help(&e.help));
             out.push('\n');
             out.push_str("# TYPE ");
             out.push_str(&e.name);
             match &e.instrument {
                 Instrument::Counter(c) => {
                     out.push_str(" counter\n");
-                    out.push_str(&format!("{} {}\n", e.name, c.get()));
+                    c.render_series(&e.name, "", &mut out);
                 }
                 Instrument::Gauge(g) => {
                     out.push_str(" gauge\n");
-                    out.push_str(&format!("{} {}\n", e.name, fmt_f64(g.get())));
+                    g.render_series(&e.name, "", &mut out);
                 }
                 Instrument::Histogram(h) => {
                     out.push_str(" histogram\n");
-                    let mut cumulative = 0u64;
-                    for (i, bound) in h.inner.bounds.iter().enumerate() {
-                        cumulative += h.inner.buckets[i].load(Ordering::Relaxed);
-                        out.push_str(&format!(
-                            "{}_bucket{{le=\"{}\"}} {}\n",
-                            e.name,
-                            fmt_f64(*bound),
-                            cumulative
-                        ));
-                    }
-                    cumulative += h.inner.buckets[h.inner.bounds.len()].load(Ordering::Relaxed);
-                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", e.name, cumulative));
-                    out.push_str(&format!("{}_sum {}\n", e.name, fmt_f64(h.sum())));
-                    out.push_str(&format!("{}_count {}\n", e.name, h.count()));
+                    h.render_samples(&e.name, "", &mut out);
+                }
+                Instrument::Family(f) => {
+                    out.push(' ');
+                    out.push_str(f.type_name());
+                    out.push('\n');
+                    f.render(&e.name, &mut out);
                 }
             }
         }
@@ -285,12 +360,22 @@ impl Registry {
 
 /// Prometheus-friendly float formatting: integral values render without
 /// an exponent or trailing zeros.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
         format!("{v}")
     }
+}
+
+/// Escape `# HELP` text per the text format: `\` and newline.
+pub(crate) fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value per the text format: `\`, `"` and newline.
+pub(crate) fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -344,6 +429,33 @@ mod tests {
         }
         assert_eq!(h.quantile(0.5), Some(2.0));
         assert_eq!(h.quantile(0.99), Some(128.0));
+    }
+
+    #[test]
+    fn quantiles_in_the_tail_bucket_report_infinity() {
+        // Observations beyond the last finite bound land in the +Inf
+        // bucket; a quantile resolving there must say "unbounded", not
+        // flatter the tail with the largest finite bound.
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for _ in 0..9 {
+            h.observe(0.5);
+        }
+        h.observe(1e9);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(f64::INFINITY));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn help_text_is_escaped_in_the_exposition() {
+        let r = Registry::new();
+        r.counter("odd_total", "line one\nline two with a \\ backslash");
+        let text = r.render();
+        assert!(
+            text.contains("# HELP odd_total line one\\nline two with a \\\\ backslash"),
+            "{text}"
+        );
+        assert!(!text.contains("line one\nline"), "raw newline must not split the HELP line");
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! A miniature prometheus text-format parser for conformance checking.
+//!
+//! [`parse`] re-reads a [`Registry::render`](crate::Registry::render)
+//! exposition back into structured form; [`validate`] layers the
+//! format's structural rules on top (metric/label name grammar, samples
+//! grouped under their `# TYPE` header, histogram `le` buckets present,
+//! ascending and cumulative, `_count` agreeing with the `+Inf` bucket).
+//! The conformance tests proptest `render → parse → compare` over random
+//! metric/label sets, and `choreo-serve smoke` runs [`validate`] against
+//! the live scrape — so the exposition stays machine-readable by
+//! construction, not by eyeball.
+//!
+//! This is deliberately the *subset* of the text format this crate
+//! emits: one `# HELP`/`# TYPE` pair per family, samples immediately
+//! following, no exemplars, no timestamps.
+
+/// One sample line: a (possibly suffixed) sample name, its label pairs
+/// in exposition order, and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (`foo`, `foo_bucket`, `foo_sum`, …).
+    pub name: String,
+    /// Label pairs in exposition order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`+Inf` ⇒ [`f64::INFINITY`]).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The label pairs with `le` removed — a histogram series key.
+    fn series_key(&self) -> Vec<(String, String)> {
+        self.labels.iter().filter(|(k, _)| k != "le").cloned().collect()
+    }
+}
+
+/// One metric family: the `# HELP`/`# TYPE` header plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// The family name from the `# TYPE` line.
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// Unescaped `# HELP` text, when present.
+    pub help: Option<String>,
+    /// The family's sample lines, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricFamily {
+    /// The samples named exactly `{name}{suffix}`.
+    pub fn samples_named(&self, suffix: &str) -> impl Iterator<Item = &Sample> {
+        let want = format!("{}{suffix}", self.name);
+        self.samples.iter().filter(move |s| s.name == want)
+    }
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn unescape(kind: &str, s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('"') if kind == "label" => out.push('"'),
+            other => return Err(format!("bad {kind} escape \\{:?} in {s:?}", other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one `name{labels} value` sample line.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let err = |what: &str| format!("{what} in sample line {line:?}");
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(i) => line.split_at(i),
+        None => return Err(err("no value")),
+    };
+    if !is_valid_name(name) {
+        return Err(err("invalid sample name"));
+    }
+    let (labels, value_str) = if let Some(inner) = rest.strip_prefix('{') {
+        let close = inner.rfind('}').ok_or_else(|| err("unterminated label set"))?;
+        let (label_str, after) = inner.split_at(close);
+        (parse_labels(label_str).map_err(|e| format!("{e} in {line:?}"))?, after[1..].trim())
+    } else {
+        (Vec::new(), rest.trim())
+    };
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse::<f64>().map_err(|_| err("unparseable value"))?,
+    };
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+/// Parse the inside of a `{...}` label set.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without =")?;
+        let key = &rest[..eq];
+        if !is_valid_name(key) || key.contains(':') {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].strip_prefix('"').ok_or("label value not quoted")?;
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut iter = rest.char_indices();
+        while let Some((i, c)) = iter.next() {
+            match c {
+                '\\' => {
+                    iter.next();
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_string(), unescape("label", &rest[..end])?));
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse a full text exposition into metric families.
+///
+/// Every sample line must belong to the family declared by the most
+/// recent `# TYPE` line; family names must be unique.
+pub fn parse(text: &str) -> Result<Vec<MetricFamily>, String> {
+    let mut families: Vec<MetricFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !is_valid_name(name) {
+                return Err(format!("invalid metric name in {line:?}"));
+            }
+            pending_help = Some((name.to_string(), unescape("help", help)?));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or(format!("no kind in {line:?}"))?;
+            if !is_valid_name(name) {
+                return Err(format!("invalid metric name in {line:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown metric kind {kind:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("family {name:?} declared twice"));
+            }
+            let help = match pending_help.take() {
+                Some((hname, help)) if hname == name => Some(help),
+                Some((hname, _)) => {
+                    return Err(format!("HELP for {hname:?} not followed by its TYPE"))
+                }
+                None => None,
+            };
+            families.push(MetricFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line)?;
+        let family = families.last_mut().ok_or(format!("sample before any TYPE: {line:?}"))?;
+        let valid_name = match family.kind.as_str() {
+            "histogram" => {
+                let base = sample.name.strip_suffix("_bucket").or_else(|| {
+                    sample.name.strip_suffix("_sum").or_else(|| sample.name.strip_suffix("_count"))
+                });
+                base == Some(family.name.as_str())
+            }
+            _ => sample.name == family.name,
+        };
+        if !valid_name {
+            return Err(format!(
+                "sample {:?} does not belong to family {:?} ({})",
+                sample.name, family.name, family.kind
+            ));
+        }
+        family.samples.push(sample);
+    }
+    Ok(families)
+}
+
+/// Parse and check structural conformance: counters non-negative and
+/// unlabeled-or-labeled consistently, histograms with present, ascending,
+/// cumulative `le` buckets ending at `+Inf`, and `_count`/`_sum` series
+/// agreeing with the buckets.
+pub fn validate(text: &str) -> Result<Vec<MetricFamily>, String> {
+    let families = parse(text)?;
+    for f in &families {
+        if f.samples.is_empty() {
+            // A labeled family with no live series yet renders as
+            // HELP/TYPE lines alone — legal exposition, nothing to
+            // check.
+            continue;
+        }
+        for s in &f.samples {
+            for (k, _) in &s.labels {
+                if s.labels.iter().filter(|(k2, _)| k2 == k).count() > 1 {
+                    return Err(format!("duplicate label {k:?} on {:?}", s.name));
+                }
+            }
+        }
+        match f.kind.as_str() {
+            "counter" => {
+                for s in &f.samples {
+                    if s.value < 0.0 || !s.value.is_finite() {
+                        return Err(format!("counter {:?} value {} invalid", s.name, s.value));
+                    }
+                }
+            }
+            "histogram" => validate_histogram(f)?,
+            _ => {}
+        }
+    }
+    Ok(families)
+}
+
+/// One histogram series: its non-`le` label set and its bucket samples.
+type SeriesGroup<'a> = (Vec<(String, String)>, Vec<&'a Sample>);
+
+fn validate_histogram(f: &MetricFamily) -> Result<(), String> {
+    // Group buckets by their non-le labels: one group per series.
+    let mut series: Vec<SeriesGroup> = Vec::new();
+    for s in f.samples_named("_bucket") {
+        let key = s.series_key();
+        match series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, buckets)) => buckets.push(s),
+            None => series.push((key, vec![s])),
+        }
+    }
+    if series.is_empty() {
+        return Err(format!("histogram {:?} has no _bucket samples", f.name));
+    }
+    for (key, buckets) in &series {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0.0f64;
+        for b in buckets {
+            let le = b.label("le").ok_or(format!("bucket of {:?} without le", f.name))?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().map_err(|_| format!("bad le {le:?} on {:?}", f.name))?
+            };
+            if le <= last_le {
+                return Err(format!("le buckets of {:?} not ascending", f.name));
+            }
+            if b.value < last_cum {
+                return Err(format!("buckets of {:?} not cumulative", f.name));
+            }
+            last_le = le;
+            last_cum = b.value;
+        }
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {:?} series missing the +Inf bucket", f.name));
+        }
+        let count = f
+            .samples_named("_count")
+            .find(|s| s.labels == *key)
+            .ok_or(format!("histogram {:?} series missing _count", f.name))?;
+        if count.value != last_cum {
+            return Err(format!(
+                "histogram {:?}: _count {} != +Inf bucket {}",
+                f.name, count.value, last_cum
+            ));
+        }
+        f.samples_named("_sum")
+            .find(|s| s.labels == *key)
+            .ok_or(format!("histogram {:?} series missing _sum", f.name))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates_a_rendered_registry() {
+        let r = crate::Registry::new();
+        r.counter("requests_total", "Requests with a \\ and\nnewline").inc();
+        r.gauge("depth", "Depth").set(2.5);
+        r.histogram("lat", "Latency", vec![1.0, 2.0]).observe(1.5);
+        let families = validate(&r.render()).expect("conformant");
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0].help.as_deref(), Some("Requests with a \\ and\nnewline"));
+        assert_eq!(families[2].kind, "histogram");
+        assert_eq!(families[2].samples_named("_bucket").count(), 3);
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let s = parse_sample(r#"m{a="x\\y\"z\n"} 4"#).unwrap();
+        assert_eq!(s.labels, vec![("a".into(), "x\\y\"z\n".into())]);
+        assert_eq!(s.value, 4.0);
+    }
+
+    #[test]
+    fn structural_violations_are_caught() {
+        for (text, why) in [
+            ("m 1\n", "sample before any TYPE"),
+            ("# TYPE m counter\nn 1\n", "foreign sample"),
+            ("# TYPE m widget\n", "unknown kind"),
+            ("# TYPE m counter\nm -1\n", "negative counter"),
+            ("# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate family"),
+            ("# TYPE m histogram\nm_sum 0\nm_count 0\n", "no buckets"),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"+Inf\"} 1\nm_sum 0\nm_count 1\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 0\nm_count 1\n",
+                "missing +Inf",
+            ),
+        ] {
+            assert!(validate(text).is_err(), "{why} must fail:\n{text}");
+        }
+    }
+}

@@ -113,6 +113,11 @@ pub struct OnlineConfig {
     pub migration: MigrationConfig,
     /// Re-measurement cadence and drift detector knobs.
     pub drift: DriftConfig,
+    /// Label value for the `choreo_shape_events_total{shape=...}`
+    /// counter — names the workload shape driving this run (e.g.
+    /// `"nominal"`, `"diurnal"`, `"hostile"`). Observational only: it
+    /// tags metric series and never influences the trajectory.
+    pub workload_shape: String,
 }
 
 impl Default for OnlineConfig {
@@ -127,6 +132,7 @@ impl Default for OnlineConfig {
             workers: 0,
             migration: MigrationConfig::default(),
             drift: DriftConfig::default(),
+            workload_shape: "nominal".to_string(),
         }
     }
 }

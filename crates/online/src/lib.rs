@@ -90,10 +90,12 @@ pub mod stats;
 
 pub use builder::SchedulerBuilder;
 pub use config::{DriftConfig, MigrationConfig, OnlineConfig, PlacementPolicy};
-pub use metrics::ServiceMetrics;
+pub use metrics::{
+    PodLabel, ReasonLabel, ServiceMetrics, ShapeLabel, TenantBucket, TENANT_BUCKETS,
+};
 pub use rater::LiveRater;
 pub use scheduler::OnlineScheduler;
-pub use stats::{Decision, DecisionKind, ServiceStats, TraceRing};
+pub use stats::{Cause, Decision, DecisionKind, RejectReason, ServiceStats, TraceRing};
 
 #[cfg(test)]
 mod tests {

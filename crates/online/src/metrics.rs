@@ -10,7 +10,7 @@
 //! ([`ServiceMetrics::detached`]) records into unexported handles at the
 //! same (negligible) cost.
 
-use choreo_metrics::{Counter, Gauge, Histogram, Registry};
+use choreo_metrics::{Counter, Family, Gauge, Histogram, LabelSet, Registry};
 
 /// Placement-latency histogram bounds: 1 µs … ~0.5 s, ×2 per bucket.
 fn latency_bounds() -> Vec<f64> {
@@ -21,6 +21,77 @@ fn latency_bounds() -> Vec<f64> {
         b *= 2.0;
     }
     bounds
+}
+
+/// Tenant-id buckets on the per-tenant SLO gauge family: tenant `id`
+/// lands in bucket `id % TENANT_BUCKETS`. A fixed modulus keeps the
+/// series count independent of how many tenants a run admits.
+pub const TENANT_BUCKETS: u64 = 8;
+
+/// `reason="..."` label on `choreo_admissions_total`: one series per
+/// admission outcome (`admitted`, `queued`, `queue_admitted`,
+/// `rejected_queue_full`, `rejected_failure`, `duplicate`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReasonLabel(pub &'static str);
+
+impl LabelSet for ReasonLabel {
+    fn label_names() -> &'static [&'static str] {
+        &["reason"]
+    }
+
+    fn label_values(&self) -> Vec<String> {
+        vec![self.0.to_string()]
+    }
+}
+
+/// `tenant_bucket="..."` label on `choreo_tenant_slo_attainment`; see
+/// [`TENANT_BUCKETS`] for the bucketing rule.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TenantBucket(pub u8);
+
+impl LabelSet for TenantBucket {
+    fn label_names() -> &'static [&'static str] {
+        &["tenant_bucket"]
+    }
+
+    fn label_values(&self) -> Vec<String> {
+        vec![self.0.to_string()]
+    }
+}
+
+/// `pod="..."` label on `choreo_pod_capacity_lost_fraction`. Pods are
+/// numbered as in `choreo_topology::PodPartition`; `u32::MAX` is the
+/// shared spine (core links and pod uplinks) and renders as `"spine"`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PodLabel(pub u32);
+
+impl LabelSet for PodLabel {
+    fn label_names() -> &'static [&'static str] {
+        &["pod"]
+    }
+
+    fn label_values(&self) -> Vec<String> {
+        if self.0 == u32::MAX {
+            vec!["spine".to_string()]
+        } else {
+            vec![self.0.to_string()]
+        }
+    }
+}
+
+/// `shape="..."` label on `choreo_shape_events_total`: the workload
+/// shape the run was driven with (`OnlineConfig::workload_shape`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeLabel(pub String);
+
+impl LabelSet for ShapeLabel {
+    fn label_names() -> &'static [&'static str] {
+        &["shape"]
+    }
+
+    fn label_values(&self) -> Vec<String> {
+        vec![self.0.clone()]
+    }
 }
 
 /// The service's instrument set. Fields are the hooks the scheduler and
@@ -78,6 +149,20 @@ pub struct ServiceMetrics {
     /// currently lost to failures, degradations and drains
     /// (`choreo_capacity_lost_fraction`).
     pub capacity_lost: Gauge,
+    /// Admission outcomes by reason (`choreo_admissions_total`): the
+    /// labeled view of the admitted/queued/rejected/... counters above.
+    pub admissions: Family<ReasonLabel, Counter>,
+    /// Per-tenant-bucket SLO attainment
+    /// (`choreo_tenant_slo_attainment`), refreshed alongside the
+    /// cluster-wide [`ServiceMetrics::slo_attainment`] gauge.
+    pub tenant_slo: Family<TenantBucket, Gauge>,
+    /// Per-pod capacity lost to failures, degradations and drains
+    /// (`choreo_pod_capacity_lost_fraction`); the `pod="spine"` series
+    /// covers core links and pod uplinks.
+    pub pod_capacity_lost: Family<PodLabel, Gauge>,
+    /// Tenant events consumed, by workload shape
+    /// (`choreo_shape_events_total`).
+    pub shape_events: Family<ShapeLabel, Counter>,
 }
 
 impl ServiceMetrics {
@@ -104,6 +189,10 @@ impl ServiceMetrics {
             failure_migrations: Counter::new(),
             failure_rejections: Counter::new(),
             capacity_lost: Gauge::new(),
+            admissions: Family::new(8, Counter::new),
+            tenant_slo: Family::new(TENANT_BUCKETS as usize, Gauge::new),
+            pod_capacity_lost: Family::new(64, Gauge::new),
+            shape_events: Family::new(16, Counter::new),
         }
     }
 
@@ -163,6 +252,26 @@ impl ServiceMetrics {
             capacity_lost: registry.gauge(
                 "choreo_capacity_lost_fraction",
                 "Fraction of nominal link capacity lost to failures and drains",
+            ),
+            admissions: registry.counter_family(
+                "choreo_admissions_total",
+                "Admission outcomes by reason",
+                8,
+            ),
+            tenant_slo: registry.gauge_family(
+                "choreo_tenant_slo_attainment",
+                "Fraction of running networked tenants meeting their SLO, by tenant-id bucket",
+                TENANT_BUCKETS as usize,
+            ),
+            pod_capacity_lost: registry.gauge_family(
+                "choreo_pod_capacity_lost_fraction",
+                "Fraction of nominal link capacity lost to failures and drains, by pod",
+                64,
+            ),
+            shape_events: registry.counter_family(
+                "choreo_shape_events_total",
+                "Tenant events consumed, by workload shape",
+                16,
             ),
         }
     }

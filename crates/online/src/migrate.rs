@@ -35,7 +35,7 @@ use choreo_profile::TenantId;
 
 use crate::config::PlacementPolicy;
 use crate::scheduler::OnlineScheduler;
-use crate::stats::DecisionKind;
+use crate::stats::{Cause, DecisionKind};
 
 /// A move the planner decided to execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +135,7 @@ impl OnlineScheduler {
             b.gain.partial_cmp(&a.gain).expect("finite gains").then(a.tenant.cmp(&b.tenant))
         });
         for m in moves.into_iter().take(self.cfg.migration.budget) {
-            self.execute_move(m.tenant, m.placement, m.forced);
+            self.execute_move(m.tenant, m.placement, m.forced, m.gain);
         }
     }
 
@@ -180,8 +180,10 @@ impl OnlineScheduler {
     /// baseline and cooldown. Skips the move if the new placement no
     /// longer fits the CPU ledger (an earlier move this pass took the
     /// room). `forced` marks drift/failure-triggered moves for the
-    /// trace and the `choreo_failure_migrations_total` counter.
-    fn execute_move(&mut self, id: TenantId, placement: Placement, forced: bool) {
+    /// trace and the `choreo_failure_migrations_total` counter. `gain`
+    /// is the predicted-over-current ratio that cleared the hysteresis
+    /// bar — recorded as the move's [`Cause`] in the trace ring.
+    fn execute_move(&mut self, id: TenantId, placement: Placement, forced: bool, gain: f64) {
         let t = self.tenants[id as usize].take().expect("planned moves target running tenants");
         self.load.remove(&t.app, &t.placement);
         let fits = {
@@ -216,13 +218,14 @@ impl OnlineScheduler {
         }
         self.stats.note_f64(baseline);
         let now = self.sim.now();
+        let cause = Cause::Hysteresis { gain, min_improvement: self.cfg.migration.min_improvement };
         if forced {
             self.stats.failure_migrations += 1;
             self.metrics.failure_migrations.inc();
             self.stats.note(0x46); // 'F' — the move was forced
-            self.stats.decide(now, id, DecisionKind::ForcedMigration, baseline);
+            self.stats.decide_caused(now, id, DecisionKind::ForcedMigration, baseline, cause);
         } else {
-            self.stats.decide(now, id, DecisionKind::Migrate, baseline);
+            self.stats.decide_caused(now, id, DecisionKind::Migrate, baseline, cause);
         }
         self.tenants[id as usize] = Some(crate::scheduler::Tenant {
             app: t.app,

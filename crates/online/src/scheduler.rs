@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use choreo_flowsim::{FlowKey, FlowSim, SolverMode};
 use choreo_measure::stability::StabilitySeries;
+use choreo_metrics::Counter;
 use choreo_place::greedy::GreedyPlacer;
 use choreo_place::problem::{validate, Machines, NetworkLoad, Placement};
 use choreo_place::RandomPlacer;
@@ -11,13 +12,13 @@ use choreo_profile::{
     AppProfile, NetworkEvent, NetworkEventKind, ServiceEvent, TenantEvent, TenantEventKind,
     TenantId,
 };
-use choreo_topology::{Nanos, NodeId};
+use choreo_topology::{Nanos, NodeId, PodPartition};
 
 use crate::builder::SchedulerBuilder;
 use crate::config::{OnlineConfig, PlacementPolicy};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{PodLabel, ReasonLabel, ServiceMetrics, ShapeLabel, TenantBucket};
 use crate::rater::LiveRater;
-use crate::stats::{DecisionKind, ServiceStats};
+use crate::stats::{Cause, DecisionKind, RejectReason, ServiceStats};
 
 /// One admitted tenant's live state.
 #[derive(Debug)]
@@ -91,6 +92,15 @@ pub struct OnlineScheduler {
     active: usize,
     /// Scratch: candidate-host subset of the current placement attempt.
     cand: Vec<u32>,
+    /// Pod partition of the topology — buckets the per-pod
+    /// capacity-lost gauges (observational only).
+    pods: PodPartition,
+    /// Scratch: per-pod lost-capacity fractions.
+    pod_lost: Vec<f64>,
+    /// Cached `choreo_shape_events_total{shape=...}` series for this
+    /// run's [`OnlineConfig::workload_shape`] — resolved once so the
+    /// event hot path skips the family lookup.
+    shape_events: Counter,
 }
 
 impl OnlineScheduler {
@@ -124,6 +134,8 @@ impl OnlineScheduler {
         let next_migration_at = cfg.migration.cadence.unwrap_or(Nanos::MAX);
         let next_measure_at = cfg.drift.cadence.unwrap_or(Nanos::MAX);
         let n_links = topo.links().len();
+        let pods = PodPartition::of(&topo);
+        let shape_events = metrics.shape_events.get(&ShapeLabel(cfg.workload_shape.clone()));
         OnlineScheduler {
             sim,
             hosts,
@@ -141,6 +153,9 @@ impl OnlineScheduler {
             links_down: 0,
             active: 0,
             cand: Vec::new(),
+            pods,
+            pod_lost: Vec::new(),
+            shape_events,
         }
     }
 
@@ -202,27 +217,41 @@ impl OnlineScheduler {
     /// networked transfer, how many currently score at least `fraction`
     /// of their post-placement baseline? Refreshes the
     /// `choreo_slo_attainment` gauge (1.0 when no tenant is networked)
-    /// and returns `(met, total)`. Read-only with respect to the
-    /// trajectory: scores come from the live allocation without touching
-    /// the digest.
+    /// and the per-tenant-bucket `choreo_tenant_slo_attainment` family
+    /// (only buckets that currently hold tenants), and returns
+    /// `(met, total)`. Read-only with respect to the trajectory: scores
+    /// come from the live allocation without touching the digest.
     pub fn slo_attainment(&mut self, fraction: f64) -> (u64, u64) {
         assert!((0.0..=1.0).contains(&fraction), "SLO fraction must be in [0, 1]");
-        let snapshot: Vec<(Vec<Vec<FlowKey>>, f64)> = self
+        let snapshot: Vec<(TenantId, Vec<Vec<FlowKey>>, f64)> = self
             .tenants
             .iter()
-            .flatten()
-            .filter(|t| t.flows.iter().any(|fl| !fl.is_empty()))
-            .map(|t| (t.flows.clone(), t.baseline))
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|t| (id as TenantId, t)))
+            .filter(|(_, t)| t.flows.iter().any(|fl| !fl.is_empty()))
+            .map(|(id, t)| (id, t.flows.clone(), t.baseline))
             .collect();
         let total = snapshot.len() as u64;
         let mut met = 0u64;
-        for (flows, baseline) in &snapshot {
+        let nb = crate::metrics::TENANT_BUCKETS as usize;
+        let mut bucket_met = vec![0u64; nb];
+        let mut bucket_total = vec![0u64; nb];
+        for (id, flows, baseline) in &snapshot {
+            let bucket = (id % crate::metrics::TENANT_BUCKETS) as usize;
+            bucket_total[bucket] += 1;
             if self.service_score(flows) >= fraction * baseline {
                 met += 1;
+                bucket_met[bucket] += 1;
             }
         }
         let attainment = if total == 0 { 1.0 } else { met as f64 / total as f64 };
         self.metrics.slo_attainment.set(attainment);
+        for b in 0..nb {
+            if bucket_total[b] > 0 {
+                let frac = bucket_met[b] as f64 / bucket_total[b] as f64;
+                self.metrics.tenant_slo.get(&TenantBucket(b as u8)).set(frac);
+            }
+        }
         (met, total)
     }
 
@@ -280,6 +309,7 @@ impl OnlineScheduler {
         self.advance_to(ev.at);
         self.stats.events += 1;
         self.metrics.events.inc();
+        self.shape_events.inc();
         self.stats.note(ev.tenant << 8 | event_code(&ev.kind));
         match &ev.kind {
             TenantEventKind::Arrive { app } => self.arrive(ev.tenant, (**app).clone()),
@@ -318,6 +348,7 @@ impl OnlineScheduler {
         self.advance_to(ev.at);
         self.stats.network_events += 1;
         self.metrics.link_events.inc();
+        self.shape_events.inc();
         self.stats.note(0x4e); // 'N'
         self.stats.note((ev.link as u64) << 8 | network_event_code(&ev.kind));
         let fraction = match ev.kind {
@@ -350,6 +381,15 @@ impl OnlineScheduler {
         let now = self.sim.now();
         self.stats.decide(now, TenantId::MAX, DecisionKind::NetworkEvent, fraction);
         self.metrics.capacity_lost.set(self.sim.capacity_lost_fraction());
+        // Per-pod breakdown: network events are rare, so refreshing the
+        // whole family here is cheap. The trailing bucket is the spine.
+        let mut pod_lost = std::mem::take(&mut self.pod_lost);
+        self.sim.pod_capacity_lost_fractions(&self.pods, &mut pod_lost);
+        for (bucket, &lost) in pod_lost.iter().enumerate() {
+            let pod = if bucket == self.pods.n_pods() { u32::MAX } else { bucket as u32 };
+            self.metrics.pod_capacity_lost.get(&PodLabel(pod)).set(lost);
+        }
+        self.pod_lost = pod_lost;
         if matches!(ev.kind, NetworkEventKind::LinkFail) {
             // Failure-stranded tenants must not wait out the cadence:
             // force everyone the failure actually degraded into a pass
@@ -423,7 +463,13 @@ impl OnlineScheduler {
             self.metrics.drift_detected.inc();
             self.stats.note(0x64); // 'd'
             self.stats.note(id);
-            self.stats.decide(now, id, DecisionKind::DriftDetected, err);
+            self.stats.decide_caused(
+                now,
+                id,
+                DecisionKind::DriftDetected,
+                err,
+                Cause::Drift { error: err, threshold },
+            );
         }
         if !drifted.is_empty() {
             let forced: Vec<TenantId> = drifted.iter().map(|&(id, _)| id).collect();
@@ -450,6 +496,7 @@ impl OnlineScheduler {
         if live || self.queue.iter().any(|(t, _, _)| *t == id) {
             self.stats.duplicate_arrivals += 1;
             self.metrics.duplicate_arrivals.inc();
+            self.metrics.admissions.get(&ReasonLabel("duplicate")).inc();
             self.stats.note(0x58); // 'X'
             let now = self.sim.now();
             self.stats.decide(now, id, DecisionKind::Duplicate, 0.0);
@@ -463,10 +510,12 @@ impl OnlineScheduler {
                 self.admit(id, app, placement, DecisionKind::Admit, 1);
                 self.stats.admitted += 1;
                 self.metrics.admitted.inc();
+                self.metrics.admissions.get(&ReasonLabel("admitted")).inc();
             }
             None if self.queue.len() < self.cfg.queue_capacity => {
                 self.stats.queued += 1;
                 self.metrics.queued.inc();
+                self.metrics.admissions.get(&ReasonLabel("queued")).inc();
                 self.stats.note(0x51); // 'Q'
                 let now = self.sim.now();
                 self.stats.decide(now, id, DecisionKind::Queue, self.queue.len() as f64);
@@ -480,13 +529,27 @@ impl OnlineScheduler {
                 if self.links_down > 0 {
                     self.stats.failure_rejections += 1;
                     self.metrics.failure_rejections.inc();
+                    self.metrics.admissions.get(&ReasonLabel("rejected_failure")).inc();
                     self.stats.note(0x72); // 'r'
                     let now = self.sim.now();
-                    self.stats.decide(now, id, DecisionKind::FailureReject, 0.0);
+                    self.stats.decide_caused(
+                        now,
+                        id,
+                        DecisionKind::FailureReject,
+                        0.0,
+                        Cause::Reject(RejectReason::LinksDown),
+                    );
                 } else {
+                    self.metrics.admissions.get(&ReasonLabel("rejected_queue_full")).inc();
                     self.stats.note(0x52); // 'R'
                     let now = self.sim.now();
-                    self.stats.decide(now, id, DecisionKind::Reject, 0.0);
+                    self.stats.decide_caused(
+                        now,
+                        id,
+                        DecisionKind::Reject,
+                        0.0,
+                        Cause::Reject(RejectReason::QueueFull),
+                    );
                 }
             }
         }
@@ -692,6 +755,7 @@ impl OnlineScheduler {
                 self.admit(id, app, placement, DecisionKind::QueueAdmit, intensity);
                 self.stats.queue_admitted += 1;
                 self.metrics.queue_admitted.inc();
+                self.metrics.admissions.get(&ReasonLabel("queue_admitted")).inc();
             } else {
                 i += 1;
             }

@@ -42,6 +42,110 @@ pub enum DecisionKind {
     FailureReject,
 }
 
+impl DecisionKind {
+    /// Stable snake_case name used by the JSONL trace export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionKind::Admit => "admit",
+            DecisionKind::Queue => "queue",
+            DecisionKind::QueueAdmit => "queue_admit",
+            DecisionKind::Reject => "reject",
+            DecisionKind::Duplicate => "duplicate",
+            DecisionKind::Depart => "depart",
+            DecisionKind::Intensity => "intensity",
+            DecisionKind::Migrate => "migrate",
+            DecisionKind::MigrationPass => "migration_pass",
+            DecisionKind::NetworkEvent => "network_event",
+            DecisionKind::DriftDetected => "drift_detected",
+            DecisionKind::ForcedMigration => "forced_migration",
+            DecisionKind::FailureReject => "failure_reject",
+        }
+    }
+}
+
+/// Why an arrival was turned away ([`Cause::Reject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The wait queue was at capacity.
+    QueueFull,
+    /// Links were down: the capacity was genuinely gone.
+    LinksDown,
+}
+
+impl RejectReason {
+    /// Stable snake_case name used by the JSONL trace export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::LinksDown => "links_down",
+        }
+    }
+}
+
+/// *Why* a decision fired — the threshold arithmetic behind it, carried
+/// alongside the headline value so a trace reader can re-derive the
+/// verdict. Purely trace metadata: causes live only in the
+/// [`TraceRing`], never in the trajectory digest, so attaching them
+/// cannot fork a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cause {
+    /// Drift detection: the last-epoch relative error against the
+    /// configured threshold it exceeded.
+    Drift {
+        /// Epoch-over-epoch relative error observed.
+        error: f64,
+        /// The drift threshold it was compared against.
+        threshold: f64,
+    },
+    /// A migration cleared the hysteresis bar: the predicted gain
+    /// against the minimum-improvement margin it had to beat.
+    Hysteresis {
+        /// Predicted-over-current score ratio of the executed move.
+        gain: f64,
+        /// The planner's `min_improvement` hysteresis margin.
+        min_improvement: f64,
+    },
+    /// An arrival was rejected, and why.
+    Reject(RejectReason),
+}
+
+impl Cause {
+    fn write_json(self, out: &mut String) {
+        match self {
+            Cause::Drift { error, threshold } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"drift\",\"error\":{},\"threshold\":{}}}",
+                    json_f64(error),
+                    json_f64(threshold)
+                ));
+            }
+            Cause::Hysteresis { gain, min_improvement } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"hysteresis\",\"gain\":{},\"min_improvement\":{}}}",
+                    json_f64(gain),
+                    json_f64(min_improvement)
+                ));
+            }
+            Cause::Reject(reason) => {
+                out.push_str(&format!(
+                    "{{\"type\":\"reject\",\"reason\":\"{}\"}}",
+                    reason.as_str()
+                ));
+            }
+        }
+    }
+}
+
+/// A finite float as a JSON number; non-finite values become `null`
+/// (JSON has no Inf/NaN).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// One entry of the decision trace: when, who, what, and the decision's
 /// headline number (baseline score for placements, departure score for
 /// departures, new intensity for load changes).
@@ -55,6 +159,34 @@ pub struct Decision {
     pub kind: DecisionKind,
     /// Decision-specific value (see the struct docs).
     pub value: f64,
+    /// The threshold arithmetic behind the decision, where one exists
+    /// (drift errors, hysteresis margins, rejection reasons).
+    pub cause: Option<Cause>,
+}
+
+impl Decision {
+    /// One-line JSON object: `at`, `tenant` (`null` for cluster-wide
+    /// decisions), `kind`, `value` (`null` when non-finite) and `cause`
+    /// (omitted when absent).
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"at\":{},\"tenant\":", self.at);
+        if self.tenant == u64::MAX {
+            s.push_str("null");
+        } else {
+            s.push_str(&self.tenant.to_string());
+        }
+        s.push_str(&format!(
+            ",\"kind\":\"{}\",\"value\":{}",
+            self.kind.as_str(),
+            json_f64(self.value)
+        ));
+        if let Some(c) = self.cause {
+            s.push_str(",\"cause\":");
+            c.write_json(&mut s);
+        }
+        s.push('}');
+        s
+    }
 }
 
 /// A bounded ring of the most recent [`Decision`]s — the service's
@@ -103,6 +235,21 @@ impl TraceRing {
         let mut out = Vec::with_capacity(self.capacity);
         out.extend_from_slice(&self.buf[split..]);
         out.extend_from_slice(&self.buf[..split]);
+        out
+    }
+
+    /// The most recent `n` retained decisions as JSON Lines, oldest
+    /// first, one [`Decision::to_json`] object per line (trailing
+    /// newline included; empty string for an empty ring). The `/trace`
+    /// endpoint and the `GetTrace` wire op render exactly this.
+    pub fn to_jsonl(&self, n: usize) -> String {
+        let recent = self.recent();
+        let skip = recent.len().saturating_sub(n);
+        let mut out = String::new();
+        for d in &recent[skip..] {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
         out
     }
 }
@@ -197,7 +344,21 @@ impl ServiceStats {
 
     /// Record one decision in the trace ring.
     pub(crate) fn decide(&mut self, at: Nanos, tenant: TenantId, kind: DecisionKind, value: f64) {
-        self.trace.push(Decision { at, tenant, kind, value });
+        self.trace.push(Decision { at, tenant, kind, value, cause: None });
+    }
+
+    /// [`ServiceStats::decide`] with the cause metadata attached. The
+    /// cause rides only in the trace ring — it is never digested — so
+    /// attaching it cannot fork a trajectory.
+    pub(crate) fn decide_caused(
+        &mut self,
+        at: Nanos,
+        tenant: TenantId,
+        kind: DecisionKind,
+        value: f64,
+        cause: Cause,
+    ) {
+        self.trace.push(Decision { at, tenant, kind, value, cause: Some(cause) });
     }
 
     /// The decision flight recorder (most recent decisions, bounded).
@@ -287,6 +448,60 @@ mod tests {
         let mut t = ServiceStats::with_trace_capacity(8);
         t.decide(1, 0, DecisionKind::Queue, 0.0);
         assert_eq!(t.decisions().recent().len(), 1);
+    }
+
+    #[test]
+    fn decisions_render_as_jsonl_with_causes() {
+        let mut s = ServiceStats::with_trace_capacity(8);
+        s.decide(5, 3, DecisionKind::Admit, 2.5);
+        s.decide_caused(7, 4, DecisionKind::Reject, 0.0, Cause::Reject(RejectReason::QueueFull));
+        s.decide_caused(
+            9,
+            4,
+            DecisionKind::DriftDetected,
+            0.125,
+            Cause::Drift { error: 0.125, threshold: 0.06 },
+        );
+        s.decide(11, u64::MAX, DecisionKind::MigrationPass, f64::INFINITY);
+        let jsonl = s.decisions().to_jsonl(16);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "{\"at\":5,\"tenant\":3,\"kind\":\"admit\",\"value\":2.5}");
+        assert_eq!(
+            lines[1],
+            "{\"at\":7,\"tenant\":4,\"kind\":\"reject\",\"value\":0,\
+             \"cause\":{\"type\":\"reject\",\"reason\":\"queue_full\"}}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"at\":9,\"tenant\":4,\"kind\":\"drift_detected\",\"value\":0.125,\
+             \"cause\":{\"type\":\"drift\",\"error\":0.125,\"threshold\":0.06}}"
+        );
+        assert_eq!(
+            lines[3], "{\"at\":11,\"tenant\":null,\"kind\":\"migration_pass\",\"value\":null}",
+            "cluster-wide tenant and non-finite value render as null"
+        );
+        // `n` bounds the export to the most recent decisions.
+        let tail = s.decisions().to_jsonl(1);
+        assert_eq!(tail.lines().count(), 1);
+        assert!(tail.contains("migration_pass"), "{tail}");
+        assert_eq!(s.decisions().to_jsonl(0), "");
+    }
+
+    #[test]
+    fn hysteresis_cause_round_trips_through_json() {
+        let d = Decision {
+            at: 1,
+            tenant: 2,
+            kind: DecisionKind::Migrate,
+            value: 3.0,
+            cause: Some(Cause::Hysteresis { gain: 1.5, min_improvement: 0.1 }),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"at\":1,\"tenant\":2,\"kind\":\"migrate\",\"value\":3,\
+             \"cause\":{\"type\":\"hysteresis\",\"gain\":1.5,\"min_improvement\":0.1}}"
+        );
     }
 
     #[test]

@@ -102,9 +102,11 @@ fn serve(flags: &Flags) -> Result<(), String> {
     let env = NetEnv::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("service listening on {}", env.local_addr());
     let mut svc = PlacementService::new(topo, routes, ServiceConfig::default(), env);
-    let _metrics = MetricsServer::start(metrics_addr, svc.registry())
-        .map_err(|e| format!("metrics bind {metrics_addr}: {e}"))?;
+    let _metrics =
+        MetricsServer::start_with_trace(metrics_addr, svc.registry(), svc.trace_export())
+            .map_err(|e| format!("metrics bind {metrics_addr}: {e}"))?;
     println!("metrics at http://{}/metrics", _metrics.local_addr());
+    println!("decision trace at http://{}/trace", _metrics.local_addr());
     svc.run();
     println!("shutdown served; final trace hash {:#018x}", svc.trace_hash());
     Ok(())
@@ -169,18 +171,56 @@ fn smoke(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("metrics: unexpected reply {other:?}")),
     };
     check_exposition("in-band metrics", &text)?;
-    // And the HTTP scrape endpoint, when given.
+    // The decision trace must come back as parseable, non-empty JSONL
+    // covering at least the admission above.
+    let jsonl = match rpc(&mut c, &ServiceRequest::GetTrace { n: 64 })? {
+        ServiceResponse::Trace(t) => t,
+        other => return Err(format!("trace: unexpected reply {other:?}")),
+    };
+    check_trace("in-band trace", &jsonl)?;
+    println!("trace: {} decisions", jsonl.lines().count());
+    // And the HTTP scrape endpoints, when given.
     if let Some(maddr) = flags.get("metrics-addr") {
         let body = http_get(maddr, "/metrics")?;
         check_exposition(&format!("http://{maddr}/metrics"), &body)?;
         println!("scraped {} bytes from http://{maddr}/metrics", body.len());
+        let trace = http_get(maddr, "/trace?n=64")?;
+        check_trace(&format!("http://{maddr}/trace"), &trace)?;
+        println!("scraped {} trace lines from http://{maddr}/trace", trace.lines().count());
     }
     println!("smoke: ok");
     Ok(())
 }
 
+/// The trace export must be non-empty JSONL: every line a `{...}`
+/// object with the fields the decision schema promises, and at least
+/// one admission present.
+fn check_trace(what: &str, jsonl: &str) -> Result<(), String> {
+    if jsonl.lines().count() == 0 {
+        return Err(format!("{what}: empty decision trace"));
+    }
+    for line in jsonl.lines() {
+        if !(line.starts_with("{\"at\":") && line.ends_with('}')) {
+            return Err(format!("{what}: malformed trace line {line:?}"));
+        }
+        if !line.contains("\"kind\":\"") {
+            return Err(format!("{what}: trace line without a kind: {line:?}"));
+        }
+    }
+    if !jsonl.contains("\"kind\":\"admit\"") {
+        return Err(format!("{what}: no admit decision in the trace"));
+    }
+    Ok(())
+}
+
 fn check_exposition(what: &str, text: &str) -> Result<(), String> {
+    // The live exposition must round-trip through the conformance
+    // parser — same gate the property tests apply to synthetic
+    // registries.
+    choreo_metrics::parse::validate(text)
+        .map_err(|e| format!("{what}: exposition fails text-format conformance: {e}"))?;
     for needle in [
+        "choreo_admissions_total{reason=\"admitted\"}",
         "choreo_admitted_total",
         "choreo_queue_depth",
         "choreo_placement_latency_seconds_bucket",

@@ -1,14 +1,17 @@
-//! A tiny `GET /metrics` HTTP endpoint over the service registry.
+//! A tiny `GET /metrics` + `GET /trace` HTTP endpoint over the service
+//! registry.
 //!
 //! Just enough HTTP/1.0 for a prometheus scraper or `curl`: read the
 //! request line, answer `GET /metrics` with the registry's text
-//! exposition, answer everything else with 404, close the connection.
-//! No keep-alive, no chunking, no dependencies.
+//! exposition (and, when a trace snapshot was wired in via
+//! [`MetricsServer::start_with_trace`], `GET /trace?n=K` with the last
+//! `K` decision-trace JSON lines), answer everything else with 404,
+//! close the connection. No keep-alive, no chunking, no dependencies.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use choreo_metrics::Registry;
@@ -25,6 +28,25 @@ impl MetricsServer {
     /// thread. Port 0 binds an ephemeral port; see
     /// [`MetricsServer::local_addr`].
     pub fn start<A: ToSocketAddrs>(addr: A, registry: Arc<Registry>) -> std::io::Result<Self> {
+        Self::start_inner(addr, registry, None)
+    }
+
+    /// Like [`MetricsServer::start`], but also serve `GET /trace?n=K`
+    /// from `trace` — a decision-trace JSONL snapshot the service loop
+    /// keeps fresh ([`crate::PlacementService::trace_export`]).
+    pub fn start_with_trace<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<Registry>,
+        trace: Arc<Mutex<String>>,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(addr, registry, Some(trace))
+    }
+
+    fn start_inner<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<Registry>,
+        trace: Option<Arc<Mutex<String>>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -35,7 +57,7 @@ impl MetricsServer {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = Self::serve_one(stream, &registry);
+                            let _ = Self::serve_one(stream, &registry, trace.as_deref());
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(10));
@@ -53,7 +75,11 @@ impl MetricsServer {
         self.addr
     }
 
-    fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    fn serve_one(
+        stream: TcpStream,
+        registry: &Registry,
+        trace: Option<&Mutex<String>>,
+    ) -> std::io::Result<()> {
         stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
         let mut reader = BufReader::new(stream);
         let mut request_line = String::new();
@@ -68,10 +94,20 @@ impl MetricsServer {
         }
         let mut stream = reader.into_inner();
         let path = request_line.split_whitespace().nth(1).unwrap_or("");
-        let (status, body) = if request_line.starts_with("GET") && path == "/metrics" {
+        let (route, query) = path.split_once('?').unwrap_or((path, ""));
+        let is_get = request_line.starts_with("GET");
+        let (status, body) = if is_get && route == "/metrics" {
             ("200 OK", registry.render())
+        } else if is_get && route == "/trace" {
+            match trace {
+                Some(t) => {
+                    let full = t.lock().expect("trace export poisoned").clone();
+                    ("200 OK", last_lines(&full, trace_limit(query)))
+                }
+                None => ("404 Not Found", "no trace source wired in\n".to_string()),
+            }
         } else {
-            ("404 Not Found", "only GET /metrics lives here\n".to_string())
+            ("404 Not Found", "only GET /metrics and GET /trace live here\n".to_string())
         };
         write!(
             stream,
@@ -95,6 +131,30 @@ impl Drop for MetricsServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// `n` from a `/trace` query string (`n=K`, `&`-separated); everything
+/// when absent or malformed.
+fn trace_limit(query: &str) -> usize {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// The last `n` lines of `text`, newline-terminated (empty for `n = 0`
+/// or empty input).
+fn last_lines(text: &str, n: usize) -> String {
+    let total = text.lines().count();
+    if n >= total {
+        return text.to_string();
+    }
+    let mut out: String = text.lines().skip(total - n).collect::<Vec<_>>().join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -126,6 +186,28 @@ mod tests {
     fn other_paths_are_404() {
         let server = MetricsServer::start(("127.0.0.1", 0), Arc::new(Registry::new())).unwrap();
         let body = get(server.local_addr(), "/");
+        assert!(body.starts_with("HTTP/1.0 404"), "{body}");
+    }
+
+    #[test]
+    fn trace_route_serves_the_snapshot_with_a_limit() {
+        let trace = Arc::new(Mutex::new(
+            "{\"at\":1,\"kind\":\"admit\"}\n{\"at\":2,\"kind\":\"depart\"}\n".to_string(),
+        ));
+        let server =
+            MetricsServer::start_with_trace(("127.0.0.1", 0), Arc::new(Registry::new()), trace)
+                .unwrap();
+        let body = get(server.local_addr(), "/trace");
+        assert!(body.starts_with("HTTP/1.0 200"), "{body}");
+        assert!(body.contains("\"at\":1") && body.contains("\"at\":2"), "{body}");
+        let tail = get(server.local_addr(), "/trace?n=1");
+        assert!(!tail.contains("\"at\":1") && tail.contains("\"at\":2"), "{tail}");
+    }
+
+    #[test]
+    fn trace_route_without_a_source_is_404() {
+        let server = MetricsServer::start(("127.0.0.1", 0), Arc::new(Registry::new())).unwrap();
+        let body = get(server.local_addr(), "/trace");
         assert!(body.starts_with("HTTP/1.0 404"), "{body}");
     }
 }

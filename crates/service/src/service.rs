@@ -8,7 +8,7 @@
 //! bit-reproducible while a [`NetEnv`](crate::NetEnv)-backed run serves
 //! real sockets with the identical dispatch code.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use choreo_metrics::{Counter, Registry};
 use choreo_online::{OnlineConfig, OnlineScheduler, SchedulerBuilder};
@@ -70,6 +70,10 @@ pub struct PlacementService<E: ServiceEnv> {
     invalid_horizons: Counter,
     env: E,
     stopped: bool,
+    /// Shared JSONL snapshot of the decision trace for the HTTP
+    /// `/trace` endpoint; refreshed after every served request once
+    /// [`PlacementService::trace_export`] has been called.
+    trace_export: Option<Arc<Mutex<String>>>,
 }
 
 impl<E: ServiceEnv> PlacementService<E> {
@@ -105,6 +109,7 @@ impl<E: ServiceEnv> PlacementService<E> {
             invalid_horizons,
             env,
             stopped: false,
+            trace_export: None,
         }
     }
 
@@ -159,6 +164,10 @@ impl<E: ServiceEnv> PlacementService<E> {
                 let shutdown = matches!(req, ServiceRequest::Shutdown);
                 let resp = self.handle(at, req);
                 self.env.send(conn, &resp);
+                if let Some(export) = &self.trace_export {
+                    *export.lock().expect("trace export poisoned") =
+                        self.scheduler.stats().decisions().to_jsonl(usize::MAX);
+                }
                 if shutdown {
                     self.stopped = true;
                     return false;
@@ -281,8 +290,33 @@ impl<E: ServiceEnv> PlacementService<E> {
                 self.scheduler.network_step(&NetworkEvent { at, link, kind });
                 ServiceResponse::Done
             }
+            ServiceRequest::GetTrace { n } => {
+                // Read-only: no clock advance, no digest bytes — the
+                // trace ring is observational and export must stay so.
+                ServiceResponse::Trace(self.scheduler.stats().decisions().to_jsonl(n as usize))
+            }
             ServiceRequest::Shutdown => ServiceResponse::Done,
         }
+    }
+
+    /// The last `n` decision-trace entries as JSON lines, oldest first —
+    /// what [`ServiceRequest::GetTrace`] and the HTTP `/trace` endpoint
+    /// serve.
+    pub fn trace_jsonl(&self, n: usize) -> String {
+        self.scheduler.stats().decisions().to_jsonl(n)
+    }
+
+    /// A shared decision-trace snapshot for the HTTP `/trace` endpoint
+    /// ([`crate::MetricsServer::start_with_trace`]): after this call the
+    /// loop re-renders the ring's JSONL into the handle after every
+    /// served request. Observational only — exporting never touches the
+    /// clock or the digest.
+    pub fn trace_export(&mut self) -> Arc<Mutex<String>> {
+        let export =
+            self.trace_export.get_or_insert_with(|| Arc::new(Mutex::new(String::new()))).clone();
+        *export.lock().expect("trace export poisoned") =
+            self.scheduler.stats().decisions().to_jsonl(usize::MAX);
+        export
     }
 
     fn stats_reply(&self) -> ServiceStatsReply {
@@ -466,6 +500,31 @@ mod tests {
         assert!(text.contains("choreo_capacity_lost_fraction 0"), "{text}");
         assert!(text.contains("choreo_drift_detected_total"), "{text}");
         assert!(text.contains("choreo_failure_migrations_total"), "{text}");
+    }
+
+    #[test]
+    fn get_trace_returns_jsonl_without_advancing_the_clock() {
+        let mut svc = sim_service(vec![
+            (10, 1, ServiceRequest::Admit { tenant: 1, app: app(3) }),
+            (20, 1, ServiceRequest::GetTrace { n: 16 }),
+            (30, 1, ServiceRequest::GetTrace { n: 1 }),
+        ]);
+        svc.run();
+        let now = svc.scheduler().now();
+        let hash = svc.trace_hash();
+        assert_eq!(svc.trace_jsonl(16), svc.trace_jsonl(16));
+        assert_eq!(svc.trace_hash(), hash, "trace export never touches the digest");
+        assert_eq!(svc.scheduler().now(), now, "trace export never advances the clock");
+        let env = svc.into_env();
+        let rs = env.responses(1);
+        let ServiceResponse::Trace(jsonl) = &rs[1] else { panic!("{:?}", rs[1]) };
+        assert!(jsonl.lines().count() >= 1, "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"admit\""), "{jsonl}");
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"at\":") && line.ends_with('}'), "{line}");
+        }
+        let ServiceResponse::Trace(tail) = &rs[2] else { panic!("{:?}", rs[2]) };
+        assert_eq!(tail.lines().count(), 1, "n bounds the export");
     }
 
     #[test]

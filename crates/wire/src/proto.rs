@@ -68,6 +68,14 @@ pub enum ServiceRequest {
         /// What happens to the link.
         kind: NetworkEventKind,
     },
+    /// Fetch the last `n` decision-trace entries as JSON lines (oldest
+    /// first). Read-only: the service clock does not advance and the
+    /// trajectory digest is untouched.
+    GetTrace {
+        /// Maximum entries to return (the trace ring's capacity bounds
+        /// what can come back).
+        n: u32,
+    },
     /// Stop serving after responding.
     Shutdown,
 }
@@ -94,6 +102,8 @@ pub enum ServiceResponse {
     Stats(ServiceStatsReply),
     /// Prometheus text exposition.
     MetricsText(String),
+    /// Decision-trace entries as JSON lines, oldest first.
+    Trace(String),
     /// The request failed.
     Error(String),
 }
@@ -234,6 +244,10 @@ impl ServiceRequest {
                 body.put_u8(code);
                 body.put_u64(fraction.to_bits());
             }
+            ServiceRequest::GetTrace { n } => {
+                body.put_u8(0x18);
+                body.put_u32(*n);
+            }
         }
         write_frame(body)
     }
@@ -299,6 +313,10 @@ impl ServiceRequest {
                     other => return Err(format!("unknown network-event kind {other}")),
                 };
                 Ok(ServiceRequest::InjectNetworkEvent { at, link, kind })
+            }
+            0x18 => {
+                need(data, 4)?;
+                Ok(ServiceRequest::GetTrace { n: data.get_u32() })
             }
             other => Err(format!("unknown request tag {other:#x}")),
         }
@@ -373,6 +391,10 @@ impl ServiceResponse {
                 body.put_u8(0x95);
                 put_string(&mut body, text);
             }
+            ServiceResponse::Trace(jsonl) => {
+                body.put_u8(0x96);
+                put_string(&mut body, jsonl);
+            }
             ServiceResponse::Error(e) => {
                 body.put_u8(0xFF);
                 put_string(&mut body, e);
@@ -422,6 +444,7 @@ impl ServiceResponse {
                 }))
             }
             0x95 => Ok(ServiceResponse::MetricsText(get_string(&mut data)?)),
+            0x96 => Ok(ServiceResponse::Trace(get_string(&mut data)?)),
             0xFF => Ok(ServiceResponse::Error(get_string(&mut data)?)),
             other => Err(format!("unknown response tag {other:#x}")),
         }
@@ -484,6 +507,7 @@ mod tests {
                 kind: NetworkEventKind::DrainStart { fraction: 0.5 },
             },
             ServiceRequest::InjectNetworkEvent { at: 9, link: 0, kind: NetworkEventKind::DrainEnd },
+            ServiceRequest::GetTrace { n: 64 },
             ServiceRequest::Shutdown,
         ];
         for r in reqs {
@@ -516,6 +540,9 @@ mod tests {
                 trace_hash: 0xdeadbeef,
             }),
             ServiceResponse::MetricsText("# HELP x y\nx 1\n".into()),
+            ServiceResponse::Trace(
+                "{\"at\":1,\"tenant\":2,\"kind\":\"admit\",\"value\":3}\n".into(),
+            ),
             ServiceResponse::Error("boom".into()),
         ];
         for r in resps {

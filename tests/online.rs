@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use choreo_repro::metrics::span::{self, RegistrySpans};
+use choreo_repro::metrics::Registry;
 use choreo_repro::online::{
     DriftConfig, MigrationConfig, OnlineConfig, OnlineScheduler, PlacementPolicy, SchedulerBuilder,
 };
@@ -49,18 +51,21 @@ fn events(seed: u64, n: usize) -> Vec<TenantEvent> {
     WorkloadStream::new(cfg, seed).take(n).collect()
 }
 
-fn service(policy: PlacementPolicy, workers: usize, seed: u64) -> OnlineScheduler {
-    let topo = Arc::new(test_tree());
-    let routes = Arc::new(RouteTable::new(&topo));
-    let cfg = OnlineConfig {
+fn service_cfg(policy: PlacementPolicy, workers: usize) -> OnlineConfig {
+    OnlineConfig {
         policy,
         workers,
         candidate_hosts: 8,
         queue_capacity: 4,
         migration: MigrationConfig { cadence: Some(15 * SECS), ..Default::default() },
         ..Default::default()
-    };
-    SchedulerBuilder::new(topo, routes).config(cfg).seed(seed).build()
+    }
+}
+
+fn service(policy: PlacementPolicy, workers: usize, seed: u64) -> OnlineScheduler {
+    let topo = Arc::new(test_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    SchedulerBuilder::new(topo, routes).config(service_cfg(policy, workers)).seed(seed).build()
 }
 
 /// Run a full service over `evs`, checking the safety invariants after
@@ -98,6 +103,56 @@ proptest! {
         for workers in [1usize, 2, 8] {
             let w = run_checked(PlacementPolicy::Greedy, workers, sim_seed, &evs);
             prop_assert_eq!(a, w, "worker count {} changed the trajectory", workers);
+        }
+    }
+}
+
+/// Like [`run_checked`], but with the whole observability stack live:
+/// registered labeled metric families behind a real [`Registry`], the
+/// solver-phase span recorder installed, and the decision trace
+/// rendered to JSONL both mid-run and at the end. Every piece is
+/// observational-only, so the digest and counters must match the bare
+/// run's bit for bit.
+fn run_instrumented(workers: usize, seed: u64, evs: &[TenantEvent]) -> (u64, u64, u64, u64) {
+    let registry = Arc::new(Registry::new());
+    span::install(RegistrySpans::new(Arc::clone(&registry)));
+    let topo = Arc::new(test_tree());
+    let routes = Arc::new(RouteTable::new(&topo));
+    let mut svc = SchedulerBuilder::new(topo, routes)
+        .config(service_cfg(PlacementPolicy::Greedy, workers))
+        .seed(seed)
+        .metrics_registry(&registry)
+        .build();
+    for (i, ev) in evs.iter().enumerate() {
+        svc.step(ev);
+        svc.check_invariants();
+        if i % 64 == 0 {
+            // Exporting mid-run must not perturb the trajectory either.
+            let _ = svc.stats().decisions().to_jsonl(16);
+            let _ = registry.render();
+        }
+    }
+    span::uninstall();
+    let trace = svc.stats().decisions().to_jsonl(usize::MAX);
+    assert!(!trace.is_empty(), "a busy run must leave a decision trace");
+    let s = svc.stats();
+    (s.trace_hash(), s.admitted + s.queue_admitted, s.rejected, s.migrations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn instrumentation_never_changes_the_trajectory(
+        stream_seed in 0u64..1000,
+        sim_seed in 0u64..1000,
+    ) {
+        let evs = events(stream_seed, 250);
+        let bare = run_checked(PlacementPolicy::Greedy, 0, sim_seed, &evs);
+        // Live recorder + families + trace export, across worker
+        // counts: the digest may never move.
+        for workers in [1usize, 2, 8] {
+            let instr = run_instrumented(workers, sim_seed, &evs);
+            prop_assert_eq!(bare, instr, "instrumented run at {} workers diverged", workers);
         }
     }
 }
